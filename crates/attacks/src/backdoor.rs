@@ -1,0 +1,193 @@
+//! Backdoor (trigger) poisoning (§V-A2).
+//!
+//! The adversary stamps a small pixel trigger — the paper uses a 3×3 black
+//! square — onto a fraction of its training images and relabels them to a
+//! target class. A backdoored model behaves normally on clean inputs but
+//! predicts the target class whenever the trigger appears.
+
+use fuiov_data::Dataset;
+use fuiov_tensor::rng::{rng_for, streams};
+use rand::seq::SliceRandom;
+
+/// Where the trigger patch is stamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corner {
+    /// Top-left corner of the image.
+    TopLeft,
+    /// Bottom-right corner of the image.
+    BottomRight,
+}
+
+/// A square pixel-patch trigger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trigger {
+    /// Patch side length in pixels (paper: 3).
+    pub size: usize,
+    /// Pixel value written into every channel (paper: black = 0; we use
+    /// an explicit value so light-background datasets can use 1.0).
+    pub value: f32,
+    /// Placement corner.
+    pub corner: Corner,
+}
+
+impl Trigger {
+    /// The paper's 3×3 black-square trigger in the bottom-right corner.
+    pub fn paper_default() -> Self {
+        Trigger { size: 3, value: 0.0, corner: Corner::BottomRight }
+    }
+
+    /// Stamps the trigger onto one flat CHW sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trigger is larger than the image or the feature
+    /// length is inconsistent with `(c, h, w)`.
+    pub fn stamp(&self, features: &mut [f32], shape: (usize, usize, usize)) {
+        let (c, h, w) = shape;
+        assert_eq!(features.len(), c * h * w, "Trigger::stamp: feature length mismatch");
+        assert!(self.size <= h && self.size <= w, "Trigger::stamp: trigger exceeds image");
+        let (y0, x0) = match self.corner {
+            Corner::TopLeft => (0, 0),
+            Corner::BottomRight => (h - self.size, w - self.size),
+        };
+        for ch in 0..c {
+            for dy in 0..self.size {
+                for dx in 0..self.size {
+                    features[(ch * h + y0 + dy) * w + x0 + dx] = self.value;
+                }
+            }
+        }
+    }
+}
+
+/// Specification of a backdoor attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backdoor {
+    /// The trigger patch.
+    pub trigger: Trigger,
+    /// Class the trigger should elicit (paper: 2).
+    pub target_class: usize,
+    /// Fraction of the attacker's samples poisoned.
+    pub fraction: f32,
+}
+
+impl Backdoor {
+    /// The paper's configuration: 3×3 trigger, target class 2, with the
+    /// poison fraction as a parameter (the paper poisons "a random
+    /// selection").
+    pub fn paper_default(fraction: f32) -> Self {
+        Backdoor { trigger: Trigger::paper_default(), target_class: 2, fraction }
+    }
+
+    /// Poisons `data` in place (stamp + relabel); returns poisoned indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target class is out of range or `fraction` is outside
+    /// `[0, 1]`.
+    pub fn poison(&self, data: &mut Dataset, seed: u64) -> Vec<usize> {
+        assert!(
+            self.target_class < data.num_classes(),
+            "Backdoor: target class out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.fraction),
+            "Backdoor: fraction must be in [0, 1]"
+        );
+        let shape = data.shape();
+        let mut candidates: Vec<usize> = (0..data.len()).collect();
+        candidates.shuffle(&mut rng_for(seed, streams::ATTACK + 1));
+        let n = ((candidates.len() as f32) * self.fraction).round() as usize;
+        let chosen = &candidates[..n.min(candidates.len())];
+        for &i in chosen {
+            self.trigger.stamp(data.features_mut(i), shape);
+            data.set_label(i, self.target_class);
+        }
+        chosen.to_vec()
+    }
+
+    /// Builds the triggered test set used to measure attack success:
+    /// every sample *not already* of the target class gets the trigger,
+    /// keeping its true label (the attack succeeds when the model predicts
+    /// `target_class` anyway).
+    pub fn triggered_test_set(&self, clean: &Dataset) -> Dataset {
+        let shape = clean.shape();
+        let keep: Vec<usize> =
+            (0..clean.len()).filter(|&i| clean.label(i) != self.target_class).collect();
+        let mut out = clean.subset(&keep);
+        for i in 0..out.len() {
+            self.trigger.stamp(out.features_mut(i), shape);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_data::DigitStyle;
+
+    fn data() -> Dataset {
+        Dataset::digits(40, &DigitStyle::small(), 2)
+    }
+
+    #[test]
+    fn stamp_writes_patch_bottom_right() {
+        let mut features = vec![0.5f32; 12 * 12];
+        let t = Trigger { size: 3, value: 1.0, corner: Corner::BottomRight };
+        t.stamp(&mut features, (1, 12, 12));
+        assert_eq!(features[12 * 12 - 1], 1.0); // bottom-right pixel
+        assert_eq!(features[(9) * 12 + 9], 1.0); // patch corner
+        assert_eq!(features[0], 0.5); // far corner untouched
+    }
+
+    #[test]
+    fn stamp_top_left_multichannel() {
+        let mut features = vec![0.5f32; 2 * 4 * 4];
+        let t = Trigger { size: 2, value: 0.0, corner: Corner::TopLeft };
+        t.stamp(&mut features, (2, 4, 4));
+        assert_eq!(features[0], 0.0);
+        assert_eq!(features[16], 0.0); // second channel
+        assert_eq!(features[3], 0.5);
+    }
+
+    #[test]
+    fn poison_relabels_and_stamps() {
+        let mut d = data();
+        let attack = Backdoor::paper_default(0.5);
+        let poisoned = attack.poison(&mut d, 0);
+        assert_eq!(poisoned.len(), 20);
+        for &i in &poisoned {
+            assert_eq!(d.label(i), 2);
+            // Bottom-right pixel is the trigger value.
+            assert_eq!(*d.features(i).last().unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn triggered_test_set_excludes_target_class() {
+        let d = data();
+        let attack = Backdoor::paper_default(1.0);
+        let test = attack.triggered_test_set(&d);
+        assert_eq!(test.len(), 36); // 40 − 4 samples of class 2
+        for i in 0..test.len() {
+            assert_ne!(test.label(i), 2);
+            assert_eq!(*test.features(i).last().unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn poison_is_deterministic() {
+        let mut a = data();
+        let mut b = data();
+        let attack = Backdoor::paper_default(0.3);
+        assert_eq!(attack.poison(&mut a, 9), attack.poison(&mut b, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "trigger exceeds image")]
+    fn oversized_trigger_rejected() {
+        let mut features = vec![0.0f32; 4];
+        Trigger { size: 3, value: 0.0, corner: Corner::TopLeft }.stamp(&mut features, (1, 2, 2));
+    }
+}

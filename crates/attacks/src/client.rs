@@ -1,0 +1,125 @@
+//! Malicious client wrappers.
+//!
+//! Data-poisoning attackers (label flip, backdoor) are honest *clients*
+//! with poisoned *datasets*, so they are built by poisoning a dataset and
+//! handing it to [`fuiov_fl::HonestClient`] — see the constructors here.
+//! Model-poisoning attackers manipulate the reported gradient itself; the
+//! [`ScalingAttacker`] wrapper implements the classic gradient-scaling
+//! attack as an extension for the robust-aggregation ablations.
+
+use crate::backdoor::Backdoor;
+use crate::label_flip::LabelFlip;
+use fuiov_data::Dataset;
+use fuiov_fl::{Client, HonestClient};
+use fuiov_nn::ModelSpec;
+use fuiov_storage::{ClientId, Round};
+use fuiov_tensor::vector;
+
+/// Builds a label-flip attacker: an honest client over a flipped dataset.
+pub fn label_flip_client(
+    id: ClientId,
+    spec: ModelSpec,
+    mut data: Dataset,
+    attack: &LabelFlip,
+    batch_size: usize,
+    seed: u64,
+) -> HonestClient {
+    attack.poison(&mut data, seed.wrapping_add(id as u64));
+    HonestClient::new(id, spec, data, batch_size, seed)
+}
+
+/// Builds a backdoor attacker: an honest client over a triggered dataset.
+pub fn backdoor_client(
+    id: ClientId,
+    spec: ModelSpec,
+    mut data: Dataset,
+    attack: &Backdoor,
+    batch_size: usize,
+    seed: u64,
+) -> HonestClient {
+    attack.poison(&mut data, seed.wrapping_add(id as u64));
+    HonestClient::new(id, spec, data, batch_size, seed)
+}
+
+/// A model-poisoning wrapper that scales the inner client's gradient by a
+/// constant factor (e.g. `−10` to push the model away from convergence).
+pub struct ScalingAttacker<C> {
+    inner: C,
+    factor: f32,
+}
+
+impl<C: Client> ScalingAttacker<C> {
+    /// Wraps `inner`, scaling its reported gradients by `factor`.
+    pub fn new(inner: C, factor: f32) -> Self {
+        ScalingAttacker { inner, factor }
+    }
+}
+
+impl<C: Client> std::fmt::Debug for ScalingAttacker<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScalingAttacker")
+            .field("id", &self.inner.id())
+            .field("factor", &self.factor)
+            .finish()
+    }
+}
+
+impl<C: Client> Client for ScalingAttacker<C> {
+    fn id(&self) -> ClientId {
+        self.inner.id()
+    }
+
+    fn weight(&self) -> f32 {
+        self.inner.weight()
+    }
+
+    fn gradient(&mut self, params: &[f32], round: Round) -> Vec<f32> {
+        let mut g = self.inner.gradient(params, round);
+        vector::scale(self.factor, &mut g);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_data::DigitStyle;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 }
+    }
+
+    #[test]
+    fn label_flip_client_has_flipped_data() {
+        let data = Dataset::digits(50, &DigitStyle::small(), 1);
+        let c = label_flip_client(0, spec(), data, &LabelFlip::paper_default(), 10, 1);
+        assert!(c.data().indices_of_class(7).is_empty());
+    }
+
+    #[test]
+    fn backdoor_client_has_triggered_data() {
+        let data = Dataset::digits(50, &DigitStyle::small(), 1);
+        let c = backdoor_client(3, spec(), data, &Backdoor::paper_default(1.0), 10, 1);
+        // All samples relabelled to target 2.
+        assert_eq!(c.data().indices_of_class(2).len(), 50);
+    }
+
+    #[test]
+    fn scaling_attacker_scales_gradient() {
+        let data = Dataset::digits(20, &DigitStyle::small(), 1);
+        let honest = HonestClient::new(5, spec(), data.clone(), 10, 1);
+        let mut attacker = ScalingAttacker::new(
+            HonestClient::new(5, spec(), data, 10, 1),
+            -2.0,
+        );
+        let mut honest = honest;
+        let params = vec![0.01; spec().param_count()];
+        let g_honest = honest.gradient(&params, 0);
+        let g_attack = attacker.gradient(&params, 0);
+        for (a, h) in g_attack.iter().zip(&g_honest) {
+            assert!((a + 2.0 * h).abs() < 1e-6);
+        }
+        assert_eq!(attacker.id(), 5);
+        assert_eq!(attacker.weight(), 20.0);
+    }
+}

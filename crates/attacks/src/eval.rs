@@ -1,0 +1,104 @@
+//! Attack-success-rate evaluation (§V-A3).
+//!
+//! *Attack success rate* (ASR) is "the probability that the model
+//! recognizes the poisoned image as the target label of the malicious
+//! attacker".
+
+use crate::backdoor::Backdoor;
+use crate::label_flip::LabelFlip;
+use fuiov_data::Dataset;
+use fuiov_nn::Sequential;
+
+/// ASR of a label-flip attack: fraction of clean source-class test images
+/// the model classifies as the attack's target class.
+///
+/// Returns `0.0` when the test set has no source-class samples.
+pub fn label_flip_asr(model: &mut Sequential, clean_test: &Dataset, attack: &LabelFlip) -> f32 {
+    let idx = clean_test.indices_of_class(attack.source_class);
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let (x, _) = clean_test.gather(&idx);
+    let preds = model.predict(&x);
+    let hits = preds.iter().filter(|&&p| p == attack.target_class).count();
+    hits as f32 / idx.len() as f32
+}
+
+/// ASR of a backdoor attack: fraction of *triggered* non-target-class test
+/// images the model classifies as the target class.
+///
+/// Returns `0.0` when the triggered set is empty.
+pub fn backdoor_asr(model: &mut Sequential, clean_test: &Dataset, attack: &Backdoor) -> f32 {
+    let triggered = attack.triggered_test_set(clean_test);
+    if triggered.is_empty() {
+        return 0.0;
+    }
+    let (x, _) = triggered.full();
+    let preds = model.predict(&x);
+    let hits = preds.iter().filter(|&&p| p == attack.target_class).count();
+    hits as f32 / triggered.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_data::DigitStyle;
+    use fuiov_nn::ModelSpec;
+
+    fn setup() -> (Sequential, Dataset) {
+        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+        (spec.build(1), Dataset::digits(50, &DigitStyle::small(), 4))
+    }
+
+    /// A model rigged to always predict `class` via an output bias.
+    fn constant_model(class: usize) -> Sequential {
+        let spec = ModelSpec::Linear { inputs: 144, classes: 10 };
+        let mut m = spec.build(0);
+        let mut p = vec![0.0; m.param_count()];
+        // Last 10 entries are the output bias.
+        let off = p.len() - 10;
+        p[off + class] = 100.0;
+        m.set_params(&p);
+        m
+    }
+
+    #[test]
+    fn constant_target_model_has_full_asr() {
+        let (_, test) = setup();
+        let mut m = constant_model(1);
+        let asr = label_flip_asr(&mut m, &test, &LabelFlip::paper_default());
+        assert_eq!(asr, 1.0);
+        let asr_bd = backdoor_asr(&mut m, &test, &Backdoor::paper_default(1.0));
+        // Backdoor target is class 2, model predicts 1 → ASR 0.
+        assert_eq!(asr_bd, 0.0);
+        let mut m2 = constant_model(2);
+        assert_eq!(backdoor_asr(&mut m2, &test, &Backdoor::paper_default(1.0)), 1.0);
+    }
+
+    #[test]
+    fn constant_other_model_has_zero_asr() {
+        let (_, test) = setup();
+        let mut m = constant_model(5);
+        assert_eq!(label_flip_asr(&mut m, &test, &LabelFlip::paper_default()), 0.0);
+        assert_eq!(backdoor_asr(&mut m, &test, &Backdoor::paper_default(1.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_source_class_gives_zero() {
+        let (mut m, test) = setup();
+        // Remove all 7s.
+        let keep: Vec<usize> = (0..test.len()).filter(|&i| test.label(i) != 7).collect();
+        let test = test.subset(&keep);
+        assert_eq!(
+            label_flip_asr(&mut m, &test, &LabelFlip::paper_default()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn untrained_model_asr_is_moderate() {
+        let (mut m, test) = setup();
+        let asr = label_flip_asr(&mut m, &test, &LabelFlip::paper_default());
+        assert!((0.0..=1.0).contains(&asr));
+    }
+}

@@ -1,0 +1,104 @@
+//! Label-flip poisoning (§V-A2).
+//!
+//! The adversary relabels training samples of a source class to a target
+//! class — the paper flips images of digit '7' to label '1'.
+
+use fuiov_data::Dataset;
+use fuiov_tensor::rng::{rng_for, streams};
+use rand::seq::SliceRandom;
+
+/// Specification of a label-flip attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelFlip {
+    /// Class whose samples are relabelled (paper: 7).
+    pub source_class: usize,
+    /// The malicious target label (paper: 1).
+    pub target_class: usize,
+    /// Fraction of the attacker's source-class samples flipped.
+    pub fraction: f32,
+}
+
+impl LabelFlip {
+    /// The paper's MNIST configuration: all '7's relabelled to '1'.
+    pub fn paper_default() -> Self {
+        LabelFlip { source_class: 7, target_class: 1, fraction: 1.0 }
+    }
+
+    /// Poisons `data` in place; returns the indices that were flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classes are out of range, equal, or `fraction` is
+    /// outside `[0, 1]`.
+    pub fn poison(&self, data: &mut Dataset, seed: u64) -> Vec<usize> {
+        assert!(
+            self.source_class < data.num_classes() && self.target_class < data.num_classes(),
+            "LabelFlip: class out of range"
+        );
+        assert_ne!(self.source_class, self.target_class, "LabelFlip: source == target");
+        assert!(
+            (0.0..=1.0).contains(&self.fraction),
+            "LabelFlip: fraction must be in [0, 1]"
+        );
+        let mut candidates = data.indices_of_class(self.source_class);
+        candidates.shuffle(&mut rng_for(seed, streams::ATTACK));
+        let n = ((candidates.len() as f32) * self.fraction).round() as usize;
+        let chosen = &candidates[..n.min(candidates.len())];
+        for &i in chosen {
+            data.set_label(i, self.target_class);
+        }
+        chosen.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_data::DigitStyle;
+
+    fn data() -> Dataset {
+        Dataset::digits(50, &DigitStyle::small(), 1)
+    }
+
+    #[test]
+    fn full_flip_relabels_every_source_sample() {
+        let mut d = data();
+        let flip = LabelFlip::paper_default();
+        let flipped = flip.poison(&mut d, 0);
+        assert_eq!(flipped.len(), 5); // 50 samples balanced over 10 classes
+        assert!(d.indices_of_class(7).is_empty());
+        assert_eq!(d.indices_of_class(1).len(), 10); // 5 original + 5 flipped
+    }
+
+    #[test]
+    fn partial_flip_respects_fraction() {
+        let mut d = data();
+        let flip = LabelFlip { source_class: 3, target_class: 0, fraction: 0.4 };
+        let flipped = flip.poison(&mut d, 0);
+        assert_eq!(flipped.len(), 2);
+        assert_eq!(d.indices_of_class(3).len(), 3);
+    }
+
+    #[test]
+    fn poison_is_deterministic() {
+        let mut a = data();
+        let mut b = data();
+        let flip = LabelFlip { source_class: 2, target_class: 9, fraction: 0.5 };
+        assert_eq!(flip.poison(&mut a, 5), flip.poison(&mut b, 5));
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let mut d = data();
+        let flip = LabelFlip { source_class: 2, target_class: 9, fraction: 0.0 };
+        assert!(flip.poison(&mut d, 0).is_empty());
+        assert_eq!(d.indices_of_class(2).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "source == target")]
+    fn rejects_equal_classes() {
+        let mut d = data();
+        let _ = LabelFlip { source_class: 1, target_class: 1, fraction: 1.0 }.poison(&mut d, 0);
+    }
+}

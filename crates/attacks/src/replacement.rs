@@ -1,0 +1,139 @@
+//! Model-replacement attack (Bagdasaryan et al., 2020).
+//!
+//! The strongest classical model-poisoning attacker: instead of nudging
+//! the global model, it reports the gradient that — after FedAvg — moves
+//! the global model *directly onto* an attacker-chosen target:
+//!
+//! ```text
+//! g = boost · (w_global − w_target) / η
+//! ```
+//!
+//! With `boost` equal to the inverse of the attacker's aggregation share,
+//! one round suffices to replace the global model. Against this attacker,
+//! detection-based defences often fail, which is the paper's §I argument
+//! for unlearning as the *post-hoc* defence: once detected — however late
+//! — every one of its updates can be erased by backtracking.
+
+use fuiov_fl::Client;
+use fuiov_storage::{ClientId, Round};
+use fuiov_tensor::vector;
+
+/// A client that executes the model-replacement attack.
+pub struct ModelReplacement {
+    id: ClientId,
+    weight: f32,
+    target: Vec<f32>,
+    boost: f32,
+    lr: f32,
+}
+
+impl std::fmt::Debug for ModelReplacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelReplacement")
+            .field("id", &self.id)
+            .field("boost", &self.boost)
+            .field("target_dim", &self.target.len())
+            .finish()
+    }
+}
+
+impl ModelReplacement {
+    /// Creates the attacker.
+    ///
+    /// - `weight`: the dataset size it *claims* (its FedAvg share);
+    /// - `target`: the model it wants installed;
+    /// - `boost`: scaling factor (set to `total_weight / weight` for
+    ///   single-round replacement);
+    /// - `lr`: the server's learning rate (assumed known, as in the
+    ///   original attack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight`, `boost` or `lr` are not strictly positive, or
+    /// the target is empty.
+    pub fn new(id: ClientId, weight: f32, target: Vec<f32>, boost: f32, lr: f32) -> Self {
+        assert!(weight > 0.0, "ModelReplacement: weight must be positive");
+        assert!(boost > 0.0, "ModelReplacement: boost must be positive");
+        assert!(lr > 0.0, "ModelReplacement: lr must be positive");
+        assert!(!target.is_empty(), "ModelReplacement: empty target");
+        ModelReplacement { id, weight, target, boost, lr }
+    }
+}
+
+impl Client for ModelReplacement {
+    fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn weight(&self) -> f32 {
+        self.weight
+    }
+
+    fn gradient(&mut self, params: &[f32], _round: Round) -> Vec<f32> {
+        assert_eq!(params.len(), self.target.len(), "ModelReplacement: dimension mismatch");
+        // w_next = w − η·(share·g) should equal target when g is scaled by
+        // the inverse share: g = boost·(w − target)/η.
+        let mut g = vector::sub(params, &self.target);
+        vector::scale(self.boost / self.lr, &mut g);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_fl::aggregate::aggregate;
+    use fuiov_fl::AggregationRule;
+
+    #[test]
+    fn single_round_replacement_under_fedavg() {
+        let lr = 0.1f32;
+        let w = vec![0.0f32; 4];
+        let target = vec![1.0f32, -1.0, 2.0, 0.5];
+        // Honest clients report zero gradients; attacker has share 1/5.
+        let honest: Vec<Vec<f32>> = vec![vec![0.0; 4]; 4];
+        let mut attacker = ModelReplacement::new(9, 1.0, target.clone(), 5.0, lr);
+        let g_attack = attacker.gradient(&w, 0);
+
+        let mut grads = honest;
+        grads.push(g_attack);
+        let weights = vec![1.0f32; 5];
+        let agg = aggregate(AggregationRule::FedAvg, &grads, &weights);
+        let mut w_next = w;
+        vector::axpy(-lr, &agg, &mut w_next);
+        assert!(
+            vector::l2_distance(&w_next, &target) < 1e-4,
+            "global model should be replaced: {w_next:?}"
+        );
+    }
+
+    #[test]
+    fn median_blunts_the_replacement() {
+        let lr = 0.1f32;
+        let w = vec![0.0f32; 4];
+        let target = vec![10.0f32; 4];
+        let honest: Vec<Vec<f32>> = vec![vec![0.0; 4]; 4];
+        let mut attacker = ModelReplacement::new(9, 1.0, target, 5.0, lr);
+        let g_attack = attacker.gradient(&w, 0);
+        let mut grads = honest;
+        grads.push(g_attack);
+        let agg = aggregate(AggregationRule::CoordinateMedian, &grads, &[1.0; 5]);
+        // Median of {0,0,0,0,huge} is 0 → model unmoved.
+        assert!(vector::l2_norm(&agg) < 1e-6);
+    }
+
+    #[test]
+    fn attacker_metadata() {
+        let a = ModelReplacement::new(3, 7.0, vec![0.0], 2.0, 0.1);
+        assert_eq!(a.id(), 3);
+        assert_eq!(a.weight(), 7.0);
+        assert!(format!("{a:?}").contains("boost"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let mut a = ModelReplacement::new(0, 1.0, vec![0.0; 2], 1.0, 0.1);
+        let _ = a.gradient(&[0.0; 3], 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! FedEraser baseline (Liu et al., IWQoS 2021) — the other
+//! retraining-based unlearning scheme the paper positions against (§I).
+//!
+//! FedEraser periodically stores client updates during training (every
+//! `calibration_interval` rounds) and unlearns by replaying only those
+//! sampled rounds: at each, the *remaining* online clients compute fresh
+//! "calibration" gradients at the current recovered model, and each
+//! stored update is replaced by the calibrated **direction** scaled to
+//! the stored update's **norm**:
+//!
+//! ```text
+//! ûᵗᵢ = ‖uᵗᵢ_stored‖ · ĝᵗᵢ / ‖ĝᵗᵢ‖
+//! ```
+//!
+//! Like FedRecover it needs full stored gradients *and* online clients —
+//! both of the paper's criticisms apply; it is implemented here for
+//! completeness of the related-work comparison and for the churn
+//! experiments (clients that left make calibration impossible; the
+//! fallback replays the stored update unchanged).
+
+use fuiov_core::backtrack::backtrack;
+use fuiov_core::recover::GradientOracle;
+use fuiov_core::UnlearnError;
+use fuiov_fl::aggregate::aggregate;
+use fuiov_fl::config::AggregationRule;
+use fuiov_storage::history::FullGradientStore;
+use fuiov_storage::{ClientId, HistoryStore};
+use fuiov_tensor::vector;
+
+/// FedEraser's knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FedEraserConfig {
+    /// The training learning rate `η`.
+    pub lr: f32,
+    /// Replay every this many rounds (FedEraser's storage/calibration
+    /// interval Δt; the original paper uses 2–10).
+    pub calibration_interval: usize,
+}
+
+impl FedEraserConfig {
+    /// Defaults with the given learning rate and Δt = 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "FedEraserConfig: invalid learning rate");
+        FedEraserConfig { lr, calibration_interval: 5 }
+    }
+
+    /// Sets the calibration interval Δt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn calibration_interval(mut self, dt: usize) -> Self {
+        assert!(dt > 0, "FedEraserConfig: interval must be positive");
+        self.calibration_interval = dt;
+        self
+    }
+}
+
+/// Outcome of a FedEraser run.
+#[derive(Debug, Clone)]
+pub struct FedEraserOutcome {
+    /// The unlearned-and-calibrated parameters.
+    pub params: Vec<f32>,
+    /// Sampled rounds replayed.
+    pub rounds_sampled: usize,
+    /// Calibration gradients obtained from online clients.
+    pub calibrations: usize,
+    /// Stored updates replayed unchanged because the client was offline.
+    pub fallbacks: usize,
+}
+
+/// Runs FedEraser: backtrack to `w_F`, then replay every Δt-th round with
+/// norm-preserving calibrated updates from `oracle`.
+///
+/// # Errors
+///
+/// Same conditions as [`fuiov_core::backtrack()`], plus
+/// [`UnlearnError::NothingToRecover`] when no rounds follow `F`.
+pub fn federaser(
+    history: &HistoryStore,
+    full: &FullGradientStore,
+    forgotten: ClientId,
+    config: &FedEraserConfig,
+    oracle: &mut dyn GradientOracle,
+) -> Result<FedEraserOutcome, UnlearnError> {
+    let bt = backtrack(history, forgotten)?;
+    let f_round = bt.join_round;
+    let t_end = bt.latest_round;
+    if f_round >= t_end {
+        return Err(UnlearnError::NothingToRecover {
+            join_round: f_round,
+            latest_round: t_end,
+        });
+    }
+
+    let remaining: Vec<ClientId> = history
+        .clients()
+        .into_iter()
+        .filter(|&c| c != forgotten)
+        .collect();
+
+    let mut params = bt.params;
+    let mut rounds_sampled = 0usize;
+    let mut calibrations = 0usize;
+    let mut fallbacks = 0usize;
+
+    let mut t = f_round;
+    while t < t_end {
+        let mut updates: Vec<Vec<f32>> = Vec::new();
+        let mut weights: Vec<f32> = Vec::new();
+        for &client in &remaining {
+            let Some(stored) = full.gradient(t, client) else { continue };
+            let stored_norm = vector::l2_norm(stored);
+            let update = match oracle.gradient_at(client, &params) {
+                Some(calibrated) if vector::l2_norm(&calibrated) > 0.0 => {
+                    calibrations += 1;
+                    // Calibrated direction at the stored magnitude.
+                    let mut u = calibrated;
+                    let n = vector::l2_norm(&u);
+                    vector::scale(stored_norm / n, &mut u);
+                    u
+                }
+                _ => {
+                    fallbacks += 1;
+                    stored.to_vec()
+                }
+            };
+            weights.push(history.weight(client));
+            updates.push(update);
+        }
+        if !updates.is_empty() {
+            let agg = aggregate(AggregationRule::FedAvg, &updates, &weights);
+            // One calibrated step stands in for Δt original rounds.
+            let step = config.lr * config.calibration_interval as f32;
+            vector::axpy(-step, &agg, &mut params);
+        }
+        rounds_sampled += 1;
+        t += config.calibration_interval;
+    }
+
+    Ok(FedEraserOutcome { params, rounds_sampled, calibrations, fallbacks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_core::recover::NoOracle;
+
+    /// Quadratic synthetic world shared with the FedRecover tests.
+    fn synthetic(rounds: usize, clients: usize, forgotten: ClientId) -> (HistoryStore, FullGradientStore) {
+        let dim = 5;
+        let lr = 0.05f32;
+        let mut h = HistoryStore::new(1e-6);
+        let mut fs = FullGradientStore::new();
+        let mut w = vec![0.0f32; dim];
+        for c in 0..clients {
+            h.record_join(c, if c == forgotten { 2 } else { 0 });
+            h.set_weight(c, 1.0);
+        }
+        for t in 0..rounds {
+            h.record_model(t, w.clone());
+            let mut grads = Vec::new();
+            for c in 0..clients {
+                if c == forgotten && t < 2 {
+                    continue;
+                }
+                let target: Vec<f32> = (0..dim).map(|j| ((c + j) % 3) as f32).collect();
+                let g = vector::sub(&w, &target);
+                h.record_gradient(t, c, &g);
+                fs.record(t, c, g.clone());
+                grads.push(g);
+            }
+            let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+            let agg = vector::weighted_mean(&refs, &vec![1.0f32; refs.len()]);
+            vector::axpy(-lr, &agg, &mut w);
+        }
+        h.record_model(rounds, w);
+        (h, fs)
+    }
+
+    struct ExactOracle;
+
+    impl GradientOracle for ExactOracle {
+        fn gradient_at(&mut self, client: ClientId, params: &[f32]) -> Option<Vec<f32>> {
+            let dim = params.len();
+            let target: Vec<f32> = (0..dim).map(|j| ((client + j) % 3) as f32).collect();
+            Some(vector::sub(params, &target))
+        }
+    }
+
+    /// Ground-truth remaining-clients trajectory.
+    fn truth(h: &HistoryStore, rounds: usize) -> Vec<f32> {
+        let dim = 5;
+        let mut w = h.model(2).unwrap().to_vec();
+        for _ in 2..rounds {
+            let mut grads = Vec::new();
+            for c in [0usize, 2, 3] {
+                let target: Vec<f32> = (0..dim).map(|j| ((c + j) % 3) as f32).collect();
+                grads.push(vector::sub(&w, &target));
+            }
+            let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+            let agg = vector::weighted_mean(&refs, &[1.0; 3]);
+            vector::axpy(-0.05, &agg, &mut w);
+        }
+        w
+    }
+
+    #[test]
+    fn calibrated_replay_tracks_truth() {
+        let (h, fs) = synthetic(42, 4, 1);
+        let cfg = FedEraserConfig::new(0.05).calibration_interval(4);
+        let out = federaser(&h, &fs, 1, &cfg, &mut ExactOracle).unwrap();
+        assert_eq!(out.rounds_sampled, 10);
+        assert!(out.calibrations > 0);
+        assert_eq!(out.fallbacks, 0);
+        let w_true = truth(&h, 42);
+        let err = vector::l2_distance(&out.params, &w_true);
+        assert!(err < 1.0, "FedEraser drifted too far: {err}");
+    }
+
+    #[test]
+    fn offline_clients_fall_back_to_stored_updates() {
+        let (h, fs) = synthetic(20, 4, 1);
+        let cfg = FedEraserConfig::new(0.05).calibration_interval(5);
+        let out = federaser(&h, &fs, 1, &cfg, &mut NoOracle).unwrap();
+        assert_eq!(out.calibrations, 0);
+        assert!(out.fallbacks > 0);
+        assert!(out.params.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn calibration_beats_fallback_on_accuracy_to_truth() {
+        let (h, fs) = synthetic(40, 4, 1);
+        let cfg = FedEraserConfig::new(0.05).calibration_interval(4);
+        let calibrated = federaser(&h, &fs, 1, &cfg, &mut ExactOracle).unwrap();
+        let fallback = federaser(&h, &fs, 1, &cfg, &mut NoOracle).unwrap();
+        let w_true = truth(&h, 40);
+        let e_cal = vector::l2_distance(&calibrated.params, &w_true);
+        let e_fb = vector::l2_distance(&fallback.params, &w_true);
+        assert!(
+            e_cal <= e_fb + 1e-4,
+            "calibration should help: {e_cal} vs {e_fb}"
+        );
+    }
+
+    #[test]
+    fn unknown_client_errors() {
+        let (h, fs) = synthetic(10, 3, 1);
+        let cfg = FedEraserConfig::new(0.05);
+        assert!(matches!(
+            federaser(&h, &fs, 42, &cfg, &mut NoOracle),
+            Err(UnlearnError::UnknownClient(42))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn rejects_zero_interval() {
+        let _ = FedEraserConfig::new(0.1).calibration_interval(0);
+    }
+}

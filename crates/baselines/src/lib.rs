@@ -1,0 +1,22 @@
+//! Comparison baselines for the Table I evaluation (§V-A3):
+//!
+//! - [`mod@retrain`]: retraining from scratch on the remaining clients — the
+//!   exact-unlearning gold standard;
+//! - [`mod@fedrecover`]: FedRecover (Cao et al., S&P'23) — Cauchy-MVT + L-BFGS
+//!   recovery from **full** stored gradients with periodic exact
+//!   corrections from online clients;
+//! - [`mod@federaser`]: FedEraser (Liu et al., IWQoS'21) — replay of sampled
+//!   rounds with norm-preserving calibrated updates from online clients;
+//! - [`mod@fedrecovery`]: FedRecovery (Zhang et al., TIFS'23) — approximate
+//!   unlearning by removing the forgotten client's weighted gradient
+//!   residuals from the final model plus Gaussian noise.
+
+pub mod federaser;
+pub mod fedrecover;
+pub mod fedrecovery;
+pub mod retrain;
+
+pub use federaser::{federaser, FedEraserConfig, FedEraserOutcome};
+pub use fedrecover::{fedrecover, FedRecoverConfig, FedRecoverOutcome};
+pub use fedrecovery::{fedrecovery, FedRecoveryConfig, FedRecoveryOutcome};
+pub use retrain::retrain;

@@ -1,0 +1,93 @@
+//! Retraining-from-scratch baseline (§V-A3).
+//!
+//! The gold standard: drop the forgotten client, re-initialise the global
+//! model, and run full federated training on the remaining clients. Exact
+//! unlearning, maximum cost.
+
+use fuiov_fl::mobility::{ChurnSchedule, Membership};
+use fuiov_fl::{Client, FlConfig, Server};
+use fuiov_storage::ClientId;
+
+/// Retrains from scratch without `exclude`.
+///
+/// `initial_params` should be a *fresh* initialisation (different seed
+/// from the original run, or the same — the paper re-initialises).
+/// `schedule` is the membership schedule of the retraining run; the
+/// excluded client is removed from it regardless of what it says.
+///
+/// Returns the final global parameters.
+///
+/// # Panics
+///
+/// Panics if schedule/client counts mismatch (see
+/// [`fuiov_fl::Server::train`]).
+pub fn retrain(
+    initial_params: Vec<f32>,
+    cfg: FlConfig,
+    clients: &mut [Box<dyn Client>],
+    schedule: &ChurnSchedule,
+    exclude: ClientId,
+) -> Vec<f32> {
+    let rounds = schedule.rounds();
+    let mut schedule = schedule.clone();
+    for (v, client) in clients.iter().enumerate() {
+        if client.id() == exclude {
+            // Joining "at the end" means the vehicle never participates.
+            schedule.set_membership(
+                v,
+                Membership { joined: rounds, leaves_after: None, dropouts: Vec::new() },
+            );
+        }
+    }
+    let mut server = Server::new(cfg, initial_params);
+    server.train(clients, &schedule);
+    let (params, _, _) = server.into_parts();
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_data::{Dataset, DigitStyle};
+    use fuiov_fl::HonestClient;
+    use fuiov_nn::ModelSpec;
+
+    #[test]
+    fn retrain_never_involves_excluded_client() {
+        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+        let data = Dataset::digits(60, &DigitStyle::small(), 2);
+        let parts = fuiov_data::partition::partition_iid(data.len(), 3, 2);
+        let mut clients: Vec<Box<dyn Client>> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, idx)| {
+                Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, 2))
+                    as Box<dyn Client>
+            })
+            .collect();
+        let cfg = FlConfig::new(3, 0.2).batch_size(10).parallel_clients(false);
+        let schedule = ChurnSchedule::static_membership(3, 3);
+
+        // Retrain without client 1 and verify via a fresh server's history.
+        let mut server = Server::new(cfg.clone(), spec.build(9).params());
+        let mut sched2 = schedule.clone();
+        sched2.set_membership(1, Membership { joined: 3, leaves_after: None, dropouts: vec![] });
+        server.train(&mut clients, &sched2);
+        assert!(server.history().join_round(1).is_none());
+
+        // And the public function produces the same parameters.
+        let mut clients2: Vec<Box<dyn Client>> = {
+            let parts = fuiov_data::partition::partition_iid(data.len(), 3, 2);
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(id, idx)| {
+                    Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, 2))
+                        as Box<dyn Client>
+                })
+                .collect()
+        };
+        let params = retrain(spec.build(9).params(), cfg, &mut clients2, &schedule, 1);
+        assert_eq!(params, server.params());
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion bench for the **Fig. 1** poisoning-recovery pipeline (tiny
+//! scale): train with malicious clients, erase them all, recover, measure
+//! ASR at each stage. Prints one reproduction line per attack. The
+//! full-scale reproduction lives in `exp_fig1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuiov_attacks::{Backdoor, Corner, LabelFlip, Trigger};
+use fuiov_bench::{fig1, Attack, Scenario};
+use std::hint::black_box;
+
+fn attacked_scenario(attack: Attack) -> Scenario {
+    let mut sc = Scenario::tiny(42);
+    sc.malicious_fraction = 0.4;
+    sc.attack = Some(attack);
+    sc
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let flip = attacked_scenario(Attack::LabelFlip(LabelFlip::paper_default()));
+    let bd = attacked_scenario(Attack::Backdoor(Backdoor {
+        trigger: Trigger { size: 3, value: 1.0, corner: Corner::BottomRight },
+        target_class: 2,
+        fraction: 0.5,
+    }));
+
+    for (sc, label) in [(&flip, "label-flip"), (&bd, "backdoor")] {
+        let r = fig1(sc, "bench");
+        eprintln!(
+            "[fig1 tiny {label}] ASR before={:.1}% after-forget={:.1}% after-recover={:.1}%",
+            r.asr_before * 100.0,
+            r.asr_after_forget * 100.0,
+            r.asr_after_recover * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("label_flip_pipeline_tiny", |b| {
+        b.iter(|| black_box(fig1(&flip, "label-flip")));
+    });
+    group.bench_function("backdoor_pipeline_tiny", |b| {
+        b.iter(|| black_box(fig1(&bd, "backdoor")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the **Fig. 2** clip-threshold sweep (tiny scale).
+//!
+//! Trains once outside the measurement loop, then times the recovery at
+//! each `L` — the quantity the server actually pays per unlearning
+//! request. Prints the reproduced accuracy-vs-L series. The full-scale
+//! sweep lives in `exp_fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuiov_bench::{fig2, Scenario};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let trained = Scenario::tiny(42).train();
+
+    let series = fig2(&trained, &[0.01, 0.1, 1.0, 10.0]);
+    for (l, acc) in &series {
+        eprintln!("[fig2 tiny] L={l}: acc={acc:.3}");
+    }
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for l in [0.1f32, 1.0, 10.0] {
+        group.bench_with_input(BenchmarkId::new("recover_at_L", l), &l, |b, &l| {
+            b.iter(|| black_box(fig2(&trained, &[l])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

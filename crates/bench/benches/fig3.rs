@@ -1,0 +1,34 @@
+//! Criterion bench for the **Fig. 3** sign-threshold sweep (tiny scale).
+//!
+//! Trains once (keeping full gradients), then times the per-δ work:
+//! re-quantising the history and running recovery. Prints the reproduced
+//! accuracy-vs-δ series. The full-scale sweep lives in `exp_fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuiov_bench::{fig3, Scenario};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let trained = Scenario::tiny(42).train(); // tiny keeps full gradients
+
+    let series = fig3(&trained, &[1e-8, 1e-6, 1e-2]);
+    for (d, acc) in &series {
+        eprintln!("[fig3 tiny] δ={d:.0e}: acc={acc:.3}");
+    }
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for delta in [1e-8f32, 1e-6, 1e-2] {
+        group.bench_with_input(
+            BenchmarkId::new("requantize_and_recover", format!("{delta:.0e}")),
+            &delta,
+            |b, &delta| {
+                b.iter(|| black_box(fig3(&trained, &[delta])));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Micro-benchmarks and ablations for the individual kernels:
+//!
+//! - aggregation rules (FedAvg vs robust variants) — the per-round server
+//!   cost;
+//! - compact L-BFGS HVP vs the dense Algorithm-2-as-written
+//!   materialisation — the ablation justifying the compact form
+//!   (DESIGN.md §5);
+//! - one full recovery round at the paper's MNIST model size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fuiov_core::lbfgs::LbfgsApprox;
+use fuiov_fl::aggregate::aggregate;
+use fuiov_fl::AggregationRule;
+use fuiov_tensor::rng::rng_for;
+use rand::Rng;
+use std::hint::black_box;
+
+fn random_vec(dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_for(seed, dim as u64);
+    (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let dim = 52_138; // paper MNIST CNN size
+    let n = 20;
+    let grads: Vec<Vec<f32>> = (0..n).map(|i| random_vec(dim, i as u64)).collect();
+    let weights = vec![1.0f32; n];
+
+    let mut group = c.benchmark_group("aggregate");
+    group.throughput(Throughput::Elements((dim * n) as u64));
+    for (label, rule) in [
+        ("fedavg", AggregationRule::FedAvg),
+        ("median", AggregationRule::CoordinateMedian),
+        ("trimmed_mean", AggregationRule::TrimmedMean { trim: 2 }),
+        ("sign_sgd", AggregationRule::SignSgd { lambda: 1e-3 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(aggregate(rule, &grads, &weights)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lbfgs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lbfgs");
+
+    // HVP cost at realistic model sizes (s = 2 pairs, as in the paper).
+    for &dim in &[13_692usize, 52_138] {
+        let dws = vec![random_vec(dim, 1), random_vec(dim, 2)];
+        let dgs: Vec<Vec<f32>> = dws
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                // dg = 2·dw + noise keeps curvature positive.
+                let mut g = w.clone();
+                fuiov_tensor::vector::scale(2.0, &mut g);
+                fuiov_tensor::vector::axpy(0.01, &random_vec(dim, 10 + i as u64), &mut g);
+                g
+            })
+            .collect();
+        let approx = LbfgsApprox::new(&dws, &dgs).expect("valid pairs");
+        let v = random_vec(dim, 99);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("hvp", dim), &dim, |b, _| {
+            b.iter(|| black_box(approx.hvp(&v)));
+        });
+    }
+
+    // Ablation: compact HVP vs materialising the dense Algorithm-2 matrix
+    // (only feasible at toy sizes — which is the point).
+    let dim = 64;
+    let dws = vec![random_vec(dim, 1), random_vec(dim, 2)];
+    let dgs: Vec<Vec<f32>> = dws
+        .iter()
+        .map(|w| {
+            let mut g = w.clone();
+            fuiov_tensor::vector::scale(2.0, &mut g);
+            g
+        })
+        .collect();
+    let approx = LbfgsApprox::new(&dws, &dgs).expect("valid pairs");
+    let v = random_vec(dim, 5);
+    group.bench_function("hvp_dim64", |b| b.iter(|| black_box(approx.hvp(&v))));
+    group.bench_function("dense_materialise_dim64", |b| {
+        b.iter(|| black_box(approx.dense()))
+    });
+    group.finish();
+}
+
+fn bench_recovery_round(c: &mut Criterion) {
+    // One server-side recovery round at paper MNIST size: n clients ×
+    // (unpack + hvp + clip) + aggregation. This is the cost that replaces
+    // a full round of client training in the paper's scheme.
+    let dim = 52_138;
+    let n = 20;
+    let dws = vec![random_vec(dim, 1), random_vec(dim, 2)];
+    let dgs: Vec<Vec<f32>> = dws
+        .iter()
+        .map(|w| {
+            let mut g = w.clone();
+            fuiov_tensor::vector::scale(2.0, &mut g);
+            g
+        })
+        .collect();
+    let approx = LbfgsApprox::new(&dws, &dgs).expect("valid pairs");
+    let dirs: Vec<fuiov_storage::GradientDirection> = (0..n)
+        .map(|i| fuiov_storage::GradientDirection::quantize(&random_vec(dim, i as u64), 1e-6))
+        .collect();
+    let dw = random_vec(dim, 77);
+    let weights = vec![1.0f32; n];
+
+    let mut group = c.benchmark_group("recovery_round");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((dim * n) as u64));
+    group.bench_function("estimate_clip_aggregate_20clients_52k", |b| {
+        b.iter(|| {
+            let ests: Vec<Vec<f32>> = dirs
+                .iter()
+                .map(|d| {
+                    let mut est = d.to_f32();
+                    let corr = approx.hvp(&dw);
+                    fuiov_tensor::vector::axpy(1.0, &corr, &mut est);
+                    fuiov_tensor::vector::clip_elementwise(&mut est, 1.0);
+                    est
+                })
+                .collect();
+            black_box(aggregate(AggregationRule::FedAvg, &ests, &weights))
+        });
+    });
+    group.finish();
+}
+
+fn bench_conv_backends(c: &mut Criterion) {
+    use fuiov_nn::layers::{Conv2d, ConvBackend, Layer};
+    use fuiov_nn::Tensor4;
+    use rand::SeedableRng;
+
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    for &(ch_in, ch_out, hw) in &[(8usize, 16usize, 16usize), (16, 32, 32)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let direct = Conv2d::new(&mut rng, ch_in, ch_out, 3, 1);
+        let gemm = direct.clone().with_backend(ConvBackend::Im2col);
+        let x = Tensor4::from_vec(
+            4,
+            ch_in,
+            hw,
+            hw,
+            (0..4 * ch_in * hw * hw)
+                .map(|i| (i as f32 * 0.137).sin())
+                .collect(),
+        );
+        let label = format!("{ch_in}x{ch_out}x{hw}");
+        for (name, layer) in [("direct", direct), ("im2col", gemm)] {
+            let mut layer = layer;
+            group.bench_function(BenchmarkId::new(name, &label), |b| {
+                b.iter(|| black_box(layer.forward(&x)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregation,
+    bench_lbfgs,
+    bench_recovery_round,
+    bench_conv_backends
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the **storage claim** (§I "~95 % savings").
+//!
+//! Times sign quantisation + 2-bit packing and unpacking at the paper's
+//! model sizes, and prints the measured savings table. The full report
+//! lives in `exp_storage`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fuiov_bench::storage_rows;
+use fuiov_storage::GradientDirection;
+use fuiov_tensor::rng::rng_for;
+use rand::Rng;
+use std::hint::black_box;
+
+fn bench_storage(c: &mut Criterion) {
+    for row in storage_rows(
+        &[("mnist-cnn", 52_138), ("gtsrb-cnn", 13_692)],
+        100,
+        100,
+        0,
+    ) {
+        eprintln!(
+            "[storage] {}: {} params, full {} B vs packed {} B per client·round ({:.2}% saved)",
+            row.model,
+            row.params,
+            row.full_bytes,
+            row.packed_bytes,
+            row.savings * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("storage");
+    for &dim in &[13_692usize, 52_138, 1_000_000] {
+        let mut rng = rng_for(1, dim as u64);
+        let grad: Vec<f32> = (0..dim).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("quantize_pack", dim), &grad, |b, g| {
+            b.iter(|| black_box(GradientDirection::quantize(g, 1e-6)));
+        });
+        let packed = GradientDirection::quantize(&grad, 1e-6);
+        group.bench_with_input(BenchmarkId::new("unpack_f32", dim), &packed, |b, p| {
+            b.iter(|| black_box(p.to_f32()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the **Table I** pipeline (tiny scale).
+//!
+//! Times the full comparison — train → backtrack → ours / FedRecover /
+//! FedRecovery / retrain — and prints one reproduction row so `cargo
+//! bench` output doubles as a smoke-level Table I check. The full-scale
+//! reproduction lives in `exp_table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuiov_bench::{table1_row, Scenario};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print one row so the bench log shows the reproduced ordering.
+    let row = table1_row(Scenario::tiny(42), "digits(tiny)");
+    eprintln!(
+        "[table1 tiny] original={:.3} unlearned={:.3} retrain={:.3} fedrecover={:.3} fedrecovery={:.3} ours={:.3}",
+        row.original, row.unlearned, row.retraining, row.fedrecover, row.fedrecovery, row.ours
+    );
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("full_pipeline_tiny", |b| {
+        b.iter(|| black_box(table1_row(Scenario::tiny(42), "digits(tiny)")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

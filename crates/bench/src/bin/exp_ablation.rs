@@ -1,0 +1,75 @@
+//! Ablations over the recovery design choices (DESIGN.md §5): the Eq. 6
+//! Hessian correction, the L-BFGS buffer size `s`, the vector-pair
+//! refresh interval, and the adaptive divergence trigger.
+//!
+//! One training run; each row is one recovery configuration.
+//!
+//! Usage: `cargo run --release -p fuiov-bench --bin exp_ablation [--tiny] [--seed N]`
+
+use fuiov_bench::experiments::ours_config;
+use fuiov_bench::Scenario;
+use fuiov_core::{recover_set, NoOracle};
+use fuiov_eval::table::{fmt3, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    println!("== Ablations: recovery design choices ==\n");
+
+    let sensors = args.iter().any(|a| a == "--sensors");
+    let sc = if tiny {
+        Scenario::tiny(seed)
+    } else if sensors {
+        Scenario::sensors(seed)
+    } else {
+        Scenario::digits(seed)
+    };
+    eprintln!("training once …");
+    let trained = sc.train();
+    let forgotten = sc.forgotten_id();
+    let base = ours_config(&trained.history, sc.lr);
+    println!(
+        "original accuracy {}, unlearned accuracy {}\n",
+        fmt3(trained.accuracy_of(&trained.final_params)),
+        fmt3({
+            let bt = fuiov_core::backtrack(&trained.history, forgotten).expect("backtrack");
+            trained.accuracy_of(&bt.params)
+        }),
+    );
+
+    let mut table = Table::new(&["variant", "recovered accuracy", "estimator fallbacks"]);
+    let mut run = |label: &str, cfg: fuiov_core::RecoveryConfig| {
+        let out = recover_set(&trained.history, &[forgotten], &cfg, &mut NoOracle, |_, _| {})
+            .expect("recover");
+        table.row(&[
+            label.to_string(),
+            fmt3(trained.accuracy_of(&out.params)),
+            out.estimator_fallbacks.to_string(),
+        ]);
+    };
+
+    run("paper defaults (s=2, refresh 21, Eq. 6 on)", base);
+    run("no Hessian correction (sign replay)", base.without_hessian());
+    run("buffer s=1", base.buffer_size(1));
+    run("buffer s=4", base.buffer_size(4));
+    run("buffer s=8", base.buffer_size(8));
+    run("refresh every 5 rounds", base.pair_refresh_interval(5));
+    run("refresh never (interval 10000)", base.pair_refresh_interval(10_000));
+    run(
+        "adaptive divergence trigger (patience 5)",
+        base.divergence_patience(Some(5)),
+    );
+    run("clip L = 0.5", base.clip_threshold(0.5));
+    run("clip L = 2", base.clip_threshold(2.0));
+
+    println!("{table}");
+    println!("expected: Eq. 6 correction and moderate refresh help; very small buffers");
+    println!("or disabled corrections degrade toward raw sign replay");
+}

@@ -1,0 +1,67 @@
+//! Reproduces **Fig. 1**: attack success rate on the digits task before
+//! unlearning, after forgetting (backtracking), and after recovery, for
+//! the label-flip and backdoor attacks.
+//!
+//! Paper reference (MNIST): ASR 56 % (label flip) and 41 % (backdoor)
+//! before unlearning; both < 1 % after forgetting; no visible rebound
+//! after recovery.
+//!
+//! Usage: `cargo run --release -p fuiov-bench --bin exp_fig1 [--tiny] [--seed N]`
+
+use fuiov_attacks::{Backdoor, Corner, LabelFlip, Trigger};
+use fuiov_bench::{fig1, Attack, Scenario};
+use fuiov_eval::table::{fmt_pct, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    println!("== Fig. 1: attack success rate across the unlearning pipeline ==");
+    println!("(paper: 56%/41% before; <1% after forgetting; no rebound after recovery)\n");
+
+    let mut base = if tiny { Scenario::tiny(seed) } else { Scenario::digits(seed) };
+    base.malicious_fraction = 0.2;
+
+    let mut table = Table::new(&[
+        "attack",
+        "ASR before",
+        "ASR after forgetting",
+        "ASR after recovery",
+        "clean acc before",
+        "clean acc after recovery",
+    ]);
+
+    // The paper's trigger is a black square on MNIST; our synthetic digits
+    // have black backgrounds, so the visible-trigger equivalent is bright
+    // (DESIGN.md §2 documents the substitution).
+    let bright_backdoor = Backdoor {
+        trigger: Trigger { size: 3, value: 1.0, corner: Corner::BottomRight },
+        target_class: 2,
+        fraction: 0.5,
+    };
+    for (attack, label) in [
+        (Attack::LabelFlip(LabelFlip::paper_default()), "label-flip (7→1)"),
+        (Attack::Backdoor(bright_backdoor), "backdoor (3×3 → 2)"),
+    ] {
+        eprintln!("running {label} …");
+        let mut sc = base.clone();
+        sc.attack = Some(attack);
+        let r = fig1(&sc, label);
+        table.row(&[
+            r.attack.to_string(),
+            fmt_pct(r.asr_before),
+            fmt_pct(r.asr_after_forget),
+            fmt_pct(r.asr_after_recover),
+            fmt_pct(r.acc_before),
+            fmt_pct(r.acc_after_recover),
+        ]);
+    }
+    println!("{table}");
+    println!("expected shape: high ASR before; ASR collapses after forgetting; no rebound after recovery");
+}

@@ -1,0 +1,75 @@
+//! Extension experiment — **the paper's §VI future work**: federated
+//! unlearning on an IoT (vehicle-telemetry) task.
+//!
+//! The conclusion promises an evaluation "in the Internet of Things
+//! scenarios"; this binary runs the full Table-I comparison on the
+//! synthetic manoeuvre-classification dataset (3-axis accelerometer
+//! windows). The unlearning pipeline is model- and data-agnostic (flat
+//! parameter vectors), so nothing changes except the scenario.
+//!
+//! Usage: `cargo run --release -p fuiov-bench --bin exp_iot [--seed N]`
+
+use fuiov_bench::experiments::ours_config;
+use fuiov_bench::{table1_row, Scenario};
+use fuiov_core::{recover_set, NoOracle};
+use fuiov_eval::table::{fmt3, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    println!("== Extension (§VI future work): unlearning on the IoT sensor task ==\n");
+
+    eprintln!("running sensors scenario …");
+    let sc = Scenario::sensors(seed);
+    let row = table1_row(sc.clone(), "sensors (IoT manoeuvres)");
+
+    // Sign-replay ablation: on this MLP task the curvature correction
+    // built from direction-difference pairs mis-extrapolates, and the raw
+    // direction replay recovers better (see EXPERIMENTS.md).
+    let ours_sign_only = {
+        let mut sc2 = sc;
+        sc2.keep_full_gradients = true;
+        let trained = sc2.train();
+        let cfg = ours_config(&trained.history, sc2.lr).without_hessian();
+        let out = recover_set(
+            &trained.history,
+            &[sc2.forgotten_id()],
+            &cfg,
+            &mut NoOracle,
+            |_, _| {},
+        )
+        .expect("recover");
+        trained.accuracy_of(&out.params)
+    };
+
+    let mut table = Table::new(&[
+        "dataset",
+        "original",
+        "unlearned",
+        "retraining",
+        "fedrecover",
+        "fedrecovery",
+        "ours (Eq. 6)",
+        "ours (sign replay)",
+    ]);
+    table.row(&[
+        row.dataset.to_string(),
+        fmt3(row.original),
+        fmt3(row.unlearned),
+        fmt3(row.retraining),
+        fmt3(row.fedrecover),
+        fmt3(row.fedrecovery),
+        fmt3(row.ours),
+        fmt3(ours_sign_only),
+    ]);
+    println!("{table}");
+    println!("expected shape: the pipeline transfers to IoT unchanged (flat parameter");
+    println!("vectors); note the Eq. 6 correction helps on the CNN tasks but not on");
+    println!("this MLP task — the sign-replay variant is the stronger \"ours\" here");
+}

@@ -1,0 +1,58 @@
+//! Extension experiment — **recovery under non-IID data**.
+//!
+//! The paper evaluates IID splits; vehicles in a real IoV see
+//! location-skewed data. This experiment repeats the Table-I digits
+//! comparison under Dirichlet label skew to check whether the sign-only
+//! recovery degrades gracefully as clients' gradients become more
+//! heterogeneous (sign agreement across clients drops, so the FedAvg of
+//! directions carries less signal).
+//!
+//! Usage: `cargo run --release -p fuiov-bench --bin exp_noniid [--seed N]`
+
+use fuiov_bench::{table1_row, Scenario};
+use fuiov_eval::table::{fmt3, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    println!("== Extension: unlearning methods under label-skewed (non-IID) data ==\n");
+
+    let mut table = Table::new(&[
+        "split",
+        "original",
+        "retraining",
+        "fedrecover",
+        "fedrecovery",
+        "ours",
+        "sign agreement",
+    ]);
+    for (alpha, label) in [
+        (None, "IID (paper setting)"),
+        (Some(1.0), "Dirichlet α=1.0"),
+        (Some(0.3), "Dirichlet α=0.3"),
+    ] {
+        eprintln!("running {label} …");
+        let mut sc = Scenario::digits(seed);
+        sc.non_iid_alpha = alpha;
+        let row = table1_row(sc, "digits");
+        table.row(&[
+            label.to_string(),
+            fmt3(row.original),
+            fmt3(row.retraining),
+            fmt3(row.fedrecover),
+            fmt3(row.fedrecovery),
+            fmt3(row.ours),
+            fmt3(row.sign_agreement),
+        ]);
+    }
+    println!("{table}");
+    println!("expected shape: every method degrades with skew; ours stays between");
+    println!("fedrecover and fedrecovery throughout. Sign agreement (the recovery");
+    println!("signal's density) drops with skew, explaining ours' degradation.");
+}

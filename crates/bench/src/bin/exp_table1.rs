@@ -1,0 +1,67 @@
+//! Reproduces **Table I**: post-recovery global-model accuracy of
+//! Retraining / FedRecover / FedRecovery / Ours on the two datasets.
+//!
+//! Paper reference values (real MNIST/GTSRB, 100 clients, 100 rounds):
+//!
+//! | Dataset | Retraining | FedRecover | FedRecovery | Ours  |
+//! |---------|-----------|------------|-------------|-------|
+//! | MNIST   | 0.873     | 0.869      | 0.825       | 0.859 |
+//! | GTSRB   | 0.837     | 0.766      | 0.702       | 0.747 |
+//!
+//! Absolute numbers differ here (synthetic data, reduced scale — see
+//! DESIGN.md §2); the claim under test is the *ordering*:
+//! `Retraining ≥ FedRecover ≥ Ours ≥ FedRecovery`, with Ours close behind
+//! FedRecover despite storing 16× less.
+//!
+//! Usage: `cargo run --release -p fuiov-bench --bin exp_table1 [--tiny] [--seed N]`
+
+use fuiov_bench::{table1_row, Scenario};
+use fuiov_eval::table::{fmt3, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    println!("== Table I: accuracy of unlearning methods ==");
+    println!("(paper: MNIST 0.873/0.869/0.825/0.859; GTSRB 0.837/0.766/0.702/0.747)\n");
+
+    let scenarios: Vec<(Scenario, &'static str)> = if tiny {
+        vec![(Scenario::tiny(seed), "digits(tiny)")]
+    } else {
+        vec![
+            (Scenario::digits(seed), "digits (MNIST substitute)"),
+            (Scenario::signs(seed), "signs (GTSRB substitute)"),
+        ]
+    };
+
+    let mut table = Table::new(&[
+        "dataset",
+        "original",
+        "unlearned",
+        "retraining",
+        "fedrecover",
+        "fedrecovery",
+        "ours",
+    ]);
+    for (sc, label) in scenarios {
+        eprintln!("running {label} …");
+        let row = table1_row(sc, label);
+        table.row(&[
+            row.dataset.to_string(),
+            fmt3(row.original),
+            fmt3(row.unlearned),
+            fmt3(row.retraining),
+            fmt3(row.fedrecover),
+            fmt3(row.fedrecovery),
+            fmt3(row.ours),
+        ]);
+    }
+    println!("{table}");
+    println!("expected shape: retraining >= fedrecover >= ours >= fedrecovery (within noise)");
+}

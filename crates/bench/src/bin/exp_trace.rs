@@ -1,0 +1,100 @@
+//! Diagnostic traces: accuracy over training rounds, then accuracy over
+//! recovery rounds for the paper's scheme with and without the Eq. 6
+//! Hessian correction (the sign-replay ablation from DESIGN.md §5).
+//!
+//! Not a paper figure; used to sanity-check recovery dynamics and pick
+//! reduced-scale hyper-parameters.
+//!
+//! Usage: `cargo run --release -p fuiov-bench --bin exp_trace [--tiny] [--seed N]`
+
+use fuiov_bench::Scenario;
+use fuiov_core::{recover_set, NoOracle, RecoveryConfig};
+use fuiov_fl::Server;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let signs = args.iter().any(|a| a == "--signs");
+    let sensors = args.iter().any(|a| a == "--sensors");
+    let sc = if tiny {
+        Scenario::tiny(seed)
+    } else if signs {
+        Scenario::signs(seed)
+    } else if sensors {
+        Scenario::sensors(seed)
+    } else {
+        Scenario::digits(seed)
+    };
+
+    // Training curve.
+    let spec = sc.model_spec();
+    let init = spec.build(sc.seed).params();
+    let mut clients = sc.build_clients();
+    let schedule = sc.schedule();
+    let mut server = Server::new(sc.fl_config(), init);
+    let trained_probe = sc.clone();
+    let test = {
+        // Reuse the scenario's test set by training a throwaway copy.
+        trained_probe.train().test
+    };
+    let eval = |params: &[f32]| {
+        let mut m = spec.build(0);
+        m.set_params(params);
+        fuiov_eval::test_accuracy(&mut m, &test)
+    };
+
+    println!("== training curve ==");
+    let stride = (sc.rounds / 10).max(1);
+    server.train_with(&mut clients, &schedule, |t, params| {
+        if t % stride == 0 || t + 1 == sc.rounds {
+            println!("round {t:>4}: acc {:.3}", eval(params));
+        }
+    });
+    let (final_params, history, _) = server.into_parts();
+    println!("final: acc {:.3}", eval(&final_params));
+
+    let forgotten = sc.forgotten_id();
+    let bt = fuiov_core::backtrack(&history, forgotten).expect("backtrack");
+    println!(
+        "\nbacktracked to round {}: acc {:.3}",
+        bt.join_round,
+        eval(&bt.params)
+    );
+    let calibrated = fuiov_core::calibrate_lr(&history);
+    println!("calibrated recovery lr: {calibrated:?} (training lr {})", sc.lr);
+    println!("\n== recovery accuracy vs recovery lr (with / without Hessian) ==");
+    let mut lrs = vec![sc.lr, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0002];
+    if let Some(c) = calibrated {
+        lrs.push(c);
+    }
+    for lr_rec in lrs {
+        let with = recover_set(
+            &history,
+            &[forgotten],
+            &RecoveryConfig::new(lr_rec),
+            &mut NoOracle,
+            |_, _| {},
+        )
+        .expect("recover");
+        let without = recover_set(
+            &history,
+            &[forgotten],
+            &RecoveryConfig::new(lr_rec).without_hessian(),
+            &mut NoOracle,
+            |_, _| {},
+        )
+        .expect("recover");
+        println!(
+            "lr_rec {lr_rec:>7}: ours {:.3}   sign-replay {:.3}",
+            eval(&with.params),
+            eval(&without.params)
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! The experiment implementations behind every table and figure.
+//!
+//! Each function runs one of the paper's §V experiments against a
+//! [`Scenario`] and returns structured results; the `exp_*` binaries print
+//! them at reduced paper scale and the Criterion benches time them at tiny
+//! scale. See `DESIGN.md` §4 for the experiment index.
+
+use crate::scenario::{Attack, Scenario, Trained};
+use fuiov_attacks::{backdoor_asr, label_flip_asr};
+use fuiov_baselines::{
+    fedrecover, fedrecovery, retrain, FedRecoverConfig, FedRecoveryConfig,
+};
+use fuiov_core::unlearner::ClientPoolOracle;
+use fuiov_core::{backtrack_set, calibrate_lr, recover_set, NoOracle, RecoveryConfig, Unlearner};
+use fuiov_fl::Client;
+use fuiov_storage::GradientDirection;
+use fuiov_tensor::rng::rng_for;
+use rand::Rng;
+
+/// Boost applied on top of [`calibrate_lr`]: clipped, Hessian-corrected
+/// estimates partially cancel in aggregation, so realised replay steps are
+/// smaller than the calibration predicts. Tuned once with `exp_trace`
+/// (optimum sat at ~2× the calibrated rate on both datasets) and held
+/// fixed across every experiment and seed.
+pub const CALIBRATION_BOOST: f32 = 2.0;
+
+/// The recovery configuration "ours" runs with: paper defaults (`L = 1`,
+/// `s = 2`, refresh 21) at the calibrated sign-replay learning rate (see
+/// [`calibrate_lr`]; falls back to the training rate when the history is
+/// too thin to calibrate).
+pub fn ours_config(history: &fuiov_storage::HistoryStore, training_lr: f32) -> RecoveryConfig {
+    let lr = calibrate_lr(history).map_or(training_lr, |c| c * CALIBRATION_BOOST);
+    RecoveryConfig::new(lr)
+}
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Dataset label ("digits" / "signs").
+    pub dataset: &'static str,
+    /// Accuracy of the original (pre-unlearning) global model.
+    pub original: f32,
+    /// Accuracy right after backtracking (unlearned, unrecovered).
+    pub unlearned: f32,
+    /// Retraining-from-scratch baseline.
+    pub retraining: f32,
+    /// FedRecover baseline.
+    pub fedrecover: f32,
+    /// FedRecovery baseline.
+    pub fedrecovery: f32,
+    /// The paper's scheme (ours).
+    pub ours: f32,
+    /// Mean pairwise client sign-agreement over the run — the
+    /// heterogeneity diagnostic behind the non-IID results.
+    pub sign_agreement: f32,
+}
+
+/// Runs the Table I comparison for one scenario.
+///
+/// The scenario is forced to keep full gradients (FedRecover/FedRecovery
+/// need them); "ours" uses only the sign history, exactly as in the paper.
+///
+/// # Panics
+///
+/// Panics if any stage of the pipeline fails (experiment configurations
+/// are constructed to be valid).
+pub fn table1_row(mut sc: Scenario, dataset: &'static str) -> Table1Row {
+    sc.keep_full_gradients = true;
+    let mut trained = sc.train();
+    let forgotten = sc.forgotten_id();
+
+    let original = trained.accuracy_of(&trained.final_params);
+    let unlearned = {
+        let bt = backtrack_set(&trained.history, &[forgotten]).expect("backtrack");
+        trained.accuracy_of(&bt.params)
+    };
+
+    // Ours: sign-only, no client involvement.
+    let ours = {
+        let unlearner = Unlearner::new(&trained.history, ours_config(&trained.history, sc.lr));
+        let out = unlearner.forget_and_recover(forgotten).expect("ours");
+        trained.accuracy_of(&out.params)
+    };
+
+    // FedRecover: full gradients + periodic exact corrections from the
+    // live clients (all assumed online, per §V-A3).
+    let fedrecover_acc = {
+        let cfg = FedRecoverConfig::new(sc.lr);
+        let refs: Vec<&mut Box<dyn Client>> = trained
+            .clients
+            .iter_mut()
+            .filter(|c| c.id() != forgotten)
+            .collect();
+        let mut oracle = ClientPoolOracle::new(refs);
+        let out = fedrecover(&trained.history, &trained.full_store, forgotten, &cfg, &mut oracle)
+            .expect("fedrecover");
+        trained.accuracy_of(&out.params)
+    };
+
+    // FedRecovery: residual removal + noise.
+    let fedrecovery_acc = {
+        let cfg = FedRecoveryConfig::new(sc.lr).noise_sigma(1e-3);
+        let out = fedrecovery(&trained.history, &trained.full_store, forgotten, &cfg, sc.seed)
+            .expect("fedrecovery");
+        trained.accuracy_of(&out.params)
+    };
+
+    // Retraining from scratch on remaining clients (fresh init).
+    let retraining = {
+        let init = trained.spec.build(sc.seed.wrapping_add(1)).params();
+        let mut clients = sc.build_clients();
+        let params = retrain(init, sc.fl_config(), &mut clients, &trained.schedule, forgotten);
+        trained.accuracy_of(&params)
+    };
+
+    let agreement = {
+        let curve = fuiov_eval::sign_agreement_curve(&trained.history);
+        let vals: Vec<f32> = curve.iter().map(|&(_, a)| a).collect();
+        fuiov_tensor::stats::mean(&vals)
+    };
+
+    Table1Row {
+        dataset,
+        original,
+        unlearned,
+        retraining,
+        fedrecover: fedrecover_acc,
+        fedrecovery: fedrecovery_acc,
+        ours,
+        sign_agreement: agreement,
+    }
+}
+
+/// Fig. 1 result: attack success rate at the three pipeline stages.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// Attack label ("label-flip" / "backdoor").
+    pub attack: &'static str,
+    /// ASR of the poisoned final model.
+    pub asr_before: f32,
+    /// ASR right after backtracking away the attackers.
+    pub asr_after_forget: f32,
+    /// ASR after recovery (must not rebound — goal (ii) of §V).
+    pub asr_after_recover: f32,
+    /// Clean accuracy of the poisoned model.
+    pub acc_before: f32,
+    /// Clean accuracy after recovery.
+    pub acc_after_recover: f32,
+}
+
+/// Runs the Fig. 1 poisoning-recovery experiment for one attacked
+/// scenario: train with malicious clients, erase *all* of them, recover,
+/// measuring ASR at each stage.
+///
+/// # Panics
+///
+/// Panics if the scenario has no attack configured, or a pipeline stage
+/// fails.
+pub fn fig1(sc: &Scenario, label: &'static str) -> Fig1Result {
+    let attack = sc.attack.expect("fig1 requires an attack scenario");
+    let trained = sc.train();
+    let malicious = sc.malicious_ids();
+    assert!(!malicious.is_empty(), "fig1 requires malicious clients");
+
+    let asr = |params: &[f32]| -> f32 {
+        let mut m = trained.model_with(params);
+        match &attack {
+            Attack::LabelFlip(a) => label_flip_asr(&mut m, &trained.test, a),
+            Attack::Backdoor(a) => backdoor_asr(&mut m, &trained.test, a),
+        }
+    };
+
+    let asr_before = asr(&trained.final_params);
+    let acc_before = trained.accuracy_of(&trained.final_params);
+
+    let bt = backtrack_set(&trained.history, &malicious).expect("backtrack");
+    let asr_after_forget = asr(&bt.params);
+
+    let out = recover_set(
+        &trained.history,
+        &malicious,
+        &ours_config(&trained.history, sc.lr),
+        &mut NoOracle,
+        |_, _| {},
+    )
+    .expect("recover");
+    let asr_after_recover = asr(&out.params);
+    let acc_after_recover = trained.accuracy_of(&out.params);
+
+    Fig1Result {
+        attack: label,
+        asr_before,
+        asr_after_forget,
+        asr_after_recover,
+        acc_before,
+        acc_after_recover,
+    }
+}
+
+/// Fig. 2: recovered accuracy as a function of the clip threshold `L`
+/// (δ fixed by the trained scenario). Reuses one training run.
+pub fn fig2(trained: &Trained, l_values: &[f32]) -> Vec<(f32, f32)> {
+    let sc = &trained.scenario;
+    let forgotten = sc.forgotten_id();
+    l_values
+        .iter()
+        .map(|&l| {
+            let cfg = ours_config(&trained.history, sc.lr).clip_threshold(l);
+            let out = recover_set(&trained.history, &[forgotten], &cfg, &mut NoOracle, |_, _| {})
+                .expect("recover");
+            (l, trained.accuracy_of(&out.params))
+        })
+        .collect()
+}
+
+/// Fig. 3: recovered accuracy as a function of the sign threshold `δ`
+/// (`L` fixed at the paper's 1.0). Requires the trained scenario to have
+/// kept full gradients — each δ re-quantises the same training run.
+///
+/// # Panics
+///
+/// Panics if the scenario did not keep full gradients.
+pub fn fig3(trained: &Trained, deltas: &[f32]) -> Vec<(f32, f32)> {
+    assert!(
+        trained.full_store.bytes() > 0,
+        "fig3 needs keep_full_gradients = true"
+    );
+    let sc = &trained.scenario;
+    let forgotten = sc.forgotten_id();
+    deltas
+        .iter()
+        .map(|&delta| {
+            let history = trained.history.requantized(&trained.full_store, delta);
+            // Calibrate per δ so the sweep isolates the information loss
+            // of quantisation rather than step-size artefacts.
+            let cfg = ours_config(&history, sc.lr);
+            let out = recover_set(&history, &[forgotten], &cfg, &mut NoOracle, |_, _| {})
+                .expect("recover");
+            (delta, trained.accuracy_of(&out.params))
+        })
+        .collect()
+}
+
+/// One row of the storage-overhead report (§I's "~95 %" claim).
+#[derive(Debug, Clone)]
+pub struct StorageRow {
+    /// Model label.
+    pub model: &'static str,
+    /// Parameter count `d`.
+    pub params: usize,
+    /// Bytes per client-round, full `f32` storage.
+    pub full_bytes: usize,
+    /// Bytes per client-round, packed 2-bit directions.
+    pub packed_bytes: usize,
+    /// Total full bytes for `n_clients × rounds`.
+    pub full_total: usize,
+    /// Total packed bytes for `n_clients × rounds`.
+    pub packed_total: usize,
+    /// Savings ratio.
+    pub savings: f64,
+}
+
+/// Computes the storage comparison for a set of model sizes at the given
+/// fleet scale.
+pub fn storage_rows(
+    models: &[(&'static str, usize)],
+    n_clients: usize,
+    rounds: usize,
+    seed: u64,
+) -> Vec<StorageRow> {
+    models
+        .iter()
+        .map(|&(label, d)| {
+            let mut rng = rng_for(seed, 0xBEEF);
+            let grad: Vec<f32> = (0..d).map(|_| rng.gen_range(-0.1..0.1)).collect();
+            let dir = GradientDirection::quantize(&grad, 1e-6);
+            let full = dir.full_f32_byte_size();
+            let packed = dir.byte_size();
+            StorageRow {
+                model: label,
+                params: d,
+                full_bytes: full,
+                packed_bytes: packed,
+                full_total: full * n_clients * rounds,
+                packed_total: packed * n_clients * rounds,
+                savings: dir.savings_ratio(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_attacks::LabelFlip;
+
+    #[test]
+    fn table1_tiny_produces_sane_accuracies() {
+        let row = table1_row(Scenario::tiny(1), "digits");
+        for v in [
+            row.original,
+            row.unlearned,
+            row.retraining,
+            row.fedrecover,
+            row.fedrecovery,
+            row.ours,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "accuracy out of range: {row:?}");
+        }
+        // Recovery should not be worse than the raw backtracked model by a
+        // wide margin (it replays training).
+        assert!(row.ours >= row.unlearned - 0.1, "{row:?}");
+    }
+
+    #[test]
+    fn fig1_tiny_label_flip_pipeline_runs() {
+        let mut sc = Scenario::tiny(3);
+        sc.attack = Some(Attack::LabelFlip(LabelFlip::paper_default()));
+        sc.malicious_fraction = 0.4;
+        sc.rounds = 10;
+        let r = fig1(&sc, "label-flip");
+        for v in [r.asr_before, r.asr_after_forget, r.asr_after_recover] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fig2_sweep_returns_one_point_per_l() {
+        let trained = Scenario::tiny(5).train();
+        let pts = fig2(&trained, &[0.1, 1.0]);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].0, 0.1);
+    }
+
+    #[test]
+    fn fig3_sweep_requantizes() {
+        let trained = Scenario::tiny(6).train();
+        let pts = fig3(&trained, &[1e-8, 1e-2]);
+        assert_eq!(pts.len(), 2);
+        // Extreme delta throws away every update; accuracies may differ.
+        assert!(pts.iter().all(|(_, a)| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn storage_rows_report_16x() {
+        let rows = storage_rows(&[("toy", 1000)], 10, 10, 0);
+        assert_eq!(rows[0].full_bytes, 4000);
+        assert_eq!(rows[0].packed_bytes, 250);
+        assert_eq!(rows[0].full_total, 400_000);
+        assert!((rows[0].savings - 0.9375).abs() < 1e-9);
+    }
+}

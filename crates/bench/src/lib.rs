@@ -1,0 +1,17 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§V).
+//!
+//! - [`scenario`]: deterministic construction of the §V setups (datasets,
+//!   attackers, the forgotten client's pinned join round `F = 2`).
+//! - [`experiments`]: one function per table/figure, shared between the
+//!   `exp_*` binaries (reduced paper scale) and the Criterion benches
+//!   (tiny scale).
+//!
+//! Run the reproductions with e.g.
+//! `cargo run --release -p fuiov-bench --bin exp_table1`.
+
+pub mod experiments;
+pub mod scenario;
+
+pub use experiments::{fig1, fig2, fig3, storage_rows, table1_row};
+pub use scenario::{Attack, DatasetKind, Scenario, Trained};

@@ -1,0 +1,622 @@
+//! Shared experiment harness: builds and trains the paper's §V scenarios.
+//!
+//! Every table/figure binary (and the Criterion benches) goes through this
+//! module, so the scenario construction — datasets, partitioning, attacker
+//! selection, the forgotten client's pinned join round `F = 2`, recorded
+//! history — is identical everywhere and fully determined by the seed.
+//!
+//! Scale note: the paper trains 100 clients for 100 rounds on 28×28/32×32
+//! images. The `*_paper_shaped` constructors default to a reduced scale
+//! (fewer clients, 16×16 images, fewer rounds) so the whole suite runs in
+//! minutes on a laptop; every knob is public, so paper scale is one
+//! assignment away (see `EXPERIMENTS.md` for the configurations used).
+
+use fuiov_attacks::{backdoor_client, label_flip_client, Backdoor, LabelFlip};
+use fuiov_data::{Dataset, DigitStyle, SensorStyle, SignStyle};
+use fuiov_fl::mobility::{ChurnSchedule, Membership};
+use fuiov_fl::{Client, FlConfig, HonestClient, Server};
+use fuiov_nn::{ModelSpec, Sequential};
+use fuiov_storage::history::FullGradientStore;
+use fuiov_storage::{ClientId, HistoryStore, Round};
+use fuiov_tensor::rng::{rng_for, streams};
+use rand::seq::SliceRandom;
+
+/// Which synthetic dataset a scenario uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// MNIST substitute (1×16×16 by default here).
+    Digits,
+    /// GTSRB substitute (3×16×16 by default here).
+    Signs,
+    /// IoT sensor substitute (3×1×len manoeuvre windows) — the paper's
+    /// §VI future-work extension.
+    Sensors,
+}
+
+/// The poisoning attack applied by malicious clients, if any.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attack {
+    /// Label-flip (paper: 7 → 1).
+    LabelFlip(LabelFlip),
+    /// Backdoor trigger (paper: 3×3 patch → class 2).
+    Backdoor(Backdoor),
+}
+
+/// A fully-specified experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Square image side length.
+    pub image_size: usize,
+    /// Number of vehicles.
+    pub n_clients: usize,
+    /// Training samples per vehicle.
+    pub samples_per_client: usize,
+    /// Held-out test-set size.
+    pub n_test: usize,
+    /// Federated rounds `T`.
+    pub rounds: Round,
+    /// Server/client learning rate `η`.
+    pub lr: f32,
+    /// Client mini-batch size.
+    pub batch_size: usize,
+    /// Sign threshold `δ`.
+    pub sign_delta: f32,
+    /// Join round `F` pinned for the forgotten client(s).
+    pub forgotten_join_round: Round,
+    /// Attack specification (malicious clients poison their data).
+    pub attack: Option<Attack>,
+    /// Fraction of clients that are malicious (paper: 0.2).
+    pub malicious_fraction: f32,
+    /// Label-skew for the federated split: `None` = IID (the paper's
+    /// setting); `Some(alpha)` = Dirichlet non-IID with concentration
+    /// `alpha` (smaller = more skewed).
+    pub non_iid_alpha: Option<f64>,
+    /// Fraction of non-forgotten vehicles that permanently depart after
+    /// [`Scenario::departure_round`] (0.0 = everyone stays — the §V-A3
+    /// comparison setting). Used by the churn extension experiment.
+    pub departing_fraction: f32,
+    /// Round after which departing vehicles leave.
+    pub departure_round: Round,
+    /// Extra curated source-class samples each label-flip attacker adds
+    /// to its shard before flipping (attackers collecting extra data of
+    /// the class they target — needed because the synthetic digits' 7/1
+    /// are more separable than MNIST's, see DESIGN.md §2).
+    pub attacker_data_boost: usize,
+    /// Keep full `f32` gradients too (needed by baselines).
+    pub keep_full_gradients: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Reduced-scale digits (MNIST-substitute) scenario shaped like the
+    /// paper's MNIST setup: CNN with 2 conv + 2 fc, FedAvg, `F = 2`,
+    /// `δ = 1e-6`.
+    pub fn digits(seed: u64) -> Self {
+        Scenario {
+            dataset: DatasetKind::Digits,
+            image_size: 16,
+            n_clients: 10,
+            samples_per_client: 50,
+            n_test: 300,
+            rounds: 100,
+            lr: 0.02,
+            batch_size: 50,
+            sign_delta: 1e-6,
+            forgotten_join_round: 2,
+            attack: None,
+            malicious_fraction: 0.0,
+            non_iid_alpha: None,
+            departing_fraction: 0.0,
+            departure_round: 0,
+            attacker_data_boost: 25,
+            keep_full_gradients: false,
+            seed,
+        }
+    }
+
+    /// Reduced-scale signs (GTSRB-substitute) scenario shaped like the
+    /// paper's GTSRB setup: CNN with 2 conv + 1 fc.
+    pub fn signs(seed: u64) -> Self {
+        Scenario {
+            dataset: DatasetKind::Signs,
+            image_size: 16,
+            n_clients: 10,
+            samples_per_client: 48,
+            n_test: 360,
+            rounds: 100,
+            lr: 0.02,
+            batch_size: 48,
+            sign_delta: 1e-6,
+            forgotten_join_round: 2,
+            attack: None,
+            malicious_fraction: 0.0,
+            non_iid_alpha: None,
+            departing_fraction: 0.0,
+            departure_round: 0,
+            attacker_data_boost: 48,
+            keep_full_gradients: false,
+            seed,
+        }
+    }
+
+    /// Full paper-scale digits scenario: 100 vehicles, 28×28 images, 100
+    /// rounds, the paper's exact MNIST architecture. Expect tens of
+    /// minutes in release mode — the `exp_*` binaries default to
+    /// [`Scenario::digits`] instead; switch by editing the binary or use
+    /// this from your own driver.
+    pub fn digits_paper(seed: u64) -> Self {
+        Scenario {
+            image_size: 28,
+            n_clients: 100,
+            samples_per_client: 60,
+            n_test: 1000,
+            ..Scenario::digits(seed)
+        }
+    }
+
+    /// Full paper-scale signs scenario (100 vehicles, 32×32, 100 rounds).
+    pub fn signs_paper(seed: u64) -> Self {
+        Scenario {
+            image_size: 32,
+            n_clients: 100,
+            samples_per_client: 60,
+            n_test: 1200,
+            ..Scenario::signs(seed)
+        }
+    }
+
+    /// The IoT extension scenario (§VI future work): manoeuvre windows of
+    /// length `image_size`, MLP model.
+    pub fn sensors(seed: u64) -> Self {
+        Scenario {
+            dataset: DatasetKind::Sensors,
+            image_size: 64, // window length
+            n_clients: 10,
+            samples_per_client: 48,
+            n_test: 240,
+            rounds: 100,
+            lr: 0.02,
+            batch_size: 48,
+            sign_delta: 1e-6,
+            forgotten_join_round: 2,
+            attack: None,
+            malicious_fraction: 0.0,
+            non_iid_alpha: None,
+            departing_fraction: 0.0,
+            departure_round: 0,
+            attacker_data_boost: 25,
+            keep_full_gradients: false,
+            seed,
+        }
+    }
+
+    /// A minimal MLP-on-digits scenario for tests and Criterion benches
+    /// (seconds, not minutes).
+    pub fn tiny(seed: u64) -> Self {
+        Scenario {
+            dataset: DatasetKind::Digits,
+            image_size: 12,
+            n_clients: 5,
+            samples_per_client: 20,
+            n_test: 100,
+            rounds: 12,
+            lr: 0.1,
+            batch_size: 20,
+            sign_delta: 1e-6,
+            forgotten_join_round: 2,
+            attack: None,
+            malicious_fraction: 0.0,
+            non_iid_alpha: None,
+            departing_fraction: 0.0,
+            departure_round: 0,
+            attacker_data_boost: 20,
+            keep_full_gradients: true,
+            seed,
+        }
+    }
+
+    /// The model architecture for this scenario (paper §V-A1 shapes).
+    pub fn model_spec(&self) -> ModelSpec {
+        match self.dataset {
+            DatasetKind::Digits => {
+                if self.image_size <= 12 {
+                    // Test scale: an MLP keeps CI fast; same code path for
+                    // unlearning (flat parameter vectors).
+                    ModelSpec::Mlp {
+                        inputs: self.image_size * self.image_size,
+                        hidden: 32,
+                        classes: 10,
+                    }
+                } else {
+                    ModelSpec::CnnTwoFc {
+                        in_ch: 1,
+                        h: self.image_size,
+                        w: self.image_size,
+                        c1: 8,
+                        c2: 16,
+                        hidden: 64,
+                        classes: 10,
+                    }
+                }
+            }
+            DatasetKind::Signs => ModelSpec::CnnOneFc {
+                in_ch: 3,
+                h: self.image_size,
+                w: self.image_size,
+                c1: 8,
+                c2: 16,
+                classes: fuiov_data::synth_signs::NUM_CLASSES,
+            },
+            DatasetKind::Sensors => ModelSpec::Mlp {
+                inputs: 3 * self.image_size,
+                hidden: 48,
+                classes: fuiov_data::synth_sensors::NUM_CLASSES,
+            },
+        }
+    }
+
+    fn generate_pool(&self) -> (Dataset, Dataset) {
+        let total = self.n_clients * self.samples_per_client;
+        match self.dataset {
+            DatasetKind::Digits => {
+                // Slightly milder jitter than the unit-test default: the
+                // reduced 16×16 resolution already destroys fine detail.
+                let style = DigitStyle {
+                    size: self.image_size,
+                    noise_sigma: 0.10,
+                    max_rotation: 0.15,
+                    ..Default::default()
+                };
+                let train = Dataset::digits(total, &style, self.seed);
+                let test = Dataset::digits(self.n_test, &style, self.seed.wrapping_add(0xD15EA5E));
+                (train, test)
+            }
+            DatasetKind::Signs => {
+                let style = SignStyle { size: self.image_size, ..Default::default() };
+                let train = Dataset::signs(total, &style, self.seed);
+                let test = Dataset::signs(self.n_test, &style, self.seed.wrapping_add(0xD15EA5E));
+                (train, test)
+            }
+            DatasetKind::Sensors => {
+                let style = SensorStyle { len: self.image_size, ..Default::default() };
+                let train = Dataset::sensors(total, &style, self.seed);
+                let test =
+                    Dataset::sensors(self.n_test, &style, self.seed.wrapping_add(0xD15EA5E));
+                (train, test)
+            }
+        }
+    }
+
+    /// The malicious client ids for this scenario (deterministic sample
+    /// of `malicious_fraction · n_clients`, per the paper's "randomly
+    /// sample 20 % of clients").
+    pub fn malicious_ids(&self) -> Vec<ClientId> {
+        let k = ((self.n_clients as f32) * self.malicious_fraction).round() as usize;
+        let mut ids: Vec<ClientId> = (0..self.n_clients).collect();
+        ids.shuffle(&mut rng_for(self.seed, streams::ATTACK + 99));
+        let mut chosen: Vec<ClientId> = ids.into_iter().take(k).collect();
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// The client designated for (single-client) forgetting: the first
+    /// malicious client under attack, otherwise the last client id.
+    pub fn forgotten_id(&self) -> ClientId {
+        if self.attack.is_some() {
+            self.malicious_ids().first().copied().unwrap_or(self.n_clients - 1)
+        } else {
+            self.n_clients - 1
+        }
+    }
+
+    /// Builds the client pool (with poisoned datasets for malicious ids).
+    pub fn build_clients(&self) -> Vec<Box<dyn Client>> {
+        let (train, _) = self.generate_pool();
+        let parts = match self.non_iid_alpha {
+            None => fuiov_data::partition::partition_iid(train.len(), self.n_clients, self.seed),
+            Some(alpha) => fuiov_data::partition::partition_dirichlet(
+                train.labels(),
+                self.n_clients,
+                alpha,
+                self.seed,
+            ),
+        };
+        let spec = self.model_spec();
+        let malicious = self.malicious_ids();
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, idx)| {
+                let mut shard = train.subset(&idx);
+                let is_malicious = malicious.contains(&id);
+                let client: Box<dyn Client> = match (&self.attack, is_malicious) {
+                    (Some(Attack::LabelFlip(a)), true) => {
+                        self.augment_attacker_shard(&mut shard, a.source_class, id);
+                        Box::new(label_flip_client(
+                            id,
+                            spec,
+                            shard,
+                            a,
+                            self.batch_size,
+                            self.seed,
+                        ))
+                    }
+                    (Some(Attack::Backdoor(a)), true) => Box::new(backdoor_client(
+                        id,
+                        spec,
+                        shard,
+                        a,
+                        self.batch_size,
+                        self.seed,
+                    )),
+                    _ => Box::new(HonestClient::new(id, spec, shard, self.batch_size, self.seed)),
+                };
+                client
+            })
+            .collect()
+    }
+
+    /// Adds `attacker_data_boost` curated samples of `class` to an
+    /// attacker's shard (the attacker gathering extra data of its target
+    /// class before poisoning).
+    fn augment_attacker_shard(&self, shard: &mut Dataset, class: usize, id: ClientId) {
+        let mut rng = rng_for(self.seed, streams::ATTACK + 500 + id as u64);
+        match self.dataset {
+            DatasetKind::Digits => {
+                let style = DigitStyle {
+                    size: self.image_size,
+                    noise_sigma: 0.10,
+                    max_rotation: 0.15,
+                    ..Default::default()
+                };
+                for _ in 0..self.attacker_data_boost {
+                    shard.push_image(
+                        fuiov_data::synth_digits::render_digit(&mut rng, class, &style),
+                        class,
+                    );
+                }
+            }
+            DatasetKind::Signs => {
+                let style = SignStyle { size: self.image_size, ..Default::default() };
+                for _ in 0..self.attacker_data_boost {
+                    shard.push_image(
+                        fuiov_data::synth_signs::render_sign(&mut rng, class, &style),
+                        class,
+                    );
+                }
+            }
+            DatasetKind::Sensors => {
+                let style = SensorStyle { len: self.image_size, ..Default::default() };
+                for _ in 0..self.attacker_data_boost {
+                    shard.push_image(
+                        fuiov_data::synth_sensors::render_maneuver(&mut rng, class, &style),
+                        class,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The membership schedule: everyone from round 0, except the
+    /// forgotten client(s) — all malicious clients under attack, the
+    /// designated client otherwise — who join at `forgotten_join_round`.
+    pub fn schedule(&self) -> ChurnSchedule {
+        let mut schedule = ChurnSchedule::static_membership(self.n_clients, self.rounds);
+        let pinned: Vec<ClientId> = if self.attack.is_some() {
+            self.malicious_ids()
+        } else {
+            vec![self.forgotten_id()]
+        };
+        for id in &pinned {
+            schedule.set_membership(
+                *id,
+                Membership {
+                    joined: self.forgotten_join_round,
+                    leaves_after: None,
+                    dropouts: Vec::new(),
+                },
+            );
+        }
+        if self.departing_fraction > 0.0 {
+            let k = ((self.n_clients as f32) * self.departing_fraction).round() as usize;
+            let mut departed = 0;
+            for v in 0..self.n_clients {
+                if departed == k {
+                    break;
+                }
+                if pinned.contains(&v) {
+                    continue;
+                }
+                schedule.set_membership(
+                    v,
+                    Membership {
+                        joined: 0,
+                        leaves_after: Some(self.departure_round),
+                        dropouts: Vec::new(),
+                    },
+                );
+                departed += 1;
+            }
+        }
+        schedule
+    }
+
+    /// Vehicles that permanently departed under this scenario's schedule.
+    pub fn departed_ids(&self) -> Vec<ClientId> {
+        let schedule = self.schedule();
+        (0..self.n_clients)
+            .filter(|&v| schedule.membership(v).leaves_after.is_some())
+            .collect()
+    }
+
+    /// The `FlConfig` for this scenario.
+    pub fn fl_config(&self) -> FlConfig {
+        FlConfig::new(self.rounds, self.lr)
+            .batch_size(self.batch_size)
+            .sign_delta(self.sign_delta)
+            .keep_full_gradients(self.keep_full_gradients)
+    }
+
+    /// Runs federated training and returns the complete trained state.
+    pub fn train(&self) -> Trained {
+        let spec = self.model_spec();
+        let init_params = spec.build(self.seed).params();
+        let mut clients = self.build_clients();
+        let schedule = self.schedule();
+        let mut server = Server::new(self.fl_config(), init_params.clone());
+        server.train(&mut clients, &schedule);
+        let (_, test) = self.generate_pool();
+        let (final_params, history, full_store) = server.into_parts();
+        Trained {
+            scenario: self.clone(),
+            spec,
+            init_params,
+            final_params,
+            history,
+            full_store,
+            clients,
+            test,
+            schedule,
+        }
+    }
+}
+
+/// Output of [`Scenario::train`]: everything experiments need.
+pub struct Trained {
+    /// The scenario that produced this state.
+    pub scenario: Scenario,
+    /// Model architecture.
+    pub spec: ModelSpec,
+    /// Initial global parameters.
+    pub init_params: Vec<f32>,
+    /// Final global parameters `w_T`.
+    pub final_params: Vec<f32>,
+    /// The server's recorded history (models + directions).
+    pub history: HistoryStore,
+    /// Full-precision gradients (empty unless requested).
+    pub full_store: FullGradientStore,
+    /// The client pool (for retraining / oracles).
+    pub clients: Vec<Box<dyn Client>>,
+    /// Held-out test set.
+    pub test: Dataset,
+    /// The membership schedule used.
+    pub schedule: ChurnSchedule,
+}
+
+impl std::fmt::Debug for Trained {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trained")
+            .field("scenario", &self.scenario)
+            .field("params", &self.final_params.len())
+            .finish()
+    }
+}
+
+impl Trained {
+    /// Builds a model carrying the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` has the wrong dimension.
+    pub fn model_with(&self, params: &[f32]) -> Sequential {
+        let mut m = self.spec.build(0);
+        m.set_params(params);
+        m
+    }
+
+    /// Test accuracy of arbitrary parameters on the held-out set.
+    pub fn accuracy_of(&self, params: &[f32]) -> f32 {
+        let mut m = self.model_with(params);
+        fuiov_eval::test_accuracy(&mut m, &self.test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scenario_trains_deterministically() {
+        let t1 = Scenario::tiny(3).train();
+        let t2 = Scenario::tiny(3).train();
+        assert_eq!(t1.final_params, t2.final_params);
+        assert_eq!(t1.history.rounds().len(), 13);
+    }
+
+    #[test]
+    fn forgotten_client_joins_at_f() {
+        let t = Scenario::tiny(1).train();
+        let f = t.scenario.forgotten_id();
+        assert_eq!(t.history.join_round(f), Some(2));
+        // Everyone else joined at round 0.
+        for c in 0..t.scenario.n_clients - 1 {
+            assert_eq!(t.history.join_round(c), Some(0));
+        }
+    }
+
+    #[test]
+    fn attack_scenario_pins_all_malicious() {
+        let mut sc = Scenario::tiny(5);
+        sc.attack = Some(Attack::LabelFlip(LabelFlip::paper_default()));
+        sc.malicious_fraction = 0.4;
+        let malicious = sc.malicious_ids();
+        assert_eq!(malicious.len(), 2);
+        let t = sc.train();
+        for &m in &malicious {
+            assert_eq!(t.history.join_round(m), Some(2));
+        }
+    }
+
+    #[test]
+    fn paper_scale_constructors_use_paper_shapes() {
+        let d = Scenario::digits_paper(0);
+        assert_eq!(d.n_clients, 100);
+        assert_eq!(d.image_size, 28);
+        assert_eq!(
+            d.model_spec(),
+            fuiov_nn::ModelSpec::CnnTwoFc { in_ch: 1, h: 28, w: 28, c1: 8, c2: 16, hidden: 64, classes: 10 }
+        );
+        let s = Scenario::signs_paper(0);
+        assert_eq!(s.image_size, 32);
+        assert!(matches!(s.model_spec(), fuiov_nn::ModelSpec::CnnOneFc { h: 32, .. }));
+    }
+
+    #[test]
+    fn sensors_scenario_builds_and_has_mlp() {
+        let sc = Scenario::sensors(1);
+        assert!(matches!(sc.model_spec(), fuiov_nn::ModelSpec::Mlp { inputs: 192, .. }));
+        let clients = sc.build_clients();
+        assert_eq!(clients.len(), 10);
+    }
+
+    #[test]
+    fn departures_configure_schedule() {
+        let mut sc = Scenario::tiny(2);
+        sc.departing_fraction = 0.4;
+        sc.departure_round = 5;
+        let departed = sc.departed_ids();
+        assert_eq!(departed.len(), 2);
+        assert!(!departed.contains(&sc.forgotten_id()));
+        let schedule = sc.schedule();
+        for &v in &departed {
+            assert_eq!(schedule.membership(v).leaves_after, Some(5));
+        }
+    }
+
+    #[test]
+    fn training_improves_accuracy() {
+        let t = Scenario::tiny(7).train();
+        let before = t.accuracy_of(&t.init_params);
+        let after = t.accuracy_of(&t.final_params);
+        assert!(after > before, "training should help: {before} -> {after}");
+    }
+
+    #[test]
+    fn full_gradients_kept_when_requested() {
+        let t = Scenario::tiny(2).train();
+        assert!(t.full_store.bytes() > 0);
+    }
+}

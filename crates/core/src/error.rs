@@ -1,0 +1,58 @@
+//! Error type for the unlearning pipeline.
+
+use fuiov_storage::{ClientId, Round};
+use std::error::Error;
+use std::fmt;
+
+/// Why an unlearning/recovery request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnlearnError {
+    /// The client to forget never participated in training.
+    UnknownClient(ClientId),
+    /// The history is missing the global model for a needed round.
+    MissingModel(Round),
+    /// The history contains no rounds after the forget point — nothing to
+    /// recover.
+    NothingToRecover {
+        /// The client's join round `F`.
+        join_round: Round,
+        /// Latest recorded round `T`.
+        latest_round: Round,
+    },
+    /// The history store is empty.
+    EmptyHistory,
+}
+
+impl fmt::Display for UnlearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnlearnError::UnknownClient(c) => {
+                write!(f, "client {c} never participated in training")
+            }
+            UnlearnError::MissingModel(r) => {
+                write!(f, "history is missing the global model for round {r}")
+            }
+            UnlearnError::NothingToRecover { join_round, latest_round } => write!(
+                f,
+                "no rounds to recover: client joined at round {join_round}, history ends at round {latest_round}"
+            ),
+            UnlearnError::EmptyHistory => write!(f, "history store is empty"),
+        }
+    }
+}
+
+impl Error for UnlearnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(UnlearnError::UnknownClient(3).to_string().contains("client 3"));
+        assert!(UnlearnError::MissingModel(7).to_string().contains("round 7"));
+        assert!(UnlearnError::EmptyHistory.to_string().contains("empty"));
+        let e = UnlearnError::NothingToRecover { join_round: 9, latest_round: 9 };
+        assert!(e.to_string().contains("joined at round 9"));
+    }
+}

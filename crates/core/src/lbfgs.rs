@@ -1,0 +1,401 @@
+//! Compact L-BFGS Hessian approximation (the paper's Algorithm 2).
+//!
+//! Given `s` vector pairs — model differences `ΔW = [Δw₁ … Δwₛ]` and
+//! gradient differences `ΔGⁱ = [Δg₁ … Δgₛ]` for client `i` — the compact
+//! (Byrd–Nocedal–Schnabel) representation of the BFGS matrix with initial
+//! scaling `σI` is
+//!
+//! ```text
+//! B = σI − [ΔG  σΔW] · M⁻¹ · [ΔGᵀ; σΔWᵀ],
+//! M = [ −D   Lᵀ
+//!        L   σΔWᵀΔW ],
+//! ```
+//!
+//! where `A = ΔWᵀΔG`, `L = tril(A)` (strictly lower), `D = diag(A)`, and
+//! `σ = (Δgₛᵀ Δwₛ)/(Δwₛᵀ Δwₛ)` — exactly Algorithm 2's lines 1–6, with the
+//! practical difference that the `d × d` matrix `B` is never materialised:
+//! [`LbfgsApprox::hvp`] computes the Hessian-vector product `B·v` the
+//! recovery loop needs (Eq. 6) using only `d × 2s` work.
+
+use fuiov_tensor::solve::Lu;
+use fuiov_tensor::{vector, Mat};
+use std::error::Error;
+use std::fmt;
+
+/// Why an L-BFGS approximation could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LbfgsError {
+    /// No vector pairs were supplied.
+    Empty,
+    /// `ΔW`/`ΔG` counts or dimensions disagree.
+    ShapeMismatch,
+    /// The curvature `Δgₛᵀ Δwₛ` or `‖Δwₛ‖²` is non-positive / non-finite,
+    /// so the BFGS scaling `σ` is undefined.
+    BadCurvature {
+        /// The offending σ numerator `Δgᵀ Δw`.
+        sy: f32,
+    },
+    /// The `2s × 2s` middle matrix is singular (linearly dependent pairs).
+    SingularMiddle,
+}
+
+impl fmt::Display for LbfgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LbfgsError::Empty => write!(f, "no L-BFGS vector pairs supplied"),
+            LbfgsError::ShapeMismatch => write!(f, "vector pair shapes disagree"),
+            LbfgsError::BadCurvature { sy } => {
+                write!(f, "non-positive curvature (Δgᵀ·Δw = {sy}); BFGS scaling undefined")
+            }
+            LbfgsError::SingularMiddle => write!(f, "singular L-BFGS middle matrix"),
+        }
+    }
+}
+
+impl Error for LbfgsError {}
+
+/// A ready-to-apply compact L-BFGS Hessian approximation.
+#[derive(Debug, Clone)]
+pub struct LbfgsApprox {
+    /// `d × s` model differences.
+    dw: Mat,
+    /// `d × s` gradient differences.
+    dg: Mat,
+    /// Factored `2s × 2s` middle matrix.
+    middle: Lu,
+    sigma: f32,
+}
+
+impl LbfgsApprox {
+    /// Builds the approximation from parallel lists of vector pairs
+    /// (ordered oldest → newest; the newest pair defines σ).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LbfgsError`] if the inputs are empty or inconsistent, the
+    /// newest pair has non-positive curvature, or the middle matrix is
+    /// singular.
+    pub fn new(dws: &[Vec<f32>], dgs: &[Vec<f32>]) -> Result<Self, LbfgsError> {
+        if dws.is_empty() || dgs.is_empty() {
+            return Err(LbfgsError::Empty);
+        }
+        if dws.len() != dgs.len() {
+            return Err(LbfgsError::ShapeMismatch);
+        }
+        let dim = dws[0].len();
+        if dim == 0 || dws.iter().chain(dgs).any(|v| v.len() != dim) {
+            return Err(LbfgsError::ShapeMismatch);
+        }
+
+        let last = dws.len() - 1;
+        let sy = vector::dot(&dgs[last], &dws[last]);
+        let ss = vector::dot(&dws[last], &dws[last]);
+        if sy <= 0.0 || ss <= 0.0 || !sy.is_finite() || !ss.is_finite() {
+            return Err(LbfgsError::BadCurvature { sy });
+        }
+        let sigma = sy / ss;
+
+        let dw = Mat::from_cols(dws);
+        let dg = Mat::from_cols(dgs);
+
+        // A = ΔWᵀ ΔG; L = tril(A) strictly below diagonal; D = diag(A).
+        let a = dw.tr_matmul(&dg);
+        let l = a.tril_strict();
+        let d = a.diag();
+
+        // Middle matrix M = [ -D  Lᵀ ; L  σ·ΔWᵀΔW ].
+        let mut neg_d = d;
+        neg_d.scale_in_place(-1.0);
+        let lt = l.transpose();
+        let mut sww = dw.tr_matmul(&dw);
+        sww.scale_in_place(sigma);
+        let m = Mat::block2x2(&neg_d, &lt, &l, &sww);
+
+        let middle = Lu::factor(&m).map_err(|_| LbfgsError::SingularMiddle)?;
+        Ok(LbfgsApprox { dw, dg, middle, sigma })
+    }
+
+    /// Model dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dw.rows()
+    }
+
+    /// Number of stored vector pairs `s`.
+    pub fn pairs(&self) -> usize {
+        self.dw.cols()
+    }
+
+    /// The initial-scaling coefficient σ.
+    pub fn sigma(&self) -> f32 {
+        self.sigma
+    }
+
+    /// Hessian-vector product `B·v` (Algorithm 2 applied to `v`; this is
+    /// the `H̃ᵗᵢ·(w̄ₜ − wₜ)` term of Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    pub fn hvp(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.dim(), "hvp: dimension mismatch");
+        let s = self.pairs();
+        // rhs = [ΔGᵀ v ; σ ΔWᵀ v]
+        let top = self.dg.tr_matvec(v);
+        let mut bottom = self.dw.tr_matvec(v);
+        vector::scale(self.sigma, &mut bottom);
+        let mut rhs = Vec::with_capacity(2 * s);
+        rhs.extend_from_slice(&top);
+        rhs.extend_from_slice(&bottom);
+
+        let p = self.middle.solve(&rhs);
+
+        // out = σ v − ΔG·p[..s] − σ ΔW·p[s..]
+        let mut out: Vec<f32> = v.to_vec();
+        vector::scale(self.sigma, &mut out);
+        let part_g = self.dg.matvec(&p[..s]);
+        vector::axpy(-1.0, &part_g, &mut out);
+        let part_w = self.dw.matvec(&p[s..]);
+        vector::axpy(-self.sigma, &part_w, &mut out);
+        out
+    }
+
+    /// Materialises the dense `d × d` approximation by applying
+    /// [`LbfgsApprox::hvp`] to unit vectors — Algorithm 2 exactly as
+    /// written. Only sensible for tiny models; used for cross-validation
+    /// in tests and the `micro` ablation bench.
+    pub fn dense(&self) -> Mat {
+        let d = self.dim();
+        let cols: Vec<Vec<f32>> = (0..d)
+            .map(|j| {
+                let mut e = vec![0.0; d];
+                e[j] = 1.0;
+                self.hvp(&e)
+            })
+            .collect();
+        Mat::from_cols(&cols)
+    }
+}
+
+/// A FIFO buffer of at most `s` vector pairs, as maintained per client
+/// during recovery ("vector pairs are updated every … rounds", §V-A3).
+#[derive(Debug, Clone, Default)]
+pub struct PairBuffer {
+    capacity: usize,
+    dws: Vec<Vec<f32>>,
+    dgs: Vec<Vec<f32>>,
+}
+
+impl PairBuffer {
+    /// Creates a buffer holding at most `capacity` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PairBuffer: capacity must be positive");
+        PairBuffer { capacity, dws: Vec::new(), dgs: Vec::new() }
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.dws.len()
+    }
+
+    /// Whether no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.dws.is_empty()
+    }
+
+    /// Pushes a pair, evicting the oldest when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dw`/`dg` lengths differ from each other or from stored
+    /// pairs.
+    pub fn push(&mut self, dw: Vec<f32>, dg: Vec<f32>) {
+        assert_eq!(dw.len(), dg.len(), "PairBuffer::push: pair length mismatch");
+        if let Some(first) = self.dws.first() {
+            assert_eq!(first.len(), dw.len(), "PairBuffer::push: dimension changed");
+        }
+        if self.dws.len() == self.capacity {
+            self.dws.remove(0);
+            self.dgs.remove(0);
+        }
+        self.dws.push(dw);
+        self.dgs.push(dg);
+    }
+
+    /// Builds the L-BFGS approximation from the buffered pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LbfgsError`] from [`LbfgsApprox::new`] (including
+    /// [`LbfgsError::Empty`] when the buffer has no pairs yet).
+    pub fn approximation(&self) -> Result<LbfgsApprox, LbfgsError> {
+        LbfgsApprox::new(&self.dws, &self.dgs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds pairs from a known quadratic with Hessian Q: Δg = Q·Δw.
+    fn quadratic_pairs(q: &Mat, dws: &[Vec<f32>]) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let dgs: Vec<Vec<f32>> = dws.iter().map(|w| q.matvec(w)).collect();
+        (dws.to_vec(), dgs)
+    }
+
+    #[test]
+    fn isotropic_quadratic_is_recovered_exactly() {
+        // Q = 3I: every direction has curvature 3, so B ≡ 3I.
+        let q = {
+            let mut m = Mat::eye(4);
+            m.scale_in_place(3.0);
+            m
+        };
+        let dws = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 1.0, 0.0]];
+        let (dws, dgs) = quadratic_pairs(&q, &dws);
+        let b = LbfgsApprox::new(&dws, &dgs).unwrap();
+        assert!((b.sigma() - 3.0).abs() < 1e-5);
+        let v = vec![0.5, -1.0, 2.0, 0.25];
+        let bv = b.hvp(&v);
+        let qv = q.matvec(&v);
+        assert!(vector::l2_distance(&bv, &qv) < 1e-4);
+    }
+
+    #[test]
+    fn secant_equation_holds_for_newest_pair() {
+        // Anisotropic quadratic.
+        let q = Mat::from_rows(&[
+            &[4.0, 1.0, 0.0],
+            &[1.0, 3.0, 0.5],
+            &[0.0, 0.5, 2.0],
+        ]);
+        let dws = vec![vec![1.0, 0.0, 0.0], vec![0.2, 1.0, -0.3]];
+        let (dws, dgs) = quadratic_pairs(&q, &dws);
+        let b = LbfgsApprox::new(&dws, &dgs).unwrap();
+        let pred = b.hvp(&dws[1]);
+        assert!(
+            vector::l2_distance(&pred, &dgs[1]) < 1e-3,
+            "secant violated: {pred:?} vs {:?}",
+            dgs[1]
+        );
+    }
+
+    #[test]
+    fn dense_matches_hvp() {
+        let q = Mat::from_rows(&[&[2.0, 0.3], &[0.3, 1.5]]);
+        let dws = vec![vec![1.0, 0.2], vec![-0.1, 1.0]];
+        let (dws, dgs) = quadratic_pairs(&q, &dws);
+        let b = LbfgsApprox::new(&dws, &dgs).unwrap();
+        let dense = b.dense();
+        let v = vec![0.7, -0.4];
+        let via_dense = dense.matvec(&v);
+        let via_hvp = b.hvp(&v);
+        assert!(vector::l2_distance(&via_dense, &via_hvp) < 1e-5);
+        // Dense approximation of a 2-D quadratic with 2 independent pairs
+        // should reproduce Q closely (f32 round-off leaves ~4e-3).
+        assert!(dense.max_abs_diff(&q) < 1e-2, "dense={dense:?}");
+    }
+
+    #[test]
+    fn hvp_is_linear() {
+        let q = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]]);
+        let dws = vec![vec![1.0, 1.0]];
+        let (dws, dgs) = quadratic_pairs(&q, &dws);
+        let b = LbfgsApprox::new(&dws, &dgs).unwrap();
+        let u = vec![1.0, -2.0];
+        let v = vec![0.5, 3.0];
+        let sum = vector::add(&u, &v);
+        let lhs = b.hvp(&sum);
+        let rhs = vector::add(&b.hvp(&u), &b.hvp(&v));
+        assert!(vector::l2_distance(&lhs, &rhs) < 1e-4);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert_eq!(LbfgsApprox::new(&[], &[]).unwrap_err(), LbfgsError::Empty);
+        assert_eq!(LbfgsApprox::new(&[vec![1.0]], &[]).unwrap_err(), LbfgsError::Empty);
+        assert_eq!(
+            LbfgsApprox::new(&[vec![1.0], vec![2.0]], &[vec![1.0]]).unwrap_err(),
+            LbfgsError::ShapeMismatch
+        );
+        assert_eq!(
+            LbfgsApprox::new(&[vec![1.0, 2.0]], &[vec![1.0]]).unwrap_err(),
+            LbfgsError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn rejects_negative_curvature() {
+        // Δg anti-parallel to Δw → sy < 0.
+        let err = LbfgsApprox::new(&[vec![1.0, 0.0]], &[vec![-1.0, 0.0]]).unwrap_err();
+        assert!(matches!(err, LbfgsError::BadCurvature { .. }));
+        assert!(err.to_string().contains("curvature"));
+    }
+
+    #[test]
+    fn duplicate_pairs_still_satisfy_secant() {
+        // Identical pairs keep the middle matrix invertible thanks to the
+        // −D block; the approximation must still satisfy the secant
+        // equation. (True singularity — e.g. a zero Δw — surfaces as
+        // BadCurvature or SingularMiddle and is handled by the recovery
+        // loop's fallback.)
+        let dw = vec![1.0, 2.0, 3.0];
+        let dg = vec![2.0, 4.0, 6.0];
+        let b = LbfgsApprox::new(&[dw.clone(), dw.clone()], &[dg.clone(), dg.clone()]).unwrap();
+        let pred = b.hvp(&dw);
+        assert!(vector::l2_distance(&pred, &dg) < 1e-3);
+    }
+
+    #[test]
+    fn zero_pair_is_rejected() {
+        let err = LbfgsApprox::new(&[vec![0.0, 0.0]], &[vec![0.0, 0.0]]).unwrap_err();
+        assert!(matches!(err, LbfgsError::BadCurvature { .. }));
+    }
+
+    #[test]
+    fn pair_buffer_fifo_eviction() {
+        let mut buf = PairBuffer::new(2);
+        assert!(buf.is_empty());
+        buf.push(vec![1.0, 0.0], vec![2.0, 0.0]);
+        buf.push(vec![0.0, 1.0], vec![0.0, 3.0]);
+        buf.push(vec![1.0, 1.0], vec![2.0, 3.0]);
+        assert_eq!(buf.len(), 2);
+        // Oldest pair evicted: sigma now comes from the newest pair.
+        let approx = buf.approximation().unwrap();
+        let expected_sigma = vector::dot(&[2.0, 3.0], &[1.0, 1.0])
+            / vector::dot(&[1.0, 1.0], &[1.0, 1.0]);
+        assert!((approx.sigma() - expected_sigma).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pair_buffer_empty_approximation_errors() {
+        let buf = PairBuffer::new(2);
+        assert_eq!(buf.approximation().unwrap_err(), LbfgsError::Empty);
+    }
+
+    #[test]
+    fn larger_random_quadratic_hvp_error_is_bounded() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let d = 12;
+        // SPD matrix Q = R Rᵀ + I.
+        let r_data: Vec<f32> = (0..d * d).map(|_| rng.gen_range(-0.4..0.4)).collect();
+        let r = Mat::from_vec(d, d, r_data);
+        let mut q = r.matmul(&r.transpose());
+        for i in 0..d {
+            q.set(i, i, q.get(i, i) + 1.0);
+        }
+        let dws: Vec<Vec<f32>> = (0..4)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let (dws, dgs) = quadratic_pairs(&q, &dws);
+        let b = LbfgsApprox::new(&dws, &dgs).unwrap();
+        // The approximation must reproduce curvature along buffered dirs.
+        let pred = b.hvp(&dws[3]);
+        let rel = vector::l2_distance(&pred, &dgs[3]) / vector::l2_norm(&dgs[3]);
+        assert!(rel < 0.05, "relative secant error {rel}");
+    }
+}

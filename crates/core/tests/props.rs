@@ -1,0 +1,114 @@
+//! Property-based robustness tests: recovery must behave sanely on
+//! arbitrary (even adversarial) histories — no panics on valid inputs, no
+//! NaNs out, clip bounds respected.
+
+use fuiov_core::{backtrack_set, recover_set, NoOracle, RecoveryConfig};
+use fuiov_storage::HistoryStore;
+use proptest::prelude::*;
+
+/// Builds a random but *valid* history: `rounds+1` models of dimension
+/// `dim`, every client joins at a random round and reports gradients from
+/// then on.
+fn arb_history(
+    dim: usize,
+    rounds: usize,
+    clients: usize,
+) -> impl Strategy<Value = (HistoryStore, Vec<usize>)> {
+    let models = prop::collection::vec(
+        prop::collection::vec(-1.0f32..1.0, dim),
+        rounds + 1,
+    );
+    let joins = prop::collection::vec(0usize..rounds, clients);
+    let grads = prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim), rounds),
+        clients,
+    );
+    (models, joins, grads).prop_map(move |(models, joins, grads)| {
+        let mut h = HistoryStore::new(1e-3);
+        for (t, m) in models.into_iter().enumerate() {
+            h.record_model(t, m);
+        }
+        for (c, &join) in joins.iter().enumerate() {
+            h.record_join(c, join);
+            for (t, g) in grads[c].iter().enumerate().take(rounds).skip(join) {
+                h.record_gradient(t, c, g);
+            }
+        }
+        (h, joins)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Recovery on any valid random history terminates with finite
+    /// parameters, correct round accounting, and (with tiny L) bounded
+    /// per-round updates.
+    #[test]
+    fn recovery_is_total_and_finite((h, joins) in arb_history(6, 8, 3)) {
+        let forgotten = 0usize;
+        let cfg = RecoveryConfig::new(0.05);
+        match recover_set(&h, &[forgotten], &cfg, &mut NoOracle, |_, _| {}) {
+            Ok(out) => {
+                prop_assert!(out.params.iter().all(|v| v.is_finite()));
+                prop_assert_eq!(out.start_round, joins[0]);
+                prop_assert_eq!(out.rounds_replayed, 8 - joins[0]);
+                prop_assert_eq!(out.update_norms.len(), out.rounds_replayed);
+            }
+            // Joining at the last recorded round means nothing to recover.
+            Err(fuiov_core::UnlearnError::NothingToRecover { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// With clip threshold L, every aggregated update norm is at most
+    /// √dim · L (element-wise bound through FedAvg).
+    #[test]
+    fn clip_bound_holds_on_random_histories((h, _) in arb_history(5, 6, 3), l in 0.01f32..0.5) {
+        let cfg = RecoveryConfig::new(1.0).clip_threshold(l);
+        if let Ok(out) = recover_set(&h, &[1], &cfg, &mut NoOracle, |_, _| {}) {
+            let bound = (5.0f32).sqrt() * l + 1e-5;
+            for n in out.update_norms {
+                prop_assert!(n <= bound, "norm {n} exceeds bound {bound}");
+            }
+        }
+    }
+
+    /// Backtracking a set equals the minimum of individual backtracks,
+    /// and its params match the stored model at that round.
+    #[test]
+    fn set_backtrack_is_min_of_singletons((h, joins) in arb_history(4, 6, 3)) {
+        let bt_all = backtrack_set(&h, &[0, 1, 2]).unwrap();
+        let min_join = *joins.iter().min().unwrap();
+        prop_assert_eq!(bt_all.join_round, min_join);
+        prop_assert_eq!(&bt_all.params[..], h.model(min_join).unwrap());
+    }
+
+    /// Recovery is deterministic: same history, same config, same output.
+    #[test]
+    fn recovery_is_deterministic((h, _) in arb_history(5, 7, 3)) {
+        let cfg = RecoveryConfig::new(0.02);
+        let a = recover_set(&h, &[2], &cfg, &mut NoOracle, |_, _| {});
+        let b = recover_set(&h, &[2], &cfg, &mut NoOracle, |_, _| {});
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.params, y.params),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "determinism violated in error path"),
+        }
+    }
+
+    /// Disabling the Hessian keeps estimates inside the clip box exactly:
+    /// raw directions are ±1, so with L ≥ 1 the replay is untouched and
+    /// the update equals the weighted mean of stored directions.
+    #[test]
+    fn sign_replay_update_norm_is_bounded_by_dim((h, _) in arb_history(4, 5, 2)) {
+        let cfg = RecoveryConfig::new(0.1).without_hessian();
+        if let Ok(out) = recover_set(&h, &[0], &cfg, &mut NoOracle, |_, _| {}) {
+            // Elements of the aggregate are means of {−1,0,1} → |·| ≤ 1.
+            let bound = 2.0f32 + 1e-5; // √4 · 1
+            for n in out.update_norms {
+                prop_assert!(n <= bound);
+            }
+        }
+    }
+}

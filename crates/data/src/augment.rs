@@ -1,0 +1,241 @@
+//! Data augmentation transforms.
+//!
+//! Clients can expand their local datasets with label-preserving
+//! transforms — useful both for the honest training pipeline (more
+//! effective data per vehicle) and for the attack experiments (attackers
+//! curating extra samples). All transforms are deterministic given an RNG
+//! and operate on flat CHW feature vectors via [`crate::image::Image`]
+//! semantics.
+
+use crate::dataset::Dataset;
+use fuiov_tensor::rng::{rng_for, streams};
+use rand::Rng;
+
+/// A label-preserving image transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transform {
+    /// Horizontal flip (mirror columns).
+    FlipHorizontal,
+    /// Rotation by a uniform angle in `[-max_radians, max_radians]`
+    /// (nearest-neighbour, zero fill).
+    Rotate {
+        /// Maximum absolute rotation.
+        max_radians: f32,
+    },
+    /// Circular shift by up to `max_pixels` in each axis.
+    Translate {
+        /// Maximum shift per axis.
+        max_pixels: usize,
+    },
+    /// Additive Gaussian pixel noise, clamped to `[0, 1]`.
+    Noise {
+        /// Standard deviation.
+        sigma: f32,
+    },
+    /// Multiply by a brightness factor in `[lo, hi]`, clamped to `[0,1]`.
+    Brightness {
+        /// Factor lower bound.
+        lo: f32,
+        /// Factor upper bound.
+        hi: f32,
+    },
+}
+
+impl Transform {
+    /// Applies the transform to one flat CHW sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != c*h*w` or transform parameters are
+    /// degenerate (`lo > hi`).
+    pub fn apply<R: Rng>(
+        &self,
+        rng: &mut R,
+        features: &[f32],
+        shape: (usize, usize, usize),
+    ) -> Vec<f32> {
+        let (c, h, w) = shape;
+        assert_eq!(features.len(), c * h * w, "Transform::apply: feature length mismatch");
+        match *self {
+            Transform::FlipHorizontal => {
+                let mut out = features.to_vec();
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w / 2 {
+                            let a = (ch * h + y) * w + x;
+                            let b = (ch * h + y) * w + (w - 1 - x);
+                            out.swap(a, b);
+                        }
+                    }
+                }
+                out
+            }
+            Transform::Rotate { max_radians } => {
+                let angle = rng.gen_range(-max_radians..=max_radians);
+                let (sin, cos) = angle.sin_cos();
+                let cy = h as f32 / 2.0;
+                let cx = w as f32 / 2.0;
+                let mut out = vec![0.0f32; features.len()];
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let dy = y as f32 + 0.5 - cy;
+                            let dx = x as f32 + 0.5 - cx;
+                            let sx = cos * dx + sin * dy + cx;
+                            let sy = -sin * dx + cos * dy + cy;
+                            if sx >= 0.0 && sy >= 0.0 && (sx as usize) < w && (sy as usize) < h
+                            {
+                                out[(ch * h + y) * w + x] =
+                                    features[(ch * h + sy as usize) * w + sx as usize];
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Transform::Translate { max_pixels } => {
+                let dy = rng.gen_range(0..=2 * max_pixels) as isize - max_pixels as isize;
+                let dx = rng.gen_range(0..=2 * max_pixels) as isize - max_pixels as isize;
+                let mut out = vec![0.0f32; features.len()];
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let sy = (y as isize - dy).rem_euclid(h as isize) as usize;
+                            let sx = (x as isize - dx).rem_euclid(w as isize) as usize;
+                            out[(ch * h + y) * w + x] = features[(ch * h + sy) * w + sx];
+                        }
+                    }
+                }
+                out
+            }
+            Transform::Noise { sigma } => {
+                let mut out = features.to_vec();
+                for v in &mut out {
+                    let u1: f32 = rng.gen_range(1e-7..1.0);
+                    let u2: f32 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+                    *v = (*v + sigma * z).clamp(0.0, 1.0);
+                }
+                out
+            }
+            Transform::Brightness { lo, hi } => {
+                assert!(lo <= hi, "Transform::Brightness: lo > hi");
+                let f = rng.gen_range(lo..=hi);
+                features.iter().map(|v| (v * f).clamp(0.0, 1.0)).collect()
+            }
+        }
+    }
+}
+
+/// Appends `per_sample` augmented copies of every sample to the dataset,
+/// cycling through `transforms`. Returns the number of samples added.
+///
+/// # Panics
+///
+/// Panics if `transforms` is empty.
+pub fn augment_dataset(
+    data: &mut Dataset,
+    transforms: &[Transform],
+    per_sample: usize,
+    seed: u64,
+) -> usize {
+    assert!(!transforms.is_empty(), "augment_dataset: no transforms");
+    let shape = data.shape();
+    let original_len = data.len();
+    let mut rng = rng_for(seed, streams::DATA + 42);
+    let mut added = 0;
+    for i in 0..original_len {
+        for k in 0..per_sample {
+            let t = transforms[(i + k) % transforms.len()];
+            let new = t.apply(&mut rng, data.features(i), shape);
+            data.push_raw(new, data.label(i));
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth_digits::DigitStyle;
+    use fuiov_tensor::rng::rng_for;
+
+    fn sample() -> (Vec<f32>, (usize, usize, usize)) {
+        // 1×2×4 gradient image.
+        (vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7], (1, 2, 4))
+    }
+
+    #[test]
+    fn flip_mirrors_columns() {
+        let (f, shape) = sample();
+        let mut rng = rng_for(0, 0);
+        let out = Transform::FlipHorizontal.apply(&mut rng, &f, shape);
+        assert_eq!(out, vec![0.3, 0.2, 0.1, 0.0, 0.7, 0.6, 0.5, 0.4]);
+        // Involution.
+        let back = Transform::FlipHorizontal.apply(&mut rng, &out, shape);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn translate_is_circular() {
+        let (f, shape) = sample();
+        let mut rng = rng_for(1, 1);
+        let out = Transform::Translate { max_pixels: 1 }.apply(&mut rng, &f, shape);
+        // Mass conserved under circular shift.
+        let sum_in: f32 = f.iter().sum();
+        let sum_out: f32 = out.iter().sum();
+        assert!((sum_in - sum_out).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_keeps_unit_range() {
+        let (f, shape) = sample();
+        let mut rng = rng_for(2, 2);
+        let out = Transform::Noise { sigma: 0.5 }.apply(&mut rng, &f, shape);
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert_ne!(out, f);
+    }
+
+    #[test]
+    fn brightness_scales() {
+        let (f, shape) = sample();
+        let mut rng = rng_for(3, 3);
+        let out = Transform::Brightness { lo: 0.5, hi: 0.5 }.apply(&mut rng, &f, shape);
+        for (o, i) in out.iter().zip(&f) {
+            assert!((o - i * 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_zero_angle_is_identity() {
+        let (f, shape) = sample();
+        let mut rng = rng_for(4, 4);
+        let out = Transform::Rotate { max_radians: 0.0 }.apply(&mut rng, &f, shape);
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn augment_dataset_grows_and_preserves_labels() {
+        let mut d = Dataset::digits(20, &DigitStyle::small(), 5);
+        let added = augment_dataset(
+            &mut d,
+            &[Transform::FlipHorizontal, Transform::Noise { sigma: 0.05 }],
+            2,
+            7,
+        );
+        assert_eq!(added, 40);
+        assert_eq!(d.len(), 60);
+        // Augmented copies keep the source labels (balanced → still balanced).
+        assert!(d.class_counts().iter().all(|&c| c == 6));
+    }
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        let mut a = Dataset::digits(10, &DigitStyle::small(), 5);
+        let mut b = Dataset::digits(10, &DigitStyle::small(), 5);
+        augment_dataset(&mut a, &[Transform::Noise { sigma: 0.1 }], 1, 9);
+        augment_dataset(&mut b, &[Transform::Noise { sigma: 0.1 }], 1, 9);
+        assert_eq!(a.features(15), b.features(15));
+    }
+}

@@ -1,0 +1,407 @@
+//! In-memory labelled image dataset with batching utilities.
+
+use crate::image::Image;
+use crate::synth_digits::{render_digit, DigitStyle};
+use crate::synth_sensors::{render_maneuver, SensorStyle};
+use crate::synth_signs::{render_sign, SignStyle};
+use fuiov_nn::Tensor4;
+use fuiov_tensor::rng::{rng_for, streams};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled dataset of fixed-shape images stored as flat CHW vectors.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    c: usize,
+    h: usize,
+    w: usize,
+    num_classes: usize,
+    samples: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given shape and class count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the class count is zero.
+    pub fn empty(c: usize, h: usize, w: usize, num_classes: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0 && num_classes > 0, "Dataset::empty: zero dimension");
+        Dataset { c, h, w, num_classes, samples: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Generates a balanced synthetic digit dataset (MNIST substitute).
+    ///
+    /// Samples cycle through the 10 classes so every class has
+    /// `⌈n/10⌉`-ish representation.
+    pub fn digits(n: usize, style: &DigitStyle, seed: u64) -> Self {
+        let mut rng = rng_for(seed, streams::DATA);
+        let mut ds = Dataset::empty(1, style.size, style.size, crate::synth_digits::NUM_CLASSES);
+        for i in 0..n {
+            let label = i % ds.num_classes;
+            let img = render_digit(&mut rng, label, style);
+            ds.push_image(img, label);
+        }
+        ds
+    }
+
+    /// Generates a balanced synthetic traffic-sign dataset (GTSRB
+    /// substitute).
+    pub fn signs(n: usize, style: &SignStyle, seed: u64) -> Self {
+        let mut rng = rng_for(seed, streams::DATA + 1);
+        let mut ds = Dataset::empty(3, style.size, style.size, crate::synth_signs::NUM_CLASSES);
+        for i in 0..n {
+            let label = i % ds.num_classes;
+            let img = render_sign(&mut rng, label, style);
+            ds.push_image(img, label);
+        }
+        ds
+    }
+
+    /// Generates a balanced synthetic IoT sensor dataset (the paper's
+    /// §VI future-work extension: driving-manoeuvre windows as
+    /// `3 × 1 × len` feature maps).
+    pub fn sensors(n: usize, style: &SensorStyle, seed: u64) -> Self {
+        let mut rng = rng_for(seed, streams::DATA + 2);
+        let mut ds = Dataset::empty(3, 1, style.len, crate::synth_sensors::NUM_CLASSES);
+        for i in 0..n {
+            let label = i % ds.num_classes;
+            let img = render_maneuver(&mut rng, label, style);
+            ds.push_image(img, label);
+        }
+        ds
+    }
+
+    /// Appends an image with its label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape or label doesn't match the dataset.
+    pub fn push_image(&mut self, img: Image, label: usize) {
+        assert_eq!(
+            (img.channels(), img.height(), img.width()),
+            (self.c, self.h, self.w),
+            "push_image: shape mismatch"
+        );
+        assert!(label < self.num_classes, "push_image: label out of range");
+        self.samples.push(img.into_vec());
+        self.labels.push(label);
+    }
+
+    /// Appends a raw flat sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature length or label doesn't match.
+    pub fn push_raw(&mut self, features: Vec<f32>, label: usize) {
+        assert_eq!(features.len(), self.c * self.h * self.w, "push_raw: feature length");
+        assert!(label < self.num_classes, "push_raw: label out of range");
+        self.samples.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample shape `(c, h, w)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Features of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn features(&self, i: usize) -> &[f32] {
+        &self.samples[i]
+    }
+
+    /// Mutable features of sample `i` (used by poisoning attacks to stamp
+    /// backdoor triggers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn features_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.samples[i]
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Overwrites the label of sample `i` (used by label-flip attacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set_label(&mut self, i: usize, label: usize) {
+        assert!(label < self.num_classes, "set_label: label out of range");
+        self.labels[i] = label;
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Builds the NCHW tensor + label vector for the given sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor4, Vec<usize>) {
+        assert!(!indices.is_empty(), "gather: empty index set");
+        let items: Vec<&[f32]> = indices.iter().map(|&i| self.features(i)).collect();
+        let x = Tensor4::from_items(&items).reshape(self.c, self.h, self.w);
+        let y = indices.iter().map(|&i| self.labels[i]).collect();
+        (x, y)
+    }
+
+    /// Tensor + labels for the whole dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn full(&self) -> (Tensor4, Vec<usize>) {
+        let all: Vec<usize> = (0..self.len()).collect();
+        self.gather(&all)
+    }
+
+    /// A new dataset containing only the given samples (copied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::empty(self.c, self.h, self.w, self.num_classes);
+        for &i in indices {
+            out.push_raw(self.samples[i].clone(), self.labels[i]);
+        }
+        out
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of samples held
+    /// out, after a seeded shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is outside `(0, 1)`.
+    pub fn train_test_split(&self, test_fraction: f32, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "train_test_split: fraction must be in (0,1)"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng_for(seed, streams::DATA + 2));
+        let n_test = ((self.len() as f32) * test_fraction).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test.min(self.len()));
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// Shuffled mini-batches of indices for one epoch.
+    ///
+    /// The final short batch is kept (dropping it would bias small client
+    /// datasets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches<R: Rng>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batches: batch_size must be positive");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.chunks(batch_size).map(<[usize]>::to_vec).collect()
+    }
+
+    /// Merges another dataset of identical shape/classes into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or class counts differ.
+    pub fn merge(&mut self, other: &Dataset) {
+        assert_eq!(self.shape(), other.shape(), "merge: shape mismatch");
+        assert_eq!(self.num_classes, other.num_classes, "merge: class count mismatch");
+        for i in 0..other.len() {
+            self.samples.push(other.samples[i].clone());
+            self.labels.push(other.labels[i]);
+        }
+    }
+
+    /// A copy containing only the given classes (labels preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed class is out of range.
+    pub fn filter_classes(&self, classes: &[usize]) -> Dataset {
+        for &c in classes {
+            assert!(c < self.num_classes, "filter_classes: class out of range");
+        }
+        let idx: Vec<usize> =
+            (0..self.len()).filter(|&i| classes.contains(&self.labels[i])).collect();
+        self.subset(&idx)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Indices of all samples with the given label.
+    pub fn indices_of_class(&self, label: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] == label).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_digits() -> Dataset {
+        Dataset::digits(40, &DigitStyle::small(), 7)
+    }
+
+    #[test]
+    fn digits_are_balanced_and_shaped() {
+        let ds = tiny_digits();
+        assert_eq!(ds.len(), 40);
+        assert_eq!(ds.shape(), (1, 12, 12));
+        assert_eq!(ds.num_classes(), 10);
+        assert!(ds.class_counts().iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn signs_dataset_has_three_channels() {
+        let ds = Dataset::signs(24, &SignStyle::small(), 3);
+        assert_eq!(ds.shape(), (3, 16, 16));
+        assert_eq!(ds.num_classes(), crate::synth_signs::NUM_CLASSES);
+    }
+
+    #[test]
+    fn sensors_dataset_shape_and_balance() {
+        let ds = Dataset::sensors(24, &SensorStyle::small(), 9);
+        assert_eq!(ds.shape(), (3, 1, 24));
+        assert_eq!(ds.num_classes(), 6);
+        assert!(ds.class_counts().iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::digits(10, &DigitStyle::small(), 5);
+        let b = Dataset::digits(10, &DigitStyle::small(), 5);
+        assert_eq!(a.features(3), b.features(3));
+        let c = Dataset::digits(10, &DigitStyle::small(), 6);
+        assert_ne!(a.features(3), c.features(3));
+    }
+
+    #[test]
+    fn gather_builds_correct_tensor() {
+        let ds = tiny_digits();
+        let (x, y) = ds.gather(&[0, 5, 9]);
+        assert_eq!(x.shape(), (3, 1, 12, 12));
+        assert_eq!(y, vec![0, 5, 9]);
+        assert_eq!(x.item(1), ds.features(5));
+    }
+
+    #[test]
+    fn subset_copies_samples() {
+        let ds = tiny_digits();
+        let sub = ds.subset(&[1, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.label(0), ds.label(1));
+        assert_eq!(sub.features(1), ds.features(2));
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = tiny_digits();
+        let (train, test) = ds.train_test_split(0.25, 1);
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(test.len(), 10);
+    }
+
+    #[test]
+    fn batches_cover_every_index_once() {
+        let ds = tiny_digits();
+        let mut rng = fuiov_tensor::rng::rng_for(0, 0);
+        let batches = ds.batches(16, &mut rng);
+        let mut seen: Vec<usize> = batches.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+        assert_eq!(batches[0].len(), 16);
+        assert_eq!(batches.last().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn set_label_and_mutate_features() {
+        let mut ds = tiny_digits();
+        ds.set_label(0, 9);
+        assert_eq!(ds.label(0), 9);
+        ds.features_mut(0)[0] = 1.0;
+        assert_eq!(ds.features(0)[0], 1.0);
+    }
+
+    #[test]
+    fn merge_concatenates_compatible_sets() {
+        let mut a = tiny_digits();
+        let b = Dataset::digits(20, &DigitStyle::small(), 99);
+        let before = a.len();
+        a.merge(&b);
+        assert_eq!(a.len(), before + 20);
+        assert_eq!(a.features(before), b.features(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn merge_rejects_different_shapes() {
+        let mut a = tiny_digits();
+        let b = Dataset::digits(10, &DigitStyle::default(), 1); // 28×28
+        a.merge(&b);
+    }
+
+    #[test]
+    fn filter_classes_keeps_only_listed() {
+        let ds = tiny_digits();
+        let f = ds.filter_classes(&[1, 3]);
+        assert_eq!(f.len(), 8);
+        assert!(f.labels().iter().all(|&l| l == 1 || l == 3));
+    }
+
+    #[test]
+    fn indices_of_class_finds_all() {
+        let ds = tiny_digits();
+        let idx = ds.indices_of_class(3);
+        assert_eq!(idx.len(), 4);
+        assert!(idx.iter().all(|&i| ds.label(i) == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn set_label_rejects_out_of_range() {
+        let mut ds = tiny_digits();
+        ds.set_label(0, 10);
+    }
+}

@@ -1,0 +1,332 @@
+//! Tiny software rasteriser used by the synthetic dataset generators.
+//!
+//! Images are `c × h × w` float maps in `[0, 1]`. Drawing primitives work
+//! in a normalised `[0,1]²` coordinate space so glyph definitions are
+//! resolution-independent; the generators then apply per-sample jitter
+//! (translation, scale, rotation, noise) to create intra-class variance.
+
+use rand::Rng;
+
+/// A `c`-channel float image with values nominally in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    c: usize,
+    h: usize,
+    w: usize,
+    pixels: Vec<f32>,
+}
+
+impl Image {
+    /// Creates an image filled with a constant value in every channel.
+    pub fn filled(c: usize, h: usize, w: usize, value: f32) -> Self {
+        Image { c, h, w, pixels: vec![value; c * h * w] }
+    }
+
+    /// All-black image.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Self::filled(c, h, w, 0.0)
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Flat CHW pixel buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Consumes the image, returning the flat CHW buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.pixels
+    }
+
+    /// Pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        assert!(c < self.c && y < self.h && x < self.w, "Image::get: out of bounds");
+        self.pixels[(c * self.h + y) * self.w + x]
+    }
+
+    /// Pixel setter (no-op outside bounds, which simplifies jittered
+    /// drawing near edges).
+    pub fn put(&mut self, c: usize, y: isize, x: isize, v: f32) {
+        if c < self.c && y >= 0 && x >= 0 && (y as usize) < self.h && (x as usize) < self.w {
+            self.pixels[(c * self.h + y as usize) * self.w + x as usize] = v;
+        }
+    }
+
+    /// Sets all channels at `(y, x)` to the given per-channel color
+    /// (color length must be ≥ channel count; extra entries ignored).
+    pub fn put_color(&mut self, y: isize, x: isize, color: &[f32]) {
+        for (ch, &v) in color.iter().enumerate().take(self.c) {
+            self.put(ch, y, x, v);
+        }
+    }
+
+    /// Draws a line segment between normalised points `(x0,y0)`–`(x1,y1)`
+    /// with the given normalised thickness, in all channels.
+    pub fn draw_segment(&mut self, p0: (f32, f32), p1: (f32, f32), thickness: f32, color: &[f32]) {
+        let (hw, hh) = (self.w as f32, self.h as f32);
+        let half = (thickness * hw.min(hh) / 2.0).max(0.5);
+        let ax = p0.0 * hw;
+        let ay = p0.1 * hh;
+        let bx = p1.0 * hw;
+        let by = p1.1 * hh;
+        let (minx, maxx) = ((ax.min(bx) - half).floor(), (ax.max(bx) + half).ceil());
+        let (miny, maxy) = ((ay.min(by) - half).floor(), (ay.max(by) + half).ceil());
+        let dx = bx - ax;
+        let dy = by - ay;
+        let len_sq = dx * dx + dy * dy;
+        for y in (miny as isize)..=(maxy as isize) {
+            for x in (minx as isize)..=(maxx as isize) {
+                let px = x as f32 + 0.5;
+                let py = y as f32 + 0.5;
+                // Distance from pixel centre to the segment.
+                let t = if len_sq == 0.0 {
+                    0.0
+                } else {
+                    (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0)
+                };
+                let cx = ax + t * dx;
+                let cy = ay + t * dy;
+                let d = ((px - cx).powi(2) + (py - cy).powi(2)).sqrt();
+                if d <= half {
+                    self.put_color(y, x, color);
+                }
+            }
+        }
+    }
+
+    /// Draws a circle outline centred at a normalised point.
+    pub fn draw_ring(&mut self, center: (f32, f32), radius: f32, thickness: f32, color: &[f32]) {
+        let scale = self.w.min(self.h) as f32;
+        let cx = center.0 * self.w as f32;
+        let cy = center.1 * self.h as f32;
+        let r = radius * scale;
+        let half = (thickness * scale / 2.0).max(0.5);
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let d = ((x as f32 + 0.5 - cx).powi(2) + (y as f32 + 0.5 - cy).powi(2)).sqrt();
+                if (d - r).abs() <= half {
+                    self.put_color(y as isize, x as isize, color);
+                }
+            }
+        }
+    }
+
+    /// Fills a circle.
+    pub fn fill_circle(&mut self, center: (f32, f32), radius: f32, color: &[f32]) {
+        let scale = self.w.min(self.h) as f32;
+        let cx = center.0 * self.w as f32;
+        let cy = center.1 * self.h as f32;
+        let r = radius * scale;
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let d = ((x as f32 + 0.5 - cx).powi(2) + (y as f32 + 0.5 - cy).powi(2)).sqrt();
+                if d <= r {
+                    self.put_color(y as isize, x as isize, color);
+                }
+            }
+        }
+    }
+
+    /// Fills a convex polygon given normalised vertices (winding either way).
+    pub fn fill_convex_polygon(&mut self, verts: &[(f32, f32)], color: &[f32]) {
+        assert!(verts.len() >= 3, "fill_convex_polygon: need at least 3 vertices");
+        let pts: Vec<(f32, f32)> = verts
+            .iter()
+            .map(|&(x, y)| (x * self.w as f32, y * self.h as f32))
+            .collect();
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let px = x as f32 + 0.5;
+                let py = y as f32 + 0.5;
+                // Inside test: consistent sign of cross products.
+                let mut pos = false;
+                let mut neg = false;
+                for i in 0..pts.len() {
+                    let (x1, y1) = pts[i];
+                    let (x2, y2) = pts[(i + 1) % pts.len()];
+                    let cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1);
+                    if cross > 0.0 {
+                        pos = true;
+                    }
+                    if cross < 0.0 {
+                        neg = true;
+                    }
+                }
+                if !(pos && neg) {
+                    self.put_color(y as isize, x as isize, color);
+                }
+            }
+        }
+    }
+
+    /// Fills an axis-aligned rectangle given normalised corners.
+    pub fn fill_rect(&mut self, top_left: (f32, f32), bottom_right: (f32, f32), color: &[f32]) {
+        let x0 = (top_left.0 * self.w as f32) as isize;
+        let y0 = (top_left.1 * self.h as f32) as isize;
+        let x1 = (bottom_right.0 * self.w as f32).ceil() as isize;
+        let y1 = (bottom_right.1 * self.h as f32).ceil() as isize;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                self.put_color(y, x, color);
+            }
+        }
+    }
+
+    /// Adds i.i.d. Gaussian pixel noise (Box–Muller from the supplied RNG)
+    /// and clamps back to `[0, 1]`.
+    pub fn add_gaussian_noise<R: Rng>(&mut self, rng: &mut R, sigma: f32) {
+        for v in &mut self.pixels {
+            let u1: f32 = rng.gen_range(1e-7..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            *v = (*v + sigma * z).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Multiplies all pixels by a brightness factor and clamps to `[0,1]`.
+    pub fn scale_brightness(&mut self, factor: f32) {
+        for v in &mut self.pixels {
+            *v = (*v * factor).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Returns a copy rotated by `angle` radians about the image centre
+    /// (nearest-neighbour sampling; out-of-range samples take `fill`).
+    pub fn rotated(&self, angle: f32, fill: f32) -> Image {
+        let mut out = Image::filled(self.c, self.h, self.w, fill);
+        let cy = self.h as f32 / 2.0;
+        let cx = self.w as f32 / 2.0;
+        let (sin, cos) = angle.sin_cos();
+        for y in 0..self.h {
+            for x in 0..self.w {
+                // Inverse-map output pixel to input coordinates.
+                let dy = y as f32 + 0.5 - cy;
+                let dx = x as f32 + 0.5 - cx;
+                let sx = cos * dx + sin * dy + cx;
+                let sy = -sin * dx + cos * dy + cy;
+                if sx >= 0.0 && sy >= 0.0 && (sx as usize) < self.w && (sy as usize) < self.h {
+                    for ch in 0..self.c {
+                        let v = self.get(ch, sy as usize, sx as usize);
+                        out.put(ch, y as isize, x as isize, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f32 {
+        fuiov_tensor::stats::mean(&self.pixels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn filled_has_constant_pixels() {
+        let img = Image::filled(1, 4, 4, 0.5);
+        assert!(img.as_slice().iter().all(|&v| v == 0.5));
+        assert_eq!(img.channels(), 1);
+        assert_eq!((img.height(), img.width()), (4, 4));
+    }
+
+    #[test]
+    fn put_out_of_bounds_is_noop() {
+        let mut img = Image::zeros(1, 2, 2);
+        img.put(0, -1, 0, 1.0);
+        img.put(0, 0, 5, 1.0);
+        assert!(img.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn segment_marks_pixels_along_line() {
+        let mut img = Image::zeros(1, 16, 16);
+        img.draw_segment((0.1, 0.5), (0.9, 0.5), 0.1, &[1.0]);
+        // Middle row should be lit, corners dark.
+        assert!(img.get(0, 8, 8) > 0.0);
+        assert_eq!(img.get(0, 0, 0), 0.0);
+        assert!(img.mean() > 0.01);
+    }
+
+    #[test]
+    fn ring_is_hollow() {
+        let mut img = Image::zeros(1, 32, 32);
+        img.draw_ring((0.5, 0.5), 0.4, 0.08, &[1.0]);
+        assert_eq!(img.get(0, 16, 16), 0.0, "centre should stay empty");
+        assert!(img.get(0, 16, 3) > 0.0, "ring edge should be lit");
+    }
+
+    #[test]
+    fn filled_circle_covers_centre() {
+        let mut img = Image::zeros(1, 16, 16);
+        img.fill_circle((0.5, 0.5), 0.3, &[1.0]);
+        assert!(img.get(0, 8, 8) > 0.0);
+        assert_eq!(img.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn polygon_fill_triangle() {
+        let mut img = Image::zeros(1, 16, 16);
+        img.fill_convex_polygon(&[(0.5, 0.1), (0.9, 0.9), (0.1, 0.9)], &[1.0]);
+        assert!(img.get(0, 10, 8) > 0.0, "triangle interior");
+        assert_eq!(img.get(0, 2, 2), 0.0, "outside apex");
+    }
+
+    #[test]
+    fn rect_fill_is_exact() {
+        let mut img = Image::zeros(2, 8, 8);
+        img.fill_rect((0.25, 0.25), (0.75, 0.75), &[1.0, 0.5]);
+        assert_eq!(img.get(0, 4, 4), 1.0);
+        assert_eq!(img.get(1, 4, 4), 0.5);
+        assert_eq!(img.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn noise_stays_in_unit_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut img = Image::filled(1, 8, 8, 0.5);
+        img.add_gaussian_noise(&mut rng, 0.5);
+        assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(img.as_slice().iter().any(|&v| v != 0.5));
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity_interior() {
+        let mut img = Image::zeros(1, 8, 8);
+        img.fill_rect((0.25, 0.25), (0.75, 0.75), &[1.0]);
+        let rot = img.rotated(0.0, 0.0);
+        assert_eq!(rot, img);
+    }
+
+    #[test]
+    fn rotation_moves_mass() {
+        let mut img = Image::zeros(1, 16, 16);
+        img.fill_rect((0.6, 0.4), (0.9, 0.6), &[1.0]);
+        let rot = img.rotated(std::f32::consts::FRAC_PI_2, 0.0);
+        assert_ne!(rot, img);
+        // Mass approximately conserved (nearest neighbour loses a little).
+        assert!((rot.mean() - img.mean()).abs() < 0.05);
+    }
+}

@@ -1,0 +1,215 @@
+//! Federated data partitioning: splitting one dataset across clients.
+//!
+//! Two strategies are provided, matching common FL evaluation practice:
+//! IID (uniform random split) and label-skewed non-IID via a Dirichlet
+//! distribution over class proportions per client.
+
+use fuiov_tensor::rng::{rng_for, streams};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits `n_samples` indices uniformly at random into `n_clients`
+/// near-equal shards.
+///
+/// Every client receives at least `⌊n/k⌋` samples; remainders go to the
+/// first `n mod k` clients.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0` or `n_samples < n_clients`.
+pub fn partition_iid(n_samples: usize, n_clients: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "partition_iid: need at least one client");
+    assert!(
+        n_samples >= n_clients,
+        "partition_iid: fewer samples than clients"
+    );
+    let mut idx: Vec<usize> = (0..n_samples).collect();
+    idx.shuffle(&mut rng_for(seed, streams::DATA + 10));
+    let base = n_samples / n_clients;
+    let extra = n_samples % n_clients;
+    let mut out = Vec::with_capacity(n_clients);
+    let mut cursor = 0;
+    for k in 0..n_clients {
+        let take = base + usize::from(k < extra);
+        out.push(idx[cursor..cursor + take].to_vec());
+        cursor += take;
+    }
+    out
+}
+
+/// Label-skewed non-IID partition: for each class, sample client
+/// proportions from `Dirichlet(alpha)` and deal that class's samples
+/// accordingly. Small `alpha` (e.g. 0.1) gives extreme skew; large `alpha`
+/// approaches IID.
+///
+/// Clients that end up empty are given one sample stolen from the largest
+/// client, so every client can train.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0`, `alpha <= 0`, or `labels.len() < n_clients`.
+pub fn partition_dirichlet(
+    labels: &[usize],
+    n_clients: usize,
+    alpha: f64,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "partition_dirichlet: need at least one client");
+    assert!(alpha > 0.0, "partition_dirichlet: alpha must be positive");
+    assert!(
+        labels.len() >= n_clients,
+        "partition_dirichlet: fewer samples than clients"
+    );
+    let mut rng = rng_for(seed, streams::DATA + 11);
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+
+    for class in 0..num_classes {
+        let mut members: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        if members.is_empty() {
+            continue;
+        }
+        members.shuffle(&mut rng);
+        let props = dirichlet_sample(&mut rng, alpha, n_clients);
+        // Convert proportions to cumulative boundaries over this class.
+        let mut cursor = 0usize;
+        let mut acc = 0.0f64;
+        for (k, &p) in props.iter().enumerate() {
+            acc += p;
+            let end = if k + 1 == n_clients {
+                members.len()
+            } else {
+                ((members.len() as f64) * acc).round() as usize
+            }
+            .min(members.len());
+            out[k].extend_from_slice(&members[cursor..end]);
+            cursor = end;
+        }
+    }
+
+    // Rebalance empties so every client can participate.
+    for k in 0..n_clients {
+        if out[k].is_empty() {
+            let donor = (0..n_clients)
+                .max_by_key(|&j| out[j].len())
+                .expect("non-empty client list");
+            let sample = out[donor].pop().expect("donor has samples");
+            out[k].push(sample);
+        }
+    }
+    out
+}
+
+/// Samples from a symmetric Dirichlet via normalised Gamma draws
+/// (Marsaglia–Tsang for shape ≥ 1, boosted for shape < 1).
+fn dirichlet_sample<R: Rng>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    let draws: Vec<f64> = (0..k).map(|_| gamma_sample(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate fall-back: uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    draws.into_iter().map(|d| d / sum).collect()
+}
+
+fn gamma_sample<R: Rng>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    // Marsaglia & Tsang method.
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal_sample(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+fn normal_sample<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_covers_every_sample_exactly_once() {
+        let parts = partition_iid(103, 10, 1);
+        assert_eq!(parts.len(), 10);
+        let mut all: Vec<usize> = parts.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // Sizes are 11 or 10.
+        assert!(parts.iter().all(|p| p.len() == 10 || p.len() == 11));
+    }
+
+    #[test]
+    fn iid_is_deterministic() {
+        assert_eq!(partition_iid(50, 5, 9), partition_iid(50, 5, 9));
+        assert_ne!(partition_iid(50, 5, 9), partition_iid(50, 5, 10));
+    }
+
+    #[test]
+    fn dirichlet_covers_every_sample_exactly_once() {
+        let labels: Vec<usize> = (0..200).map(|i| i % 10).collect();
+        let parts = partition_dirichlet(&labels, 8, 0.5, 3);
+        let mut all: Vec<usize> = parts.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dirichlet_no_empty_clients() {
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let parts = partition_dirichlet(&labels, 20, 0.05, 7);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn small_alpha_is_more_skewed_than_large_alpha() {
+        let labels: Vec<usize> = (0..1000).map(|i| i % 10).collect();
+        let skewed = partition_dirichlet(&labels, 10, 0.1, 5);
+        let uniform = partition_dirichlet(&labels, 10, 100.0, 5);
+        let spread = |parts: &[Vec<usize>]| {
+            let sizes: Vec<f32> = parts.iter().map(|p| p.len() as f32).collect();
+            fuiov_tensor::stats::stddev(&sizes)
+        };
+        assert!(
+            spread(&skewed) > spread(&uniform),
+            "alpha=0.1 should be more size-skewed than alpha=100"
+        );
+    }
+
+    #[test]
+    fn gamma_sampler_has_right_mean() {
+        let mut rng = rng_for(1, 2);
+        for &shape in &[0.5f64, 1.0, 4.0] {
+            let n = 4000;
+            let mean: f64 =
+                (0..n).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "gamma mean {mean} far from shape {shape}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer samples than clients")]
+    fn iid_rejects_tiny_datasets() {
+        let _ = partition_iid(3, 5, 0);
+    }
+}

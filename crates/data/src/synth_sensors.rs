@@ -1,0 +1,224 @@
+//! Synthetic IoT sensor dataset — the paper's §VI future-work direction
+//! ("we plan to evaluate its performance in the Internet of Things
+//! scenarios").
+//!
+//! Each sample is a 3-axis accelerometer window (longitudinal `ax`,
+//! lateral `ay`, vertical `az`) of a driving manoeuvre, rendered as a
+//! `3 × 1 × len` feature map. Classes are manoeuvre types with distinct
+//! kinematic signatures plus per-sample jitter (amplitude, timing, sensor
+//! noise, baseline drift) — a classification task of the kind an IoT/IoV
+//! fleet would federate on without sharing raw telemetry.
+
+use crate::image::Image;
+use rand::Rng;
+
+/// Driving-manoeuvre classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Maneuver {
+    /// Constant-speed cruising: all axes near baseline.
+    Cruise,
+    /// Acceleration: positive longitudinal bump.
+    Accelerate,
+    /// Braking: negative longitudinal bump.
+    Brake,
+    /// Left turn: positive lateral lobe.
+    TurnLeft,
+    /// Right turn: negative lateral lobe.
+    TurnRight,
+    /// Rough road: high-frequency vertical vibration bursts.
+    RoughRoad,
+}
+
+/// All classes in label order.
+pub const MANEUVERS: [Maneuver; 6] = [
+    Maneuver::Cruise,
+    Maneuver::Accelerate,
+    Maneuver::Brake,
+    Maneuver::TurnLeft,
+    Maneuver::TurnRight,
+    Maneuver::RoughRoad,
+];
+
+/// Number of manoeuvre classes.
+pub const NUM_CLASSES: usize = MANEUVERS.len();
+
+/// Generation parameters for the sensor renderer.
+#[derive(Debug, Clone, Copy)]
+pub struct SensorStyle {
+    /// Window length in samples.
+    pub len: usize,
+    /// Std-dev of additive sensor noise.
+    pub noise_sigma: f32,
+    /// Manoeuvre amplitude range (fraction of full scale).
+    pub amplitude: (f32, f32),
+    /// Random time shift of the manoeuvre centre (fraction of window).
+    pub max_shift: f32,
+    /// Baseline drift amplitude.
+    pub drift: f32,
+}
+
+impl Default for SensorStyle {
+    fn default() -> Self {
+        SensorStyle {
+            len: 64,
+            noise_sigma: 0.04,
+            amplitude: (0.25, 0.45),
+            max_shift: 0.15,
+            drift: 0.05,
+        }
+    }
+}
+
+impl SensorStyle {
+    /// Shorter windows for fast unit tests.
+    pub fn small() -> Self {
+        SensorStyle { len: 24, ..Default::default() }
+    }
+}
+
+/// A smooth bump centred at `c` with half-width `w`, evaluated at `t`
+/// (all in `[0,1]`).
+fn bump(t: f32, c: f32, w: f32) -> f32 {
+    let d = (t - c) / w;
+    (-d * d).exp()
+}
+
+/// Renders one manoeuvre window with per-sample jitter.
+///
+/// Values are baseline `0.5` ± signal, clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `label >= NUM_CLASSES`.
+pub fn render_maneuver<R: Rng>(rng: &mut R, label: usize, style: &SensorStyle) -> Image {
+    assert!(label < NUM_CLASSES, "render_maneuver: label {label} out of range");
+    let maneuver = MANEUVERS[label];
+    let len = style.len;
+    let mut img = Image::filled(3, 1, len, 0.5);
+
+    let amp = rng.gen_range(style.amplitude.0..style.amplitude.1);
+    let centre = 0.5 + rng.gen_range(-style.max_shift..=style.max_shift);
+    let drift_slope = rng.gen_range(-style.drift..=style.drift);
+    let vib_phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+
+    for i in 0..len {
+        let t = i as f32 / len as f32;
+        let drift = drift_slope * (t - 0.5);
+        let (ax, ay, az) = match maneuver {
+            Maneuver::Cruise => (0.0, 0.0, 0.0),
+            Maneuver::Accelerate => (amp * bump(t, centre, 0.18), 0.0, 0.0),
+            Maneuver::Brake => (-amp * bump(t, centre, 0.18), 0.0, 0.0),
+            Maneuver::TurnLeft => (
+                0.0,
+                amp * bump(t, centre, 0.22),
+                0.08 * amp * bump(t, centre, 0.22),
+            ),
+            Maneuver::TurnRight => (
+                0.0,
+                -amp * bump(t, centre, 0.22),
+                0.08 * amp * bump(t, centre, 0.22),
+            ),
+            Maneuver::RoughRoad => {
+                let vib = (vib_phase + t * 55.0).sin();
+                let envelope = bump(t, centre, 0.3);
+                (0.0, 0.0, amp * vib * envelope)
+            }
+        };
+        img.put(0, 0, i as isize, (0.5 + ax + drift).clamp(0.0, 1.0));
+        img.put(1, 0, i as isize, (0.5 + ay + drift).clamp(0.0, 1.0));
+        img.put(2, 0, i as isize, (0.5 + az + drift).clamp(0.0, 1.0));
+    }
+    img.add_gaussian_noise(rng, style.noise_sigma);
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn renders_all_classes() {
+        for label in 0..NUM_CLASSES {
+            let img = render_maneuver(&mut rng(label as u64), label, &SensorStyle::default());
+            assert_eq!(img.channels(), 3);
+            assert_eq!(img.height(), 1);
+            assert_eq!(img.width(), 64);
+            assert!(img.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = render_maneuver(&mut rng(5), 2, &SensorStyle::default());
+        let b = render_maneuver(&mut rng(5), 2, &SensorStyle::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accelerate_and_brake_are_mirrored_on_ax() {
+        let style = SensorStyle { noise_sigma: 0.0, max_shift: 0.0, drift: 0.0, ..Default::default() };
+        let acc = render_maneuver(&mut rng(1), 1, &style);
+        let brk = render_maneuver(&mut rng(1), 2, &style);
+        // Same jitter draw → ax channels mirror about the 0.5 baseline.
+        for i in 0..style.len {
+            let a = acc.get(0, 0, i) - 0.5;
+            let b = brk.get(0, 0, i) - 0.5;
+            assert!((a + b).abs() < 1e-5, "at {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn turns_live_on_the_lateral_axis() {
+        let style = SensorStyle { noise_sigma: 0.0, max_shift: 0.0, drift: 0.0, ..Default::default() };
+        let left = render_maneuver(&mut rng(2), 3, &style);
+        let mid = style.len / 2;
+        assert!(left.get(1, 0, mid) > 0.6, "lateral lobe missing");
+        assert!((left.get(0, 0, mid) - 0.5).abs() < 0.05, "longitudinal should stay flat");
+    }
+
+    #[test]
+    fn rough_road_is_high_frequency_on_az() {
+        let style = SensorStyle { noise_sigma: 0.0, max_shift: 0.0, drift: 0.0, ..Default::default() };
+        let rough = render_maneuver(&mut rng(3), 5, &style);
+        // Count sign changes of az − baseline around the window centre.
+        let mut flips = 0;
+        let mut prev = rough.get(2, 0, style.len / 4) - 0.5;
+        for i in style.len / 4..3 * style.len / 4 {
+            let v = rough.get(2, 0, i) - 0.5;
+            if v.signum() != prev.signum() && v.abs() > 0.01 && prev.abs() > 0.01 {
+                flips += 1;
+            }
+            prev = v;
+        }
+        assert!(flips >= 4, "vibration should oscillate, got {flips} flips");
+    }
+
+    #[test]
+    fn classes_pairwise_distinct() {
+        let style = SensorStyle { noise_sigma: 0.0, max_shift: 0.0, drift: 0.0, ..Default::default() };
+        let imgs: Vec<Image> =
+            (0..NUM_CLASSES).map(|l| render_maneuver(&mut rng(0), l, &style)).collect();
+        for i in 0..NUM_CLASSES {
+            for j in (i + 1)..NUM_CLASSES {
+                let diff: f32 = imgs[i]
+                    .as_slice()
+                    .iter()
+                    .zip(imgs[j].as_slice())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 0.5, "classes {i} and {j} nearly identical");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let _ = render_maneuver(&mut rng(0), NUM_CLASSES, &SensorStyle::default());
+    }
+}

@@ -1,0 +1,130 @@
+//! Accuracy-over-rounds curve recording.
+//!
+//! The trace experiment and the recovery callbacks both produce
+//! `(round, value)` series; this type collects them with summary helpers
+//! (useful for the "accuracy continuously diminishes" trigger discussion
+//! in §IV-B).
+
+use fuiov_storage::Round;
+
+/// A `(round, value)` series recorded during training or recovery.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Curve {
+    points: Vec<(Round, f32)>,
+}
+
+impl Curve {
+    /// An empty curve.
+    pub fn new() -> Self {
+        Curve { points: Vec::new() }
+    }
+
+    /// Appends a point. Rounds should be non-decreasing; this is not
+    /// enforced but summary methods assume it.
+    pub fn push(&mut self, round: Round, value: f32) {
+        self.points.push((round, value));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(Round, f32)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Final value, if any.
+    pub fn last_value(&self) -> Option<f32> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Maximum value, if any.
+    pub fn max_value(&self) -> Option<f32> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .reduce(f32::max)
+    }
+
+    /// Length of the longest strictly-decreasing suffix — the §IV-B
+    /// "accuracy continuously diminishes" signal: when this exceeds a
+    /// patience threshold, the server should refresh its vector pairs.
+    pub fn decreasing_suffix(&self) -> usize {
+        let vals: Vec<f32> = self.points.iter().map(|&(_, v)| v).collect();
+        let mut run = 0;
+        for w in vals.windows(2).rev() {
+            if w[1] < w[0] {
+                run += 1;
+            } else {
+                break;
+            }
+        }
+        run
+    }
+
+    /// Simple moving average with the given window (returns a new curve
+    /// aligned to the input's rounds; shorter prefixes average what's
+    /// available).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn smoothed(&self, window: usize) -> Curve {
+        assert!(window > 0, "smoothed: window must be positive");
+        let mut out = Curve::new();
+        for i in 0..self.points.len() {
+            let lo = i.saturating_sub(window - 1);
+            let slice: Vec<f32> = self.points[lo..=i].iter().map(|&(_, v)| v).collect();
+            out.push(self.points[i].0, fuiov_tensor::stats::mean(&slice));
+        }
+        out
+    }
+}
+
+impl FromIterator<(Round, f32)> for Curve {
+    fn from_iter<I: IntoIterator<Item = (Round, f32)>>(iter: I) -> Self {
+        Curve { points: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(vals: &[f32]) -> Curve {
+        vals.iter().copied().enumerate().collect()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = curve(&[0.1, 0.5, 0.4]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.last_value(), Some(0.4));
+        assert_eq!(c.max_value(), Some(0.5));
+        assert!(!c.is_empty());
+        assert!(Curve::new().is_empty());
+    }
+
+    #[test]
+    fn decreasing_suffix_counts_drops() {
+        assert_eq!(curve(&[0.1, 0.2, 0.3]).decreasing_suffix(), 0);
+        assert_eq!(curve(&[0.3, 0.2, 0.1]).decreasing_suffix(), 2);
+        assert_eq!(curve(&[0.1, 0.5, 0.4, 0.3]).decreasing_suffix(), 2);
+        assert_eq!(Curve::new().decreasing_suffix(), 0);
+    }
+
+    #[test]
+    fn smoothing_averages_windows() {
+        let c = curve(&[0.0, 1.0, 2.0, 3.0]);
+        let s = c.smoothed(2);
+        let vals: Vec<f32> = s.points().iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![0.0, 0.5, 1.5, 2.5]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Gradient aggregation rules.
+
+use crate::config::AggregationRule;
+use fuiov_tensor::vector;
+
+/// Aggregates client gradients into one server update according to `rule`.
+///
+/// For [`AggregationRule::FedAvg`] this is Eq. 1:
+/// `𝒜(g¹..gⁿ) = Σ‖Dᵢ‖·gⁱ / Σ‖Dᵢ‖`.
+///
+/// # Panics
+///
+/// Panics if `grads` is empty, lengths are inconsistent, or the rule's
+/// preconditions are violated (e.g. trimming more values than clients).
+pub fn aggregate(rule: AggregationRule, grads: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+    assert!(!grads.is_empty(), "aggregate: no gradients");
+    assert_eq!(grads.len(), weights.len(), "aggregate: weight count mismatch");
+    let dim = grads[0].len();
+    for g in grads {
+        assert_eq!(g.len(), dim, "aggregate: gradient length mismatch");
+    }
+    match rule {
+        AggregationRule::FedAvg => {
+            let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+            vector::weighted_mean(&refs, weights)
+        }
+        AggregationRule::CoordinateMedian => coordinate_stat(grads, |vals| {
+            fuiov_tensor::stats::median(vals).expect("non-empty")
+        }),
+        AggregationRule::TrimmedMean { trim } => {
+            assert!(
+                2 * trim < grads.len(),
+                "aggregate: trim {trim} too large for {} clients",
+                grads.len()
+            );
+            coordinate_stat(grads, |vals| {
+                let mut sorted = vals.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let kept = &sorted[trim..sorted.len() - trim];
+                fuiov_tensor::stats::mean(kept)
+            })
+        }
+        AggregationRule::SignSgd { lambda } => {
+            let mut out = vec![0.0f32; dim];
+            for g in grads {
+                for (o, &v) in out.iter_mut().zip(g) {
+                    *o += if v > 0.0 {
+                        1.0
+                    } else if v < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            vector::scale(lambda, &mut out);
+            out
+        }
+    }
+}
+
+fn coordinate_stat(grads: &[Vec<f32>], stat: impl Fn(&[f32]) -> f32) -> Vec<f32> {
+    let dim = grads[0].len();
+    let mut column = vec![0.0f32; grads.len()];
+    (0..dim)
+        .map(|j| {
+            for (c, g) in column.iter_mut().zip(grads) {
+                *c = g[j];
+            }
+            stat(&column)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grads() -> Vec<Vec<f32>> {
+        vec![vec![1.0, -2.0], vec![3.0, 0.0], vec![100.0, 2.0]]
+    }
+
+    #[test]
+    fn fedavg_weighted() {
+        let out = aggregate(
+            AggregationRule::FedAvg,
+            &[vec![1.0, 0.0], vec![3.0, 4.0]],
+            &[1.0, 3.0],
+        );
+        assert_eq!(out, vec![2.5, 3.0]);
+    }
+
+    #[test]
+    fn fedavg_equal_weights_is_mean() {
+        let out = aggregate(AggregationRule::FedAvg, &grads(), &[1.0, 1.0, 1.0]);
+        assert!((out[0] - 104.0 / 3.0).abs() < 1e-4);
+        assert!((out[1] - 0.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn median_resists_outlier() {
+        let out = aggregate(AggregationRule::CoordinateMedian, &grads(), &[1.0; 3]);
+        assert_eq!(out, vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let out = aggregate(AggregationRule::TrimmedMean { trim: 1 }, &grads(), &[1.0; 3]);
+        assert_eq!(out, vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn sign_sgd_sums_directions() {
+        let out = aggregate(AggregationRule::SignSgd { lambda: 0.5 }, &grads(), &[1.0; 3]);
+        assert_eq!(out, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim 2 too large")]
+    fn trim_bound_checked() {
+        let _ = aggregate(AggregationRule::TrimmedMean { trim: 2 }, &grads(), &[1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no gradients")]
+    fn empty_input_panics() {
+        let _ = aggregate(AggregationRule::FedAvg, &[], &[]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Byzantine-Robust Stochastic Aggregation (RSA) training — the paper's
+//! §III-C preliminary (Li et al., AAAI 2019).
+//!
+//! RSA is the scheme whose sign-based communication inspired the paper's
+//! storage format. Unlike FedAvg, every client keeps a *personal* model
+//! `mᵢ` and the server keeps `m₀`; each round (Eq. 3–4):
+//!
+//! ```text
+//! m₀ ← m₀ − η (∇f₀(m₀) + λ Σᵢ sign(m₀ − mᵢ))
+//! mᵢ ← mᵢ − η (∇L(mᵢ, ξᵢ) + λ sign(mᵢ − m₀))
+//! ```
+//!
+//! The ℓ₁ penalty ties the models together through *signs only*, so a
+//! Byzantine client's per-round influence on `m₀` is bounded by `±λη` per
+//! element no matter what it sends — the robustness property the tests
+//! verify.
+
+use crate::client::Client;
+use fuiov_tensor::vector;
+
+/// RSA hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RsaConfig {
+    /// Step size `η` for both server and clients.
+    pub lr: f32,
+    /// Consensus weight `λ`.
+    pub lambda: f32,
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Server regularisation `f₀(m₀) = (wd/2)·‖m₀‖²` coefficient.
+    pub weight_decay: f32,
+}
+
+impl RsaConfig {
+    /// Config with the given step size, `λ = 0.005`, no regularisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` or derived defaults are not strictly positive.
+    pub fn new(lr: f32, rounds: usize) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "RsaConfig: invalid lr");
+        assert!(rounds > 0, "RsaConfig: rounds must be positive");
+        RsaConfig { lr, lambda: 0.005, rounds, weight_decay: 0.0 }
+    }
+
+    /// Sets the consensus weight λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not strictly positive.
+    pub fn lambda(mut self, lambda: f32) -> Self {
+        assert!(lambda > 0.0, "RsaConfig: lambda must be positive");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the server weight-decay coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "RsaConfig: weight decay must be >= 0");
+        self.weight_decay = wd;
+        self
+    }
+}
+
+/// Outcome of an RSA training run.
+#[derive(Debug, Clone)]
+pub struct RsaOutcome {
+    /// Final server model `m₀`.
+    pub server_model: Vec<f32>,
+    /// Final per-client personal models `mᵢ` (index-aligned with the
+    /// client slice).
+    pub client_models: Vec<Vec<f32>>,
+}
+
+fn sign_of_diff(a: &[f32], b: &[f32]) -> Vec<f32> {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            if d > 0.0 {
+                1.0
+            } else if d < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Runs RSA training from the given initial model (server and all clients
+/// start at `init`).
+///
+/// # Panics
+///
+/// Panics if `clients` is empty or a client's gradient dimension doesn't
+/// match the model.
+pub fn train_rsa(
+    clients: &mut [Box<dyn Client>],
+    init: &[f32],
+    config: &RsaConfig,
+) -> RsaOutcome {
+    assert!(!clients.is_empty(), "train_rsa: no clients");
+    let dim = init.len();
+    let mut m0: Vec<f32> = init.to_vec();
+    let mut locals: Vec<Vec<f32>> = vec![init.to_vec(); clients.len()];
+
+    for round in 0..config.rounds {
+        // Server update (Eq. 3) from current local models.
+        let mut consensus = vec![0.0f32; dim];
+        for mi in &locals {
+            let s = sign_of_diff(&m0, mi);
+            vector::axpy(1.0, &s, &mut consensus);
+        }
+        let mut server_grad = consensus;
+        vector::scale(config.lambda, &mut server_grad);
+        if config.weight_decay > 0.0 {
+            vector::axpy(config.weight_decay, &m0, &mut server_grad);
+        }
+        vector::axpy(-config.lr, &server_grad, &mut m0);
+
+        // Client updates (Eq. 4).
+        for (client, mi) in clients.iter_mut().zip(&mut locals) {
+            let mut grad = client.gradient(mi, round);
+            assert_eq!(grad.len(), dim, "train_rsa: gradient dimension mismatch");
+            let s = sign_of_diff(mi, &m0);
+            vector::axpy(config.lambda, &s, &mut grad);
+            vector::axpy(-config.lr, &grad, mi);
+        }
+    }
+
+    RsaOutcome { server_model: m0, client_models: locals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HonestClient;
+    use fuiov_data::{Dataset, DigitStyle};
+    use fuiov_nn::ModelSpec;
+    use fuiov_storage::{ClientId, Round};
+
+    const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 16, classes: 10 };
+
+    fn honest_clients(n: usize, seed: u64) -> Vec<Box<dyn Client>> {
+        let data = Dataset::digits(n * 30, &DigitStyle::small(), seed);
+        let parts = fuiov_data::partition::partition_iid(data.len(), n, seed);
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, idx)| {
+                Box::new(HonestClient::new(id, SPEC, data.subset(&idx), 30, seed))
+                    as Box<dyn Client>
+            })
+            .collect()
+    }
+
+    fn accuracy(params: &[f32], seed: u64) -> f32 {
+        let test = Dataset::digits(150, &DigitStyle::small(), seed + 100);
+        let mut m = SPEC.build(0);
+        m.set_params(params);
+        fuiov_eval_accuracy(&mut m, &test)
+    }
+
+    // Local copy to avoid a dev-dependency cycle with fuiov-eval.
+    fn fuiov_eval_accuracy(model: &mut fuiov_nn::Sequential, data: &Dataset) -> f32 {
+        let (x, y) = data.full();
+        model.accuracy(&x, &y)
+    }
+
+    #[test]
+    fn rsa_training_improves_server_model() {
+        let mut clients = honest_clients(4, 21);
+        let init = SPEC.build(21).params();
+        let before = accuracy(&init, 21);
+        let cfg = RsaConfig::new(0.1, 60).lambda(0.01);
+        let out = train_rsa(&mut clients, &init, &cfg);
+        let after = accuracy(&out.server_model, 21);
+        assert!(
+            after > before + 0.1,
+            "RSA should learn: {before} -> {after}"
+        );
+        assert_eq!(out.client_models.len(), 4);
+    }
+
+    /// A Byzantine client that reports a huge adversarial gradient.
+    struct Byzantine {
+        id: ClientId,
+    }
+
+    impl Client for Byzantine {
+        fn id(&self) -> ClientId {
+            self.id
+        }
+        fn weight(&self) -> f32 {
+            1.0
+        }
+        fn gradient(&mut self, params: &[f32], _round: Round) -> Vec<f32> {
+            vec![1e6; params.len()]
+        }
+    }
+
+    #[test]
+    fn rsa_bounds_byzantine_influence() {
+        let mut clients = honest_clients(4, 22);
+        clients.push(Box::new(Byzantine { id: 4 }));
+        let init = SPEC.build(22).params();
+        let before = accuracy(&init, 22);
+        let cfg = RsaConfig::new(0.1, 60).lambda(0.01);
+        let out = train_rsa(&mut clients, &init, &cfg);
+        let after = accuracy(&out.server_model, 22);
+        assert!(
+            after > before + 0.1,
+            "RSA should survive the Byzantine client: {before} -> {after}"
+        );
+        assert!(out.server_model.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fedavg_is_destroyed_by_the_same_byzantine_client() {
+        // Contrast experiment: the same attacker wrecks plain FedAvg.
+        use crate::aggregate::aggregate;
+        use crate::config::AggregationRule;
+        let mut clients = honest_clients(4, 23);
+        clients.push(Box::new(Byzantine { id: 4 }));
+        let mut params = SPEC.build(23).params();
+        for round in 0..5 {
+            let grads: Vec<Vec<f32>> = clients
+                .iter_mut()
+                .map(|c| c.gradient(&params, round))
+                .collect();
+            let weights = vec![1.0f32; grads.len()];
+            let agg = aggregate(AggregationRule::FedAvg, &grads, &weights);
+            vector::axpy(-0.1, &agg, &mut params);
+        }
+        // Parameters blown up by the 1e6 gradients.
+        assert!(fuiov_tensor::vector::linf_norm(&params) > 1e3);
+    }
+
+    #[test]
+    fn per_round_server_step_is_bounded_by_lambda_eta_n() {
+        let mut clients = honest_clients(3, 24);
+        let init = SPEC.build(24).params();
+        let cfg = RsaConfig::new(0.05, 1).lambda(0.01);
+        let out = train_rsa(&mut clients, &init, &cfg);
+        let max_step = out
+            .server_model
+            .iter()
+            .zip(&init)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // |Δm₀| ≤ η·λ·n per element.
+        assert!(max_step <= 0.05 * 0.01 * 3.0 + 1e-6, "step {max_step}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains at a constant rate; step decay and cosine annealing
+//! are provided for the convergence ablations (they also exercise the
+//! history store with non-constant step sizes, which the recovery-rate
+//! calibration has to average over).
+
+use fuiov_storage::Round;
+
+/// A learning-rate schedule mapping `(round, base_lr) → lr`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LrSchedule {
+    /// Constant `base_lr` (the paper's setting).
+    #[default]
+    Constant,
+    /// Multiply by `factor` every `every` rounds.
+    StepDecay {
+        /// Decay period in rounds.
+        every: Round,
+        /// Multiplicative factor per period (usually < 1).
+        factor: f32,
+    },
+    /// Cosine annealing from `base_lr` to `base_lr · floor` over `total`
+    /// rounds.
+    Cosine {
+        /// Total rounds of the anneal.
+        total: Round,
+        /// Final lr as a fraction of the base (e.g. 0.01).
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate in force at `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule parameters are degenerate (`every == 0`,
+    /// `total == 0`).
+    pub fn lr_at(&self, round: Round, base_lr: f32) -> f32 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every > 0, "LrSchedule::StepDecay: every must be positive");
+                base_lr * factor.powi((round / every) as i32)
+            }
+            LrSchedule::Cosine { total, floor } => {
+                assert!(total > 0, "LrSchedule::Cosine: total must be positive");
+                let t = (round.min(total) as f32) / (total as f32);
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                base_lr * (floor + (1.0 - floor) * cos)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        assert_eq!(LrSchedule::Constant.lr_at(0, 0.1), 0.1);
+        assert_eq!(LrSchedule::Constant.lr_at(999, 0.1), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        assert_eq!(s.lr_at(0, 1.0), 1.0);
+        assert_eq!(s.lr_at(9, 1.0), 1.0);
+        assert_eq!(s.lr_at(10, 1.0), 0.5);
+        assert_eq!(s.lr_at(25, 1.0), 0.25);
+    }
+
+    #[test]
+    fn cosine_anneals_to_floor() {
+        let s = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        assert!((s.lr_at(0, 1.0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(100, 1.0) - 0.1).abs() < 1e-6);
+        let mid = s.lr_at(50, 1.0);
+        assert!(mid > 0.1 && mid < 1.0);
+        // Past the horizon it clamps at the floor.
+        assert!((s.lr_at(150, 1.0) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::Cosine { total: 40, floor: 0.0 };
+        let mut prev = f32::INFINITY;
+        for t in 0..=40 {
+            let lr = s.lr_at(t, 1.0);
+            assert!(lr <= prev + 1e-6);
+            prev = lr;
+        }
+    }
+}

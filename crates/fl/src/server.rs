@@ -1,0 +1,451 @@
+//! The RSU-side federated server.
+//!
+//! Runs the §III-A training loop: each round, active vehicles download the
+//! global parameters, compute local gradients, and the server aggregates
+//! (Eq. 1) and steps the model (Eq. 2). Along the way the server records
+//! the history the unlearning pipeline needs: per-round global models,
+//! per-client gradient *directions* (2-bit packed, threshold δ), join
+//! rounds and FedAvg weights.
+
+use crate::aggregate::aggregate;
+use crate::client::Client;
+use crate::config::FlConfig;
+use crate::mobility::ChurnSchedule;
+use fuiov_storage::history::FullGradientStore;
+use fuiov_storage::{ClientId, HistoryStore, Round};
+use fuiov_tensor::rng::{rng_for, streams};
+use fuiov_tensor::vector;
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+
+/// Summary of one training round.
+#[derive(Debug, Clone)]
+pub struct RoundSummary {
+    /// The round index.
+    pub round: Round,
+    /// Clients that submitted gradients.
+    pub participants: Vec<ClientId>,
+    /// L2 norm of the aggregated update (0 when no one participated).
+    pub update_norm: f32,
+}
+
+/// The federated server.
+#[derive(Debug)]
+pub struct Server {
+    cfg: FlConfig,
+    params: Vec<f32>,
+    round: Round,
+    history: HistoryStore,
+    full_store: FullGradientStore,
+    summaries: Vec<RoundSummary>,
+    sampling_seed: u64,
+}
+
+impl Server {
+    /// Creates a server starting from the given initial global parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_params` is empty.
+    pub fn new(cfg: FlConfig, initial_params: Vec<f32>) -> Self {
+        assert!(!initial_params.is_empty(), "Server::new: empty parameter vector");
+        let history = HistoryStore::new(cfg.sign_delta);
+        Server {
+            cfg,
+            params: initial_params,
+            round: 0,
+            history,
+            full_store: FullGradientStore::new(),
+            summaries: Vec::new(),
+            sampling_seed: 0,
+        }
+    }
+
+    /// Sets the seed used for per-round client sampling (only relevant
+    /// when `client_fraction < 1`).
+    pub fn with_sampling_seed(mut self, seed: u64) -> Self {
+        self.sampling_seed = seed;
+        self
+    }
+
+    /// Applies the configured client sampling to a set of in-range
+    /// vehicle indices. Deterministic per (seed, round); keeps at least
+    /// one vehicle when any is in range.
+    fn sample_active(&self, mut active: Vec<usize>, round: Round) -> Vec<usize> {
+        if self.cfg.client_fraction >= 1.0 || active.len() <= 1 {
+            return active;
+        }
+        let k = (((active.len() as f32) * self.cfg.client_fraction).round() as usize)
+            .clamp(1, active.len());
+        let mut rng = rng_for(self.sampling_seed, streams::CHURN + 0xA11 + round as u64);
+        active.shuffle(&mut rng);
+        active.truncate(k);
+        active.sort_unstable();
+        active
+    }
+
+    /// Current global parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Current round (the next round to run).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FlConfig {
+        &self.cfg
+    }
+
+    /// The recorded history (models, directions, participation).
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// The full-precision gradient record (empty unless
+    /// `keep_full_gradients` was set).
+    pub fn full_store(&self) -> &FullGradientStore {
+        &self.full_store
+    }
+
+    /// Per-round summaries so far.
+    pub fn summaries(&self) -> &[RoundSummary] {
+        &self.summaries
+    }
+
+    /// Consumes the server, returning `(final params, history, full store)`.
+    pub fn into_parts(self) -> (Vec<f32>, HistoryStore, FullGradientStore) {
+        (self.params, self.history, self.full_store)
+    }
+
+    /// Runs a single round with the clients listed in `active` (indices
+    /// into `clients`).
+    ///
+    /// Inactive clients are untouched. Records the starting model, every
+    /// participant's gradient direction, join rounds and weights, then
+    /// applies Eq. 2. With no active clients the model is unchanged (the
+    /// RSU had no one in range) but the round still advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `active` is out of range or a client's
+    /// gradient dimension doesn't match the model.
+    pub fn run_round(&mut self, clients: &mut [Box<dyn Client>], active: &[usize]) -> RoundSummary {
+        let t = self.round;
+        self.history.record_model(t, self.params.clone());
+
+        let mut participants = Vec::with_capacity(active.len());
+        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(active.len());
+        let mut weights: Vec<f32> = Vec::with_capacity(active.len());
+
+        let results = self.compute_gradients(clients, active, t);
+        for (idx, grad) in results {
+            let client = &clients[idx];
+            let id = client.id();
+            assert_eq!(
+                grad.len(),
+                self.params.len(),
+                "run_round: client {id} gradient dimension mismatch"
+            );
+            self.history.record_join(id, t);
+            self.history.set_weight(id, client.weight());
+            self.history.record_gradient(t, id, &grad);
+            if self.cfg.keep_full_gradients {
+                self.full_store.record(t, id, grad.clone());
+            }
+            participants.push(id);
+            weights.push(client.weight());
+            grads.push(grad);
+        }
+
+        let update_norm = if grads.is_empty() {
+            0.0
+        } else {
+            let agg = aggregate(self.cfg.aggregation, &grads, &weights);
+            vector::axpy(-self.cfg.lr_at(t), &agg, &mut self.params);
+            vector::l2_norm(&agg)
+        };
+
+        self.round += 1;
+        let summary = RoundSummary { round: t, participants, update_norm };
+        self.summaries.push(summary.clone());
+        summary
+    }
+
+    fn compute_gradients(
+        &self,
+        clients: &mut [Box<dyn Client>],
+        active: &[usize],
+        round: Round,
+    ) -> Vec<(usize, Vec<f32>)> {
+        let params = &self.params;
+        if !self.cfg.parallel_clients || active.len() <= 1 {
+            let mut out = Vec::with_capacity(active.len());
+            for &idx in active {
+                let g = clients[idx].gradient(params, round);
+                out.push((idx, g));
+            }
+            return out;
+        }
+
+        // Fan out across a bounded pool of scoped threads. `iter_mut`
+        // yields disjoint `&mut` borrows, so handing each to exactly one
+        // thread's work list is safe without any interior mutability on
+        // the clients themselves.
+        let active_set: std::collections::HashSet<usize> = active.iter().copied().collect();
+        let mut work: Vec<(usize, &mut Box<dyn Client>)> = clients
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| active_set.contains(i))
+            .collect();
+        let threads = std::thread::available_parallelism()
+            .map_or(4, usize::from)
+            .min(work.len())
+            .max(1);
+        let mut assignments: Vec<Vec<(usize, &mut Box<dyn Client>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, item) in work.drain(..).enumerate() {
+            assignments[i % threads].push(item);
+        }
+        let results: Mutex<Vec<(usize, Vec<f32>)>> = Mutex::new(Vec::with_capacity(active.len()));
+        crossbeam::scope(|scope| {
+            for chunk in assignments {
+                let results = &results;
+                scope.spawn(move |_| {
+                    for (idx, client) in chunk {
+                        let g = client.gradient(params, round);
+                        results.lock().push((idx, g));
+                    }
+                });
+            }
+        })
+        .expect("client gradient thread panicked");
+        let mut out = results.into_inner();
+        out.sort_by_key(|(idx, _)| *idx);
+        out
+    }
+
+    /// Runs all configured rounds following a churn schedule; vehicle `v`
+    /// in the schedule corresponds to `clients[v]`. Records departures in
+    /// the history and invokes `on_round` after every round with the
+    /// current round index and parameters (for accuracy curves).
+    ///
+    /// The final model is recorded at round `T` so the history spans
+    /// `0..=T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule covers a different number of clients.
+    pub fn train_with(
+        &mut self,
+        clients: &mut [Box<dyn Client>],
+        schedule: &ChurnSchedule,
+        mut on_round: impl FnMut(Round, &[f32]),
+    ) {
+        assert_eq!(
+            schedule.len(),
+            clients.len(),
+            "train_with: schedule/client count mismatch"
+        );
+        let total = self.cfg.rounds;
+        for _ in self.round..total {
+            let t = self.round;
+            let active = self.sample_active(schedule.active_in(t), t);
+            self.run_round(clients, &active);
+            for (v, client) in clients.iter().enumerate() {
+                if schedule.membership(v).leaves_after == Some(t) {
+                    let id = client.id();
+                    if self.history.join_round(id).is_some() {
+                        self.history.record_leave(id, t);
+                    }
+                }
+            }
+            on_round(t, &self.params);
+        }
+        self.history.record_model(total, self.params.clone());
+    }
+
+    /// Convenience wrapper over [`Server::train_with`] without a callback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule covers a different number of clients.
+    pub fn train(&mut self, clients: &mut [Box<dyn Client>], schedule: &ChurnSchedule) {
+        self.train_with(clients, schedule, |_, _| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HonestClient;
+    use fuiov_data::{Dataset, DigitStyle};
+    use fuiov_nn::ModelSpec;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 }
+    }
+
+    fn make_clients(n: usize) -> Vec<Box<dyn Client>> {
+        let data = Dataset::digits(20 * n, &DigitStyle::small(), 5);
+        let parts = fuiov_data::partition::partition_iid(data.len(), n, 5);
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, idx)| {
+                Box::new(HonestClient::new(id, spec(), data.subset(&idx), 10, 5))
+                    as Box<dyn Client>
+            })
+            .collect()
+    }
+
+    fn server(rounds: usize) -> Server {
+        let cfg = FlConfig::new(rounds, 0.5).batch_size(10).parallel_clients(false);
+        Server::new(cfg, spec().build(1).params())
+    }
+
+    #[test]
+    fn training_records_complete_history() {
+        let mut clients = make_clients(3);
+        let mut s = server(4);
+        let schedule = ChurnSchedule::static_membership(3, 4);
+        s.train(&mut clients, &schedule);
+        let h = s.history();
+        assert_eq!(h.rounds(), vec![0, 1, 2, 3, 4]); // T+1 models
+        for t in 0..4 {
+            assert_eq!(h.clients_in_round(t), vec![0, 1, 2]);
+        }
+        assert_eq!(h.join_round(1), Some(0));
+        assert_eq!(s.summaries().len(), 4);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut clients = make_clients(3);
+        let mut s = server(15);
+        let schedule = ChurnSchedule::static_membership(3, 15);
+        let initial = s.params().to_vec();
+        s.train(&mut clients, &schedule);
+        // Evaluate both models on a held-out set.
+        let test = Dataset::digits(60, &DigitStyle::small(), 77);
+        let (x, y) = test.full();
+        let mut m = spec().build(0);
+        m.set_params(&initial);
+        let (loss_before, _) = m.loss_and_grad(&x, &y);
+        m.set_params(s.params());
+        let (loss_after, _) = m.loss_and_grad(&x, &y);
+        assert!(
+            loss_after < loss_before,
+            "federated training should reduce loss: {loss_before} -> {loss_after}"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_give_identical_models() {
+        let schedule = ChurnSchedule::static_membership(4, 3);
+
+        let mut c1 = make_clients(4);
+        let cfg1 = FlConfig::new(3, 0.1).batch_size(10).parallel_clients(false);
+        let mut s1 = Server::new(cfg1, spec().build(1).params());
+        s1.train(&mut c1, &schedule);
+
+        let mut c2 = make_clients(4);
+        let cfg2 = FlConfig::new(3, 0.1).batch_size(10).parallel_clients(true);
+        let mut s2 = Server::new(cfg2, spec().build(1).params());
+        s2.train(&mut c2, &schedule);
+
+        assert_eq!(s1.params(), s2.params());
+    }
+
+    #[test]
+    fn churn_affects_participation_record() {
+        use crate::mobility::Membership;
+        let mut clients = make_clients(3);
+        let mut s = server(5);
+        let mut schedule = ChurnSchedule::static_membership(3, 5);
+        schedule.set_membership(
+            1,
+            Membership { joined: 2, leaves_after: Some(3), dropouts: vec![] },
+        );
+        s.train(&mut clients, &schedule);
+        let h = s.history();
+        assert_eq!(h.join_round(1), Some(2));
+        assert_eq!(h.participation(1).unwrap().left, Some(3));
+        assert_eq!(h.clients_in_round(0), vec![0, 2]);
+        assert_eq!(h.clients_in_round(2), vec![0, 1, 2]);
+        assert_eq!(h.clients_in_round(4), vec![0, 2]);
+    }
+
+    #[test]
+    fn client_sampling_reduces_participants() {
+        let mut clients = make_clients(4);
+        let cfg = FlConfig::new(6, 0.1)
+            .batch_size(10)
+            .parallel_clients(false)
+            .client_fraction(0.5);
+        let mut s = Server::new(cfg, spec().build(1).params()).with_sampling_seed(3);
+        let schedule = ChurnSchedule::static_membership(4, 6);
+        s.train(&mut clients, &schedule);
+        for summary in s.summaries() {
+            assert_eq!(summary.participants.len(), 2, "round {}", summary.round);
+        }
+        // Different rounds sample different subsets (with 4C2=6 options,
+        // 6 rounds almost surely differ somewhere).
+        let all_same = s
+            .summaries()
+            .windows(2)
+            .all(|w| w[0].participants == w[1].participants);
+        assert!(!all_same, "sampling should vary across rounds");
+        // Sampling is deterministic given the seed.
+        let mut clients2 = make_clients(4);
+        let cfg2 = FlConfig::new(6, 0.1)
+            .batch_size(10)
+            .parallel_clients(false)
+            .client_fraction(0.5);
+        let mut s2 = Server::new(cfg2, spec().build(1).params()).with_sampling_seed(3);
+        s2.train(&mut clients2, &schedule);
+        assert_eq!(s.params(), s2.params());
+    }
+
+    #[test]
+    fn empty_round_keeps_model_unchanged() {
+        let mut clients = make_clients(2);
+        let mut s = server(1);
+        let before = s.params().to_vec();
+        let summary = s.run_round(&mut clients, &[]);
+        assert_eq!(summary.update_norm, 0.0);
+        assert!(summary.participants.is_empty());
+        assert_eq!(s.params(), &before[..]);
+        assert_eq!(s.round(), 1);
+    }
+
+    #[test]
+    fn full_gradient_store_populated_when_enabled() {
+        let mut clients = make_clients(2);
+        let cfg = FlConfig::new(2, 0.1)
+            .batch_size(10)
+            .keep_full_gradients(true)
+            .parallel_clients(false);
+        let mut s = Server::new(cfg, spec().build(1).params());
+        let schedule = ChurnSchedule::static_membership(2, 2);
+        s.train(&mut clients, &schedule);
+        assert!(s.full_store().gradient(0, 0).is_some());
+        assert!(s.full_store().gradient(1, 1).is_some());
+        assert!(s.full_store().bytes() > 0);
+    }
+
+    #[test]
+    fn on_round_callback_sees_every_round() {
+        let mut clients = make_clients(2);
+        let mut s = server(3);
+        let schedule = ChurnSchedule::static_membership(2, 3);
+        let mut seen = Vec::new();
+        s.train_with(&mut clients, &schedule, |t, params| {
+            assert!(!params.is_empty());
+            seen.push(t);
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Weight initialisation.
+//!
+//! Kaiming-uniform (He) initialisation for layers followed by ReLU, and
+//! Xavier-uniform for the output layer. Both take an explicit RNG so model
+//! construction is deterministic given a seed.
+
+use rand::Rng;
+
+/// Fills `w` with Kaiming-uniform values: `U(−b, b)` with
+/// `b = sqrt(6 / fan_in)`. Appropriate before ReLU activations.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, w: &mut [f32], fan_in: usize) {
+    assert!(fan_in > 0, "kaiming_uniform: fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    for v in w {
+        *v = rng.gen_range(-bound..bound);
+    }
+}
+
+/// Fills `w` with Xavier-uniform values: `U(−b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`. Appropriate for linear output
+/// layers feeding a softmax.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, w: &mut [f32], fan_in: usize, fan_out: usize) {
+    assert!(fan_in + fan_out > 0, "xavier_uniform: fans must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    for v in w {
+        *v = rng.gen_range(-bound..bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_bounds_hold() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut w = vec![0.0; 1000];
+        kaiming_uniform(&mut rng, &mut w, 100);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= bound));
+        // Not all zero, roughly centered.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < bound / 5.0);
+    }
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut w = vec![0.0; 1000];
+        xavier_uniform(&mut rng, &mut w, 50, 10);
+        let bound = (6.0f32 / 60.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(3);
+        let mut b = rand::rngs::StdRng::seed_from_u64(3);
+        let mut wa = vec![0.0; 16];
+        let mut wb = vec![0.0; 16];
+        kaiming_uniform(&mut a, &mut wa, 4);
+        kaiming_uniform(&mut b, &mut wb, 4);
+        assert_eq!(wa, wb);
+    }
+}

@@ -1,0 +1,200 @@
+//! Element-wise activations beyond ReLU: sigmoid, tanh and leaky ReLU.
+
+use super::Layer;
+use crate::tensor4::Tensor4;
+
+/// Logistic sigmoid `σ(x) = 1/(1+e^{-x})`.
+///
+/// Backward uses the cached output: `σ'(x) = σ(x)(1−σ(x))`.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    out: Option<Tensor4>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid { out: None }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let mut out = x.clone();
+        for v in out.as_mut_slice() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        self.out = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let out = self.out.as_ref().expect("sigmoid: backward before forward");
+        assert_eq!(grad_out.len(), out.len(), "sigmoid: gradient shape mismatch");
+        let mut grad_in = grad_out.clone();
+        for (g, &o) in grad_in.as_mut_slice().iter_mut().zip(out.as_slice()) {
+            *g *= o * (1.0 - o);
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    out: Option<Tensor4>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh { out: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let mut out = x.clone();
+        for v in out.as_mut_slice() {
+            *v = v.tanh();
+        }
+        self.out = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let out = self.out.as_ref().expect("tanh: backward before forward");
+        assert_eq!(grad_out.len(), out.len(), "tanh: gradient shape mismatch");
+        let mut grad_in = grad_out.clone();
+        for (g, &o) in grad_in.as_mut_slice().iter_mut().zip(out.as_slice()) {
+            *g *= 1.0 - o * o;
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Leaky ReLU: `x` for `x > 0`, `αx` otherwise.
+#[derive(Debug, Clone)]
+pub struct LeakyRelu {
+    alpha: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with negative-slope `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha >= 0.0 && alpha.is_finite(), "LeakyRelu: invalid alpha");
+        LeakyRelu { alpha, mask: None }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let mut out = x.clone();
+        let mask: Vec<bool> = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        for (v, &pos) in out.as_mut_slice().iter_mut().zip(&mask) {
+            if !pos {
+                *v *= self.alpha;
+            }
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mask = self.mask.as_ref().expect("leaky_relu: backward before forward");
+        assert_eq!(grad_out.len(), mask.len(), "leaky_relu: gradient shape mismatch");
+        let mut grad_in = grad_out.clone();
+        for (g, &pos) in grad_in.as_mut_slice().iter_mut().zip(mask) {
+            if !pos {
+                *g *= self.alpha;
+            }
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn sigmoid_known_values() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor4::from_vec(1, 1, 1, 3, vec![0.0, 100.0, -100.0]));
+        assert!((y.as_slice()[0] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[1] > 0.999);
+        assert!(y.as_slice()[2] < 0.001);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_numeric() {
+        let mut s = Sigmoid::new();
+        let x = Tensor4::from_vec(1, 2, 1, 3, vec![-2.0, -0.5, 0.0, 0.3, 1.0, 2.5]);
+        testutil::check_input_gradient(&mut s, &x, 1e-2);
+    }
+
+    #[test]
+    fn tanh_known_values() {
+        let mut t = Tanh::new();
+        let y = t.forward(&Tensor4::from_vec(1, 1, 1, 2, vec![0.0, 100.0]));
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert!((y.as_slice()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_numeric() {
+        let mut t = Tanh::new();
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![-1.0, -0.2, 0.4, 1.3]);
+        testutil::check_input_gradient(&mut t, &x, 1e-2);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let mut l = LeakyRelu::new(0.1);
+        let y = l.forward(&Tensor4::from_vec(1, 1, 1, 2, vec![-2.0, 3.0]));
+        assert_eq!(y.as_slice(), &[-0.2, 3.0]);
+    }
+
+    #[test]
+    fn leaky_relu_gradient_matches_numeric() {
+        let mut l = LeakyRelu::new(0.1);
+        let x = Tensor4::from_vec(1, 1, 2, 3, vec![-1.0, -0.4, 0.5, 0.9, -2.0, 1.5]);
+        testutil::check_input_gradient(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid alpha")]
+    fn leaky_relu_rejects_negative_alpha() {
+        let _ = LeakyRelu::new(-0.5);
+    }
+}

@@ -1,0 +1,118 @@
+//! 2×2 average pooling with stride 2.
+
+use super::Layer;
+use crate::tensor4::Tensor4;
+
+/// Average pooling over non-overlapping 2×2 windows (odd trailing
+/// rows/columns dropped, as in [`super::MaxPool2`]).
+///
+/// Backward distributes each output gradient equally over its window.
+#[derive(Debug, Clone, Default)]
+pub struct AvgPool2 {
+    in_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl AvgPool2 {
+    /// Creates a 2×2/stride-2 average-pool layer.
+    pub fn new() -> Self {
+        AvgPool2 { in_shape: None }
+    }
+}
+
+impl Layer for AvgPool2 {
+    fn name(&self) -> &'static str {
+        "avgpool2"
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        assert!(h >= 2 && w >= 2, "avgpool2: input smaller than window");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor4::zeros(n, c, oh, ow);
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut acc = 0.0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                acc += x.get(b, ch, 2 * y + dy, 2 * xx + dx);
+                            }
+                        }
+                        out.set(b, ch, y, xx, acc / 4.0);
+                    }
+                }
+            }
+        }
+        self.in_shape = Some((n, c, h, w));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape.expect("avgpool2: backward before forward");
+        let (oh, ow) = (h / 2, w / 2);
+        assert_eq!(grad_out.shape(), (n, c, oh, ow), "avgpool2: gradient shape mismatch");
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let g = grad_out.get(b, ch, y, xx) / 4.0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = grad_in.index(b, ch, 2 * y + dy, 2 * xx + dx);
+                                grad_in.as_mut_slice()[idx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn forward_averages_windows() {
+        let mut p = AvgPool2::new();
+        #[rustfmt::skip]
+        let x = Tensor4::from_vec(1, 1, 2, 4, vec![
+            1.0, 3.0, 0.0, 4.0,
+            5.0, 7.0, 8.0, 0.0,
+        ]);
+        let y = p.forward(&x);
+        assert_eq!(y.as_slice(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_distributes_equally() {
+        let mut p = AvgPool2::new();
+        let x = Tensor4::zeros(1, 1, 2, 2);
+        p.forward(&x);
+        let g = Tensor4::from_vec(1, 1, 1, 1, vec![4.0]);
+        let gi = p.backward(&g);
+        assert_eq!(gi.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let mut p = AvgPool2::new();
+        let x = Tensor4::from_vec(
+            2,
+            2,
+            4,
+            4,
+            (0..64).map(|i| (i as f32 * 0.31).sin()).collect(),
+        );
+        testutil::check_input_gradient(&mut p, &x, 1e-2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Batch normalisation over channels (BatchNorm2d).
+
+use super::Layer;
+use crate::tensor4::Tensor4;
+
+/// Per-channel batch normalisation with learnable scale/shift and running
+/// statistics for evaluation mode.
+///
+/// Training: normalises each channel by the batch mean/variance computed
+/// over `(n, h, w)`, then applies `γ·x̂ + β`. Evaluation: uses the running
+/// (exponential-moving-average) statistics instead. The flat parameter
+/// layout is `[γ…, β…]`; running statistics are buffers, not parameters
+/// (they are not part of the unlearning state, matching common FL practice
+/// of aggregating only trainable parameters).
+#[derive(Debug, Clone)]
+pub struct BatchNorm2 {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    training: bool,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    x_hat: Tensor4,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2 {
+    /// Creates a batch-norm layer for `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "BatchNorm2: channels must be positive");
+        BatchNorm2 {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            training: true,
+        cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm2 {
+    fn name(&self) -> &'static str {
+        "batchnorm2"
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    #[allow(clippy::needless_range_loop)] // channel index feeds stats + tensors
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        assert_eq!(c, self.channels, "batchnorm2: channel mismatch");
+        let m = (n * h * w) as f32;
+        let mut out = x.clone();
+
+        if self.training {
+            let mut x_hat = x.clone();
+            let mut inv_std = vec![0.0f32; c];
+            for ch in 0..c {
+                // Batch mean/var over (n, h, w) for this channel.
+                let mut sum = 0.0f64;
+                for b in 0..n {
+                    for &v in x.plane(b, ch) {
+                        sum += f64::from(v);
+                    }
+                }
+                let mean = (sum / f64::from(m)) as f32;
+                let mut var_acc = 0.0f64;
+                for b in 0..n {
+                    for &v in x.plane(b, ch) {
+                        let d = f64::from(v - mean);
+                        var_acc += d * d;
+                    }
+                }
+                let var = (var_acc / f64::from(m)) as f32;
+                let istd = 1.0 / (var + self.eps).sqrt();
+                inv_std[ch] = istd;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                for b in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            let xh = (x.get(b, ch, y, xx) - mean) * istd;
+                            x_hat.set(b, ch, y, xx, xh);
+                            out.set(b, ch, y, xx, self.gamma[ch] * xh + self.beta[ch]);
+                        }
+                    }
+                }
+            }
+            self.cache = Some(Cache { x_hat, inv_std });
+        } else {
+            for ch in 0..c {
+                let istd = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                for b in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            let xh = (x.get(b, ch, y, xx) - self.running_mean[ch]) * istd;
+                            out.set(b, ch, y, xx, self.gamma[ch] * xh + self.beta[ch]);
+                        }
+                    }
+                }
+            }
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let cache = self.cache.as_ref().expect("batchnorm2: backward before forward (train mode)");
+        let (n, c, h, w) = cache.x_hat.shape();
+        assert_eq!(grad_out.shape(), (n, c, h, w), "batchnorm2: gradient shape mismatch");
+        let m = (n * h * w) as f32;
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+
+        for ch in 0..c {
+            // Accumulate per-channel sums.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for b in 0..n {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let dy = f64::from(grad_out.get(b, ch, y, xx));
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * f64::from(cache.x_hat.get(b, ch, y, xx));
+                    }
+                }
+            }
+            self.grad_beta[ch] += sum_dy as f32;
+            self.grad_gamma[ch] += sum_dy_xhat as f32;
+
+            // dx = γ·istd/m · (m·dy − Σdy − x̂·Σ(dy·x̂))
+            let coeff = self.gamma[ch] * cache.inv_std[ch] / m;
+            for b in 0..n {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let dy = grad_out.get(b, ch, y, xx);
+                        let xh = cache.x_hat.get(b, ch, y, xx);
+                        let dx = coeff
+                            * (m * dy - sum_dy as f32 - xh * sum_dy_xhat as f32);
+                        grad_in.set(b, ch, y, xx, dx);
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn read_params(&self, out: &mut [f32]) {
+        let (g, b) = out.split_at_mut(self.channels);
+        g.copy_from_slice(&self.gamma);
+        b.copy_from_slice(&self.beta);
+    }
+
+    fn write_params(&mut self, src: &[f32]) {
+        let (g, b) = src.split_at(self.channels);
+        self.gamma.copy_from_slice(g);
+        self.beta.copy_from_slice(b);
+    }
+
+    fn read_grads(&self, out: &mut [f32]) {
+        let (g, b) = out.split_at_mut(self.channels);
+        g.copy_from_slice(&self.grad_gamma);
+        b.copy_from_slice(&self.grad_beta);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.iter_mut().for_each(|v| *v = 0.0);
+        self.grad_beta.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    fn batch() -> Tensor4 {
+        Tensor4::from_vec(
+            2,
+            2,
+            2,
+            2,
+            (0..16).map(|i| (i as f32 * 0.7).sin() * 2.0 + 0.5).collect(),
+        )
+    }
+
+    #[test]
+    fn training_output_is_normalised() {
+        let mut bn = BatchNorm2::new(2);
+        let y = bn.forward(&batch());
+        // Per channel: mean ≈ 0 (β=0), var ≈ 1 (γ=1).
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..2 {
+                vals.extend_from_slice(y.plane(b, ch));
+            }
+            let mean = fuiov_tensor::stats::mean(&vals);
+            let var = fuiov_tensor::stats::variance(&vals);
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2::new(2);
+        // A few training passes to populate running statistics.
+        for _ in 0..50 {
+            bn.forward(&batch());
+        }
+        bn.set_training(false);
+        let x = batch();
+        let y = bn.forward(&x);
+        // Eval output is an affine map of the input, not batch-normalised;
+        // with converged running stats it is close to the train output.
+        bn.set_training(true);
+        let y_train = bn.forward(&x);
+        let diff: f32 = y
+            .as_slice()
+            .iter()
+            .zip(y_train.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff < 0.2, "running stats should approximate batch stats, diff {diff}");
+    }
+
+    #[test]
+    fn input_gradient_matches_numeric() {
+        let mut bn = BatchNorm2::new(2);
+        testutil::check_input_gradient(&mut bn, &batch(), 2e-2);
+    }
+
+    #[test]
+    fn param_gradient_matches_numeric() {
+        let mut bn = BatchNorm2::new(2);
+        testutil::check_param_gradient(&mut bn, &batch(), 2e-2);
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut bn = BatchNorm2::new(3);
+        bn.write_params(&[1.0, 2.0, 3.0, -1.0, -2.0, -3.0]);
+        let mut p = vec![0.0; 6];
+        bn.read_params(&mut p);
+        assert_eq!(p, vec![1.0, 2.0, 3.0, -1.0, -2.0, -3.0]);
+    }
+}

@@ -1,0 +1,517 @@
+//! 2-D convolution (stride 1, symmetric zero padding).
+
+use super::Layer;
+use crate::init;
+use crate::tensor4::Tensor4;
+use fuiov_tensor::Mat;
+use rand::Rng;
+
+/// Compute backend for [`Conv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvBackend {
+    /// Straightforward quadruple loop — best for the paper's small models.
+    #[default]
+    Direct,
+    /// im2col + GEMM — the classical layout for wider channel counts.
+    /// Bit-compatible with `Direct` up to `f32` rounding (equivalence is
+    /// enforced by tests and the `micro` bench compares the two).
+    Im2col,
+}
+
+/// Convolution with square kernels, stride 1 and zero padding.
+///
+/// Weights are stored as `out_channels × in_channels × k × k` followed by
+/// the per-output-channel bias in the flat parameter layout. Two
+/// [`ConvBackend`]s are available; both produce the same results.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    backend: ConvBackend,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor4>,
+    /// One unfolded column matrix per batch item (im2col backend only).
+    cached_cols: Option<Vec<Mat>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0,
+            "Conv2d::new: zero dimension"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        let mut weight = vec![0.0; out_channels * fan_in];
+        init::kaiming_uniform(rng, &mut weight, fan_in);
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            backend: ConvBackend::Direct,
+            weight,
+            bias: vec![0.0; out_channels],
+            grad_weight: vec![0.0; out_channels * fan_in],
+            grad_bias: vec![0.0; out_channels],
+            cached_input: None,
+            cached_cols: None,
+        }
+    }
+
+    /// Selects the compute backend.
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The compute backend in use.
+    pub fn backend(&self) -> ConvBackend {
+        self.backend
+    }
+
+    /// Unfolds one batch item into a `(in_c·k²) × (oh·ow)` column matrix.
+    fn im2col(&self, x: &Tensor4, b: usize) -> Mat {
+        let (_, _, h, w) = x.shape();
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let p = self.padding as isize;
+        let rows = self.in_channels * k * k;
+        let mut col = Mat::zeros(rows, oh * ow);
+        for ic in 0..self.in_channels {
+            for dy in 0..k {
+                for dx in 0..k {
+                    let row = (ic * k + dy) * k + dx;
+                    for y in 0..oh {
+                        let iy = y as isize + dy as isize - p;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for xx in 0..ow {
+                            let ix = xx as isize + dx as isize - p;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            col.set(row, y * ow + xx, x.get(b, ic, iy as usize, ix as usize));
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    #[allow(clippy::needless_range_loop)] // batch index feeds several tensors
+    fn forward_im2col(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, _, h, w) = x.shape();
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let w_mat = Mat::from_vec(
+            self.out_channels,
+            self.in_channels * k * k,
+            self.weight.clone(),
+        );
+        let mut out = Tensor4::zeros(n, self.out_channels, oh, ow);
+        let mut cols = Vec::with_capacity(n);
+        for b in 0..n {
+            let col = self.im2col(x, b);
+            let prod = w_mat.matmul(&col); // out_c × (oh·ow)
+            for oc in 0..self.out_channels {
+                for i in 0..oh * ow {
+                    let idx = out.index(b, oc, i / ow, i % ow);
+                    out.as_mut_slice()[idx] = prod.get(oc, i) + self.bias[oc];
+                }
+            }
+            cols.push(col);
+        }
+        self.cached_cols = Some(cols);
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)] // batch index feeds several tensors
+    fn backward_im2col(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("conv2d: backward before forward");
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("conv2d: im2col cache missing");
+        let (n, _, h, w) = x.shape();
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let p = self.padding as isize;
+        let w_mat = Mat::from_vec(
+            self.out_channels,
+            self.in_channels * k * k,
+            self.weight.clone(),
+        );
+        let mut grad_in = Tensor4::zeros(n, self.in_channels, h, w);
+        for b in 0..n {
+            // g_mat: out_c × (oh·ow) for this item.
+            let g_mat = {
+                let mut data = Vec::with_capacity(self.out_channels * oh * ow);
+                for oc in 0..self.out_channels {
+                    data.extend_from_slice(grad_out.plane(b, oc));
+                }
+                Mat::from_vec(self.out_channels, oh * ow, data)
+            };
+            // grad_w += g_mat · colᵀ ; grad_b += row-sums of g_mat.
+            let gw = g_mat.matmul(&cols[b].transpose());
+            for (gv, &v) in self.grad_weight.iter_mut().zip(gw.as_slice()) {
+                *gv += v;
+            }
+            for oc in 0..self.out_channels {
+                self.grad_bias[oc] += g_mat.row(oc).iter().sum::<f32>();
+            }
+            // grad_col = w_matᵀ · g_mat, then scatter (col2im).
+            let gcol = w_mat.tr_matmul(&g_mat);
+            for ic in 0..self.in_channels {
+                for dy in 0..k {
+                    for dx in 0..k {
+                        let row = (ic * k + dy) * k + dx;
+                        for y in 0..oh {
+                            let iy = y as isize + dy as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for xx in 0..ow {
+                                let ix = xx as isize + dx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let idx =
+                                    grad_in.index(b, ic, iy as usize, ix as usize);
+                                grad_in.as_mut_slice()[idx] += gcol.get(row, y * ow + xx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+    }
+
+    #[inline]
+    fn w_index(&self, oc: usize, ic: usize, dy: usize, dx: usize) -> usize {
+        ((oc * self.in_channels + ic) * self.kernel + dy) * self.kernel + dx
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        assert_eq!(c, self.in_channels, "conv2d: input channel mismatch");
+        assert!(
+            h + 2 * self.padding >= self.kernel && w + 2 * self.padding >= self.kernel,
+            "conv2d: input smaller than kernel"
+        );
+        if self.backend == ConvBackend::Im2col {
+            self.cached_input = Some(x.clone());
+            return self.forward_im2col(x);
+        }
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor4::zeros(n, self.out_channels, oh, ow);
+        let p = self.padding as isize;
+        for b in 0..n {
+            for oc in 0..self.out_channels {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut acc = self.bias[oc];
+                        for ic in 0..self.in_channels {
+                            for dy in 0..self.kernel {
+                                let iy = y as isize + dy as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for dx in 0..self.kernel {
+                                    let ix = xx as isize + dx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += self.weight[self.w_index(oc, ic, dy, dx)]
+                                        * x.get(b, ic, iy as usize, ix as usize);
+                                }
+                            }
+                        }
+                        out.set(b, oc, y, xx, acc);
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        if self.backend == ConvBackend::Im2col {
+            return self.backward_im2col(grad_out);
+        }
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("conv2d: backward before forward");
+        let (n, _, h, w) = x.shape();
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(
+            grad_out.shape(),
+            (n, self.out_channels, oh, ow),
+            "conv2d: gradient shape mismatch"
+        );
+        let mut grad_in = Tensor4::zeros(n, self.in_channels, h, w);
+        let p = self.padding as isize;
+        for b in 0..n {
+            for oc in 0..self.out_channels {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let g = grad_out.get(b, oc, y, xx);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad_bias[oc] += g;
+                        for ic in 0..self.in_channels {
+                            for dy in 0..self.kernel {
+                                let iy = y as isize + dy as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for dx in 0..self.kernel {
+                                    let ix = xx as isize + dx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let wi = self.w_index(oc, ic, dy, dx);
+                                    self.grad_weight[wi] +=
+                                        g * x.get(b, ic, iy as usize, ix as usize);
+                                    let gi = grad_in.index(b, ic, iy as usize, ix as usize);
+                                    grad_in.as_mut_slice()[gi] += g * self.weight[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn read_params(&self, out: &mut [f32]) {
+        let (w, b) = out.split_at_mut(self.weight.len());
+        w.copy_from_slice(&self.weight);
+        b.copy_from_slice(&self.bias);
+    }
+
+    fn write_params(&mut self, src: &[f32]) {
+        let (w, b) = src.split_at(self.weight.len());
+        self.weight.copy_from_slice(w);
+        self.bias.copy_from_slice(b);
+    }
+
+    fn read_grads(&self, out: &mut [f32]) {
+        let (w, b) = out.split_at_mut(self.grad_weight.len());
+        w.copy_from_slice(&self.grad_weight);
+        b.copy_from_slice(&self.grad_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.iter_mut().for_each(|v| *v = 0.0);
+        self.grad_bias.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1, bias 0 == identity.
+        let mut c = Conv2d::new(&mut rng(), 1, 1, 1, 0);
+        c.write_params(&[1.0, 0.0]);
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn known_3x3_valid_convolution() {
+        let mut c = Conv2d::new(&mut rng(), 1, 1, 3, 0);
+        // Sum-of-window kernel, bias 10.
+        let mut p = vec![1.0; 9];
+        p.push(10.0);
+        c.write_params(&p);
+        let x = Tensor4::from_vec(1, 1, 3, 3, (1..=9).map(|i| i as f32).collect());
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), (1, 1, 1, 1));
+        assert_eq!(y.as_slice(), &[55.0]); // 45 + 10
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let c = Conv2d::new(&mut rng(), 1, 4, 3, 1);
+        assert_eq!(c.out_hw(8, 8), (8, 8));
+    }
+
+    #[test]
+    fn multi_channel_shapes() {
+        let mut c = Conv2d::new(&mut rng(), 3, 5, 3, 1);
+        let x = Tensor4::zeros(2, 3, 6, 6);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), (2, 5, 6, 6));
+        assert_eq!(c.param_count(), 5 * 3 * 9 + 5);
+    }
+
+    #[test]
+    fn input_gradient_matches_numeric() {
+        let mut c = Conv2d::new(&mut rng(), 2, 3, 3, 1);
+        let x = Tensor4::from_vec(
+            1,
+            2,
+            4,
+            4,
+            (0..32).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        testutil::check_input_gradient(&mut c, &x, 1e-2);
+    }
+
+    #[test]
+    fn param_gradient_matches_numeric() {
+        let mut c = Conv2d::new(&mut rng(), 2, 2, 3, 1);
+        let x = Tensor4::from_vec(
+            2,
+            2,
+            4,
+            4,
+            (0..64).map(|i| (i as f32 * 0.29).cos()).collect(),
+        );
+        testutil::check_param_gradient(&mut c, &x, 1e-2);
+    }
+
+    #[test]
+    fn im2col_forward_matches_direct() {
+        let mut direct = Conv2d::new(&mut rng(), 3, 5, 3, 1);
+        let mut gemm = direct.clone().with_backend(ConvBackend::Im2col);
+        let x = Tensor4::from_vec(
+            2,
+            3,
+            6,
+            6,
+            (0..216).map(|i| (i as f32 * 0.173).sin()).collect(),
+        );
+        let a = direct.forward(&x);
+        let b = gemm.forward(&x);
+        assert_eq!(a.shape(), b.shape());
+        let diff = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .fold(0.0f32, |m, (p, q)| m.max((p - q).abs()));
+        assert!(diff < 1e-4, "backend mismatch {diff}");
+    }
+
+    #[test]
+    fn im2col_backward_matches_direct() {
+        let mut direct = Conv2d::new(&mut rng(), 2, 3, 3, 1);
+        let mut gemm = direct.clone().with_backend(ConvBackend::Im2col);
+        let x = Tensor4::from_vec(
+            2,
+            2,
+            5,
+            5,
+            (0..100).map(|i| (i as f32 * 0.291).cos()).collect(),
+        );
+        let ya = direct.forward(&x);
+        let _ = gemm.forward(&x);
+        let (n, c, h, w) = ya.shape();
+        let g = Tensor4::from_vec(
+            n,
+            c,
+            h,
+            w,
+            (0..ya.len()).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        direct.zero_grads();
+        gemm.zero_grads();
+        let gi_a = direct.backward(&g);
+        let gi_b = gemm.backward(&g);
+        let diff_in = gi_a
+            .as_slice()
+            .iter()
+            .zip(gi_b.as_slice())
+            .fold(0.0f32, |m, (p, q)| m.max((p - q).abs()));
+        assert!(diff_in < 1e-4, "input grad mismatch {diff_in}");
+        let mut ga = vec![0.0; direct.param_count()];
+        let mut gb = vec![0.0; gemm.param_count()];
+        direct.read_grads(&mut ga);
+        gemm.read_grads(&mut gb);
+        let diff_p = ga
+            .iter()
+            .zip(&gb)
+            .fold(0.0f32, |m, (p, q)| m.max((p - q).abs()));
+        assert!(diff_p < 1e-3, "param grad mismatch {diff_p}");
+    }
+
+    #[test]
+    fn im2col_gradient_matches_numeric() {
+        let mut c = Conv2d::new(&mut rng(), 2, 2, 3, 1).with_backend(ConvBackend::Im2col);
+        let x = Tensor4::from_vec(
+            1,
+            2,
+            4,
+            4,
+            (0..32).map(|i| (i as f32 * 0.41).sin()).collect(),
+        );
+        testutil::check_input_gradient(&mut c, &x, 1e-2);
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let a = Conv2d::new(&mut rng(), 2, 3, 3, 1);
+        let mut p = vec![0.0; a.param_count()];
+        a.read_params(&mut p);
+        let mut b = Conv2d::new(&mut rng(), 2, 3, 3, 1);
+        b.write_params(&p);
+        let mut q = vec![0.0; b.param_count()];
+        b.read_params(&mut q);
+        assert_eq!(p, q);
+    }
+}

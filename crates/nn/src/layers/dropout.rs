@@ -1,0 +1,135 @@
+//! Inverted dropout.
+
+use super::Layer;
+use crate::tensor4::Tensor4;
+use fuiov_tensor::rng::rng_for;
+use rand::Rng;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so evaluation
+/// needs no rescaling. In evaluation mode the layer is the identity.
+///
+/// The mask is drawn from a deterministic per-(seed, step) stream so
+/// training runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    seed: u64,
+    step: u64,
+    training: bool,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1)");
+        Dropout { p, seed, step: 0, training: true, mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let mut rng = rng_for(self.seed, 0xD809 ^ self.step);
+        self.step = self.step.wrapping_add(1);
+        let keep = 1.0 - self.p;
+        let mask: Vec<bool> = (0..x.len()).map(|_| rng.gen::<f32>() < keep).collect();
+        let mut out = x.clone();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            *v = if m { *v / keep } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        match &self.mask {
+            None => grad_out.clone(), // eval mode or p == 0: identity
+            Some(mask) => {
+                assert_eq!(grad_out.len(), mask.len(), "dropout: gradient shape mismatch");
+                let keep = 1.0 - self.p;
+                let mut grad_in = grad_out.clone();
+                for (g, &m) in grad_in.as_mut_slice().iter_mut().zip(mask) {
+                    *g = if m { *g / keep } else { 0.0 };
+                }
+                grad_in
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x), x);
+        let g = Tensor4::from_vec(1, 1, 1, 4, vec![1.0; 4]);
+        assert_eq!(d.backward(&g), g);
+    }
+
+    #[test]
+    fn training_zeroes_and_rescales() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor4::from_vec(1, 1, 1, 1000, vec![1.0; 1000]);
+        let y = d.forward(&x);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + kept, 1000);
+        assert!((400..600).contains(&zeros), "zeros={zeros} far from p=0.5");
+        // Expected value preserved: mean ≈ 1.
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor4::from_vec(1, 1, 1, 64, vec![1.0; 64]);
+        let y = d.forward(&x);
+        let g = Tensor4::from_vec(1, 1, 1, 64, vec![1.0; 64]);
+        let gi = d.backward(&g);
+        for (o, gv) in y.as_slice().iter().zip(gi.as_slice()) {
+            assert_eq!(*o == 0.0, *gv == 0.0, "mask mismatch between fwd and bwd");
+        }
+    }
+
+    #[test]
+    fn masks_differ_across_steps() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor4::from_vec(1, 1, 1, 128, vec![1.0; 128]);
+        let a = d.forward(&x);
+        let b = d.forward(&x);
+        assert_ne!(a, b, "consecutive steps should use fresh masks");
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1)")]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

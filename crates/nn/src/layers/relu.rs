@@ -1,0 +1,92 @@
+//! ReLU activation.
+
+use super::Layer;
+use crate::tensor4::Tensor4;
+
+/// Element-wise `max(0, x)`.
+///
+/// Backward masks the incoming gradient by the sign of the cached input
+/// (subgradient 0 at exactly zero).
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let mut out = x.clone();
+        let mask: Vec<bool> = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        for (v, &keep) in out.as_mut_slice().iter_mut().zip(&mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mask = self.mask.as_ref().expect("relu: backward before forward");
+        assert_eq!(grad_out.len(), mask.len(), "relu: gradient shape mismatch");
+        let mut grad_in = grad_out.clone();
+        for (g, &keep) in grad_in.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *g = 0.0;
+            }
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor4::from_vec(1, 1, 1, 3, vec![-1.0, 1.0, 2.0]);
+        r.forward(&x);
+        let g = Tensor4::from_vec(1, 1, 1, 3, vec![5.0, 6.0, 7.0]);
+        let gi = r.backward(&g);
+        assert_eq!(gi.as_slice(), &[0.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn gradient_matches_numeric_away_from_zero() {
+        let mut r = Relu::new();
+        // Keep inputs away from the kink at 0 so finite differences are valid.
+        let x = Tensor4::from_vec(1, 2, 1, 3, vec![-1.0, 0.5, 2.0, -0.7, 1.5, -2.0]);
+        testutil::check_input_gradient(&mut r, &x, 1e-2);
+    }
+
+    #[test]
+    fn has_no_params() {
+        let r = Relu::new();
+        assert_eq!(r.param_count(), 0);
+    }
+}

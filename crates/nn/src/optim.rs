@@ -1,0 +1,250 @@
+//! Optimisers.
+//!
+//! The paper trains with plain SGD (§III-A); momentum and weight decay are
+//! provided as options for the ablation benches but default to off so the
+//! reproduction matches the paper's update rule `w ← w − η·g` exactly.
+
+use fuiov_tensor::vector;
+
+/// Stochastic gradient descent over flat parameter vectors.
+///
+/// ```
+/// use fuiov_nn::optim::Sgd;
+/// let mut sgd = Sgd::new(0.1);
+/// let mut params = vec![1.0, 2.0];
+/// sgd.step(&mut params, &[1.0, -1.0]);
+/// assert_eq!(params, vec![0.9, 2.1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Option<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "Sgd::new: invalid learning rate");
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: None }
+    }
+
+    /// Enables classical momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables L2 weight decay (added to the gradient before the step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update `params ← params − lr·(grad + wd·params)`,
+    /// with momentum if configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grad.len()`.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len(), "Sgd::step: length mismatch");
+        if self.momentum == 0.0 && self.weight_decay == 0.0 {
+            vector::axpy(-self.lr, grad, params);
+            return;
+        }
+        let mut effective: Vec<f32> = grad.to_vec();
+        if self.weight_decay > 0.0 {
+            vector::axpy(self.weight_decay, params, &mut effective);
+        }
+        if self.momentum > 0.0 {
+            let vel = self
+                .velocity
+                .get_or_insert_with(|| vec![0.0; params.len()]);
+            assert_eq!(vel.len(), params.len(), "Sgd::step: parameter size changed");
+            for (v, g) in vel.iter_mut().zip(&effective) {
+                *v = self.momentum * *v + g;
+            }
+            let vel = self.velocity.as_ref().expect("just inserted");
+            vector::axpy(-self.lr, vel, params);
+        } else {
+            vector::axpy(-self.lr, &effective, params);
+        }
+    }
+}
+
+/// Adam optimiser (Kingma & Ba) over flat parameter vectors.
+///
+/// Not used by the paper reproduction (which is plain SGD) but provided
+/// for the convergence ablations; note that adaptive per-coordinate steps
+/// interact with the sign-storage scheme — directions stay informative,
+/// but the calibrated recovery rate absorbs the changing step scale.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: Option<Vec<f32>>,
+    v: Option<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "Adam::new: invalid learning rate");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: None, v: None }
+    }
+
+    /// Overrides the moment decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either β is outside `[0, 1)`.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0, 1)");
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Applies one bias-corrected Adam update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grad.len()` or the parameter size
+    /// changes between steps.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len(), "Adam::step: length mismatch");
+        let m = self.m.get_or_insert_with(|| vec![0.0; params.len()]);
+        let v = self.v.get_or_insert_with(|| vec![0.0; params.len()]);
+        assert_eq!(m.len(), params.len(), "Adam::step: parameter size changed");
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for ((p, g), (mi, vi)) in params
+            .iter_mut()
+            .zip(grad)
+            .zip(m.iter_mut().zip(v.iter_mut()))
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_matches_paper_update_rule() {
+        let mut sgd = Sgd::new(0.5);
+        let mut p = vec![1.0, -1.0];
+        sgd.step(&mut p, &[2.0, 2.0]);
+        assert_eq!(p, vec![0.0, -2.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut sgd = Sgd::new(1.0).with_momentum(0.5);
+        let mut p = vec![0.0];
+        sgd.step(&mut p, &[1.0]); // v=1, p=-1
+        sgd.step(&mut p, &[1.0]); // v=1.5, p=-2.5
+        assert!((p[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut sgd = Sgd::new(0.1).with_weight_decay(1.0);
+        let mut p = vec![10.0];
+        sgd.step(&mut p, &[0.0]);
+        assert!((p[0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid learning rate")]
+    fn rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step is ≈ lr·sign(g).
+        let mut adam = Adam::new(0.1);
+        let mut p = vec![0.0f32, 0.0];
+        adam.step(&mut p, &[0.5, -3.0]);
+        assert!((p[0] + 0.1).abs() < 1e-4, "{p:?}");
+        assert!((p[1] - 0.1).abs() < 1e-4, "{p:?}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.2);
+        let mut p = vec![-4.0f32];
+        for _ in 0..300 {
+            let g = vec![2.0 * (p[0] - 3.0)];
+            adam.step(&mut p, &g);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "ended at {}", p[0]);
+    }
+
+    #[test]
+    fn adam_adapts_per_coordinate() {
+        // A coordinate with consistently tiny gradients still moves at
+        // ≈ lr per step (scale invariance), unlike SGD.
+        let mut adam = Adam::new(0.01);
+        let mut p = vec![0.0f32, 0.0];
+        for _ in 0..50 {
+            adam.step(&mut p, &[1e-4, 1.0]);
+        }
+        assert!(p[0].abs() > 0.1 * p[1].abs(), "small-gradient coordinate stalled: {p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid learning rate")]
+    fn adam_rejects_bad_lr() {
+        let _ = Adam::new(f32::NAN);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // minimise f(p) = (p-3)^2 ; grad = 2(p-3)
+        let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+        let mut p = vec![0.0f32];
+        for _ in 0..200 {
+            let g = vec![2.0 * (p[0] - 3.0)];
+            sgd.step(&mut p, &g);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,231 @@
+//! NCHW 4-D tensor used by the layer implementations.
+//!
+//! A [`Tensor4`] is a batch of `n` feature maps with `c` channels of size
+//! `h × w`, stored contiguously in NCHW order. All layers consume and
+//! produce this type; vectors of logits are represented as `(n, c, 1, 1)`.
+
+/// Dense NCHW `f32` tensor.
+///
+/// ```
+/// use fuiov_nn::Tensor4;
+/// let mut t = Tensor4::zeros(1, 2, 2, 2);
+/// t.set(0, 1, 0, 1, 7.0);
+/// assert_eq!(t.get(0, 1, 0, 1), 7.0);
+/// assert_eq!(t.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// All-zeros tensor with the given shape.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Tensor4 { n, c, h, w, data: vec![0.0; n * c * h * w] }
+    }
+
+    /// Builds a tensor from a flat NCHW buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n*c*h*w`.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * c * h * w, "Tensor4::from_vec: size mismatch");
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// Shape as `(n, c, h, w)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Channel count.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Features per batch item (`c*h*w`).
+    pub fn features(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Flat offset of `(n, c, h, w)`.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any index is out of bounds.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.index(n, c, h, w)]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let i = self.index(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    /// Flat view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Contiguous slice of one channel plane `(n, c)`.
+    pub fn plane(&self, n: usize, c: usize) -> &[f32] {
+        let start = (n * self.c + c) * self.h * self.w;
+        &self.data[start..start + self.h * self.w]
+    }
+
+    /// Contiguous slice of one batch item (all channels).
+    pub fn item(&self, n: usize) -> &[f32] {
+        let f = self.features();
+        &self.data[n * f..(n + 1) * f]
+    }
+
+    /// Reinterprets as `(n, features, 1, 1)` without copying the data.
+    pub fn flatten(mut self) -> Tensor4 {
+        self.c = self.features();
+        self.h = 1;
+        self.w = 1;
+        self
+    }
+
+    /// Reinterprets a flat `(n, c*h*w, 1, 1)` tensor back to `(n,c,h,w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, c: usize, h: usize, w: usize) -> Tensor4 {
+        assert_eq!(self.features(), c * h * w, "reshape: element count mismatch");
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self
+    }
+
+    /// Stacks per-item flat feature vectors into a `(len, features, 1, 1)`
+    /// tensor — the standard way batches are assembled from a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or lengths differ.
+    pub fn from_items(items: &[&[f32]]) -> Tensor4 {
+        assert!(!items.is_empty(), "from_items: empty batch");
+        let f = items[0].len();
+        let mut data = Vec::with_capacity(items.len() * f);
+        for it in items {
+            assert_eq!(it.len(), f, "from_items: ragged items");
+            data.extend_from_slice(it);
+        }
+        Tensor4::from_vec(items.len(), f, 1, 1, data)
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_len() {
+        let t = Tensor4::zeros(2, 3, 4, 5);
+        assert_eq!(t.shape(), (2, 3, 4, 5));
+        assert_eq!(t.len(), 120);
+        assert_eq!(t.features(), 60);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn indexing_is_nchw() {
+        let mut t = Tensor4::zeros(2, 2, 2, 2);
+        t.set(1, 1, 1, 1, 9.0);
+        assert_eq!(t.as_slice()[15], 9.0);
+        assert_eq!(t.get(1, 1, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn plane_and_item_are_contiguous() {
+        let t = Tensor4::from_vec(1, 2, 1, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.plane(0, 1), &[3.0, 4.0]);
+        assert_eq!(t.item(0), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn flatten_then_reshape_roundtrips() {
+        let t = Tensor4::from_vec(1, 2, 2, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let flat = t.clone().flatten();
+        assert_eq!(flat.shape(), (1, 4, 1, 1));
+        assert_eq!(flat.reshape(2, 2, 1), t);
+    }
+
+    #[test]
+    fn from_items_stacks() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let t = Tensor4::from_items(&[&a, &b]);
+        assert_eq!(t.shape(), (2, 2, 1, 1));
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count mismatch")]
+    fn reshape_rejects_bad_shape() {
+        let _ = Tensor4::zeros(1, 4, 1, 1).reshape(3, 1, 1);
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let t = Tensor4::from_vec(1, 1, 1, 3, vec![0.5, -2.0, 1.0]);
+        assert_eq!(t.max_abs(), 2.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Binary model checkpoints.
+//!
+//! A minimal, versioned little-endian encoding of a flat parameter vector,
+//! used by the examples to persist and reload global models (e.g. keeping
+//! the pre-unlearning model around for comparison).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: u32 = 0x4655_494F; // "FUIO"
+const VERSION: u16 = 1;
+
+/// Error decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer too short for the declared contents.
+    Truncated,
+    /// Magic number mismatch — not a FUIOV checkpoint.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "checkpoint truncated"),
+            DecodeError::BadMagic(m) => write!(f, "bad checkpoint magic {m:#010x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encodes a flat parameter vector into a self-describing byte buffer.
+///
+/// ```
+/// use fuiov_storage::checkpoint;
+/// let buf = checkpoint::encode(&[1.0, -2.5]);
+/// assert_eq!(checkpoint::decode(&buf)?, vec![1.0, -2.5]);
+/// # Ok::<(), fuiov_storage::checkpoint::DecodeError>(())
+/// ```
+pub fn encode(params: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(10 + params.len() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for &p in params {
+        buf.put_f32_le(p);
+    }
+    buf.freeze()
+}
+
+/// Decodes a checkpoint produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is truncated, has the wrong
+/// magic, or an unsupported version.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<f32>, DecodeError> {
+    if buf.len() < 10 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.len() < len * 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let params = vec![0.0f32, 1.5, -3.25, f32::MIN_POSITIVE];
+        assert_eq!(decode(&encode(&params)).unwrap(), params);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut buf = encode(&[1.0]).to_vec();
+        buf[0] ^= 0xFF;
+        assert!(matches!(decode(&buf), Err(DecodeError::BadMagic(_))));
+    }
+
+    #[test]
+    fn detects_bad_version() {
+        let mut buf = encode(&[1.0]).to_vec();
+        buf[4] = 99;
+        assert!(matches!(decode(&buf), Err(DecodeError::BadVersion(99))));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let buf = encode(&[1.0, 2.0]);
+        assert_eq!(decode(&buf[..buf.len() - 1]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&buf[..4]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadMagic(1).to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Sign-only gradient storage (the paper's §IV direction quantisation).
+//!
+//! A gradient element is stored as its *direction*: `+1` if it exceeds the
+//! threshold `δ`, `−1` if below `−δ`, `0` otherwise. Directions are packed
+//! 2 bits per element (4 per byte), which is where the paper's "~95 %
+//! storage savings" claim comes from: 2 bits vs 32 bits is a 93.75 %
+//! reduction before even counting allocator overheads.
+
+use fuiov_tensor::vector::sign_with_threshold;
+
+/// Bit patterns for the three directions.
+const CODE_ZERO: u8 = 0b00;
+const CODE_POS: u8 = 0b01;
+const CODE_NEG: u8 = 0b10;
+
+/// A packed vector of gradient directions (`+1`, `0`, `−1`), 2 bits each.
+///
+/// ```
+/// use fuiov_storage::direction::GradientDirection;
+///
+/// let d = GradientDirection::quantize(&[0.5, -0.3, 1e-9], 1e-6);
+/// assert_eq!(d.to_signs(), vec![1, -1, 0]);
+/// assert_eq!(d.byte_size(), 1); // 3 elements fit in one byte
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradientDirection {
+    len: usize,
+    packed: Vec<u8>,
+}
+
+impl GradientDirection {
+    /// Quantises a gradient with dead-zone threshold `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative.
+    pub fn quantize(grad: &[f32], delta: f32) -> Self {
+        Self::from_signs(&sign_with_threshold(grad, delta))
+    }
+
+    /// Packs an explicit sign vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is outside `{-1, 0, 1}`.
+    pub fn from_signs(signs: &[i8]) -> Self {
+        let mut packed = vec![0u8; signs.len().div_ceil(4)];
+        for (i, &s) in signs.iter().enumerate() {
+            let code = match s {
+                0 => CODE_ZERO,
+                1 => CODE_POS,
+                -1 => CODE_NEG,
+                other => panic!("from_signs: invalid sign {other}"),
+            };
+            packed[i / 4] |= code << ((i % 4) * 2);
+        }
+        GradientDirection { len: signs.len(), packed }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Direction of element `i` as an `i8` in `{-1, 0, 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sign(&self, i: usize) -> i8 {
+        assert!(i < self.len, "sign: index out of bounds");
+        match (self.packed[i / 4] >> ((i % 4) * 2)) & 0b11 {
+            CODE_ZERO => 0,
+            CODE_POS => 1,
+            CODE_NEG => -1,
+            _ => 0, // 0b11 never written; treat defensively as 0
+        }
+    }
+
+    /// Unpacks to a sign vector.
+    pub fn to_signs(&self) -> Vec<i8> {
+        (0..self.len).map(|i| self.sign(i)).collect()
+    }
+
+    /// Unpacks to `f32` (the form Eq. 6 consumes as the base gradient).
+    pub fn to_f32(&self) -> Vec<f32> {
+        (0..self.len).map(|i| f32::from(self.sign(i))).collect()
+    }
+
+    /// Bytes used by the packed representation.
+    pub fn byte_size(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Bytes an uncompressed `f32` gradient of the same length would use.
+    pub fn full_f32_byte_size(&self) -> usize {
+        self.len * std::mem::size_of::<f32>()
+    }
+
+    /// Fraction of storage saved vs full `f32` storage (≈ 0.9375 plus
+    /// rounding effects; `0.0` for empty vectors).
+    pub fn savings_ratio(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        1.0 - self.byte_size() as f64 / self.full_f32_byte_size() as f64
+    }
+
+    /// Iterates over the stored signs without materialising a vector.
+    ///
+    /// ```
+    /// use fuiov_storage::direction::GradientDirection;
+    /// let d = GradientDirection::from_signs(&[1, 0, -1]);
+    /// assert_eq!(d.iter().sum::<i8>(), 0);
+    /// ```
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { dir: self, pos: 0 }
+    }
+
+    /// Fraction of elements quantised to zero (diagnostic for choosing δ).
+    pub fn sparsity(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let zeros = (0..self.len).filter(|&i| self.sign(i) == 0).count();
+        zeros as f64 / self.len as f64
+    }
+}
+
+/// Iterator over the signs of a [`GradientDirection`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    dir: &'a GradientDirection,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = i8;
+
+    fn next(&mut self) -> Option<i8> {
+        if self.pos >= self.dir.len() {
+            return None;
+        }
+        let s = self.dir.sign(self.pos);
+        self.pos += 1;
+        Some(s)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.dir.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a GradientDirection {
+    type Item = i8;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<i8> for GradientDirection {
+    /// Collects signs into the packed representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is outside `{-1, 0, 1}`.
+    fn from_iter<I: IntoIterator<Item = i8>>(iter: I) -> Self {
+        let signs: Vec<i8> = iter.into_iter().collect();
+        GradientDirection::from_signs(&signs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_sign_patterns() {
+        let signs: Vec<i8> = vec![1, -1, 0, 1, 1, 0, -1, -1, 0];
+        let d = GradientDirection::from_signs(&signs);
+        assert_eq!(d.to_signs(), signs);
+        assert_eq!(d.len(), 9);
+        assert_eq!(d.byte_size(), 3);
+    }
+
+    #[test]
+    fn quantize_applies_dead_zone() {
+        let d = GradientDirection::quantize(&[2e-6, -2e-6, 5e-7, -5e-7], 1e-6);
+        assert_eq!(d.to_signs(), vec![1, -1, 0, 0]);
+    }
+
+    #[test]
+    fn to_f32_matches_signs() {
+        let d = GradientDirection::from_signs(&[1, 0, -1]);
+        assert_eq!(d.to_f32(), vec![1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn savings_is_about_94_percent() {
+        let grad = vec![0.1f32; 10_000];
+        let d = GradientDirection::quantize(&grad, 1e-6);
+        assert_eq!(d.byte_size(), 2500);
+        assert_eq!(d.full_f32_byte_size(), 40_000);
+        assert!((d.savings_ratio() - 0.9375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_vector_is_fine() {
+        let d = GradientDirection::quantize(&[], 0.0);
+        assert!(d.is_empty());
+        assert_eq!(d.byte_size(), 0);
+        assert_eq!(d.savings_ratio(), 0.0);
+        assert_eq!(d.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn sparsity_counts_zeros() {
+        let d = GradientDirection::from_signs(&[0, 0, 1, -1]);
+        assert!((d.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sign")]
+    fn rejects_invalid_sign() {
+        let _ = GradientDirection::from_signs(&[2]);
+    }
+
+    #[test]
+    fn iterator_roundtrip_and_hints() {
+        let signs = vec![1i8, -1, 0, 1, 0];
+        let d: GradientDirection = signs.iter().copied().collect();
+        assert_eq!(d.iter().collect::<Vec<i8>>(), signs);
+        assert_eq!(d.iter().len(), 5);
+        let mut it = d.iter();
+        it.next();
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        // &d into_iter sugar.
+        let total: i8 = (&d).into_iter().sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn non_multiple_of_four_lengths() {
+        for n in 1..=9usize {
+            let signs: Vec<i8> = (0..n).map(|i| [1i8, -1, 0][i % 3]).collect();
+            let d = GradientDirection::from_signs(&signs);
+            assert_eq!(d.to_signs(), signs, "roundtrip failed for n={n}");
+            assert_eq!(d.byte_size(), n.div_ceil(4));
+        }
+    }
+}

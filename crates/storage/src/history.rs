@@ -1,0 +1,515 @@
+//! Server-side training history.
+//!
+//! The paper's server records, during normal FL training (§IV):
+//!
+//! 1. the global model parameters `w_t` of every round,
+//! 2. the *direction* of every client's gradient in every round
+//!    (quantised with threshold `δ`, packed 2 bits/element), and
+//! 3. which rounds each vehicle participated in (its join round `F` is
+//!    what unlearning backtracks to).
+//!
+//! [`HistoryStore`] is that record. [`FullGradientStore`] is the same
+//! record with *full* `f32` gradients — what FedRecover-style baselines
+//! need — and exists mainly so the storage-overhead experiment can compare
+//! the two byte-for-byte.
+
+use crate::direction::GradientDirection;
+use std::collections::BTreeMap;
+
+/// Identifier of a client (vehicle).
+pub type ClientId = usize;
+
+/// Federated round number (0-based).
+pub type Round = usize;
+
+/// A client's membership interval in the federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Participation {
+    /// Round in which the client first participated.
+    pub joined: Round,
+    /// Round after which the client left, if it has left.
+    pub left: Option<Round>,
+}
+
+/// History of models, gradient directions and participation.
+#[derive(Debug, Clone)]
+pub struct HistoryStore {
+    delta: f32,
+    dim: Option<usize>,
+    models: BTreeMap<Round, Vec<f32>>,
+    directions: BTreeMap<Round, BTreeMap<ClientId, GradientDirection>>,
+    participation: BTreeMap<ClientId, Participation>,
+    weights: BTreeMap<ClientId, f32>,
+}
+
+impl HistoryStore {
+    /// Creates an empty store with sign threshold `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or NaN.
+    pub fn new(delta: f32) -> Self {
+        assert!(delta >= 0.0, "HistoryStore::new: delta must be >= 0");
+        HistoryStore {
+            delta,
+            dim: None,
+            models: BTreeMap::new(),
+            directions: BTreeMap::new(),
+            participation: BTreeMap::new(),
+            weights: BTreeMap::new(),
+        }
+    }
+
+    /// The sign threshold δ in force.
+    pub fn delta(&self) -> f32 {
+        self.delta
+    }
+
+    /// Model dimension, once the first model/gradient has been recorded.
+    pub fn dim(&self) -> Option<usize> {
+        self.dim
+    }
+
+    fn check_dim(&mut self, len: usize, what: &str) {
+        match self.dim {
+            None => self.dim = Some(len),
+            Some(d) => assert_eq!(d, len, "HistoryStore: {what} dimension mismatch"),
+        }
+    }
+
+    /// Records the global model at the *start* of `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch with earlier records.
+    pub fn record_model(&mut self, round: Round, params: Vec<f32>) {
+        self.check_dim(params.len(), "model");
+        self.models.insert(round, params);
+    }
+
+    /// Quantises and records a client's gradient for `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch with earlier records.
+    pub fn record_gradient(&mut self, round: Round, client: ClientId, grad: &[f32]) {
+        self.check_dim(grad.len(), "gradient");
+        let dir = GradientDirection::quantize(grad, self.delta);
+        self.directions.entry(round).or_default().insert(client, dir);
+    }
+
+    /// Records an already-quantised direction for `(round, client)` —
+    /// used when restoring a serialised history, where re-quantisation
+    /// through the store's own δ would be lossy for δ ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch with earlier records.
+    pub fn record_direction(&mut self, round: Round, client: ClientId, dir: GradientDirection) {
+        self.check_dim(dir.len(), "direction");
+        self.directions.entry(round).or_default().insert(client, dir);
+    }
+
+    /// Records that `client` joined at `round` (first participation). A
+    /// second call for the same client is ignored — the paper's `F` is the
+    /// *first* join round.
+    pub fn record_join(&mut self, client: ClientId, round: Round) {
+        self.participation
+            .entry(client)
+            .or_insert(Participation { joined: round, left: None });
+    }
+
+    /// Records that `client` left after `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client never joined.
+    pub fn record_leave(&mut self, client: ClientId, round: Round) {
+        let p = self
+            .participation
+            .get_mut(&client)
+            .expect("record_leave: client never joined");
+        p.left = Some(round);
+    }
+
+    /// Sets a client's FedAvg weight (its dataset size `‖Dᵢ‖`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not strictly positive and finite.
+    pub fn set_weight(&mut self, client: ClientId, weight: f32) {
+        assert!(weight > 0.0 && weight.is_finite(), "set_weight: invalid weight");
+        self.weights.insert(client, weight);
+    }
+
+    /// A client's FedAvg weight, defaulting to `1.0` if never set.
+    pub fn weight(&self, client: ClientId) -> f32 {
+        self.weights.get(&client).copied().unwrap_or(1.0)
+    }
+
+    /// Global model recorded for `round`.
+    pub fn model(&self, round: Round) -> Option<&[f32]> {
+        self.models.get(&round).map(Vec::as_slice)
+    }
+
+    /// Gradient direction recorded for `(round, client)`.
+    pub fn direction(&self, round: Round, client: ClientId) -> Option<&GradientDirection> {
+        self.directions.get(&round)?.get(&client)
+    }
+
+    /// Clients that submitted a gradient in `round`, ascending.
+    pub fn clients_in_round(&self, round: Round) -> Vec<ClientId> {
+        self.directions
+            .get(&round)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All rounds with a recorded model, ascending.
+    pub fn rounds(&self) -> Vec<Round> {
+        self.models.keys().copied().collect()
+    }
+
+    /// Highest recorded round, if any.
+    pub fn latest_round(&self) -> Option<Round> {
+        self.models.keys().next_back().copied()
+    }
+
+    /// A client's participation record.
+    pub fn participation(&self, client: ClientId) -> Option<Participation> {
+        self.participation.get(&client).copied()
+    }
+
+    /// A client's join round `F`, if known.
+    pub fn join_round(&self, client: ClientId) -> Option<Round> {
+        self.participation.get(&client).map(|p| p.joined)
+    }
+
+    /// All clients ever seen, ascending.
+    pub fn clients(&self) -> Vec<ClientId> {
+        self.participation.keys().copied().collect()
+    }
+
+    /// Bytes used by packed gradient directions.
+    pub fn direction_bytes(&self) -> usize {
+        self.directions
+            .values()
+            .flat_map(|m| m.values())
+            .map(GradientDirection::byte_size)
+            .sum()
+    }
+
+    /// Bytes the same gradients would use stored as full `f32` vectors —
+    /// what FedRecover/FedEraser-style servers must keep.
+    pub fn full_gradient_bytes_equivalent(&self) -> usize {
+        self.directions
+            .values()
+            .flat_map(|m| m.values())
+            .map(GradientDirection::full_f32_byte_size)
+            .sum()
+    }
+
+    /// Bytes used by stored models (identical in both schemes).
+    pub fn model_bytes(&self) -> usize {
+        self.models.values().map(|m| m.len() * 4).sum()
+    }
+
+    /// Rebuilds this history with a different sign threshold `delta`,
+    /// re-quantising gradients from a full-precision record.
+    ///
+    /// Used by the δ-sweep experiment (paper Fig. 3): one training run with
+    /// full gradients kept can be re-quantised at every candidate δ instead
+    /// of retraining per δ. Models, participation and weights are copied;
+    /// only `(round, client)` gradients present in `full` are re-quantised
+    /// (entries missing from `full` are dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative.
+    pub fn requantized(&self, full: &FullGradientStore, delta: f32) -> HistoryStore {
+        let mut out = HistoryStore::new(delta);
+        for r in self.rounds() {
+            out.record_model(r, self.model(r).expect("round listed").to_vec());
+        }
+        for c in self.clients() {
+            let p = self.participation(c).expect("client listed");
+            out.record_join(c, p.joined);
+            if let Some(l) = p.left {
+                out.record_leave(c, l);
+            }
+            if let Some(&w) = self.weights.get(&c) {
+                out.set_weight(c, w);
+            }
+        }
+        for (&round, clients) in &self.directions {
+            for &client in clients.keys() {
+                if let Some(g) = full.gradient(round, client) {
+                    out.record_gradient(round, client, g);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with global models kept only every `keep_every`
+    /// rounds (checkpoint thinning — the direction Wei et al. \[32\] take
+    /// for model storage). The earliest and latest recorded rounds are
+    /// always kept, and so is every client's join round — those are the
+    /// backtracking targets, so the server pins them. Directions,
+    /// participation and weights are copied unchanged.
+    ///
+    /// Missing intermediate models can be reconstructed with
+    /// [`HistoryStore::model_interpolated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_every == 0`.
+    pub fn thinned_models(&self, keep_every: usize) -> HistoryStore {
+        assert!(keep_every > 0, "thinned_models: keep_every must be positive");
+        let mut out = self.clone();
+        let rounds = self.rounds();
+        let (Some(&first), Some(&last)) = (rounds.first(), rounds.last()) else {
+            return out;
+        };
+        let join_rounds: std::collections::BTreeSet<Round> =
+            self.participation.values().map(|p| p.joined).collect();
+        out.models.retain(|&r, _| {
+            r == first || r == last || (r - first) % keep_every == 0 || join_rounds.contains(&r)
+        });
+        out
+    }
+
+    /// The model at `round`, linearly interpolated between the nearest
+    /// stored checkpoints when the exact round was thinned away. Returns
+    /// `None` outside the stored range.
+    pub fn model_interpolated(&self, round: Round) -> Option<Vec<f32>> {
+        if let Some(exact) = self.model(round) {
+            return Some(exact.to_vec());
+        }
+        let before = self.models.range(..round).next_back()?;
+        let after = self.models.range(round + 1..).next()?;
+        let span = (after.0 - before.0) as f32;
+        let t = (round - before.0) as f32 / span;
+        Some(fuiov_tensor::vector::lerp(before.1, after.1, t))
+    }
+
+    /// Gradient-storage savings ratio vs full `f32` storage.
+    pub fn gradient_savings_ratio(&self) -> f64 {
+        let full = self.full_gradient_bytes_equivalent();
+        if full == 0 {
+            return 0.0;
+        }
+        1.0 - self.direction_bytes() as f64 / full as f64
+    }
+}
+
+/// Full-precision history used by the FedRecover-style baselines: same
+/// bookkeeping, but gradients are kept as `f32` vectors.
+#[derive(Debug, Clone, Default)]
+pub struct FullGradientStore {
+    gradients: BTreeMap<Round, BTreeMap<ClientId, Vec<f32>>>,
+}
+
+impl FullGradientStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a client's full gradient for `round`.
+    pub fn record(&mut self, round: Round, client: ClientId, grad: Vec<f32>) {
+        self.gradients.entry(round).or_default().insert(client, grad);
+    }
+
+    /// The recorded gradient, if any.
+    pub fn gradient(&self, round: Round, client: ClientId) -> Option<&[f32]> {
+        self.gradients.get(&round)?.get(&client).map(Vec::as_slice)
+    }
+
+    /// Bytes used by the stored gradients.
+    pub fn bytes(&self) -> usize {
+        self.gradients
+            .values()
+            .flat_map(|m| m.values())
+            .map(|g| g.len() * 4)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_two_rounds() -> HistoryStore {
+        let mut h = HistoryStore::new(1e-6);
+        h.record_model(0, vec![0.0; 4]);
+        h.record_model(1, vec![0.1; 4]);
+        h.record_join(7, 0);
+        h.record_join(8, 1);
+        h.record_gradient(0, 7, &[0.5, -0.5, 0.0, 0.1]);
+        h.record_gradient(1, 7, &[0.5, -0.5, 0.0, 0.1]);
+        h.record_gradient(1, 8, &[-0.2, 0.2, 0.3, -0.3]);
+        h
+    }
+
+    #[test]
+    fn records_and_reads_back() {
+        let h = store_with_two_rounds();
+        assert_eq!(h.model(1), Some(&[0.1f32; 4][..]));
+        assert_eq!(h.direction(1, 8).unwrap().to_signs(), vec![-1, 1, 1, -1]);
+        assert_eq!(h.clients_in_round(1), vec![7, 8]);
+        assert_eq!(h.rounds(), vec![0, 1]);
+        assert_eq!(h.latest_round(), Some(1));
+    }
+
+    #[test]
+    fn join_round_tracks_first_participation() {
+        let mut h = store_with_two_rounds();
+        h.record_join(7, 5); // duplicate join must not move F
+        assert_eq!(h.join_round(7), Some(0));
+        assert_eq!(h.join_round(8), Some(1));
+        assert_eq!(h.join_round(99), None);
+        assert_eq!(h.clients(), vec![7, 8]);
+    }
+
+    #[test]
+    fn leave_is_recorded() {
+        let mut h = store_with_two_rounds();
+        h.record_leave(7, 1);
+        assert_eq!(h.participation(7).unwrap().left, Some(1));
+        assert_eq!(h.participation(8).unwrap().left, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "never joined")]
+    fn leave_without_join_panics() {
+        let mut h = HistoryStore::new(0.0);
+        h.record_leave(3, 1);
+    }
+
+    #[test]
+    fn weights_default_to_one() {
+        let mut h = store_with_two_rounds();
+        assert_eq!(h.weight(7), 1.0);
+        h.set_weight(7, 32.0);
+        assert_eq!(h.weight(7), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_is_caught() {
+        let mut h = store_with_two_rounds();
+        h.record_gradient(2, 7, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let h = store_with_two_rounds();
+        // 3 gradients × 4 elements: packed 1 byte each, full 16 bytes each.
+        assert_eq!(h.direction_bytes(), 3);
+        assert_eq!(h.full_gradient_bytes_equivalent(), 48);
+        assert_eq!(h.model_bytes(), 32);
+        assert!((h.gradient_savings_ratio() - 0.9375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_store_savings_is_zero() {
+        let h = HistoryStore::new(0.0);
+        assert_eq!(h.gradient_savings_ratio(), 0.0);
+        assert_eq!(h.latest_round(), None);
+        assert!(h.clients_in_round(0).is_empty());
+    }
+
+    #[test]
+    fn thinning_keeps_endpoints_and_stride() {
+        let mut h = HistoryStore::new(0.0);
+        for t in 0..=10 {
+            h.record_model(t, vec![t as f32; 2]);
+        }
+        let thin = h.thinned_models(4);
+        assert_eq!(thin.rounds(), vec![0, 4, 8, 10]);
+        // Join rounds are pinned.
+        let mut h2 = HistoryStore::new(0.0);
+        for t in 0..=10 {
+            h2.record_model(t, vec![t as f32; 2]);
+        }
+        h2.record_join(7, 3);
+        assert_eq!(h2.thinned_models(4).rounds(), vec![0, 3, 4, 8, 10]);
+        // Directions/participation untouched (none recorded here).
+        assert_eq!(thin.delta(), h.delta());
+    }
+
+    #[test]
+    fn interpolation_reconstructs_linear_trajectories_exactly() {
+        let mut h = HistoryStore::new(0.0);
+        for t in 0..=10 {
+            h.record_model(t, vec![t as f32, 2.0 * t as f32]);
+        }
+        let thin = h.thinned_models(5);
+        for t in 0..=10 {
+            let m = thin.model_interpolated(t).expect("in range");
+            assert!(
+                (m[0] - t as f32).abs() < 1e-5 && (m[1] - 2.0 * t as f32).abs() < 1e-5,
+                "round {t}: {m:?}"
+            );
+        }
+        assert!(thin.model_interpolated(11).is_none());
+    }
+
+    #[test]
+    fn interpolation_prefers_exact_models() {
+        let mut h = HistoryStore::new(0.0);
+        h.record_model(0, vec![0.0]);
+        h.record_model(5, vec![100.0]);
+        assert_eq!(h.model_interpolated(5).unwrap(), vec![100.0]);
+        let mid = h.model_interpolated(2).unwrap();
+        assert!((mid[0] - 40.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn requantized_preserves_structure_with_new_delta() {
+        let mut h = store_with_two_rounds();
+        h.set_weight(7, 3.0);
+        h.record_leave(8, 1);
+        let mut full = FullGradientStore::new();
+        full.record(0, 7, vec![0.5, -0.5, 0.0, 0.1]);
+        full.record(1, 7, vec![0.5, -0.5, 0.0, 0.1]);
+        full.record(1, 8, vec![-0.2, 0.2, 0.3, -0.3]);
+
+        // Huge delta: everything quantises to zero.
+        let r = h.requantized(&full, 10.0);
+        assert_eq!(r.delta(), 10.0);
+        assert_eq!(r.rounds(), h.rounds());
+        assert_eq!(r.join_round(8), Some(1));
+        assert_eq!(r.participation(8).unwrap().left, Some(1));
+        assert_eq!(r.weight(7), 3.0);
+        assert_eq!(r.direction(1, 8).unwrap().to_signs(), vec![0, 0, 0, 0]);
+
+        // Tiny delta: signs as before.
+        let r2 = h.requantized(&full, 1e-9);
+        assert_eq!(r2.direction(1, 8).unwrap().to_signs(), vec![-1, 1, 1, -1]);
+    }
+
+    #[test]
+    fn requantized_drops_entries_missing_from_full_store() {
+        let h = store_with_two_rounds();
+        let full = FullGradientStore::new();
+        let r = h.requantized(&full, 1e-6);
+        assert!(r.direction(0, 7).is_none());
+        assert_eq!(r.rounds(), h.rounds());
+    }
+
+    #[test]
+    fn full_store_costs_16x_packed() {
+        let mut full = FullGradientStore::new();
+        full.record(0, 1, vec![0.1; 100]);
+        assert_eq!(full.bytes(), 400);
+        assert_eq!(full.gradient(0, 1).unwrap().len(), 100);
+        assert!(full.gradient(1, 1).is_none());
+
+        let mut packed = HistoryStore::new(1e-6);
+        packed.record_gradient(0, 1, &vec![0.1; 100]);
+        assert_eq!(packed.direction_bytes(), 25);
+        assert_eq!(full.bytes() / packed.direction_bytes(), 16);
+    }
+}

@@ -1,0 +1,36 @@
+//! Server-side storage for federated unlearning.
+//!
+//! The paper's key storage idea (§IV): instead of keeping every client's
+//! full `f32` gradient for every round — as FedRecover/FedEraser require —
+//! the server keeps only each gradient's *direction*, quantised with a
+//! dead-zone threshold `δ` and packed 2 bits per element. That's a 16×
+//! (~94 %) reduction in gradient storage, which is what makes historical
+//! recovery feasible at IoV scale.
+//!
+//! - [`direction`]: the packed sign representation
+//!   ([`GradientDirection`]).
+//! - [`history`]: the per-round record a server keeps
+//!   ([`HistoryStore`]), plus the full-precision
+//!   [`history::FullGradientStore`] used by the baselines and the storage
+//!   comparison experiment.
+//! - [`checkpoint`]: a small binary model-checkpoint format.
+//!
+//! # Example
+//!
+//! ```
+//! use fuiov_storage::{HistoryStore, direction::GradientDirection};
+//!
+//! let mut h = HistoryStore::new(1e-6);
+//! h.record_model(0, vec![0.0; 8]);
+//! h.record_join(3, 0);
+//! h.record_gradient(0, 3, &[0.5, -0.5, 0.0, 0.1, -0.1, 0.0, 0.2, -0.2]);
+//! assert!(h.gradient_savings_ratio() > 0.9);
+//! ```
+
+pub mod checkpoint;
+pub mod direction;
+pub mod history;
+pub mod serialize;
+
+pub use direction::GradientDirection;
+pub use history::{ClientId, HistoryStore, Participation, Round};

@@ -1,0 +1,126 @@
+//! Property-based tests for the storage formats: serialisation
+//! round-trips, thinning invariants, and requantisation consistency.
+
+use fuiov_storage::history::FullGradientStore;
+use fuiov_storage::serialize::{decode_history, encode_history};
+use fuiov_storage::{GradientDirection, HistoryStore};
+use proptest::prelude::*;
+
+fn arb_history() -> impl Strategy<Value = HistoryStore> {
+    let dim = 6usize;
+    (1usize..8, 1usize..4).prop_flat_map(move |(rounds, clients)| {
+        let models = prop::collection::vec(
+            prop::collection::vec(-2.0f32..2.0, dim),
+            rounds + 1,
+        );
+        let grads = prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim), rounds),
+            clients,
+        );
+        let joins = prop::collection::vec(0usize..rounds, clients);
+        (models, grads, joins).prop_map(move |(models, grads, joins)| {
+            let mut h = HistoryStore::new(1e-4);
+            for (t, m) in models.into_iter().enumerate() {
+                h.record_model(t, m);
+            }
+            for (c, (gs, &join)) in grads.iter().zip(&joins).enumerate() {
+                h.record_join(c, join);
+                h.set_weight(c, (c + 1) as f32);
+                for (t, g) in gs.iter().enumerate().skip(join) {
+                    h.record_gradient(t, c, g);
+                }
+            }
+            h
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The binary history format round-trips every field exactly.
+    #[test]
+    fn serialisation_roundtrips(h in arb_history()) {
+        let back = decode_history(&encode_history(&h)).expect("decodes");
+        prop_assert_eq!(back.delta(), h.delta());
+        prop_assert_eq!(back.rounds(), h.rounds());
+        prop_assert_eq!(back.clients(), h.clients());
+        for r in h.rounds() {
+            prop_assert_eq!(back.model(r), h.model(r));
+            for c in h.clients_in_round(r) {
+                prop_assert_eq!(
+                    back.direction(r, c).map(GradientDirection::to_signs),
+                    h.direction(r, c).map(GradientDirection::to_signs)
+                );
+            }
+        }
+        for c in h.clients() {
+            prop_assert_eq!(back.participation(c), h.participation(c));
+            prop_assert_eq!(back.weight(c), h.weight(c));
+        }
+    }
+
+    /// Thinning never increases model bytes, keeps endpoints, and the
+    /// interpolated model at a *kept* round equals the stored one.
+    #[test]
+    fn thinning_invariants(h in arb_history(), keep in 1usize..6) {
+        let thin = h.thinned_models(keep);
+        prop_assert!(thin.model_bytes() <= h.model_bytes());
+        let rounds = h.rounds();
+        let (first, last) = (rounds[0], *rounds.last().unwrap());
+        prop_assert!(thin.model(first).is_some());
+        prop_assert!(thin.model(last).is_some());
+        // Join rounds pinned.
+        for c in h.clients() {
+            let f = h.join_round(c).unwrap();
+            prop_assert!(thin.model(f).is_some(), "join round {f} dropped");
+        }
+        // Interpolation at every round stays within the stored range and
+        // matches exactly where a model survives.
+        for r in rounds {
+            let interp = thin.model_interpolated(r);
+            prop_assert!(interp.is_some());
+            if let Some(exact) = thin.model(r) {
+                prop_assert_eq!(interp.unwrap(), exact.to_vec());
+            }
+        }
+        // Directions untouched by thinning.
+        prop_assert_eq!(thin.direction_bytes(), h.direction_bytes());
+    }
+
+    /// Requantising with the store's own δ from matching full gradients is
+    /// the identity on directions.
+    #[test]
+    fn requantise_with_same_delta_is_identity(
+        grads in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 5), 1..6),
+    ) {
+        let delta = 1e-3f32;
+        let mut h = HistoryStore::new(delta);
+        let mut full = FullGradientStore::new();
+        h.record_model(0, vec![0.0; 5]);
+        for (c, g) in grads.iter().enumerate() {
+            h.record_join(c, 0);
+            h.record_gradient(0, c, g);
+            full.record(0, c, g.clone());
+        }
+        let re = h.requantized(&full, delta);
+        for c in 0..grads.len() {
+            prop_assert_eq!(
+                re.direction(0, c).unwrap().to_signs(),
+                h.direction(0, c).unwrap().to_signs()
+            );
+        }
+    }
+
+    /// Savings accounting is exact: packed bytes = Σ ⌈dim/4⌉ per entry.
+    #[test]
+    fn byte_accounting_is_exact(h in arb_history()) {
+        let mut expected = 0usize;
+        for r in h.rounds() {
+            for c in h.clients_in_round(r) {
+                expected += h.direction(r, c).unwrap().len().div_ceil(4);
+            }
+        }
+        prop_assert_eq!(h.direction_bytes(), expected);
+    }
+}

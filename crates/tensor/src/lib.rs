@@ -1,0 +1,37 @@
+//! Dense math substrate for the FUIOV federated-unlearning stack.
+//!
+//! This crate provides the numerical kernels everything else is built on:
+//!
+//! - [`vector`]: BLAS-1 style operations on `&[f32]` slices (dot products,
+//!   axpy, norms, the paper's Eq. 7 norm clipping, element-wise sign with a
+//!   dead-zone threshold).
+//! - [`matrix`]: a small row-major dense matrix ([`Mat`]) with the products
+//!   needed by compact L-BFGS (`AᵀB` grams, mat-vec).
+//! - [`solve`]: LU factorisation with partial pivoting, used to solve the
+//!   `2s × 2s` linear system at the heart of Algorithm 2.
+//! - [`stats`]: summary statistics used by the evaluation harness.
+//! - [`rng`]: deterministic seed-derivation helpers so that every experiment
+//!   in the repository is reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use fuiov_tensor::{vector, Mat, solve};
+//!
+//! # fn main() -> Result<(), fuiov_tensor::SolveError> {
+//! let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let x = solve::solve(&a, &[1.0, 2.0])?;
+//! let r = a.matvec(&x);
+//! assert!(vector::l2_distance(&r, &[1.0, 2.0]) < 1e-5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod matrix;
+pub mod rng;
+pub mod solve;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::Mat;
+pub use solve::SolveError;

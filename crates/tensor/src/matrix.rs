@@ -1,0 +1,419 @@
+//! A small row-major dense matrix.
+//!
+//! [`Mat`] is deliberately minimal: the unlearning pipeline only ever builds
+//! matrices whose *smaller* dimension is `2s` (with `s` the L-BFGS buffer
+//! size, 2 in the paper), so the implementation favours clarity over cache
+//! blocking. The tall-skinny products (`AᵀB`, `Aᵀv`) used by compact L-BFGS
+//! are provided as dedicated methods that never materialise transposes.
+
+use std::fmt;
+
+/// Row-major dense `f32` matrix.
+///
+/// ```
+/// use fuiov_tensor::Mat;
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(a.get(1, 0), 3.0);
+/// assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// All-zeros matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Mat { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a `dim × k` matrix whose columns are the given vectors.
+    ///
+    /// This is how the L-BFGS buffers `ΔW` and `ΔG` are assembled: each
+    /// column is one model-difference (or gradient-difference) vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is empty or the vectors have unequal lengths.
+    pub fn from_cols(cols: &[Vec<f32>]) -> Self {
+        assert!(!cols.is_empty(), "from_cols: no columns");
+        let dim = cols[0].len();
+        let k = cols.len();
+        let mut m = Mat::zeros(dim, k);
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), dim, "from_cols: ragged columns");
+            for (i, &v) in c.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: size mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "get: index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "set: index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row: index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col: index out of bounds");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|r| crate::vector::dot(self.row(r), v))
+            .collect()
+    }
+
+    /// `selfᵀ · v` without materialising the transpose.
+    ///
+    /// For a tall-skinny `dim × k` buffer this is the `k`-vector of
+    /// per-column dot products — the shape compact L-BFGS needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows`.
+    pub fn tr_matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.rows, "tr_matvec: dimension mismatch");
+        let mut out = vec![0.0f64; self.cols];
+        for (r, &vr) in v.iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += f64::from(vr) * f64::from(x);
+            }
+        }
+        out.into_iter().map(|x| x as f32).collect()
+    }
+
+    /// Gram-style product `selfᵀ · other` (a `k × m` matrix for tall-skinny
+    /// inputs `dim × k` and `dim × m`), accumulated in `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn tr_matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "tr_matmul: row count mismatch");
+        let mut out = vec![0.0f64; self.cols * other.cols];
+        for r in 0..self.rows {
+            let a = self.row(r);
+            let b = other.row(r);
+            for (i, &ai) in a.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                for (j, &bj) in b.iter().enumerate() {
+                    out[i * other.cols + j] += f64::from(ai) * f64::from(bj);
+                }
+            }
+        }
+        Mat::from_vec(
+            self.cols,
+            other.cols,
+            out.into_iter().map(|x| x as f32).collect(),
+        )
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Strictly-lower-triangular copy (Algorithm 2's `tril`, excluding the
+    /// diagonal, as in the Byrd–Nocedal–Schnabel compact representation).
+    pub fn tril_strict(&self) -> Mat {
+        let mut out = Mat::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols.min(r) {
+                out.set(r, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Diagonal copy (Algorithm 2's `diag`).
+    pub fn diag(&self) -> Mat {
+        let mut out = Mat::zeros(self.rows, self.cols);
+        for i in 0..self.rows.min(self.cols) {
+            out.set(i, i, self.get(i, i));
+        }
+        out
+    }
+
+    /// Assembles a 2×2 block matrix `[[a, b], [c, d]]`.
+    ///
+    /// Used to build the `2s × 2s` middle matrix of compact L-BFGS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if block shapes are inconsistent.
+    pub fn block2x2(a: &Mat, b: &Mat, c: &Mat, d: &Mat) -> Mat {
+        assert_eq!(a.rows, b.rows, "block2x2: top row height mismatch");
+        assert_eq!(c.rows, d.rows, "block2x2: bottom row height mismatch");
+        assert_eq!(a.cols, c.cols, "block2x2: left column width mismatch");
+        assert_eq!(b.cols, d.cols, "block2x2: right column width mismatch");
+        let rows = a.rows + c.rows;
+        let cols = a.cols + b.cols;
+        let mut out = Mat::zeros(rows, cols);
+        for r in 0..a.rows {
+            for cc in 0..a.cols {
+                out.set(r, cc, a.get(r, cc));
+            }
+            for cc in 0..b.cols {
+                out.set(r, a.cols + cc, b.get(r, cc));
+            }
+        }
+        for r in 0..c.rows {
+            for cc in 0..c.cols {
+                out.set(a.rows + r, cc, c.get(r, cc));
+            }
+            for cc in 0..d.cols {
+                out.set(a.rows + r, a.cols + cc, d.get(r, cc));
+            }
+        }
+        out
+    }
+
+    /// `self ← self · s` (scalar).
+    pub fn scale_in_place(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Maximum absolute element difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Mat) -> f32 {
+        assert_eq!(self.rows, other.rows, "max_abs_diff: shape mismatch");
+        assert_eq!(self.cols, other.cols, "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", &self.row(r)[..self.cols.min(8)])?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_index() {
+        let m = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_cols_matches_from_rows_transposed() {
+        let c = Mat::from_cols(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let r = Mat::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]);
+        assert_eq!(c, r);
+    }
+
+    #[test]
+    fn eye_matvec_is_identity() {
+        let i = Mat::eye(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn tr_matmul_equals_explicit_transpose_product() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let fast = a.tr_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.max_abs_diff(&slow) < 1e-6);
+    }
+
+    #[test]
+    fn tr_matvec_equals_transpose_matvec() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let v = [1.0, -1.0, 2.0];
+        assert_eq!(a.tr_matvec(&v), a.transpose().matvec(&v));
+    }
+
+    #[test]
+    fn tril_and_diag() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.tril_strict(), Mat::from_rows(&[&[0.0, 0.0], &[3.0, 0.0]]));
+        assert_eq!(a.diag(), Mat::from_rows(&[&[1.0, 0.0], &[0.0, 4.0]]));
+    }
+
+    #[test]
+    fn block2x2_assembles() {
+        let a = Mat::from_rows(&[&[1.0]]);
+        let b = Mat::from_rows(&[&[2.0]]);
+        let c = Mat::from_rows(&[&[3.0]]);
+        let d = Mat::from_rows(&[&[4.0]]);
+        let m = Mat::block2x2(&a, &b, &c, &d);
+        assert_eq!(m, Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Mat::zeros(1, 1));
+        assert!(s.contains("Mat 1x1"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic seed derivation.
+//!
+//! Every stochastic component in the repository (data generation, client
+//! sampling, weight initialisation, attack poisoning, churn) takes an
+//! explicit seed. To avoid accidental correlation between components that
+//! share a master seed, seeds are derived per-(component, stream) with
+//! SplitMix64 — the standard generator-seeding mixer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One SplitMix64 step: a high-quality 64-bit mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent seed for a named stream of a master seed.
+///
+/// Distinct `(master, stream)` pairs produce decorrelated seeds, so e.g.
+/// client 7's local shuffling never correlates with client 8's weight
+/// noise even when both derive from the same experiment seed.
+///
+/// ```
+/// use fuiov_tensor::rng::derive_seed;
+/// assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+/// assert_eq!(derive_seed(42, 3), derive_seed(42, 3));
+/// ```
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    splitmix64(splitmix64(master) ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// A seeded [`StdRng`] for a `(master, stream)` pair.
+pub fn rng_for(master: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, stream))
+}
+
+/// Stream-id helpers so call sites don't invent overlapping constants.
+///
+/// Each component of the stack owns a disjoint stream namespace.
+pub mod streams {
+    /// Data-generation streams start here.
+    pub const DATA: u64 = 0x0100_0000;
+    /// Model weight initialisation.
+    pub const INIT: u64 = 0x0200_0000;
+    /// Per-client local training (add the client id).
+    pub const CLIENT: u64 = 0x0300_0000;
+    /// Attack poisoning decisions.
+    pub const ATTACK: u64 = 0x0400_0000;
+    /// IoV churn (arrivals/departures/dropouts).
+    pub const CHURN: u64 = 0x0500_0000;
+    /// Baseline algorithms (noise in FedRecovery, etc.).
+    pub const BASELINE: u64 = 0x0600_0000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let a = derive_seed(99, streams::DATA);
+        let b = derive_seed(99, streams::INIT);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn rng_for_reproducible_sequence() {
+        let mut a = rng_for(7, 3);
+        let mut b = rng_for(7, 3);
+        let xs: Vec<u32> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..4).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn adjacent_streams_decorrelated() {
+        // Weak sanity check: first draws from adjacent streams differ.
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64u64 {
+            let v: u64 = rng_for(5, s).gen();
+            assert!(seen.insert(v), "collision between adjacent streams");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Dense linear solves via LU factorisation with partial pivoting.
+//!
+//! The unlearning pipeline solves one `2s × 2s` system per Hessian-vector
+//! product (Algorithm 2, line 5), with `s = 2` in the paper — so these are
+//! tiny systems and a textbook LU with partial pivoting is both adequate and
+//! easy to verify. Singularity (which occurs when L-BFGS vector pairs are
+//! linearly dependent, e.g. two identical rounds) is reported as an error so
+//! the recovery loop can fall back to a diagonal Hessian approximation.
+
+use crate::matrix::Mat;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a matrix is singular (or numerically so).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveError {
+    /// Pivot column at which elimination broke down.
+    pub pivot: usize,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular at pivot column {}", self.pivot)
+    }
+}
+
+impl Error for SolveError {}
+
+/// LU factorisation with partial pivoting, stored compactly.
+///
+/// ```
+/// use fuiov_tensor::{Mat, solve::Lu};
+/// # fn main() -> Result<(), fuiov_tensor::SolveError> {
+/// let a = Mat::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]); // needs pivoting
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&[2.0, 2.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-6 && (x[1] - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Mat,
+    /// Row permutation applied: row `i` of the factored matrix came from
+    /// original row `perm[i]`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    perm_sign: f32,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] if the matrix is singular to working
+    /// precision (pivot magnitude below `1e-12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn factor(a: &Mat) -> Result<Self, SolveError> {
+        assert_eq!(a.rows(), a.cols(), "Lu::factor: matrix must be square");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0f32;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(SolveError { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(p, c));
+                    lu.set(p, c, tmp);
+                }
+                perm.swap(k, p);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                for c in (k + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(k, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for one right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    #[allow(clippy::needless_range_loop)] // substitution indexes y and lu jointly
+    pub fn solve(&self, b: &[f32]) -> Vec<f32> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Lu::solve: rhs length mismatch");
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut y: Vec<f32> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut acc = f64::from(y[r]);
+            for c in 0..r {
+                acc -= f64::from(self.lu.get(r, c)) * f64::from(y[c]);
+            }
+            y[r] = acc as f32;
+        }
+        // Back substitution with U.
+        for r in (0..n).rev() {
+            let mut acc = f64::from(y[r]);
+            for c in (r + 1)..n {
+                acc -= f64::from(self.lu.get(r, c)) * f64::from(y[c]);
+            }
+            y[r] = (acc / f64::from(self.lu.get(r, r))) as f32;
+        }
+        y
+    }
+
+    /// Solves `A·X = B` column-by-column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != dim()`.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        assert_eq!(b.rows(), self.dim(), "Lu::solve_mat: row count mismatch");
+        let cols: Vec<Vec<f32>> = (0..b.cols()).map(|j| self.solve(&b.col(j))).collect();
+        Mat::from_cols(&cols)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f32 {
+        let mut d = f64::from(self.perm_sign);
+        for i in 0..self.dim() {
+            d *= f64::from(self.lu.get(i, i));
+        }
+        d as f32
+    }
+}
+
+/// Convenience: factor-and-solve for a single right-hand side.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if `a` is singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+pub fn solve(a: &Mat, b: &[f32]) -> Result<Vec<f32>, SolveError> {
+    Ok(Lu::factor(a)?.solve(b))
+}
+
+/// Explicit inverse (used only by the dense reference implementation of
+/// Algorithm 2; the production path solves systems instead).
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if `a` is singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn inverse(a: &Mat) -> Result<Mat, SolveError> {
+    let lu = Lu::factor(a)?;
+    Ok(lu.solve_mat(&Mat::eye(a.rows())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::l2_distance;
+
+    #[test]
+    fn solve_identity() {
+        let x = solve(&Mat::eye(3), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5]  =>  x = [0.8, 1.4]
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!(l2_distance(&x, &[0.8, 1.4]) < 1e-5);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!(l2_distance(&x, &[3.0, 2.0]) < 1e-6);
+    }
+
+    #[test]
+    fn singular_reports_error() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = solve(&a, &[1.0, 1.0]).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Mat::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Mat::eye(2)) < 1e-5);
+    }
+
+    #[test]
+    fn det_of_permuted_matrix() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]);
+        let b = Mat::from_rows(&[&[3.0, 6.0], &[2.0, 4.0]]);
+        let x = Lu::factor(&a).unwrap().solve_mat(&b);
+        assert!(x.max_abs_diff(&Mat::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]])) < 1e-5);
+    }
+
+    #[test]
+    fn random_solve_residual_is_small() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 4, 8] {
+            let data: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let a = Mat::from_vec(n, n, data);
+            let b: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            match solve(&a, &b) {
+                Ok(x) => {
+                    let r = a.matvec(&x);
+                    assert!(l2_distance(&r, &b) < 1e-3, "residual too large for n={n}");
+                }
+                Err(_) => { /* random singular matrix: acceptable */ }
+            }
+        }
+    }
+}

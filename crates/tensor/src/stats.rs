@@ -1,0 +1,148 @@
+//! Summary statistics used by the evaluation harness and the data
+//! generators (class-balance checks, accuracy aggregation, sweeps).
+
+/// Arithmetic mean, `0.0` for empty input.
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.iter().map(|v| f64::from(*v)).sum::<f64>() / x.len() as f64) as f32
+}
+
+/// Population variance, `0.0` for inputs with fewer than two elements.
+pub fn variance(x: &[f32]) -> f32 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = f64::from(mean(x));
+    (x.iter()
+        .map(|v| {
+            let d = f64::from(*v) - m;
+            d * d
+        })
+        .sum::<f64>()
+        / x.len() as f64) as f32
+}
+
+/// Population standard deviation.
+pub fn stddev(x: &[f32]) -> f32 {
+    variance(x).sqrt()
+}
+
+/// Minimum element, `None` for empty input. NaNs are ignored.
+pub fn min(x: &[f32]) -> Option<f32> {
+    x.iter().copied().filter(|v| !v.is_nan()).reduce(f32::min)
+}
+
+/// Maximum element, `None` for empty input. NaNs are ignored.
+pub fn max(x: &[f32]) -> Option<f32> {
+    x.iter().copied().filter(|v| !v.is_nan()).reduce(f32::max)
+}
+
+/// Index of the largest element (first on ties), `None` for empty input.
+///
+/// This is the prediction rule for softmax outputs.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Histogram of `x` over `bins` equal-width buckets spanning `[lo, hi)`;
+/// values outside the range are clamped into the edge buckets.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+pub fn histogram(x: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram: bins must be positive");
+    assert!(lo < hi, "histogram: empty range");
+    let mut h = vec![0usize; bins];
+    let width = (hi - lo) / bins as f32;
+    for &v in x {
+        let idx = (((v - lo) / width).floor() as isize).clamp(0, bins as isize - 1);
+        h[idx as usize] += 1;
+    }
+    h
+}
+
+/// `p`-th percentile (0–100) via linear interpolation on the sorted data,
+/// `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(x: &[f32], p: f32) -> Option<f32> {
+    assert!((0.0..=100.0).contains(&p), "percentile: p out of range");
+    if x.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f32> = x.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f32;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile), `None` for empty input.
+pub fn median(x: &[f32]) -> Option<f32> {
+    percentile(x, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-6);
+        assert!((variance(&x) - 4.0).abs() < 1e-6);
+        assert!((stddev(&x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn min_max_skip_nan() {
+        assert_eq!(min(&[f32::NAN, 2.0, 1.0]), Some(1.0));
+        assert_eq!(max(&[3.0, f32::NAN]), Some(3.0));
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let h = histogram(&[-10.0, 0.1, 0.5, 0.9, 10.0], 0.0, 1.0, 2);
+        // 0.5 lands in the upper half-open bucket; outliers clamp to edges.
+        assert_eq!(h, vec![2, 3]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&x, 0.0), Some(1.0));
+        assert_eq!(percentile(&x, 100.0), Some(4.0));
+        assert_eq!(median(&x), Some(2.5));
+    }
+}

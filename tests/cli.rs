@@ -1,0 +1,111 @@
+//! Integration tests for the `fuiov` CLI binary: the full
+//! train → info → unlearn → eval round trip through the filesystem.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fuiov"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fuiov-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn train_info_unlearn_eval_roundtrip() {
+    let hist = tmp("hist.bin");
+    let model = tmp("model.ckpt");
+
+    let out = bin()
+        .args(["train", "--out", hist.to_str().unwrap(), "--clients", "4", "--rounds", "8", "--seed", "5"])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("final accuracy"), "{stdout}");
+    assert!(hist.exists());
+
+    let out = bin()
+        .args(["info", "--history", hist.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rounds recorded:   9"), "{stdout}");
+    assert!(stdout.contains("joined round   2"), "forgotten client F=2 missing: {stdout}");
+
+    let out = bin()
+        .args([
+            "unlearn",
+            "--history",
+            hist.to_str().unwrap(),
+            "--client",
+            "3",
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run unlearn");
+    assert!(out.status.success(), "unlearn failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    let out = bin()
+        .args(["eval", "--model", model.to_str().unwrap(), "--seed", "5"])
+        .output()
+        .expect("run eval");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("accuracy:"));
+
+    let _ = std::fs::remove_file(&hist);
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn unlearn_unknown_client_fails_cleanly() {
+    let hist = tmp("hist2.bin");
+    let out = bin()
+        .args(["train", "--out", hist.to_str().unwrap(), "--clients", "3", "--rounds", "5", "--seed", "1"])
+        .output()
+        .expect("run train");
+    assert!(out.status.success());
+
+    let out = bin()
+        .args([
+            "unlearn",
+            "--history",
+            hist.to_str().unwrap(),
+            "--client",
+            "99",
+            "--out",
+            tmp("never.ckpt").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run unlearn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("never participated"));
+    let _ = std::fs::remove_file(&hist);
+}
+
+#[test]
+fn bad_invocations_fail_with_usage() {
+    let out = bin().output().expect("run bare");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = bin().args(["wibble"]).output().expect("run unknown");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin().args(["info"]).output().expect("run info without args");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--history"));
+
+    let out = bin()
+        .args(["info", "--history", "/nonexistent/nope.bin"])
+        .output()
+        .expect("run info missing file");
+    assert!(!out.status.success());
+}

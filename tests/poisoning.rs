@@ -1,0 +1,135 @@
+//! Integration tests for the poisoning → unlearning → recovery story
+//! (the paper's Fig. 1 scenario at test scale).
+
+use fuiov::attacks::{backdoor_asr, backdoor_client, Backdoor, Corner, Trigger};
+use fuiov::data::{partition::partition_iid, Dataset, DigitStyle};
+use fuiov::fl::mobility::{ChurnSchedule, Membership};
+use fuiov::fl::{Client, FlConfig, HonestClient, Server};
+use fuiov::nn::ModelSpec;
+use fuiov::unlearn::{backtrack_set, calibrate_lr, recover_set, NoOracle, RecoveryConfig};
+
+const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 16, classes: 10 };
+
+fn bright_backdoor() -> Backdoor {
+    Backdoor {
+        trigger: Trigger { size: 3, value: 1.0, corner: Corner::BottomRight },
+        target_class: 2,
+        fraction: 0.8,
+    }
+}
+
+fn train_poisoned(seed: u64, rounds: usize) -> (Server, Dataset, Vec<usize>) {
+    let n_clients = 6;
+    let malicious = vec![1usize, 4];
+    let attack = bright_backdoor();
+    let style = DigitStyle { size: 12, ..Default::default() };
+    let train = Dataset::digits(n_clients * 30, &style, seed);
+    let test = Dataset::digits(150, &style, seed + 1);
+    let shards = partition_iid(train.len(), n_clients, seed);
+    let mut clients: Vec<Box<dyn Client>> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(id, idx)| {
+            let shard = train.subset(&idx);
+            if malicious.contains(&id) {
+                Box::new(backdoor_client(id, SPEC, shard, &attack, 30, seed)) as Box<dyn Client>
+            } else {
+                Box::new(HonestClient::new(id, SPEC, shard, 30, seed)) as Box<dyn Client>
+            }
+        })
+        .collect();
+    let mut schedule = ChurnSchedule::static_membership(n_clients, rounds);
+    for &m in &malicious {
+        schedule.set_membership(m, Membership { joined: 2, leaves_after: None, dropouts: vec![] });
+    }
+    let mut server = Server::new(FlConfig::new(rounds, 0.1).batch_size(30), SPEC.build(seed).params());
+    server.train(&mut clients, &schedule);
+    (server, test, malicious)
+}
+
+fn asr(params: &[f32], test: &Dataset) -> f32 {
+    let mut m = SPEC.build(0);
+    m.set_params(params);
+    backdoor_asr(&mut m, test, &bright_backdoor())
+}
+
+#[test]
+fn backdoor_poisons_then_unlearning_erases_it() {
+    let (server, test, malicious) = train_poisoned(9, 40);
+    let history = server.history();
+
+    let asr_before = asr(server.params(), &test);
+    assert!(
+        asr_before > 0.5,
+        "backdoor should have taken hold (ASR {asr_before})"
+    );
+
+    let bt = backtrack_set(history, &malicious).expect("backtrack");
+    let asr_forgotten = asr(&bt.params, &test);
+    assert!(
+        asr_forgotten < 0.3,
+        "forgetting should collapse the backdoor (ASR {asr_forgotten})"
+    );
+
+    let lr = calibrate_lr(history).map_or(0.01, |c| c * 2.0);
+    let out = recover_set(history, &malicious, &RecoveryConfig::new(lr), &mut NoOracle, |_, _| {})
+        .expect("recover");
+    let asr_recovered = asr(&out.params, &test);
+    assert!(
+        asr_recovered < 0.3,
+        "recovery must not re-introduce the backdoor (ASR {asr_recovered})"
+    );
+}
+
+#[test]
+fn recovery_excludes_every_member_of_the_forgotten_set() {
+    let (server, _test, malicious) = train_poisoned(11, 12);
+    let history = server.history();
+    let lr = calibrate_lr(history).map_or(0.01, |c| c * 2.0);
+    let out = recover_set(history, &malicious, &RecoveryConfig::new(lr), &mut NoOracle, |_, _| {})
+        .expect("recover");
+    assert_eq!(out.clients, malicious);
+    assert_eq!(out.start_round, 2);
+}
+
+#[test]
+fn scaling_attacker_is_contained_by_robust_aggregation() {
+    // Extension test: a gradient-scaling attacker is absorbed by the
+    // coordinate-median rule but visibly harms FedAvg.
+    use fuiov::attacks::ScalingAttacker;
+    use fuiov::fl::AggregationRule;
+
+    let run = |rule: AggregationRule| -> f32 {
+        let seed = 13;
+        let n_clients = 5;
+        let style = DigitStyle { size: 12, ..Default::default() };
+        let train = Dataset::digits(n_clients * 30, &style, seed);
+        let test = Dataset::digits(120, &style, seed + 1);
+        let shards = partition_iid(train.len(), n_clients, seed);
+        let mut clients: Vec<Box<dyn Client>> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, idx)| {
+                let honest = HonestClient::new(id, SPEC, train.subset(&idx), 30, seed);
+                if id == 0 {
+                    Box::new(ScalingAttacker::new(honest, -20.0)) as Box<dyn Client>
+                } else {
+                    Box::new(honest) as Box<dyn Client>
+                }
+            })
+            .collect();
+        let cfg = FlConfig::new(25, 0.1).batch_size(30).aggregation(rule);
+        let mut server = Server::new(cfg, SPEC.build(seed).params());
+        server.train(&mut clients, &ChurnSchedule::static_membership(n_clients, 25));
+        let mut m = SPEC.build(0);
+        m.set_params(server.params());
+        fuiov::eval::test_accuracy(&mut m, &test)
+    };
+
+    let fedavg = run(AggregationRule::FedAvg);
+    let median = run(AggregationRule::CoordinateMedian);
+    assert!(
+        median > fedavg + 0.05,
+        "median should resist the scaling attack: fedavg={fedavg} median={median}"
+    );
+}

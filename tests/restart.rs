@@ -1,0 +1,89 @@
+//! Integration test: the server-restart story. The RSU serialises its
+//! history, restarts (decode), and serves an unlearning request from the
+//! restored record — producing bit-identical results to the live path.
+
+use fuiov::data::{partition::partition_iid, Dataset, DigitStyle};
+use fuiov::fl::mobility::{ChurnSchedule, Membership};
+use fuiov::fl::{Client, FlConfig, HonestClient, Server};
+use fuiov::nn::ModelSpec;
+use fuiov::storage::serialize::{decode_history, encode_history};
+use fuiov::unlearn::{RecoveryConfig, Unlearner};
+
+const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 16, classes: 10 };
+
+fn trained_server(seed: u64) -> Server {
+    let n = 4;
+    let rounds = 12;
+    let data = Dataset::digits(n * 20, &DigitStyle::small(), seed);
+    let parts = partition_iid(data.len(), n, seed);
+    let mut clients: Vec<Box<dyn Client>> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(id, idx)| {
+            Box::new(HonestClient::new(id, SPEC, data.subset(&idx), 20, seed))
+                as Box<dyn Client>
+        })
+        .collect();
+    let mut schedule = ChurnSchedule::static_membership(n, rounds);
+    schedule.set_membership(
+        3,
+        Membership { joined: 2, leaves_after: None, dropouts: vec![] },
+    );
+    let mut server = Server::new(
+        FlConfig::new(rounds, 0.1).batch_size(20).parallel_clients(false),
+        SPEC.build(seed).params(),
+    );
+    server.train(&mut clients, &schedule);
+    server
+}
+
+#[test]
+fn recovery_from_restored_history_is_bit_identical() {
+    let server = trained_server(31);
+    let live_history = server.history();
+
+    let blob = encode_history(live_history);
+    let restored = decode_history(&blob).expect("own encoding decodes");
+
+    let cfg = RecoveryConfig::new(0.01);
+    let live = Unlearner::new(live_history, cfg)
+        .forget_and_recover(3)
+        .expect("live recovery");
+    let cold = Unlearner::new(&restored, cfg)
+        .forget_and_recover(3)
+        .expect("restored recovery");
+
+    assert_eq!(live.params, cold.params, "restart must not change recovery");
+    assert_eq!(live.start_round, cold.start_round);
+    assert_eq!(live.rounds_replayed, cold.rounds_replayed);
+}
+
+#[test]
+fn blob_keeps_the_storage_savings() {
+    let server = trained_server(32);
+    let h = server.history();
+    let blob = encode_history(h);
+    // The blob's gradient section stays 2-bit packed: total size is
+    // dominated by the f32 models, and is far below what full-f32
+    // gradients would need.
+    let full_equiv = h.full_gradient_bytes_equivalent() + h.model_bytes();
+    assert!(
+        blob.len() < full_equiv / 2,
+        "blob {} B vs full-precision equivalent {} B",
+        blob.len(),
+        full_equiv
+    );
+}
+
+#[test]
+fn restored_history_preserves_churn_metadata() {
+    let server = trained_server(33);
+    let h = server.history();
+    let restored = decode_history(&encode_history(h)).unwrap();
+    assert_eq!(restored.join_round(3), Some(2));
+    assert_eq!(restored.clients(), h.clients());
+    for c in h.clients() {
+        assert_eq!(restored.weight(c), h.weight(c));
+    }
+    assert_eq!(restored.gradient_savings_ratio(), h.gradient_savings_ratio());
+}
