@@ -23,7 +23,7 @@ use fuiov_fl::aggregate::aggregate;
 use fuiov_fl::config::AggregationRule;
 use fuiov_storage::history::FullGradientStore;
 use fuiov_storage::{ClientId, HistoryStore};
-use fuiov_tensor::vector;
+use fuiov_tensor::{pool, vector};
 use std::collections::BTreeMap;
 
 /// FedRecover's knobs.
@@ -143,10 +143,12 @@ pub fn fedrecover(
         let mut grads: Vec<Vec<f32>> = Vec::new();
         let mut weights: Vec<f32> = Vec::new();
 
-        for &client in &remaining {
-            let Some(g_hist) = full.gradient(t, client) else { continue };
-            let mut est = if correction_round {
-                if let Some(exact) = oracle.gradient_at(client, &params) {
+        if correction_round {
+            // Correction rounds stay serial: the oracle is `&mut` and the
+            // vector-pair refresh mutates shared state per client.
+            for &client in &remaining {
+                let Some(g_hist) = full.gradient(t, client) else { continue };
+                let mut est = if let Some(exact) = oracle.gradient_at(client, &params) {
                     exact_queries += 1;
                     // Use the exact gradient and refresh this client's
                     // vector pairs with ground truth.
@@ -162,19 +164,30 @@ pub fn fedrecover(
                     }
                     exact
                 } else {
-                    estimate(g_hist, &dw_t, approxes.get(&client), &mut estimator_fallbacks)
-                }
-            } else {
-                estimate(g_hist, &dw_t, approxes.get(&client), &mut estimator_fallbacks)
-            };
-            if let Some(factor) = config.estimate_clip_factor {
-                let bound = factor * vector::l2_norm(g_hist);
-                if bound > 0.0 {
-                    vector::clip_l2(&mut est, bound);
-                }
+                    let (est, fallback) = estimate(g_hist, &dw_t, approxes.get(&client));
+                    estimator_fallbacks += usize::from(fallback);
+                    est
+                };
+                clip_estimate(&mut est, g_hist, config);
+                weights.push(history.weight(client));
+                grads.push(est);
             }
-            weights.push(history.weight(client));
-            grads.push(est);
+        } else {
+            // Pure estimation rounds read shared state only, so the
+            // per-client HVP + clip fans out over the pool; `par_map`
+            // preserves `remaining` order, keeping aggregation (and the
+            // recovered model) identical to the serial loop.
+            let per_client = pool::par_map(&remaining, 1, |_i, &client| {
+                let g_hist = full.gradient(t, client)?;
+                let (mut est, fallback) = estimate(g_hist, &dw_t, approxes.get(&client));
+                clip_estimate(&mut est, g_hist, config);
+                Some((client, est, fallback))
+            });
+            for (client, est, fallback) in per_client.into_iter().flatten() {
+                estimator_fallbacks += usize::from(fallback);
+                weights.push(history.weight(client));
+                grads.push(est);
+            }
         }
 
         if !grads.is_empty() {
@@ -191,18 +204,28 @@ pub fn fedrecover(
     })
 }
 
-fn estimate(
-    g_hist: &[f32],
-    dw: &[f32],
-    approx: Option<&LbfgsApprox>,
-    fallbacks: &mut usize,
-) -> Vec<f32> {
+/// Cauchy-MVT estimate `g + H̃·dw`; the flag reports an estimator
+/// fallback (no approximation available, raw history used).
+fn estimate(g_hist: &[f32], dw: &[f32], approx: Option<&LbfgsApprox>) -> (Vec<f32>, bool) {
     let mut est = g_hist.to_vec();
     match approx {
-        Some(a) => vector::axpy(1.0, &a.hvp(dw), &mut est),
-        None => *fallbacks += 1,
+        Some(a) => {
+            vector::axpy(1.0, &a.hvp(dw), &mut est);
+            (est, false)
+        }
+        None => (est, true),
     }
-    est
+}
+
+/// FedRecover's estimate-magnitude guard (L2 clip at a multiple of the
+/// historical gradient norm).
+fn clip_estimate(est: &mut [f32], g_hist: &[f32], config: &FedRecoverConfig) {
+    if let Some(factor) = config.estimate_clip_factor {
+        let bound = factor * vector::l2_norm(g_hist);
+        if bound > 0.0 {
+            vector::clip_l2(est, bound);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +329,27 @@ mod tests {
             err_corrected <= err_uncorrected + 1e-6,
             "corrections should not hurt: {err_corrected} vs {err_uncorrected}"
         );
+    }
+
+    #[test]
+    fn parallel_and_serial_fedrecover_give_identical_models() {
+        // Estimation rounds fan out over the pool; fixed-order aggregation
+        // keeps the result bitwise identical to the serial loop.
+        let (h, fs) = synthetic(40, 5, 1);
+        let mut cfg = FedRecoverConfig::new(0.05);
+        cfg.correction_interval = 7;
+        let run = |threads: usize| {
+            fuiov_tensor::pool::set_threads(threads);
+            let out = fedrecover(&h, &fs, 1, &cfg, &mut ExactOracle).unwrap();
+            fuiov_tensor::pool::set_threads(0);
+            (
+                out.params.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                out.exact_queries,
+                out.estimator_fallbacks,
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "4-thread FedRecover diverged from serial");
     }
 
     #[test]

@@ -87,6 +87,34 @@ fn bench_lbfgs(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gemm(c: &mut Criterion) {
+    use fuiov_tensor::{pool, Mat};
+
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    // 32×144×6272 is conv2 of the paper's MNIST CNN at batch 32: the
+    // 32×(16·3²) weight matrix times the batched im2col column matrix.
+    // 256³ is a cache-pressure probe for the column tiling.
+    for &(m, k, n) in &[(32usize, 144usize, 6272usize), (256, 256, 256)] {
+        let a = Mat::from_vec(m, k, random_vec(m * k, 11));
+        let b_mat = Mat::from_vec(k, n, random_vec(k * n, 12));
+        let label = format!("{m}x{k}x{n}");
+        group.throughput(Throughput::Elements((m * k * n) as u64));
+        group.bench_function(BenchmarkId::new("naive", &label), |b| {
+            b.iter(|| black_box(a.matmul_naive(&b_mat)));
+        });
+        pool::set_threads(1);
+        group.bench_function(BenchmarkId::new("blocked_serial", &label), |b| {
+            b.iter(|| black_box(a.matmul(&b_mat)));
+        });
+        pool::set_threads(0); // hardware width
+        group.bench_function(BenchmarkId::new("blocked_parallel", &label), |b| {
+            b.iter(|| black_box(a.matmul(&b_mat)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_recovery_round(c: &mut Criterion) {
     // One server-side recovery round at paper MNIST size: n clients ×
     // (unpack + hvp + clip) + aggregation. This is the cost that replaces
@@ -127,6 +155,25 @@ fn bench_recovery_round(c: &mut Criterion) {
             black_box(aggregate(AggregationRule::FedAvg, &ests, &weights))
         });
     });
+    // The same round through the pool's ordered fan-out (the exact code
+    // shape `recover_set` now uses), pinned serial vs hardware-wide. The
+    // two must produce identical bytes; only wall-clock may differ.
+    for (label, threads) in [("serial", 1usize), ("parallel", 0usize)] {
+        fuiov_tensor::pool::set_threads(threads);
+        group.bench_function(format!("par_map_{label}_20clients_52k"), |b| {
+            b.iter(|| {
+                let ests = fuiov_tensor::pool::par_map(&dirs, 1, |_i, d| {
+                    let mut est = d.to_f32();
+                    let corr = approx.hvp(&dw);
+                    fuiov_tensor::vector::axpy(1.0, &corr, &mut est);
+                    fuiov_tensor::vector::clip_elementwise(&mut est, 1.0);
+                    est
+                });
+                black_box(aggregate(AggregationRule::FedAvg, &ests, &weights))
+            });
+        });
+    }
+    fuiov_tensor::pool::set_threads(0);
     group.finish();
 }
 
@@ -165,6 +212,7 @@ criterion_group!(
     benches,
     bench_aggregation,
     bench_lbfgs,
+    bench_gemm,
     bench_recovery_round,
     bench_conv_backends
 );

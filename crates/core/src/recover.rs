@@ -26,7 +26,7 @@ use crate::lbfgs::{LbfgsApprox, PairBuffer};
 use fuiov_fl::aggregate::aggregate;
 use fuiov_fl::config::AggregationRule;
 use fuiov_storage::{ClientId, HistoryStore, Round};
-use fuiov_tensor::vector;
+use fuiov_tensor::{pool, vector};
 use std::collections::BTreeMap;
 
 /// Configuration of the recovery stage, defaulting to the paper's §V-A3
@@ -376,26 +376,35 @@ pub fn recover_set(
         };
         let dw_t = vector::sub(&params, &w_t); // w̄_t − w_t
 
-        let mut grads: Vec<Vec<f32>> = Vec::new();
-        let mut weights: Vec<f32> = Vec::new();
-        let mut raw_estimates: Vec<(ClientId, Vec<f32>)> = Vec::new();
-
-        for &client in &remaining {
-            let Some(dir) = history.direction(t, client) else {
-                continue; // client did not participate in round t
-            };
+        // Per-client HVP + clip is embarrassingly parallel over read-only
+        // inputs; `par_map` returns results in `remaining` order, so the
+        // aggregation below consumes estimates in exactly the serial
+        // client order and the recovered model is bitwise identical at any
+        // pool width (DESIGN.md §5).
+        let per_client = pool::par_map(&remaining, 1, |_i, &client| {
+            // `None` = client did not participate in round t.
+            let dir = history.direction(t, client)?;
             let mut est = dir.to_f32();
+            let mut fallback = false;
             if config.hessian_correction {
                 match approxes.get(&client) {
                     Some(approx) => {
                         let correction = approx.hvp(&dw_t);
                         vector::axpy(1.0, &correction, &mut est);
                     }
-                    None => estimator_fallbacks += 1,
+                    None => fallback = true,
                 }
             }
             vector::clip_elementwise(&mut est, config.clip_threshold);
-            raw_estimates.push((client, est.clone()));
+            Some((client, est, fallback))
+        });
+
+        let mut participants: Vec<ClientId> = Vec::new();
+        let mut grads: Vec<Vec<f32>> = Vec::new();
+        let mut weights: Vec<f32> = Vec::new();
+        for (client, est, fallback) in per_client.into_iter().flatten() {
+            estimator_fallbacks += usize::from(fallback);
+            participants.push(client);
             weights.push(history.weight(client));
             grads.push(est);
         }
@@ -426,19 +435,21 @@ pub fn recover_set(
             if diverging {
                 growth_run = 0;
             }
-            for (client, est) in &raw_estimates {
-                let Some(dir) = history.direction(t, *client) else { continue };
+            // The clipped estimates live in `grads` (aligned with
+            // `participants`), so refreshing needs no per-round clones.
+            for (&client, est) in participants.iter().zip(&grads) {
+                let Some(dir) = history.direction(t, client) else { continue };
                 let stored = dir.to_f32();
                 let dg = vector::sub(est, &stored);
                 if vector::l2_norm(&dg) <= 1e-12 {
                     continue; // clipped estimate identical to history: no info
                 }
                 let buf = buffers
-                    .entry(*client)
+                    .entry(client)
                     .or_insert_with(|| PairBuffer::new(config.buffer_size));
                 buf.push(dw_t.clone(), dg);
                 if let Ok(approx) = buf.approximation() {
-                    approxes.insert(*client, approx);
+                    approxes.insert(client, approx);
                 }
                 // On failure keep the previous approximation.
             }
@@ -540,6 +551,28 @@ mod tests {
         assert_eq!(out.update_norms.len(), 28);
         assert_eq!(out.params.len(), 6);
         assert!(out.update_norms.iter().all(|&n| n.is_finite()));
+    }
+
+    #[test]
+    fn parallel_and_serial_recovery_give_identical_models() {
+        // Golden determinism: per-client estimation fans out over the pool
+        // but aggregates in fixed client order, so the recovered model must
+        // be bitwise identical at every thread count (DESIGN.md §5).
+        let h = synthetic_history(30, 6, 1);
+        let cfg = RecoveryConfig::new(0.05).pair_refresh_interval(5);
+        let run = |threads: usize| {
+            fuiov_tensor::pool::set_threads(threads);
+            let out = recover(&h, 1, &cfg, &mut NoOracle, |_, _| {}).unwrap();
+            fuiov_tensor::pool::set_threads(0);
+            (
+                out.params.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                out.estimator_fallbacks,
+                out.update_norms.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(3), "3-thread recovery diverged from serial");
+        assert_eq!(serial, run(8), "8-thread recovery diverged from serial");
     }
 
     #[test]

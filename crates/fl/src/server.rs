@@ -200,10 +200,8 @@ impl Server {
             .enumerate()
             .filter(|(i, _)| active_set.contains(i))
             .collect();
-        let threads = std::thread::available_parallelism()
-            .map_or(4, usize::from)
-            .min(work.len())
-            .max(1);
+        // Same worker-count knob as the tensor kernels (FUIOV_THREADS).
+        let threads = fuiov_tensor::pool::threads().min(work.len()).max(1);
         let mut assignments: Vec<Vec<(usize, &mut Box<dyn Client>)>> =
             (0..threads).map(|_| Vec::new()).collect();
         for (i, item) in work.drain(..).enumerate() {

@@ -35,8 +35,10 @@ pub struct Conv2d {
     grad_weight: Vec<f32>,
     grad_bias: Vec<f32>,
     cached_input: Option<Tensor4>,
-    /// One unfolded column matrix per batch item (im2col backend only).
-    cached_cols: Option<Vec<Mat>>,
+    /// The whole minibatch unfolded into one `(in_c·k²) × (n·oh·ow)` column
+    /// matrix (im2col backend only); item `b` owns column range
+    /// `[b·oh·ow, (b+1)·oh·ow)`.
+    cached_cols: Option<Mat>,
 }
 
 impl Conv2d {
@@ -85,38 +87,45 @@ impl Conv2d {
         self.backend
     }
 
-    /// Unfolds one batch item into a `(in_c·k²) × (oh·ow)` column matrix.
-    fn im2col(&self, x: &Tensor4, b: usize) -> Mat {
-        let (_, _, h, w) = x.shape();
+    /// Unfolds the whole minibatch into one `(in_c·k²) × (n·oh·ow)` column
+    /// matrix, so forward and backward each run a single large GEMM instead
+    /// of one small GEMM per batch item.
+    fn im2col_batch(&self, x: &Tensor4) -> Mat {
+        let (n, _, h, w) = x.shape();
         let (oh, ow) = self.out_hw(h, w);
         let k = self.kernel;
         let p = self.padding as isize;
         let rows = self.in_channels * k * k;
-        let mut col = Mat::zeros(rows, oh * ow);
-        for ic in 0..self.in_channels {
-            for dy in 0..k {
-                for dx in 0..k {
-                    let row = (ic * k + dy) * k + dx;
-                    for y in 0..oh {
-                        let iy = y as isize + dy as isize - p;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for xx in 0..ow {
-                            let ix = xx as isize + dx as isize - p;
-                            if ix < 0 || ix >= w as isize {
+        let plane = oh * ow;
+        let total = n * plane;
+        let mut data = vec![0.0f32; rows * total];
+        for b in 0..n {
+            for ic in 0..self.in_channels {
+                for dy in 0..k {
+                    for dx in 0..k {
+                        let row = (ic * k + dy) * k + dx;
+                        let dst = &mut data[row * total + b * plane..][..plane];
+                        for y in 0..oh {
+                            let iy = y as isize + dy as isize - p;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            col.set(row, y * ow + xx, x.get(b, ic, iy as usize, ix as usize));
+                            let src = &x.plane(b, ic)[iy as usize * w..][..w];
+                            for xx in 0..ow {
+                                let ix = xx as isize + dx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                dst[y * ow + xx] = src[ix as usize];
+                            }
                         }
                     }
                 }
             }
         }
-        col
+        Mat::from_vec(rows, total, data)
     }
 
-    #[allow(clippy::needless_range_loop)] // batch index feeds several tensors
     fn forward_im2col(&mut self, x: &Tensor4) -> Tensor4 {
         let (n, _, h, w) = x.shape();
         let (oh, ow) = self.out_hw(h, w);
@@ -126,24 +135,24 @@ impl Conv2d {
             self.in_channels * k * k,
             self.weight.clone(),
         );
+        let cols = self.im2col_batch(x);
+        let prod = w_mat.matmul(&cols); // out_c × (n·oh·ow)
+        let plane = oh * ow;
         let mut out = Tensor4::zeros(n, self.out_channels, oh, ow);
-        let mut cols = Vec::with_capacity(n);
         for b in 0..n {
-            let col = self.im2col(x, b);
-            let prod = w_mat.matmul(&col); // out_c × (oh·ow)
             for oc in 0..self.out_channels {
-                for i in 0..oh * ow {
-                    let idx = out.index(b, oc, i / ow, i % ow);
-                    out.as_mut_slice()[idx] = prod.get(oc, i) + self.bias[oc];
+                let src = &prod.row(oc)[b * plane..(b + 1) * plane];
+                let base = out.index(b, oc, 0, 0);
+                let dst = &mut out.as_mut_slice()[base..base + plane];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s + self.bias[oc];
                 }
             }
-            cols.push(col);
         }
         self.cached_cols = Some(cols);
         out
     }
 
-    #[allow(clippy::needless_range_loop)] // batch index feeds several tensors
     fn backward_im2col(&mut self, grad_out: &Tensor4) -> Tensor4 {
         let x = self
             .cached_input
@@ -157,48 +166,55 @@ impl Conv2d {
         let (oh, ow) = self.out_hw(h, w);
         let k = self.kernel;
         let p = self.padding as isize;
+        let plane = oh * ow;
+        let total = n * plane;
         let w_mat = Mat::from_vec(
             self.out_channels,
             self.in_channels * k * k,
             self.weight.clone(),
         );
+        // Batched g_mat: out_c × (n·oh·ow), column layout matching `cols`.
+        let g_mat = {
+            let mut data = vec![0.0f32; self.out_channels * total];
+            for oc in 0..self.out_channels {
+                for b in 0..n {
+                    data[oc * total + b * plane..][..plane]
+                        .copy_from_slice(grad_out.plane(b, oc));
+                }
+            }
+            Mat::from_vec(self.out_channels, total, data)
+        };
+        // grad_w += g_mat · colsᵀ ; grad_b += row-sums of g_mat — one GEMM
+        // for the whole batch instead of n small ones.
+        let gw = g_mat.matmul(&cols.transpose());
+        for (gv, &v) in self.grad_weight.iter_mut().zip(gw.as_slice()) {
+            *gv += v;
+        }
+        for oc in 0..self.out_channels {
+            self.grad_bias[oc] += g_mat.row(oc).iter().sum::<f32>();
+        }
+        // grad_col = w_matᵀ · g_mat, then scatter every item (col2im).
+        let gcol = w_mat.tr_matmul(&g_mat);
         let mut grad_in = Tensor4::zeros(n, self.in_channels, h, w);
         for b in 0..n {
-            // g_mat: out_c × (oh·ow) for this item.
-            let g_mat = {
-                let mut data = Vec::with_capacity(self.out_channels * oh * ow);
-                for oc in 0..self.out_channels {
-                    data.extend_from_slice(grad_out.plane(b, oc));
-                }
-                Mat::from_vec(self.out_channels, oh * ow, data)
-            };
-            // grad_w += g_mat · colᵀ ; grad_b += row-sums of g_mat.
-            let gw = g_mat.matmul(&cols[b].transpose());
-            for (gv, &v) in self.grad_weight.iter_mut().zip(gw.as_slice()) {
-                *gv += v;
-            }
-            for oc in 0..self.out_channels {
-                self.grad_bias[oc] += g_mat.row(oc).iter().sum::<f32>();
-            }
-            // grad_col = w_matᵀ · g_mat, then scatter (col2im).
-            let gcol = w_mat.tr_matmul(&g_mat);
             for ic in 0..self.in_channels {
                 for dy in 0..k {
                     for dx in 0..k {
                         let row = (ic * k + dy) * k + dx;
+                        let src = &gcol.row(row)[b * plane..(b + 1) * plane];
                         for y in 0..oh {
                             let iy = y as isize + dy as isize - p;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
+                            let dst_base = grad_in.index(b, ic, iy as usize, 0);
+                            let dst = &mut grad_in.as_mut_slice()[dst_base..dst_base + w];
                             for xx in 0..ow {
                                 let ix = xx as isize + dx as isize - p;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let idx =
-                                    grad_in.index(b, ic, iy as usize, ix as usize);
-                                grad_in.as_mut_slice()[idx] += gcol.get(row, y * ow + xx);
+                                dst[ix as usize] += src[y * ow + xx];
                             }
                         }
                     }
@@ -488,6 +504,41 @@ mod tests {
             .zip(&gb)
             .fold(0.0f32, |m, (p, q)| m.max((p - q).abs()));
         assert!(diff_p < 1e-3, "param grad mismatch {diff_p}");
+    }
+
+    #[test]
+    fn im2col_batched_is_bitwise_thread_invariant() {
+        // The batched im2col GEMM must produce identical bytes at any pool
+        // width (forward AND both backward gradients) — DESIGN.md §5.
+        let x = Tensor4::from_vec(
+            3,
+            2,
+            6,
+            6,
+            (0..216).map(|i| (i as f32 * 0.219).sin()).collect(),
+        );
+        let run = |threads: usize| {
+            fuiov_tensor::pool::set_threads(threads);
+            let mut c =
+                Conv2d::new(&mut rng(), 2, 4, 3, 1).with_backend(ConvBackend::Im2col);
+            let y = c.forward(&x);
+            let g = Tensor4::from_vec(
+                3,
+                4,
+                6,
+                6,
+                (0..y.len()).map(|i| (i as f32 * 0.57).cos()).collect(),
+            );
+            let gi = c.backward(&g);
+            let mut gp = vec![0.0; c.param_count()];
+            c.read_grads(&mut gp);
+            fuiov_tensor::pool::set_threads(0);
+            let to_bits = |s: &[f32]| s.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            (to_bits(y.as_slice()), to_bits(gi.as_slice()), to_bits(&gp))
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2), "2-thread run diverged from serial");
+        assert_eq!(serial, run(7), "7-thread run diverged from serial");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod matrix;
+pub mod pool;
 pub mod rng;
 pub mod solve;
 pub mod stats;

@@ -145,10 +145,35 @@ impl Mat {
 
     /// Matrix product `self · other`.
     ///
+    /// Cache-blocked over output columns and parallelised over contiguous
+    /// output-row bands via [`crate::pool`]. Each output element accumulates
+    /// over `k` in exactly the order of [`Mat::matmul_naive`] (including the
+    /// zero-skip), so the result is bitwise identical to the naive loop at
+    /// every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        let inner = self.cols;
+        let n = other.cols;
+        crate::pool::par_row_bands(&mut out.data, self.rows, n, |rows, band| {
+            gemm_band(&self.data, &other.data, inner, n, rows, band);
+        });
+        out
+    }
+
+    /// Reference GEMM: the original scalar triple loop.
+    ///
+    /// Kept as the golden kernel — [`Mat::matmul`] must reproduce its output
+    /// bit for bit — and as the benchmark baseline in `benches/micro.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_naive(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
         let mut out = Mat::zeros(self.rows, other.cols);
         for i in 0..self.rows {
@@ -316,6 +341,132 @@ impl Mat {
     }
 }
 
+/// Rows of `a` handled per microkernel call; bounds `b`-tile reuse.
+const MICRO_ROWS: usize = 4;
+/// Columns of `out` accumulated in registers per microkernel call.
+const MICRO_COLS: usize = 32;
+
+/// Computes output rows `rows` of `a · b` into `band` (the row-major slice
+/// holding exactly those rows).
+///
+/// Loop order is i-block → j-tile → k → i → j, which keeps the per-element
+/// k-accumulation order (and the `a == 0.0` skip) of the naive i → k → j
+/// loop: for a fixed `(i, j)`, contributions still arrive in ascending `k`.
+/// That invariant is what makes [`Mat::matmul`] bitwise-stable across tile
+/// sizes and thread counts — see DESIGN.md §5.
+///
+/// The tiling exists purely for memory traffic: the microkernel keeps a
+/// `MICRO_ROWS × MICRO_COLS` accumulator block in registers across the whole
+/// k sweep (one store per output element instead of a load+store per k) and
+/// pulls each `b` tile through cache once per `MICRO_ROWS` output rows
+/// instead of once per row.
+fn gemm_band(
+    a: &[f32],
+    b: &[f32],
+    inner: usize,
+    n: usize,
+    rows: std::ops::Range<usize>,
+    band: &mut [f32],
+) {
+    let row0 = rows.start;
+    // One j-panel of `b` is repacked contiguously (inner × MICRO_COLS) and
+    // reused by every row block in the band: the k loop then streams 64-byte
+    // sequential lines instead of taking a `4·n`-byte stride per k, which is
+    // what the prefetcher can actually follow on tall-n im2col GEMMs.
+    let mut packed = Vec::new();
+    let mut j0 = 0;
+    while j0 + MICRO_COLS <= n {
+        packed.resize(inner * MICRO_COLS, 0.0);
+        for k in 0..inner {
+            packed[k * MICRO_COLS..(k + 1) * MICRO_COLS]
+                .copy_from_slice(&b[k * n + j0..][..MICRO_COLS]);
+        }
+        let mut i0 = rows.start;
+        while i0 < rows.end {
+            let i1 = (i0 + MICRO_ROWS).min(rows.end);
+            let a_block = &a[i0 * inner..i1 * inner];
+            let out = &mut band[(i0 - row0) * n + j0..];
+            // Monomorphised per row count so the r loop fully unrolls and
+            // the accumulator block stays in registers.
+            match i1 - i0 {
+                4 => gemm_micro::<4>(a_block, &packed, inner, n, out),
+                3 => gemm_micro::<3>(a_block, &packed, inner, n, out),
+                2 => gemm_micro::<2>(a_block, &packed, inner, n, out),
+                _ => gemm_micro::<1>(a_block, &packed, inner, n, out),
+            }
+            i0 = i1;
+        }
+        j0 += MICRO_COLS;
+    }
+    if j0 < n {
+        let mut i0 = rows.start;
+        while i0 < rows.end {
+            let i1 = (i0 + MICRO_ROWS).min(rows.end);
+            gemm_tail(
+                &a[i0 * inner..i1 * inner],
+                b,
+                inner,
+                n,
+                j0,
+                &mut band[(i0 - row0) * n..(i1 - row0) * n],
+            );
+            i0 = i1;
+        }
+    }
+}
+
+/// Full-width microkernel over the `R` rows of `a_block`: accumulators live
+/// in registers for the entire k loop, so `out` is written exactly once per
+/// element. `packed` is the current j-panel of `b`, laid out
+/// `inner × MICRO_COLS` row-major; `out` starts at this block's first
+/// output element and keeps the full row stride `n`.
+#[inline(always)]
+fn gemm_micro<const R: usize>(
+    a_block: &[f32],
+    packed: &[f32],
+    inner: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; MICRO_COLS]; R];
+    for k in 0..inner {
+        let b_tile: &[f32; MICRO_COLS] = packed[k * MICRO_COLS..(k + 1) * MICRO_COLS]
+            .try_into()
+            .expect("tile width is MICRO_COLS");
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let aik = a_block[r * inner + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for (o, &bv) in acc_row.iter_mut().zip(b_tile) {
+                *o += aik * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out[r * n..r * n + MICRO_COLS].copy_from_slice(acc_row);
+    }
+}
+
+/// Remainder columns (`n % MICRO_COLS`) via the plain slice loop. `a_block`
+/// holds the block's rows of `a`; `out` the matching full rows of the band.
+fn gemm_tail(a_block: &[f32], b: &[f32], inner: usize, n: usize, j0: usize, out: &mut [f32]) {
+    let rows = a_block.len() / inner;
+    for k in 0..inner {
+        let b_tile = &b[k * n + j0..(k + 1) * n];
+        for i in 0..rows {
+            let aik = a_block[i * inner + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let out_tile = &mut out[i * n + j0..(i + 1) * n];
+            for (o, &bv) in out_tile.iter_mut().zip(b_tile) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
 impl fmt::Debug for Mat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
@@ -401,6 +552,49 @@ mod tests {
     fn transpose_involution() {
         let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG dependency in this crate's
+    /// unit tests): SplitMix64-style scramble of the index, with a sprinkle
+    /// of exact zeros to exercise the `a == 0.0` skip path.
+    fn test_mat(rows: usize, cols: usize, salt: u64) -> Mat {
+        let mut data = Vec::with_capacity(rows * cols);
+        for idx in 0..rows * cols {
+            let mut z = (idx as u64).wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 27;
+            if z % 7 == 0 {
+                data.push(0.0);
+            } else {
+                data.push((z % 2000) as f32 / 1000.0 - 1.0);
+            }
+        }
+        Mat::from_vec(rows, cols, data)
+    }
+
+    fn bits(m: &Mat) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        let _g = crate::pool::test_guard();
+        // Shapes straddling the column-tile boundary and the parallel gate.
+        for &(m, k, n) in &[(3, 5, 7), (17, 33, 259), (64, 50, 300), (1, 1, 1)] {
+            let a = test_mat(m, k, 1);
+            let b = test_mat(k, n, 2);
+            let golden = a.matmul_naive(&b);
+            for t in [1, 2, 5] {
+                crate::pool::set_threads(t);
+                let fast = a.matmul(&b);
+                assert_eq!(
+                    bits(&fast),
+                    bits(&golden),
+                    "blocked GEMM diverged from naive at {m}x{k}x{n}, {t} threads"
+                );
+            }
+            crate::pool::set_threads(0);
+        }
     }
 
     #[test]

@@ -92,6 +92,44 @@ proptest! {
     }
 
     #[test]
+    fn matvec_and_tr_matvec_share_f64_accumulation(
+        data in prop::collection::vec(-10.0f32..10.0, 12),
+        v in prop::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        // Both kernels accumulate per output element in f64 with one final
+        // f32 rounding, so Aᵀᵀ·v through either path is bitwise identical
+        // and matches an explicit f64 reference.
+        let m = Mat::from_vec(4, 3, data);
+        let fast = m.tr_matvec(&v);
+        let via_transpose = m.transpose().matvec(&v);
+        prop_assert_eq!(
+            fast.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+            via_transpose.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+        );
+        for (c, &got) in fast.iter().enumerate() {
+            let reference = (0..4)
+                .map(|r| f64::from(m.get(r, c)) * f64::from(v[r]))
+                .sum::<f64>() as f32;
+            prop_assert!((got - reference).abs() <= 1e-4 * (1.0 + reference.abs()));
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise_prop(
+        data_a in prop::collection::vec(-5.0f32..5.0, 15),
+        data_b in prop::collection::vec(-5.0f32..5.0, 20),
+    ) {
+        let a = Mat::from_vec(3, 5, data_a);
+        let b = Mat::from_vec(5, 4, data_b);
+        let fast = a.matmul(&b);
+        let golden = a.matmul_naive(&b);
+        prop_assert_eq!(
+            fast.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+            golden.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
     fn transpose_preserves_gram(data in prop::collection::vec(-5.0f32..5.0, 12)) {
         let m = Mat::from_vec(4, 3, data);
         // (AᵀA)ᵀ = AᵀA: the gram matrix is symmetric.

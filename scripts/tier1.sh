@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, lint-clean.
+#
+# Note `--workspace`: a bare `cargo test -q` from the root only tests the
+# `fuiov` facade package, silently skipping every `crates/*` suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --all-targets -- -D warnings

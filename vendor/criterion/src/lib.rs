@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`: the group/bench API surface this
+//! workspace's benches use, with a simple but honest wall-clock harness
+//! (calibrated iteration counts, warm-up, median-of-samples reporting).
+//!
+//! Each benchmark prints one parseable line:
+//!
+//! ```text
+//! bench: <group>/<id> ... <median> ns/iter (<samples> samples)
+//! ```
+//!
+//! Set `FUIOV_BENCH_JSON=<path>` to also append one JSON object per
+//! benchmark to that file (used to snapshot `BENCH_micro.json`).
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation (recorded, reported as elements/second).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{parameter}", name.into()) }
+    }
+}
+
+/// Per-iteration timing callback holder.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+    samples: usize,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Times the closure: calibrates an iteration count to the target
+    /// sample duration, then reports the median of the samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: grow the batch until it runs >= 1ms.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break dt.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 8;
+        };
+        // Pick a batch size so one sample takes roughly target/samples.
+        let sample_ns = (self.target.as_nanos() as f64 / self.samples as f64).max(1.0);
+        let per_sample = ((sample_ns / per_iter.max(1.0)).ceil() as u64).max(1);
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(f());
+            }
+            times.push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = times[times.len() / 2];
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            samples: self.sample_size,
+            target: self.measurement,
+        };
+        f(&mut b);
+        let full = format!("{}/{id}", self.name);
+        let mut line = format!(
+            "bench: {full} ... {:.0} ns/iter ({} samples)",
+            b.ns_per_iter, self.sample_size
+        );
+        if let Some(Throughput::Elements(n) | Throughput::Bytes(n)) = self.throughput {
+            let per_sec = n as f64 / (b.ns_per_iter * 1e-9);
+            let _ = write!(line, " [{per_sec:.3e} elem/s]");
+        }
+        println!("{line}");
+        if let Ok(path) = std::env::var("FUIOV_BENCH_JSON") {
+            if !path.is_empty() {
+                use std::io::Write as _;
+                if let Ok(mut fh) =
+                    std::fs::OpenOptions::new().create(true).append(true).open(&path)
+                {
+                    let _ = writeln!(
+                        fh,
+                        "{{\"bench\": \"{full}\", \"ns_per_iter\": {:.1}, \"samples\": {}}}",
+                        b.ns_per_iter, self.sample_size
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl IdLike, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let id = id.id_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run_one(&id.name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark ids accepted by `bench_function`.
+pub trait IdLike {
+    /// The display string.
+    fn id_string(self) -> String;
+}
+
+impl IdLike for &str {
+    fn id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IdLike for String {
+    fn id_string(self) -> String {
+        self
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn id_string(self) -> String {
+        self.name
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored; the
+    /// harness keeps built-in defaults).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement: Duration::from_millis(600),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl IdLike, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let id = id.id_string();
+        let mut group = self.benchmark_group("bench");
+        group.name = id.clone();
+        // Report as just the id (no group prefix) for ungrouped benches.
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            samples: group.sample_size,
+            target: group.measurement,
+        };
+        f(&mut b);
+        println!("bench: {id} ... {:.0} ns/iter", b.ns_per_iter);
+        self
+    }
+
+    /// Final report hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).measurement_time(Duration::from_millis(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("gemm", 64).name, "gemm/64");
+    }
+}

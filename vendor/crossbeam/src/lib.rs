@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam`, providing the one API this workspace
+//! uses: [`scope`] with `Scope::spawn`, implemented over
+//! `std::thread::scope` (stabilised in Rust 1.63, so the external crate is
+//! no longer needed for scoped fan-out).
+//!
+//! Behavioural difference from the real crate: a panic in a spawned
+//! thread propagates when the scope exits (std semantics) instead of
+//! surfacing as `Err` — callers that `.expect()` the result observe the
+//! same abort either way.
+
+use std::any::Any;
+
+/// Result alias matching `crossbeam::thread::scope`'s signature.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle that can spawn borrowing threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread that may borrow from the enclosing scope. The
+    /// closure receives the scope (for nested spawns), like the real
+    /// crossbeam API.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        });
+    }
+}
+
+/// Creates a scope for spawning threads that borrow local state; all
+/// spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod thread {
+    //! Mirror of `crossbeam::thread` for callers that use the long path.
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let sums = &sums;
+                s.spawn(move |_| {
+                    sums.lock().unwrap().push(chunk.iter().sum::<u64>());
+                });
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = scope(|_| 42).unwrap();
+        assert_eq!(r, 42);
+    }
+}

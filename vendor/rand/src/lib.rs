@@ -1,0 +1,308 @@
+//! Offline stand-in for the `rand` crate, covering exactly the API surface
+//! this workspace uses: [`rngs::StdRng`] (xoshiro256++ seeded via
+//! SplitMix64), the [`Rng`]/[`RngCore`]/[`SeedableRng`] traits with
+//! `gen_range`/`gen`/`gen_bool`, and [`seq::SliceRandom::shuffle`].
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! real `rand` cannot be fetched; this vendored subset keeps every caller
+//! deterministic and dependency-free. Generated streams differ from the
+//! real `StdRng` (which is ChaCha12) — nothing in the workspace depends on
+//! the exact stream, only on determinism per seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Scalars that know how to sample themselves uniformly from bounds.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                let v = lo + u * (hi - lo);
+                // Guard against rounding up to the open bound.
+                if v >= hi { lo } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// High-level generator interface (blanket-implemented for every
+/// [`RngCore`], as in the real crate).
+pub trait Rng: RngCore {
+    /// Uniform draw from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draw from the standard distribution of `T`.
+    #[allow(clippy::should_implement_trait)] // matches the real rand API
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// One SplitMix64 step, used to expand seeds into state.
+    fn splitmix64(z: &mut u64) -> u64 {
+        *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = *z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman &
+    /// Vigna). Fast, 256-bit state, passes BigCrush; deterministic per
+    /// seed, which is all the reproducibility pillar requires.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut z = seed;
+            let s = [
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice helpers.
+
+    use super::{Rng, RngCore};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n = r.gen_range(0usize..7);
+            assert!(n < 7);
+            let m = r.gen_range(-1i32..=1);
+            assert!((-1..=1).contains(&m));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn f32_standard_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
