@@ -19,6 +19,17 @@ pub enum UnlearnError {
         /// Latest recorded round `T`.
         latest_round: Round,
     },
+    /// No remaining (non-forgotten) client submitted a gradient anywhere
+    /// in the replay window `F..T` — every other vehicle had already left
+    /// the federation, so there is no information to recover from and
+    /// replay would silently return the backtracked model as if it had
+    /// been recovered.
+    EmptyMembershipWindow {
+        /// The backtrack point `F`.
+        start_round: Round,
+        /// The final round `T`.
+        end_round: Round,
+    },
     /// The history store is empty.
     EmptyHistory,
 }
@@ -35,6 +46,10 @@ impl fmt::Display for UnlearnError {
             UnlearnError::NothingToRecover { join_round, latest_round } => write!(
                 f,
                 "no rounds to recover: client joined at round {join_round}, history ends at round {latest_round}"
+            ),
+            UnlearnError::EmptyMembershipWindow { start_round, end_round } => write!(
+                f,
+                "no remaining client participated in rounds {start_round}..{end_round}: nothing to replay"
             ),
             UnlearnError::EmptyHistory => write!(f, "history store is empty"),
         }
@@ -54,5 +69,7 @@ mod tests {
         assert!(UnlearnError::EmptyHistory.to_string().contains("empty"));
         let e = UnlearnError::NothingToRecover { join_round: 9, latest_round: 9 };
         assert!(e.to_string().contains("joined at round 9"));
+        let e = UnlearnError::EmptyMembershipWindow { start_round: 3, end_round: 8 };
+        assert!(e.to_string().contains("rounds 3..8"));
     }
 }

@@ -312,6 +312,24 @@ pub fn recover_set(
         .filter(|c| !forgotten_set.contains(c))
         .collect();
 
+    // Guard the empty membership window: if no remaining client submitted
+    // a gradient anywhere in `F..T` (everyone else had already left the
+    // federation), replay would degenerate to a sequence of zero updates
+    // and hand back the backtracked model as if it were recovered. Fail
+    // with a typed error instead so callers can fall back (e.g. retrain).
+    let window_has_participant = (f_round..t_end).any(|t| {
+        history
+            .clients_in_round(t)
+            .into_iter()
+            .any(|c| !forgotten_set.contains(&c))
+    });
+    if remaining.is_empty() || !window_has_participant {
+        return Err(UnlearnError::EmptyMembershipWindow {
+            start_round: f_round,
+            end_round: t_end,
+        });
+    }
+
     let mut oracle_queries = 0usize;
     let mut buffers: BTreeMap<ClientId, PairBuffer> = BTreeMap::new();
     let mut approxes: BTreeMap<ClientId, LbfgsApprox> = BTreeMap::new();
@@ -615,6 +633,42 @@ mod tests {
         let cfg = RecoveryConfig::new(0.1);
         let err = recover(&h, 1, &cfg, &mut NoOracle, |_, _| {}).unwrap_err();
         assert!(matches!(err, UnlearnError::NothingToRecover { .. }));
+    }
+
+    #[test]
+    fn empty_membership_window_is_a_typed_error() {
+        // Client 0 participates only in rounds 0..2 and leaves; the
+        // forgotten client 1 joins at F=2. The replay window 2..5 has no
+        // remaining participant, so recovery must refuse with the typed
+        // error rather than replaying zero updates (or panicking).
+        let mut h = HistoryStore::new(1e-6);
+        for t in 0..=5 {
+            h.record_model(t, vec![t as f32; 4]);
+        }
+        h.record_join(0, 0);
+        h.record_join(1, 2);
+        for t in 0..2 {
+            h.record_gradient(t, 0, &[0.5, -0.5, 0.5, -0.5]);
+        }
+        for t in 2..5 {
+            h.record_gradient(t, 1, &[0.5, -0.5, 0.5, -0.5]);
+        }
+        h.record_leave(0, 1);
+        let cfg = RecoveryConfig::new(0.05);
+        let err = recover(&h, 1, &cfg, &mut NoOracle, |_, _| {}).unwrap_err();
+        assert_eq!(
+            err,
+            UnlearnError::EmptyMembershipWindow { start_round: 2, end_round: 5 }
+        );
+    }
+
+    #[test]
+    fn forgetting_every_client_is_a_typed_error() {
+        // Forgetting the whole federation leaves nobody to replay.
+        let h = synthetic_history(10, 3, 1);
+        let cfg = RecoveryConfig::new(0.05);
+        let err = recover_set(&h, &[0, 1, 2], &cfg, &mut NoOracle, |_, _| {}).unwrap_err();
+        assert!(matches!(err, UnlearnError::EmptyMembershipWindow { .. }));
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub trait Client: Send {
     /// FedAvg weight `‖Dᵢ‖` — the local dataset size.
     fn weight(&self) -> f32;
 
+    /// Whether the client answers the server's poll for `round`.
+    ///
+    /// The churn schedule decides who is *in range*; this hook decides who
+    /// actually *uploads*. The server skips non-responding clients before
+    /// computing gradients, so they appear in no round record — exactly a
+    /// vehicle dropping out mid-round after being polled. Defaults to
+    /// always responding; fault-injection wrappers (`fuiov-testkit`)
+    /// override it.
+    fn responds_in(&self, round: Round) -> bool {
+        let _ = round;
+        true
+    }
+
     /// Computes the local gradient of the loss at `params` for `round`.
     ///
     /// The returned vector has the model's parameter dimension.

@@ -136,11 +136,20 @@ impl Server {
         let t = self.round;
         self.history.record_model(t, self.params.clone());
 
+        // Mid-round dropout hook: a polled vehicle may still fail to
+        // upload (`Client::responds_in`). Filtering here keeps dropouts
+        // out of every record — history, summaries, comms accounting.
+        let active: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&idx| clients[idx].responds_in(t))
+            .collect();
+
         let mut participants = Vec::with_capacity(active.len());
         let mut grads: Vec<Vec<f32>> = Vec::with_capacity(active.len());
         let mut weights: Vec<f32> = Vec::with_capacity(active.len());
 
-        let results = self.compute_gradients(clients, active, t);
+        let results = self.compute_gradients(clients, &active, t);
         for (idx, grad) in results {
             let client = &clients[idx];
             let id = client.id();

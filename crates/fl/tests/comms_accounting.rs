@@ -1,0 +1,97 @@
+//! Hand-computed byte-accounting checks for the comms report.
+//!
+//! The invariants the fault harness and the paper's overhead tables rely
+//! on: per round, `down_bytes == participants × 4·d`, `up_bytes_full ==
+//! participants × 4·d`, and `up_bytes_sign == participants × ⌈2·d/8⌉` (2
+//! bits per element, packed 4 per byte).
+
+use fuiov_fl::comms::CommsReport;
+use fuiov_fl::server::RoundSummary;
+
+fn summary(round: usize, participants: &[usize]) -> RoundSummary {
+    RoundSummary { round, participants: participants.to_vec(), update_norm: 1.0 }
+}
+
+#[test]
+fn sign_upload_bytes_use_ceiling_division() {
+    // d = 7: 2·7 = 14 bits → ⌈14/8⌉ = 2 bytes per vehicle.
+    let r = CommsReport::from_summaries(7, &[summary(0, &[0, 1, 2])]);
+    assert_eq!(r.rounds()[0].up_bytes_sign, 3 * 2);
+    // d = 8: exactly 2 bytes.
+    let r = CommsReport::from_summaries(8, &[summary(0, &[0])]);
+    assert_eq!(r.rounds()[0].up_bytes_sign, 2);
+    // d = 9: one ragged element forces a third byte.
+    let r = CommsReport::from_summaries(9, &[summary(0, &[0])]);
+    assert_eq!(r.rounds()[0].up_bytes_sign, 3);
+    // d = 1: still a whole byte on the wire.
+    let r = CommsReport::from_summaries(1, &[summary(0, &[0, 1])]);
+    assert_eq!(r.rounds()[0].up_bytes_sign, 2);
+}
+
+#[test]
+fn per_round_invariants_hold_for_every_dimension() {
+    for d in 1usize..40 {
+        for n in 0usize..5 {
+            let participants: Vec<usize> = (0..n).collect();
+            let r = CommsReport::from_summaries(d, &[summary(0, &participants)]);
+            let rc = r.rounds()[0];
+            assert_eq!(rc.participants, n);
+            assert_eq!(rc.down_bytes, n * 4 * d, "d={d} n={n}");
+            assert_eq!(rc.up_bytes_full, n * 4 * d, "d={d} n={n}");
+            assert_eq!(rc.up_bytes_sign, n * (2 * d).div_ceil(8), "d={d} n={n}");
+        }
+    }
+}
+
+#[test]
+fn hand_computed_multi_round_totals() {
+    // d = 10 → model 40 B, signs ⌈20/8⌉ = 3 B.
+    // Round 0: 3 vehicles, round 1: 1 vehicle, round 2: nobody.
+    let r = CommsReport::from_summaries(
+        10,
+        &[summary(0, &[0, 1, 2]), summary(1, &[2]), summary(2, &[])],
+    );
+    assert_eq!(r.total_participations(), 4);
+    assert_eq!(r.total_down(), 4 * 40);
+    assert_eq!(r.total_up_full(), 4 * 40);
+    assert_eq!(r.total_up_sign(), 4 * 3);
+    // Savings: 1 − 12/160 = 0.925.
+    assert!((r.uplink_savings() - 0.925).abs() < 1e-12);
+}
+
+#[test]
+fn zero_participant_rounds_cost_nothing() {
+    let r = CommsReport::from_summaries(
+        100,
+        &[summary(0, &[]), summary(1, &[]), summary(2, &[7])],
+    );
+    assert_eq!(r.rounds()[0].down_bytes, 0);
+    assert_eq!(r.rounds()[0].up_bytes_full, 0);
+    assert_eq!(r.rounds()[0].up_bytes_sign, 0);
+    assert_eq!(r.rounds()[1].down_bytes, 0);
+    // Only the populated round contributes to the totals.
+    assert_eq!(r.total_down(), 400);
+    assert_eq!(r.total_up_sign(), 25);
+    // An all-empty run has zero savings by convention (no division by 0).
+    let empty = CommsReport::from_summaries(100, &[summary(0, &[]), summary(1, &[])]);
+    assert_eq!(empty.total_up_full(), 0);
+    assert_eq!(empty.uplink_savings(), 0.0);
+}
+
+#[test]
+fn accounting_matches_recorded_history_bytes() {
+    // The wire accounting and the storage accounting use the same packing:
+    // a round's sign upload bytes equal the history's direction bytes for
+    // that round's participants.
+    use fuiov_storage::HistoryStore;
+    let d = 13; // ragged: ⌈26/8⌉ = 4 bytes
+    let mut h = HistoryStore::new(1e-6);
+    h.record_model(0, vec![0.0; d]);
+    let grad: Vec<f32> = (0..d).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+    h.record_join(0, 0);
+    h.record_join(1, 0);
+    h.record_gradient(0, 0, &grad);
+    h.record_gradient(0, 1, &grad);
+    let r = CommsReport::from_summaries(d, &[summary(0, &[0, 1])]);
+    assert_eq!(r.rounds()[0].up_bytes_sign, h.direction_bytes());
+}

@@ -132,6 +132,22 @@ impl HistoryStore {
         p.left = Some(round);
     }
 
+    /// Removes the model recorded for `round`, returning it if present.
+    ///
+    /// Models the RSU losing a checkpoint (disk corruption, eviction).
+    /// Recovery paths must then either fail with a typed error or
+    /// reconstruct the round via [`HistoryStore::model_interpolated`] —
+    /// the contract `fuiov-testkit`'s fault matrix pins.
+    pub fn remove_model(&mut self, round: Round) -> Option<Vec<f32>> {
+        self.models.remove(&round)
+    }
+
+    /// Removes the direction recorded for `(round, client)`, returning it
+    /// if present. Models a lost or never-persisted upload.
+    pub fn remove_direction(&mut self, round: Round, client: ClientId) -> Option<GradientDirection> {
+        self.directions.get_mut(&round)?.remove(&client)
+    }
+
     /// Sets a client's FedAvg weight (its dataset size `‖Dᵢ‖`).
     ///
     /// # Panics

@@ -1,0 +1,123 @@
+//! Exhaustive decode-error coverage for the checkpoint binary format.
+//!
+//! The fault-injection harness (`fuiov-testkit`) corrupts checkpoints at
+//! arbitrary byte positions; these tests pin the contract it relies on:
+//! *every* strict prefix is `Truncated`, any magic perturbation is
+//! `BadMagic`, any version perturbation is `BadVersion`, and round-trips
+//! are bit-exact for empty through large vectors.
+
+use fuiov_storage::checkpoint::{decode, encode, DecodeError};
+
+const HEADER: usize = 10; // u32 magic + u16 version + u32 len
+
+#[test]
+fn every_strict_prefix_is_truncated() {
+    for params in [vec![], vec![1.0f32], vec![0.5, -0.5, 2.0]] {
+        let blob = encode(&params);
+        assert_eq!(blob.len(), HEADER + 4 * params.len());
+        for cut in 0..blob.len() {
+            assert_eq!(
+                decode(&blob[..cut]),
+                Err(DecodeError::Truncated),
+                "prefix of {cut}/{} bytes must be Truncated",
+                blob.len()
+            );
+        }
+        // The full blob still decodes.
+        assert_eq!(decode(&blob).unwrap(), params);
+    }
+}
+
+#[test]
+fn any_magic_byte_flip_is_bad_magic() {
+    let blob = encode(&[1.0, 2.0]);
+    for byte in 0..4 {
+        for bit in 0..8 {
+            let mut m = blob.to_vec();
+            m[byte] ^= 1 << bit;
+            match decode(&m) {
+                Err(DecodeError::BadMagic(got)) => {
+                    assert_ne!(got, 0x4655_494F, "reported magic must be the corrupted one");
+                }
+                other => panic!("magic byte {byte} bit {bit}: expected BadMagic, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn any_version_change_is_bad_version() {
+    let blob = encode(&[1.0]);
+    for v in [0u16, 2, 3, 0x00FF, 0xFF00, u16::MAX] {
+        let mut m = blob.to_vec();
+        m[4..6].copy_from_slice(&v.to_le_bytes());
+        assert_eq!(decode(&m), Err(DecodeError::BadVersion(v)), "version {v}");
+    }
+    // Version 1 (the current one) still decodes.
+    assert_eq!(decode(&blob).unwrap(), vec![1.0]);
+}
+
+#[test]
+fn magic_is_checked_before_version_and_length() {
+    // A blob corrupt in *both* magic and version reports BadMagic: the
+    // decoder validates outside-in, so corruption diagnostics are stable.
+    let mut m = encode(&[1.0]).to_vec();
+    m[0] ^= 0xFF;
+    m[4] = 99;
+    assert!(matches!(decode(&m), Err(DecodeError::BadMagic(_))));
+}
+
+#[test]
+fn declared_length_longer_than_payload_is_truncated() {
+    let mut m = encode(&[1.0, 2.0]).to_vec();
+    // Inflate the declared element count without adding payload.
+    m[6..10].copy_from_slice(&3u32.to_le_bytes());
+    assert_eq!(decode(&m), Err(DecodeError::Truncated));
+}
+
+#[test]
+fn empty_vector_roundtrips() {
+    let blob = encode(&[]);
+    assert_eq!(blob.len(), HEADER);
+    assert_eq!(decode(&blob).unwrap(), Vec::<f32>::new());
+}
+
+#[test]
+fn large_vector_roundtrips_bit_exactly() {
+    // 10k elements spanning magnitudes, signed zero and subnormals.
+    let params: Vec<f32> = (0..10_000)
+        .map(|i| match i % 7 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f32::MIN_POSITIVE / 2.0, // subnormal
+            3 => -(i as f32) * 1e30,
+            4 => (i as f32).sqrt(),
+            5 => -1.0 / (i as f32 + 1.0),
+            _ => i as f32,
+        })
+        .collect();
+    let decoded = decode(&encode(&params)).unwrap();
+    assert_eq!(decoded.len(), params.len());
+    for (i, (a, b)) in params.iter().zip(&decoded).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "element {i} changed bits");
+    }
+}
+
+#[test]
+fn non_finite_values_roundtrip_by_bits() {
+    let params = [f32::INFINITY, f32::NEG_INFINITY, f32::NAN, -f32::NAN];
+    let decoded = decode(&encode(&params)).unwrap();
+    for (a, b) in params.iter().zip(&decoded) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn trailing_garbage_after_payload_is_tolerated() {
+    // The format is length-prefixed; decode reads exactly what the header
+    // declares. Extra bytes after the payload do not corrupt the result
+    // (a reader over a larger buffer sees the same params).
+    let mut m = encode(&[4.25]).to_vec();
+    m.extend_from_slice(&[0xAB, 0xCD]);
+    assert_eq!(decode(&m).unwrap(), vec![4.25]);
+}

@@ -123,4 +123,64 @@ proptest! {
         }
         prop_assert_eq!(h.direction_bytes(), expected);
     }
+
+    /// 2-bit pack/unpack round-trips every {-1, 0, +1} pattern at every
+    /// length — including lengths that are not a multiple of 4, where the
+    /// final byte is only partially used.
+    #[test]
+    fn direction_pack_unpack_roundtrips(
+        signs in prop::collection::vec(-1i8..=1, 0..33),
+    ) {
+        let d = GradientDirection::from_signs(&signs);
+        prop_assert_eq!(d.len(), signs.len());
+        prop_assert_eq!(d.to_signs(), signs.clone());
+        prop_assert_eq!(d.byte_size(), signs.len().div_ceil(4));
+        // Element access agrees with bulk unpacking.
+        for (i, &s) in signs.iter().enumerate() {
+            prop_assert_eq!(d.sign(i), s);
+        }
+        // to_f32 is the same data widened.
+        let f: Vec<f32> = signs.iter().map(|&s| f32::from(s)).collect();
+        prop_assert_eq!(d.to_f32(), f);
+    }
+
+    /// Quantise→pack→unpack agrees with direct thresholding for arbitrary
+    /// gradients and thresholds, and values at *exactly* ±δ fall in the
+    /// dead zone (the threshold is strict).
+    #[test]
+    fn quantisation_boundary_is_strict(
+        grad in prop::collection::vec(-2.0f32..2.0, 1..20),
+        delta in 0.0f32..1.0,
+        boundary_at in 0usize..19,
+    ) {
+        let mut grad = grad;
+        if let Some(g) = grad.get_mut(boundary_at) {
+            // Plant an exact ±δ element to probe the boundary.
+            *g = if boundary_at % 2 == 0 { delta } else { -delta };
+        }
+        let d = GradientDirection::quantize(&grad, delta);
+        prop_assert_eq!(d.len(), grad.len());
+        for (i, &g) in grad.iter().enumerate() {
+            let expected = if g > delta { 1 } else if g < -delta { -1 } else { 0 };
+            prop_assert_eq!(
+                d.sign(i), expected,
+                "element {} = {} with delta {}", i, g, delta
+            );
+        }
+        if boundary_at < grad.len() {
+            prop_assert_eq!(d.sign(boundary_at), 0, "exact ±δ must quantise to 0");
+        }
+    }
+
+    /// Packing is canonical: distinct sign vectors give distinct packed
+    /// bytes, equal ones identical packed values (via PartialEq).
+    #[test]
+    fn packing_is_injective(
+        a in prop::collection::vec(-1i8..=1, 1..16),
+        b in prop::collection::vec(-1i8..=1, 1..16),
+    ) {
+        let da = GradientDirection::from_signs(&a);
+        let db = GradientDirection::from_signs(&b);
+        prop_assert_eq!(a == b, da == db);
+    }
 }

@@ -53,6 +53,8 @@ pub mod streams {
     pub const CHURN: u64 = 0x0500_0000;
     /// Baseline algorithms (noise in FedRecovery, etc.).
     pub const BASELINE: u64 = 0x0600_0000;
+    /// Fault-injection plans (`fuiov-testkit`).
+    pub const TESTKIT: u64 = 0x0700_0000;
 }
 
 #[cfg(test)]

@@ -1,0 +1,209 @@
+//! Storage-side corruption shim.
+//!
+//! [`Corruptor`] mutates the *persisted* artefacts of a run — checkpoint
+//! byte blobs ([`fuiov_storage::checkpoint`]), serialised histories
+//! ([`fuiov_storage::serialize`]) and live [`HistoryStore`]s — the way an
+//! RSU's flaky disk or interrupted write would. Every operation is a pure
+//! function of its inputs, so a seeded [`FaultPlan`] fully determines the
+//! corruption a run suffers.
+//!
+//! [`FaultPlan`]: crate::plan::FaultPlan
+
+use fuiov_storage::direction::GradientDirection;
+use fuiov_storage::{ClientId, HistoryStore, Round};
+
+/// Namespace for the corruption operations (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Corruptor;
+
+impl Corruptor {
+    /// Keeps only a strict prefix of `bytes`. The raw draw from a fault
+    /// plan is reduced modulo the blob length, so one plan applies to any
+    /// blob; an empty input stays empty.
+    pub fn truncate(bytes: &[u8], raw_prefix: usize) -> Vec<u8> {
+        if bytes.is_empty() {
+            return Vec::new();
+        }
+        bytes[..raw_prefix % bytes.len()].to_vec()
+    }
+
+    /// Scrambles the 4-byte little-endian magic word at the front of a
+    /// checkpoint or history blob. XOR with a non-zero constant guarantees
+    /// the result differs from any valid magic.
+    pub fn scramble_magic(bytes: &mut [u8]) {
+        for b in bytes.iter_mut().take(4) {
+            *b ^= 0x5A;
+        }
+    }
+
+    /// Overwrites the version field (bytes 4..6, little-endian) with an
+    /// unsupported version number.
+    pub fn bump_version(bytes: &mut [u8]) {
+        if bytes.len() >= 6 {
+            bytes[4] = 0xFF;
+            bytes[5] = 0xFF;
+        }
+    }
+
+    /// XOR-flips every bit of one byte (index reduced modulo length).
+    pub fn flip_byte(bytes: &mut [u8], raw_index: usize) {
+        if bytes.is_empty() {
+            return;
+        }
+        let i = raw_index % bytes.len();
+        bytes[i] ^= 0xFF;
+    }
+
+    /// Flips the stored sign of the listed `elements` of the direction
+    /// recorded for `(round, client)`: `+1 ↔ −1`, and `0 → +1` (a 2-bit
+    /// cell changing `00 → 01`). Returns `false` if no direction is
+    /// recorded there.
+    pub fn flip_signs(
+        history: &mut HistoryStore,
+        round: Round,
+        client: ClientId,
+        elements: &[usize],
+    ) -> bool {
+        let Some(dir) = history.direction(round, client) else {
+            return false;
+        };
+        let mut signs = dir.to_signs();
+        for &i in elements {
+            if let Some(s) = signs.get_mut(i) {
+                *s = match *s {
+                    1 => -1,
+                    -1 => 1,
+                    _ => 1,
+                };
+            }
+        }
+        history.record_direction(round, client, GradientDirection::from_signs(&signs));
+        true
+    }
+
+    /// Replaces the direction stored for `(round, client)` with the one
+    /// from `round − lag` — the stale vector-pair source the recovery
+    /// stage then seeds from. Returns `false` when either record is
+    /// missing (the fault is a no-op on that history).
+    pub fn stale_replace(
+        history: &mut HistoryStore,
+        round: Round,
+        client: ClientId,
+        lag: usize,
+    ) -> bool {
+        let Some(older_round) = round.checked_sub(lag) else {
+            return false;
+        };
+        if history.direction(round, client).is_none() {
+            return false;
+        }
+        let Some(older) = history.direction(older_round, client).cloned() else {
+            return false;
+        };
+        history.record_direction(round, client, older);
+        true
+    }
+
+    /// Drops the model checkpoint recorded for `round`.
+    pub fn drop_model(history: &mut HistoryStore, round: Round) -> bool {
+        history.remove_model(round).is_some()
+    }
+
+    /// Drops the direction recorded for `(round, client)`.
+    pub fn drop_direction(history: &mut HistoryStore, round: Round, client: ClientId) -> bool {
+        history.remove_direction(round, client).is_some()
+    }
+
+    /// Applies every staleness fault of `plan` to `history`, returning how
+    /// many actually landed (faults pointing at unrecorded cells are
+    /// no-ops).
+    pub fn apply_stale_faults(history: &mut HistoryStore, plan: &crate::plan::FaultPlan) -> usize {
+        plan.stale_directions()
+            .into_iter()
+            .filter(|&(client, round, lag)| Self::stale_replace(history, round, client, lag))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_storage::checkpoint;
+
+    #[test]
+    fn truncate_reduces_modulo_length() {
+        let blob = checkpoint::encode(&[1.0, 2.0]);
+        let t = Corruptor::truncate(&blob, blob.len() + 3);
+        assert_eq!(t.len(), 3);
+        assert!(Corruptor::truncate(&[], 7).is_empty());
+    }
+
+    #[test]
+    fn scrambled_magic_is_rejected() {
+        let mut blob = checkpoint::encode(&[1.0]).to_vec();
+        Corruptor::scramble_magic(&mut blob);
+        assert!(matches!(
+            checkpoint::decode(&blob),
+            Err(checkpoint::DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bumped_version_is_rejected() {
+        let mut blob = checkpoint::encode(&[1.0]).to_vec();
+        Corruptor::bump_version(&mut blob);
+        assert!(matches!(
+            checkpoint::decode(&blob),
+            Err(checkpoint::DecodeError::BadVersion(0xFFFF))
+        ));
+    }
+
+    #[test]
+    fn flip_byte_changes_exactly_one_byte() {
+        let blob = checkpoint::encode(&[3.5, -1.0]);
+        let mut mutated = blob.to_vec();
+        Corruptor::flip_byte(&mut mutated, blob.len() + 1);
+        let diff: Vec<usize> = (0..blob.len()).filter(|&i| blob[i] != mutated[i]).collect();
+        assert_eq!(diff, vec![1]);
+    }
+
+    fn tiny_history() -> HistoryStore {
+        let mut h = HistoryStore::new(1e-6);
+        h.record_model(0, vec![0.0; 4]);
+        h.record_model(1, vec![0.1; 4]);
+        h.record_join(3, 0);
+        h.record_gradient(0, 3, &[0.5, -0.5, 0.0, 0.1]);
+        h.record_gradient(1, 3, &[-0.5, 0.5, 0.2, -0.1]);
+        h
+    }
+
+    #[test]
+    fn flip_signs_inverts_selected_elements() {
+        let mut h = tiny_history();
+        assert!(Corruptor::flip_signs(&mut h, 0, 3, &[0, 2, 99]));
+        assert_eq!(h.direction(0, 3).unwrap().to_signs(), vec![-1, -1, 1, 1]);
+        assert!(!Corruptor::flip_signs(&mut h, 5, 3, &[0]), "missing cell is a no-op");
+    }
+
+    #[test]
+    fn stale_replace_copies_older_direction() {
+        let mut h = tiny_history();
+        let older = h.direction(0, 3).unwrap().clone();
+        assert!(Corruptor::stale_replace(&mut h, 1, 3, 1));
+        assert_eq!(h.direction(1, 3), Some(&older));
+        // Underflow, missing target, missing source: all no-ops.
+        assert!(!Corruptor::stale_replace(&mut h, 0, 3, 1));
+        assert!(!Corruptor::stale_replace(&mut h, 7, 3, 1));
+    }
+
+    #[test]
+    fn drop_operations_remove_records() {
+        let mut h = tiny_history();
+        assert!(Corruptor::drop_model(&mut h, 1));
+        assert!(h.model(1).is_none());
+        assert!(!Corruptor::drop_model(&mut h, 1));
+        assert!(Corruptor::drop_direction(&mut h, 0, 3));
+        assert!(h.direction(0, 3).is_none());
+        assert!(!Corruptor::drop_direction(&mut h, 0, 3));
+    }
+}

@@ -1,0 +1,189 @@
+//! Fault-injecting client wrapper.
+//!
+//! [`FaultableClient`] wraps any [`Client`] and executes the *client-side*
+//! faults of a [`FaultPlan`]: mid-round dropout (via the
+//! [`Client::responds_in`] hook the server consults before collecting
+//! gradients), sign corruption of the upload, one-round-late uploads, and
+//! duplicated (double-counted) uploads. Storage-side faults live in
+//! [`crate::corrupt`].
+
+use crate::plan::FaultPlan;
+use fuiov_fl::Client;
+use fuiov_storage::{ClientId, Round};
+use std::sync::Arc;
+
+/// Magnitude given to sign-flipped elements. Any value far above the
+/// history store's δ works; 1.0 guarantees the flip survives quantisation.
+const FLIP_MAGNITUDE: f32 = 1.0;
+
+/// A [`Client`] that misbehaves according to a [`FaultPlan`].
+///
+/// Fault semantics:
+///
+/// - **Dropout** — [`Client::responds_in`] returns `false` for the planned
+///   round, so the server records nothing for this vehicle that round.
+/// - **SignFlip** — after computing the true gradient, each planned
+///   element is replaced by `∓1.0` (opposite of its true sign), modelling
+///   a corrupted 2-bit upload.
+/// - **Delay** — the upload for round `r` is the gradient computed for the
+///   vehicle's *previous* participation; the fresh gradient is still
+///   computed (and buffered for the next delay). A delay with no prior
+///   upload degrades to an on-time upload.
+/// - **Duplicate** — the server double-counts the upload: the vehicle's
+///   FedAvg weight doubles for that round (the wrapper reports `2 ×
+///   weight` until its next `gradient` call, and the server reads the
+///   weight immediately after the gradient each round).
+pub struct FaultableClient {
+    inner: Box<dyn Client>,
+    plan: Arc<FaultPlan>,
+    prev_upload: Option<Vec<f32>>,
+    duplicated_now: bool,
+}
+
+impl std::fmt::Debug for FaultableClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultableClient")
+            .field("id", &self.inner.id())
+            .field("plan_seed", &self.plan.seed())
+            .finish()
+    }
+}
+
+impl FaultableClient {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: Box<dyn Client>, plan: Arc<FaultPlan>) -> Self {
+        FaultableClient { inner, plan, prev_upload: None, duplicated_now: false }
+    }
+
+    /// Wraps every client of a federation under one shared plan.
+    pub fn wrap_all(clients: Vec<Box<dyn Client>>, plan: &Arc<FaultPlan>) -> Vec<Box<dyn Client>> {
+        clients
+            .into_iter()
+            .map(|c| Box::new(FaultableClient::new(c, Arc::clone(plan))) as Box<dyn Client>)
+            .collect()
+    }
+
+    /// The plan driving this wrapper.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl Client for FaultableClient {
+    fn id(&self) -> ClientId {
+        self.inner.id()
+    }
+
+    fn weight(&self) -> f32 {
+        if self.duplicated_now {
+            2.0 * self.inner.weight()
+        } else {
+            self.inner.weight()
+        }
+    }
+
+    fn responds_in(&self, round: Round) -> bool {
+        !self.plan.is_dropout(self.inner.id(), round) && self.inner.responds_in(round)
+    }
+
+    fn gradient(&mut self, params: &[f32], round: Round) -> Vec<f32> {
+        let id = self.inner.id();
+        let fresh = self.inner.gradient(params, round);
+
+        let mut upload = if self.plan.is_delayed(id, round) {
+            self.prev_upload.clone().unwrap_or_else(|| fresh.clone())
+        } else {
+            fresh.clone()
+        };
+        self.prev_upload = Some(fresh);
+
+        if let Some(flips) = self.plan.sign_flips(id, round) {
+            for &i in flips {
+                if i < upload.len() {
+                    upload[i] = if upload[i] >= 0.0 { -FLIP_MAGNITUDE } else { FLIP_MAGNITUDE };
+                }
+            }
+        }
+
+        self.duplicated_now = self.plan.is_duplicated(id, round);
+        upload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+
+    /// A deterministic scripted client: gradient = `[base + round; dim]`.
+    struct Scripted {
+        id: ClientId,
+        dim: usize,
+    }
+
+    impl Client for Scripted {
+        fn id(&self) -> ClientId {
+            self.id
+        }
+        fn weight(&self) -> f32 {
+            10.0
+        }
+        fn gradient(&mut self, _params: &[f32], round: Round) -> Vec<f32> {
+            vec![1.0 + round as f32; self.dim]
+        }
+    }
+
+    fn plan_with(faults: &[Fault]) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::from_faults(0, faults.to_vec()))
+    }
+
+    #[test]
+    fn dropout_suppresses_response() {
+        let plan = plan_with(&[Fault::Dropout { client: 0, round: 1 }]);
+        let c = FaultableClient::new(Box::new(Scripted { id: 0, dim: 4 }), plan);
+        assert!(!c.responds_in(1));
+        assert!(c.responds_in(0), "other rounds unaffected (cell exclusivity)");
+    }
+
+    #[test]
+    fn delay_reports_previous_upload() {
+        let plan = plan_with(&[Fault::Delay { client: 1, round: 2 }]);
+        let mut c = FaultableClient::new(Box::new(Scripted { id: 1, dim: 3 }), plan);
+        let g0 = c.gradient(&[], 0);
+        assert_eq!(g0, vec![1.0; 3], "round 0 on time");
+        let _g1 = c.gradient(&[], 1);
+        let g2 = c.gradient(&[], 2);
+        assert_eq!(g2, vec![2.0; 3], "round 2 uploads round 1's gradient");
+        let g3 = c.gradient(&[], 3);
+        assert_eq!(g3, vec![4.0; 3], "round 3 back on time");
+    }
+
+    #[test]
+    fn delay_without_history_degrades_to_on_time() {
+        let plan = plan_with(&[Fault::Delay { client: 1, round: 0 }]);
+        let mut c = FaultableClient::new(Box::new(Scripted { id: 1, dim: 2 }), plan);
+        assert_eq!(c.gradient(&[], 0), vec![1.0; 2]);
+    }
+
+    #[test]
+    fn duplicate_doubles_weight_for_that_round_only() {
+        let plan = plan_with(&[Fault::Duplicate { client: 0, round: 1 }]);
+        let mut c = FaultableClient::new(Box::new(Scripted { id: 0, dim: 2 }), plan);
+        let _ = c.gradient(&[], 0);
+        assert_eq!(c.weight(), 10.0);
+        let _ = c.gradient(&[], 1);
+        assert_eq!(c.weight(), 20.0);
+        let _ = c.gradient(&[], 2);
+        assert_eq!(c.weight(), 10.0);
+    }
+
+    #[test]
+    fn sign_flip_inverts_planned_elements() {
+        let plan = plan_with(&[Fault::SignFlip { client: 0, round: 1, elements: vec![0, 2] }]);
+        let mut c = FaultableClient::new(Box::new(Scripted { id: 0, dim: 4 }), plan);
+        let g = c.gradient(&[], 1);
+        assert_eq!(g, vec![-FLIP_MAGNITUDE, 2.0, -FLIP_MAGNITUDE, 2.0]);
+        let g2 = c.gradient(&[], 2);
+        assert_eq!(g2, vec![3.0; 4], "other rounds untouched");
+    }
+}

@@ -1,0 +1,404 @@
+//! Golden-trace regression digests.
+//!
+//! A [`Trace`] is an ordered list of `(label, digest)` pairs, where each
+//! digest is a 64-bit FNV-1a hash over the exact bit pattern of a
+//! parameter vector. Because the whole stack is bitwise deterministic
+//! (serial == parallel, any `FUIOV_THREADS`), the trace of the canonical
+//! run is a constant — any drift in any round of training *or* recovery
+//! changes a digest and fails the comparison with a per-round diff.
+//!
+//! Workflow (also in DESIGN.md §6):
+//!
+//! 1. `cargo test -p fuiov-testkit --test golden_trace` compares against
+//!    `tests/golden/*.json` at the repo root and fails on drift.
+//! 2. After an *intentional* numeric change, re-bless with
+//!    `FUIOV_BLESS=1 cargo test -p fuiov-testkit --test golden_trace` and
+//!    commit the updated JSON alongside the change that explains it.
+//!
+//! The JSON is hand-rolled (the container vendors no serde); the format is
+//! the fixed schema written by [`Trace::to_json`].
+
+use std::fmt;
+use std::path::Path;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over the little-endian bit patterns of `params`.
+///
+/// Bit-exact: `-0.0` and `+0.0` differ, every NaN payload is distinct.
+pub fn digest_params(params: &[f32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for p in params {
+        for b in p.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Error in the golden workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldenError {
+    /// The golden file is missing — run once with `FUIOV_BLESS=1`.
+    Missing(String),
+    /// Reading or writing the golden file failed.
+    Io(String),
+    /// The golden file does not parse as a trace.
+    Parse(String),
+    /// The run's trace differs from the golden one.
+    Drift(String),
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoldenError::Missing(p) => write!(
+                f,
+                "golden file {p} missing; bless it with FUIOV_BLESS=1 and commit the result"
+            ),
+            GoldenError::Io(e) => write!(f, "golden file I/O error: {e}"),
+            GoldenError::Parse(e) => write!(f, "golden file parse error: {e}"),
+            GoldenError::Drift(d) => write!(f, "golden trace drift:\n{d}"),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+/// Outcome of [`check_or_bless`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// The trace matched the stored golden file.
+    Matched,
+    /// `FUIOV_BLESS=1` was set: the golden file was (re)written.
+    Blessed,
+}
+
+/// An ordered digest trace of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    seed: u64,
+    entries: Vec<(String, u64)>,
+}
+
+impl Trace {
+    /// Creates an empty trace. `name` and labels must stay within
+    /// `[A-Za-z0-9_.-]` (no JSON escaping is implemented).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` contains characters outside that set.
+    pub fn new(name: &str, seed: u64) -> Self {
+        assert!(label_ok(name), "Trace::new: invalid name {name:?}");
+        Trace { name: name.to_string(), seed, entries: Vec::new() }
+    }
+
+    /// Appends the digest of `params` under `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` contains characters outside `[A-Za-z0-9_.-]`.
+    pub fn push(&mut self, label: &str, params: &[f32]) {
+        self.push_digest(label, digest_params(params));
+    }
+
+    /// Appends a precomputed digest under `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` contains characters outside `[A-Za-z0-9_.-]`.
+    pub fn push_digest(&mut self, label: &str, digest: u64) {
+        assert!(label_ok(label), "Trace::push: invalid label {label:?}");
+        self.entries.push((label.to_string(), digest));
+    }
+
+    /// The trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The seed the traced run used.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `(label, digest)` entries in order.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// Serialises to the golden JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", self.name));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"entries\": [\n");
+        for (i, (label, digest)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"label\": \"{label}\", \"digest\": \"{digest:016x}\" }}{comma}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the schema written by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoldenError::Parse`] on any structural mismatch.
+    pub fn from_json(text: &str) -> Result<Trace, GoldenError> {
+        let mut p = Parser { rest: text };
+        p.expect("{")?;
+        p.expect("\"name\"")?;
+        p.expect(":")?;
+        let name = p.string()?;
+        p.expect(",")?;
+        p.expect("\"seed\"")?;
+        p.expect(":")?;
+        let seed = p.number()?;
+        p.expect(",")?;
+        p.expect("\"entries\"")?;
+        p.expect(":")?;
+        p.expect("[")?;
+        let mut entries = Vec::new();
+        if !p.try_expect("]") {
+            loop {
+                p.expect("{")?;
+                p.expect("\"label\"")?;
+                p.expect(":")?;
+                let label = p.string()?;
+                p.expect(",")?;
+                p.expect("\"digest\"")?;
+                p.expect(":")?;
+                let digest_hex = p.string()?;
+                let digest = u64::from_str_radix(&digest_hex, 16)
+                    .map_err(|e| GoldenError::Parse(format!("digest {digest_hex:?}: {e}")))?;
+                p.expect("}")?;
+                entries.push((label, digest));
+                if !p.try_expect(",") {
+                    break;
+                }
+            }
+            p.expect("]")?;
+        }
+        p.expect("}")?;
+        if !p.rest.trim().is_empty() {
+            return Err(GoldenError::Parse(format!("trailing content: {:?}", p.rest.trim())));
+        }
+        if !label_ok(&name) || entries.iter().any(|(l, _)| !label_ok(l)) {
+            return Err(GoldenError::Parse("invalid name or label characters".into()));
+        }
+        Ok(Trace { name, seed, entries })
+    }
+
+    /// Compares this (freshly computed) trace against the `golden` one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoldenError::Drift`] listing every differing entry.
+    pub fn compare(&self, golden: &Trace) -> Result<(), GoldenError> {
+        let mut diffs = Vec::new();
+        if self.name != golden.name {
+            diffs.push(format!("name: got {:?}, golden {:?}", self.name, golden.name));
+        }
+        if self.seed != golden.seed {
+            diffs.push(format!("seed: got {}, golden {}", self.seed, golden.seed));
+        }
+        let n = self.entries.len().max(golden.entries.len());
+        for i in 0..n {
+            match (self.entries.get(i), golden.entries.get(i)) {
+                (Some((la, da)), Some((lb, db))) => {
+                    if la != lb {
+                        diffs.push(format!("entry {i}: label {la:?} vs golden {lb:?}"));
+                    } else if da != db {
+                        diffs.push(format!("entry {i} ({la}): {da:016x} vs golden {db:016x}"));
+                    }
+                }
+                (Some((la, _)), None) => diffs.push(format!("entry {i} ({la}): extra vs golden")),
+                (None, Some((lb, _))) => diffs.push(format!("entry {i} ({lb}): missing vs golden")),
+                (None, None) => unreachable!(),
+            }
+        }
+        if diffs.is_empty() {
+            Ok(())
+        } else {
+            Err(GoldenError::Drift(diffs.join("\n")))
+        }
+    }
+}
+
+fn label_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn try_expect(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if let Some(r) = self.rest.strip_prefix(token) {
+            self.rest = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), GoldenError> {
+        if self.try_expect(token) {
+            Ok(())
+        } else {
+            let at: String = self.rest.chars().take(24).collect();
+            Err(GoldenError::Parse(format!("expected {token:?} at {at:?}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, GoldenError> {
+        self.expect("\"")?;
+        let Some(end) = self.rest.find('"') else {
+            return Err(GoldenError::Parse("unterminated string".into()));
+        };
+        let s = self.rest[..end].to_string();
+        self.rest = &self.rest[end + 1..];
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<u64, GoldenError> {
+        self.skip_ws();
+        let digits: String = self.rest.chars().take_while(char::is_ascii_digit).collect();
+        if digits.is_empty() {
+            return Err(GoldenError::Parse("expected a number".into()));
+        }
+        self.rest = &self.rest[digits.len()..];
+        digits
+            .parse()
+            .map_err(|e| GoldenError::Parse(format!("number {digits:?}: {e}")))
+    }
+}
+
+/// Compares `trace` against the golden file at `path`, or (re)writes the
+/// file when the `FUIOV_BLESS` environment variable is `1`.
+///
+/// # Errors
+///
+/// [`GoldenError::Missing`] when no golden exists (and blessing is off),
+/// [`GoldenError::Drift`] on digest mismatch, [`GoldenError::Io`] /
+/// [`GoldenError::Parse`] on file trouble.
+pub fn check_or_bless(trace: &Trace, path: &Path) -> Result<GoldenStatus, GoldenError> {
+    if std::env::var("FUIOV_BLESS").as_deref() == Ok("1") {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| GoldenError::Io(e.to_string()))?;
+        }
+        std::fs::write(path, trace.to_json()).map_err(|e| GoldenError::Io(e.to_string()))?;
+        return Ok(GoldenStatus::Blessed);
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(GoldenError::Missing(path.display().to_string()));
+        }
+        Err(e) => return Err(GoldenError::Io(e.to_string())),
+    };
+    let golden = Trace::from_json(&text)?;
+    trace.compare(&golden)?;
+    Ok(GoldenStatus::Matched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_bit_exact() {
+        assert_eq!(digest_params(&[1.0, 2.0]), digest_params(&[1.0, 2.0]));
+        assert_ne!(digest_params(&[1.0, 2.0]), digest_params(&[2.0, 1.0]));
+        assert_ne!(digest_params(&[0.0]), digest_params(&[-0.0]), "signed zero differs");
+        assert_ne!(digest_params(&[]), digest_params(&[0.0]));
+        // Reference FNV-1a: empty input is the offset basis.
+        assert_eq!(digest_params(&[]), FNV_OFFSET);
+    }
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("canonical-v1", 7);
+        t.push("init", &[0.5, -0.5]);
+        t.push("train_round_0", &[0.25, -0.75]);
+        t.push_digest("recover_final", 0xDEAD_BEEF_0123_4567);
+        t
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let t = sample();
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.name(), "canonical-v1");
+        assert_eq!(back.seed(), 7);
+        assert_eq!(back.entries().len(), 3);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new("empty", 0);
+        assert_eq!(Trace::from_json(&t.to_json()).unwrap(), t);
+    }
+
+    #[test]
+    fn compare_reports_each_drift() {
+        let a = sample();
+        let mut b = sample();
+        b.entries[1].1 ^= 1;
+        let err = a.compare(&b).unwrap_err();
+        let GoldenError::Drift(msg) = &err else { panic!("expected drift, got {err:?}") };
+        assert!(msg.contains("train_round_0"), "diff names the entry: {msg}");
+        assert!(a.compare(&a).is_ok());
+    }
+
+    #[test]
+    fn compare_detects_length_mismatch() {
+        let a = sample();
+        let mut b = sample();
+        b.push_digest("extra", 1);
+        assert!(matches!(a.compare(&b), Err(GoldenError::Drift(_))));
+        assert!(matches!(b.compare(&a), Err(GoldenError::Drift(_))));
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        for bad in [
+            "",
+            "{",
+            "{\"name\": \"x\"}",
+            "{\"name\": \"x\", \"seed\": 1, \"entries\": [}",
+            "{\"name\": \"x\", \"seed\": 1, \"entries\": []} trailing",
+            "{\"name\": \"x\", \"seed\": 1, \"entries\": [{\"label\": \"a\", \"digest\": \"zz\"}]}",
+        ] {
+            assert!(
+                matches!(Trace::from_json(bad), Err(GoldenError::Parse(_))),
+                "should not parse: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_labels_are_rejected() {
+        let mut t = Trace::new("ok", 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.push("has space", &[1.0]);
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic fault-injection and differential-oracle harness.
+//!
+//! The paper's value proposition is that server-side recovery (backtrack +
+//! L-BFGS gradient estimation, §IV) stays faithful to retraining even
+//! though no client participates. An IoV deployment stresses exactly the
+//! inputs that claim depends on: vehicles drop out mid-round, 2-bit sign
+//! uploads arrive corrupted or late, checkpoints truncate, vector pairs go
+//! stale. This crate makes those failure modes *reproducible from one
+//! `u64` seed* and checks the system against oracles, so every later
+//! perf/robustness PR is regression-pinned.
+//!
+//! Four pieces:
+//!
+//! - [`plan`] — a seeded [`FaultPlan`]: which client fails how in which
+//!   round, sampled deterministically via the workspace's stream-seeded
+//!   RNG. Same seed, same faults, on every machine and thread count.
+//! - [`faultable`] — [`FaultableClient`], a wrapper over any
+//!   `fuiov_fl::Client` that executes the client-side faults (mid-round
+//!   dropout via the `Client::responds_in` hook, sign flips, delayed and
+//!   duplicated uploads).
+//! - [`corrupt`] — the storage-corruption shim: truncate/corrupt
+//!   checkpoint bytes, flip packed sign entries, stale-replace vector-pair
+//!   source directions, and drop models from a [`HistoryStore`].
+//! - [`golden`] + [`oracles`] — trace digests (per-round model hashes)
+//!   with a JSON golden-file workflow, plus the differential and
+//!   metamorphic oracles (recovered-vs-retrained bound, serial == parallel
+//!   bitwise, save/load identity, never-joined no-op, idempotent re-run).
+//!
+//! The golden workflow and fault classes are documented in DESIGN.md §6
+//! ("Verification strategy").
+//!
+//! [`FaultPlan`]: plan::FaultPlan
+//! [`FaultableClient`]: faultable::FaultableClient
+//! [`HistoryStore`]: fuiov_storage::HistoryStore
+
+pub mod corrupt;
+pub mod faultable;
+pub mod golden;
+pub mod oracles;
+pub mod plan;
+pub mod scenario;
+
+pub use corrupt::Corruptor;
+pub use faultable::FaultableClient;
+pub use golden::{check_or_bless, digest_params, GoldenError, GoldenStatus, Trace};
+pub use oracles::{bitwise_eq, first_bit_mismatch, rel_l2_divergence};
+pub use plan::{Fault, FaultClass, FaultPlan, FaultSpec};
+pub use scenario::{CanonicalRun, TrainedRun};
+
+/// Serialises tests that toggle the global `fuiov_tensor::pool` thread
+/// override. The override never changes output bytes (that is the point
+/// of the determinism contract), but two tests flipping it concurrently
+/// would race on *which* width they are asserting about.
+pub fn thread_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

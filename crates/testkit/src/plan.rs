@@ -1,0 +1,443 @@
+//! Seeded fault plans.
+//!
+//! A [`FaultPlan`] is the complete, pre-drawn list of faults one run will
+//! suffer: which vehicle drops out of which round, which sign uploads are
+//! corrupted, where checkpoint bytes are cut. Everything is sampled up
+//! front from a single `u64` seed through the workspace's stream-seeded
+//! RNG ([`fuiov_tensor::rng`]), so a failing run is reproduced exactly by
+//! its seed — on any machine, at any `FUIOV_THREADS` — and the plan can be
+//! printed alongside the failure.
+
+use fuiov_storage::{ClientId, Round};
+use fuiov_tensor::rng::{rng_for, streams};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The fault taxonomy the harness injects (ISSUE 2 / DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// A polled vehicle fails to upload (mid-round connectivity loss).
+    Dropout,
+    /// Elements of a 2-bit sign upload arrive with flipped direction.
+    SignFlip,
+    /// An upload arrives one round late (the server aggregates round
+    /// `r−1`'s gradient at round `r`).
+    Delay,
+    /// An upload is counted twice by the aggregator (re-transmission that
+    /// the server fails to deduplicate).
+    Duplicate,
+    /// A persisted checkpoint loses its tail (partial write / disk loss).
+    CheckpointTruncation,
+    /// A persisted checkpoint's header is corrupted (bad magic bytes).
+    CheckpointMagic,
+    /// The stored direction for `(round, client)` is replaced by an older
+    /// round's direction — the stale vector-pair source recovery then
+    /// seeds from.
+    StaleDirections,
+}
+
+impl FaultClass {
+    /// All classes, in declaration order.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::Dropout,
+        FaultClass::SignFlip,
+        FaultClass::Delay,
+        FaultClass::Duplicate,
+        FaultClass::CheckpointTruncation,
+        FaultClass::CheckpointMagic,
+        FaultClass::StaleDirections,
+    ];
+}
+
+/// One concrete fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// `client` does not answer the server's poll in `round`.
+    Dropout {
+        /// The affected vehicle.
+        client: ClientId,
+        /// The missed round.
+        round: Round,
+    },
+    /// The listed gradient elements of `client`'s upload in `round` have
+    /// their direction flipped before quantisation.
+    SignFlip {
+        /// The affected vehicle.
+        client: ClientId,
+        /// The corrupted round.
+        round: Round,
+        /// Parameter indices whose sign flips.
+        elements: Vec<usize>,
+    },
+    /// `client`'s upload in `round` is the gradient it computed for the
+    /// previous round it participated in.
+    Delay {
+        /// The affected vehicle.
+        client: ClientId,
+        /// The round receiving the stale upload.
+        round: Round,
+    },
+    /// `client`'s upload in `round` is aggregated twice (its FedAvg
+    /// weight doubles for that round).
+    Duplicate {
+        /// The affected vehicle.
+        client: ClientId,
+        /// The double-counted round.
+        round: Round,
+    },
+    /// A checkpoint byte buffer keeps only a prefix. The stored value is
+    /// reduced modulo the buffer length at application time
+    /// ([`crate::Corruptor::truncate`]), so one plan applies to any blob.
+    TruncateCheckpoint {
+        /// Raw draw; effective prefix is `prefix % len`.
+        prefix: usize,
+    },
+    /// A checkpoint's magic word is XOR-scrambled.
+    CorruptCheckpointMagic,
+    /// The direction stored for `(round, client)` is replaced by the one
+    /// from `round − lag` (when both exist).
+    StaleDirections {
+        /// The affected vehicle.
+        client: ClientId,
+        /// The round whose record goes stale.
+        round: Round,
+        /// How many rounds old the replacement is.
+        lag: usize,
+    },
+}
+
+impl Fault {
+    /// The class this fault belongs to.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            Fault::Dropout { .. } => FaultClass::Dropout,
+            Fault::SignFlip { .. } => FaultClass::SignFlip,
+            Fault::Delay { .. } => FaultClass::Delay,
+            Fault::Duplicate { .. } => FaultClass::Duplicate,
+            Fault::TruncateCheckpoint { .. } => FaultClass::CheckpointTruncation,
+            Fault::CorruptCheckpointMagic => FaultClass::CheckpointMagic,
+            Fault::StaleDirections { .. } => FaultClass::StaleDirections,
+        }
+    }
+}
+
+/// Shape and density of the plan to sample.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Vehicles in the federation.
+    pub clients: usize,
+    /// Training rounds.
+    pub rounds: usize,
+    /// Model parameter dimension (bounds sign-flip element indices).
+    pub dim: usize,
+    /// Per-(client, round) probability of each client-side fault class.
+    pub client_fault_prob: f64,
+    /// Sign elements flipped per [`Fault::SignFlip`] event.
+    pub flips_per_event: usize,
+    /// Checkpoint truncation events to draw.
+    pub truncations: usize,
+    /// Maximum staleness lag (draws are `1..=max_stale_lag`).
+    pub max_stale_lag: usize,
+}
+
+impl FaultSpec {
+    /// A small default spec for a `clients × rounds` federation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `clients`, `rounds`, `dim` is zero.
+    pub fn small(clients: usize, rounds: usize, dim: usize) -> Self {
+        assert!(clients > 0 && rounds > 0 && dim > 0, "FaultSpec: empty federation");
+        FaultSpec {
+            clients,
+            rounds,
+            dim,
+            client_fault_prob: 0.08,
+            flips_per_event: 3,
+            truncations: 4,
+            max_stale_lag: 3,
+        }
+    }
+}
+
+/// A fully-drawn fault plan; see the module docs.
+///
+/// Sampling guarantees *at least one* fault of every class in
+/// [`FaultClass::ALL`], so a fault-matrix run over any seed exercises the
+/// whole taxonomy; `client_fault_prob` only controls density beyond that
+/// floor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+    // Index: (client, round) → position in `faults`, client-side only.
+    by_cell: BTreeMap<(ClientId, Round), usize>,
+}
+
+impl FaultPlan {
+    /// Draws a plan from `seed`. Deterministic: equal seeds and specs give
+    /// equal plans.
+    pub fn sample(seed: u64, spec: &FaultSpec) -> Self {
+        let mut faults: Vec<Fault> = Vec::new();
+        let mut occupied: BTreeSet<(ClientId, Round)> = BTreeSet::new();
+
+        // Pass 1: density sampling. One stream per class keeps the draw
+        // for class X independent of whether class Y is enabled.
+        let client_side = [
+            FaultClass::Dropout,
+            FaultClass::Delay,
+            FaultClass::Duplicate,
+            FaultClass::SignFlip,
+            FaultClass::StaleDirections,
+        ];
+        for (k, &class) in client_side.iter().enumerate() {
+            let mut rng = rng_for(seed, streams::TESTKIT + k as u64);
+            for client in 0..spec.clients {
+                for round in 0..spec.rounds {
+                    if occupied.contains(&(client, round))
+                        || !rng.gen_bool(spec.client_fault_prob)
+                    {
+                        continue;
+                    }
+                    occupied.insert((client, round));
+                    faults.push(Self::make_client_fault(class, client, round, spec, &mut rng));
+                }
+            }
+        }
+
+        // Pass 2: guarantee the floor — one fault per class that pass 1
+        // left empty, placed on the first free cell after a seeded start.
+        let mut rng = rng_for(seed, streams::TESTKIT + 0x40);
+        for &class in &client_side {
+            if faults.iter().any(|f| f.class() == class) {
+                continue;
+            }
+            let start = rng.gen_range(0..spec.clients * spec.rounds);
+            let cell = (0..spec.clients * spec.rounds)
+                .map(|o| {
+                    let i = (start + o) % (spec.clients * spec.rounds);
+                    (i / spec.rounds, i % spec.rounds)
+                })
+                .find(|cell| !occupied.contains(cell));
+            if let Some((client, round)) = cell {
+                occupied.insert((client, round));
+                faults.push(Self::make_client_fault(class, client, round, spec, &mut rng));
+            }
+        }
+
+        // Checkpoint faults are not per-cell; always at least one of each.
+        let mut rng = rng_for(seed, streams::TESTKIT + 0x41);
+        for _ in 0..spec.truncations.max(1) {
+            faults.push(Fault::TruncateCheckpoint { prefix: rng.gen_range(0..10_000usize) });
+        }
+        faults.push(Fault::CorruptCheckpointMagic);
+
+        let by_cell = faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| match f {
+                Fault::Dropout { client, round }
+                | Fault::SignFlip { client, round, .. }
+                | Fault::Delay { client, round }
+                | Fault::Duplicate { client, round }
+                | Fault::StaleDirections { client, round, .. } => Some(((*client, *round), i)),
+                _ => None,
+            })
+            .collect();
+
+        FaultPlan { seed, faults, by_cell }
+    }
+
+    /// Builds a plan from an explicit fault list (no sampling) — for
+    /// tests that need exact fault placement. `seed` is recorded for
+    /// display only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two client-side faults share a `(client, round)` cell.
+    pub fn from_faults(seed: u64, faults: Vec<Fault>) -> Self {
+        let mut by_cell = BTreeMap::new();
+        for (i, f) in faults.iter().enumerate() {
+            if let Fault::Dropout { client, round }
+            | Fault::SignFlip { client, round, .. }
+            | Fault::Delay { client, round }
+            | Fault::Duplicate { client, round }
+            | Fault::StaleDirections { client, round, .. } = f
+            {
+                let prev = by_cell.insert((*client, *round), i);
+                assert!(prev.is_none(), "from_faults: cell ({client}, {round}) used twice");
+            }
+        }
+        FaultPlan { seed, faults, by_cell }
+    }
+
+    fn make_client_fault(
+        class: FaultClass,
+        client: ClientId,
+        round: Round,
+        spec: &FaultSpec,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Fault {
+        match class {
+            FaultClass::Dropout => Fault::Dropout { client, round },
+            FaultClass::Delay => Fault::Delay { client, round },
+            FaultClass::Duplicate => Fault::Duplicate { client, round },
+            FaultClass::SignFlip => {
+                let mut elements: BTreeSet<usize> = BTreeSet::new();
+                while elements.len() < spec.flips_per_event.min(spec.dim) {
+                    elements.insert(rng.gen_range(0..spec.dim));
+                }
+                Fault::SignFlip { client, round, elements: elements.into_iter().collect() }
+            }
+            FaultClass::StaleDirections => Fault::StaleDirections {
+                client,
+                round,
+                lag: rng.gen_range(1..=spec.max_stale_lag.max(1)),
+            },
+            _ => unreachable!("make_client_fault: {class:?} is not client-side"),
+        }
+    }
+
+    /// The seed the plan was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Every drawn fault.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Distinct classes present in the plan.
+    pub fn classes(&self) -> BTreeSet<FaultClass> {
+        self.faults.iter().map(Fault::class).collect()
+    }
+
+    fn cell(&self, client: ClientId, round: Round) -> Option<&Fault> {
+        self.by_cell.get(&(client, round)).map(|&i| &self.faults[i])
+    }
+
+    /// Whether `client` drops out of `round`.
+    pub fn is_dropout(&self, client: ClientId, round: Round) -> bool {
+        matches!(self.cell(client, round), Some(Fault::Dropout { .. }))
+    }
+
+    /// Sign-flip element indices for `(client, round)`, if any.
+    pub fn sign_flips(&self, client: ClientId, round: Round) -> Option<&[usize]> {
+        match self.cell(client, round) {
+            Some(Fault::SignFlip { elements, .. }) => Some(elements),
+            _ => None,
+        }
+    }
+
+    /// Whether `client`'s upload in `round` is delayed.
+    pub fn is_delayed(&self, client: ClientId, round: Round) -> bool {
+        matches!(self.cell(client, round), Some(Fault::Delay { .. }))
+    }
+
+    /// Whether `client`'s upload in `round` is double-counted.
+    pub fn is_duplicated(&self, client: ClientId, round: Round) -> bool {
+        matches!(self.cell(client, round), Some(Fault::Duplicate { .. }))
+    }
+
+    /// All staleness faults as `(client, round, lag)`.
+    pub fn stale_directions(&self) -> Vec<(ClientId, Round, usize)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::StaleDirections { client, round, lag } => Some((*client, *round, *lag)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All raw truncation draws (reduce modulo blob length to apply).
+    pub fn truncations(&self) -> Vec<usize> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::TruncateCheckpoint { prefix } => Some(*prefix),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FaultSpec {
+        FaultSpec::small(4, 10, 50)
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = FaultPlan::sample(42, &spec());
+        let b = FaultPlan::sample(42, &spec());
+        assert_eq!(a, b);
+        let c = FaultPlan::sample(43, &spec());
+        assert_ne!(a, c, "different seeds should draw different plans");
+    }
+
+    #[test]
+    fn every_class_is_guaranteed() {
+        // Even with zero density, the floor pass places one fault of each
+        // class.
+        let mut s = spec();
+        s.client_fault_prob = 0.0;
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            let plan = FaultPlan::sample(seed, &s);
+            let classes = plan.classes();
+            for class in FaultClass::ALL {
+                assert!(classes.contains(&class), "seed {seed}: missing {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_client_side_fault_per_cell() {
+        let mut s = spec();
+        s.client_fault_prob = 0.5; // dense: collisions would be common
+        let plan = FaultPlan::sample(9, &s);
+        let mut seen = BTreeSet::new();
+        for f in plan.faults() {
+            if let Fault::Dropout { client, round }
+            | Fault::SignFlip { client, round, .. }
+            | Fault::Delay { client, round }
+            | Fault::Duplicate { client, round }
+            | Fault::StaleDirections { client, round, .. } = f
+            {
+                assert!(seen.insert((*client, *round)), "cell ({client},{round}) reused");
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_agree_with_fault_list() {
+        let plan = FaultPlan::sample(5, &spec());
+        for f in plan.faults() {
+            match f {
+                Fault::Dropout { client, round } => {
+                    assert!(plan.is_dropout(*client, *round));
+                }
+                Fault::SignFlip { client, round, elements } => {
+                    assert_eq!(plan.sign_flips(*client, *round), Some(&elements[..]));
+                    assert!(elements.iter().all(|&e| e < spec().dim));
+                }
+                Fault::Delay { client, round } => assert!(plan.is_delayed(*client, *round)),
+                Fault::Duplicate { client, round } => {
+                    assert!(plan.is_duplicated(*client, *round));
+                }
+                Fault::StaleDirections { client, round, lag } => {
+                    assert!(plan.stale_directions().contains(&(*client, *round, *lag)));
+                    assert!(*lag >= 1);
+                }
+                Fault::TruncateCheckpoint { prefix } => {
+                    assert!(plan.truncations().contains(prefix));
+                }
+                Fault::CorruptCheckpointMagic => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Golden-trace regression: the per-round digests of the canonical run
+//! must match `tests/golden/canonical.json` at the repo root, bit for bit,
+//! at every thread width and across repeated runs.
+//!
+//! To bless a new golden after an intentional numeric change:
+//! `FUIOV_BLESS=1 cargo test -p fuiov-testkit --test golden_trace`.
+
+use fuiov_testkit::{check_or_bless, thread_lock, CanonicalRun, GoldenStatus};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/canonical.json")
+}
+
+#[test]
+fn canonical_trace_matches_golden() {
+    let _guard = thread_lock();
+    let trace = CanonicalRun::standard().trace();
+    match check_or_bless(&trace, &golden_path()) {
+        Ok(GoldenStatus::Matched) => {}
+        Ok(GoldenStatus::Blessed) => {
+            println!("golden {} re-blessed with {} entries", golden_path().display(), trace.entries().len());
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[test]
+fn trace_covers_training_and_recovery() {
+    let _guard = thread_lock();
+    let trace = CanonicalRun::standard().trace();
+    let labels: Vec<&str> = trace.entries().iter().map(|(l, _)| l.as_str()).collect();
+    assert_eq!(labels.first(), Some(&"init"));
+    assert!(labels.contains(&"train_round_0"));
+    assert!(labels.contains(&"train_final"));
+    assert!(labels.contains(&"recover_round_2"), "replay starts at F = 2");
+    assert_eq!(labels.last(), Some(&"recover_final"));
+    // init + 6 training rounds + final + 4 recovery rounds + recovered.
+    assert_eq!(labels.len(), 13);
+}
+
+#[test]
+fn trace_is_stable_across_reruns_and_thread_widths() {
+    let _guard = thread_lock();
+    let baseline = CanonicalRun::standard().trace();
+    assert_eq!(baseline, CanonicalRun::standard().trace(), "repeated run drifted");
+    for width in [1usize, 2, 4] {
+        fuiov_tensor::pool::set_threads(width);
+        let t = CanonicalRun::standard().trace();
+        fuiov_tensor::pool::set_threads(0);
+        assert_eq!(baseline, t, "digests changed at FUIOV_THREADS={width}");
+    }
+}

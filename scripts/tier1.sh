@@ -9,3 +9,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test --workspace -q
 cargo clippy --all-targets -- -D warnings
+
+# Testkit stage: golden-trace regression (fails on any digest drift — bless
+# intentional changes with FUIOV_BLESS=1, see DESIGN.md §6) plus a
+# fault-matrix smoke at two extra seeds beyond the suite's defaults.
+cargo test -p fuiov-testkit -q --test golden_trace
+for seed in 101 202; do
+  FUIOV_FAULT_SEED="$seed" cargo test -p fuiov-testkit -q --test fault_matrix
+done

@@ -1,0 +1,69 @@
+//! Top-level smoke test wiring the fault-injection harness into the main
+//! crate's integration suite: plans are seed-reproducible, cover the full
+//! fault taxonomy, and the unlearning pipeline degrades into typed errors
+//! (never panics) when its inputs are corrupted.
+
+use fuiov_core::UnlearnError;
+use fuiov_storage::checkpoint::{self, DecodeError};
+use fuiov_testkit::{CanonicalRun, Corruptor, FaultPlan, FaultSpec};
+use std::sync::Arc;
+
+#[test]
+fn fault_plans_are_reproducible_and_cover_the_taxonomy() {
+    let spec = FaultSpec::small(3, 6, 100);
+    let a = FaultPlan::sample(123, &spec);
+    assert_eq!(a, FaultPlan::sample(123, &spec));
+    assert!(a.classes().len() >= 5, "a plan must exercise at least 5 fault classes");
+}
+
+#[test]
+fn faulted_end_to_end_run_degrades_gracefully() {
+    let scenario = CanonicalRun::standard();
+    let dim = scenario.initial_params().len();
+    let plan = Arc::new(FaultPlan::sample(
+        42,
+        &FaultSpec::small(scenario.clients, scenario.rounds, dim),
+    ));
+    let run = scenario.train_faulted(&plan);
+    assert!(run.params.iter().all(|v| v.is_finite()));
+
+    // The final model survives a persistence round-trip but every planned
+    // corruption of the blob is caught with a typed error.
+    let blob = checkpoint::encode(&run.params);
+    assert_eq!(checkpoint::decode(&blob).unwrap().len(), dim);
+    for raw in plan.truncations() {
+        let cut = Corruptor::truncate(&blob, raw);
+        assert_eq!(checkpoint::decode(&cut), Err(DecodeError::Truncated));
+    }
+
+    // Unlearning on the faulted history: success or a typed error.
+    if let Err(e) = scenario.recover_forgotten(&run.history, |_, _| {}) {
+        let _typed: UnlearnError = e;
+    }
+}
+
+#[test]
+fn forgetting_after_everyone_left_is_a_typed_error() {
+    // The regression the testkit PR fixed: when no remaining vehicle has
+    // any record in the replay window, recovery must report
+    // EmptyMembershipWindow rather than silently returning the
+    // backtracked model.
+    use fuiov_core::{RecoveryConfig, Unlearner};
+    use fuiov_storage::HistoryStore;
+    let mut h = HistoryStore::new(1e-6);
+    for t in 0..=3 {
+        h.record_model(t, vec![t as f32; 4]);
+    }
+    h.record_join(0, 0);
+    h.record_gradient(0, 0, &[0.5, -0.5, 0.5, -0.5]);
+    h.record_gradient(1, 0, &[0.5, -0.5, 0.5, -0.5]);
+    h.record_leave(0, 1);
+    h.record_join(1, 2);
+    h.record_gradient(2, 1, &[0.5, -0.5, 0.5, -0.5]);
+
+    let unlearner = Unlearner::new(&h, RecoveryConfig::new(0.1));
+    assert_eq!(
+        unlearner.forget_and_recover(1).unwrap_err(),
+        UnlearnError::EmptyMembershipWindow { start_round: 2, end_round: 3 }
+    );
+}
