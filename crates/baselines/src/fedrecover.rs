@@ -16,10 +16,11 @@
 //! of rounds).
 
 use fuiov_core::backtrack::backtrack;
+use fuiov_core::batch::{RoundScratch, StackedLbfgs};
 use fuiov_core::lbfgs::{LbfgsApprox, PairBuffer};
 use fuiov_core::recover::GradientOracle;
 use fuiov_core::UnlearnError;
-use fuiov_fl::aggregate::aggregate;
+use fuiov_fl::aggregate::aggregate_refs;
 use fuiov_fl::config::AggregationRule;
 use fuiov_storage::history::FullGradientStore;
 use fuiov_storage::{ClientId, HistoryStore};
@@ -110,10 +111,9 @@ pub fn fedrecover(
     let mut buffers: BTreeMap<ClientId, PairBuffer> = BTreeMap::new();
     let mut approxes: BTreeMap<ClientId, LbfgsApprox> = BTreeMap::new();
     let seed_start = f_round.saturating_sub(config.buffer_size);
-    let w_f = history
+    let w_f: &[f32] = history
         .model(f_round)
-        .ok_or(UnlearnError::MissingModel(f_round))?
-        .to_vec();
+        .ok_or(UnlearnError::MissingModel(f_round))?;
     for &client in &remaining {
         let mut buf = PairBuffer::new(config.buffer_size);
         if let Some(g_f) = full.gradient(f_round, client) {
@@ -122,7 +122,7 @@ pub fn fedrecover(
                 else {
                     continue;
                 };
-                buf.push(vector::sub(w_r, &w_f), vector::sub(g_r, g_f));
+                buf.push(vector::sub(w_r, w_f), vector::sub(g_r, g_f));
             }
         }
         if let Ok(a) = buf.approximation() {
@@ -134,37 +134,48 @@ pub fn fedrecover(
     let mut exact_queries = 0usize;
     let mut estimator_fallbacks = 0usize;
 
+    // Estimation rounds run on the batched engine: one stacked inbound
+    // sweep serves every client's Eq. 6 estimate (see fuiov_core::batch).
+    let dim = params.len();
+    let mut stacked = StackedLbfgs::build(dim, std::iter::empty());
+    let mut stacked_dirty = true;
+    let mut scratch = RoundScratch::new();
+    let mut roster: Vec<(ClientId, Option<usize>)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+
     for t in f_round..t_end {
         let w_t = history.model(t).ok_or(UnlearnError::MissingModel(t))?;
-        let dw_t = vector::sub(&params, w_t);
+        vector::sub_into(&params, w_t, &mut scratch.dw_t);
+        let dw_t = &scratch.dw_t;
         let replayed = t - f_round + 1;
         let correction_round = replayed % config.correction_interval == 0;
 
-        let mut grads: Vec<Vec<f32>> = Vec::new();
-        let mut weights: Vec<f32> = Vec::new();
+        weights.clear();
 
         if correction_round {
             // Correction rounds stay serial: the oracle is `&mut` and the
             // vector-pair refresh mutates shared state per client.
+            let mut grads: Vec<Vec<f32>> = Vec::new();
             for &client in &remaining {
                 let Some(g_hist) = full.gradient(t, client) else { continue };
                 let mut est = if let Some(exact) = oracle.gradient_at(client, &params) {
                     exact_queries += 1;
                     // Use the exact gradient and refresh this client's
                     // vector pairs with ground truth.
-                    if vector::l2_norm(&dw_t) > 1e-12 {
-                        let dg = vector::sub(&exact, g_hist);
+                    if vector::l2_norm(dw_t) > 1e-12 {
+                        vector::sub_into(&exact, g_hist, &mut scratch.dg);
                         let buf = buffers
                             .entry(client)
                             .or_insert_with(|| PairBuffer::new(config.buffer_size));
-                        buf.push(dw_t.clone(), dg);
+                        buf.push_from_slices(dw_t, &scratch.dg);
                         if let Ok(a) = buf.approximation() {
                             approxes.insert(client, a);
+                            stacked_dirty = true;
                         }
                     }
                     exact
                 } else {
-                    let (est, fallback) = estimate(g_hist, &dw_t, approxes.get(&client));
+                    let (est, fallback) = estimate(g_hist, dw_t, approxes.get(&client));
                     estimator_fallbacks += usize::from(fallback);
                     est
                 };
@@ -172,27 +183,61 @@ pub fn fedrecover(
                 weights.push(history.weight(client));
                 grads.push(est);
             }
-        } else {
-            // Pure estimation rounds read shared state only, so the
-            // per-client HVP + clip fans out over the pool; `par_map`
-            // preserves `remaining` order, keeping aggregation (and the
-            // recovered model) identical to the serial loop.
-            let per_client = pool::par_map(&remaining, 1, |_i, &client| {
-                let g_hist = full.gradient(t, client)?;
-                let (mut est, fallback) = estimate(g_hist, &dw_t, approxes.get(&client));
-                clip_estimate(&mut est, g_hist, config);
-                Some((client, est, fallback))
-            });
-            for (client, est, fallback) in per_client.into_iter().flatten() {
-                estimator_fallbacks += usize::from(fallback);
-                weights.push(history.weight(client));
-                grads.push(est);
+            if !grads.is_empty() {
+                let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+                let agg = aggregate_refs(AggregationRule::FedAvg, &refs, &weights);
+                vector::axpy(-config.lr, &agg, &mut params);
             }
-        }
-
-        if !grads.is_empty() {
-            let agg = aggregate(AggregationRule::FedAvg, &grads, &weights);
-            vector::axpy(-config.lr, &agg, &mut params);
+        } else {
+            // Pure estimation rounds read shared state only: one fused
+            // inbound sweep + per-client middle solves, then each client's
+            // row of the flat estimate matrix is filled independently.
+            // Rows are computed element-for-element like the per-client
+            // path and consumed in fixed `remaining` order, keeping the
+            // recovered model bitwise identical at any pool width.
+            if stacked_dirty {
+                stacked = StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));
+                stacked_dirty = false;
+            }
+            roster.clear();
+            for &client in &remaining {
+                if full.gradient(t, client).is_none() {
+                    continue;
+                }
+                let entry = stacked.entry_for(client);
+                estimator_fallbacks += usize::from(entry.is_none());
+                roster.push((client, entry));
+                weights.push(history.weight(client));
+            }
+            let n_part = roster.len();
+            if n_part > 0 {
+                if !stacked.is_empty() {
+                    stacked.fused_dots(dw_t, &mut scratch.dots);
+                    stacked.solve_middles(
+                        &scratch.dots,
+                        &mut scratch.ps,
+                        &mut scratch.rhs,
+                        &mut scratch.p,
+                    );
+                }
+                scratch.est.resize(n_part * dim, 0.0);
+                let est_buf = &mut scratch.est[..n_part * dim];
+                let (stacked_ref, ps, roster_ref) = (&stacked, &scratch.ps, &roster);
+                pool::par_row_bands_weighted(est_buf, n_part, dim, dim, |rows, band| {
+                    for (row, p) in band.chunks_mut(dim).zip(rows) {
+                        let (client, entry) = roster_ref[p];
+                        let g_hist = full.gradient(t, client).expect("roster checked");
+                        row.copy_from_slice(g_hist);
+                        if let Some(e) = entry {
+                            stacked_ref.accumulate_correction(e, ps, dw_t, row);
+                        }
+                        clip_estimate(row, g_hist, config);
+                    }
+                });
+                let refs: Vec<&[f32]> = est_buf.chunks(dim).collect();
+                let agg = aggregate_refs(AggregationRule::FedAvg, &refs, &weights);
+                vector::axpy(-config.lr, &agg, &mut params);
+            }
         }
     }
 

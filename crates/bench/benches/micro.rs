@@ -9,9 +9,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fuiov_core::lbfgs::LbfgsApprox;
-use fuiov_fl::aggregate::aggregate;
+use fuiov_core::{RoundScratch, StackedLbfgs};
+use fuiov_fl::aggregate::{aggregate, aggregate_refs};
 use fuiov_fl::AggregationRule;
+use fuiov_storage::GradientDirection;
 use fuiov_tensor::rng::rng_for;
+use fuiov_tensor::{pool, vector};
 use rand::Rng;
 use std::hint::black_box;
 
@@ -177,6 +180,128 @@ fn bench_recovery_round(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batched_recovery_round(c: &mut Criterion) {
+    // The PR's headline comparison: one full recovery round — per-client
+    // direction decode + Eq. 6 HVP + clip + FedAvg — through the seed's
+    // per-client path (scalar sign decode, five-pass `hvp_reference`,
+    // owned estimate vectors) versus the batched engine (LUT decode, one
+    // fused stacked inbound sweep, zero-allocation scratch arena). Both
+    // paths are asserted bitwise identical before any timing.
+    let dim = 13_692; // paper MNIST MLP size
+    let n = 32usize;
+    let dws = vec![random_vec(dim, 1), random_vec(dim, 2)];
+    let dgs: Vec<Vec<f32>> = dws
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let mut g = w.clone();
+            vector::scale(2.0, &mut g);
+            vector::axpy(0.01, &random_vec(dim, 20 + i as u64), &mut g);
+            g
+        })
+        .collect();
+    let approx = LbfgsApprox::new(&dws, &dgs).expect("valid pairs");
+    let dirs: Vec<GradientDirection> = (0..n)
+        .map(|i| GradientDirection::quantize(&random_vec(dim, 100 + i as u64), 1e-6))
+        .collect();
+    let dw = random_vec(dim, 77);
+    let weights = vec![1.0f32; n];
+
+    let per_client_round = || {
+        let ests: Vec<Vec<f32>> = dirs
+            .iter()
+            .map(|d| {
+                let mut est: Vec<f32> = (0..d.len()).map(|i| f32::from(d.sign(i))).collect();
+                let corr = approx.hvp_reference(&dw);
+                vector::axpy(1.0, &corr, &mut est);
+                vector::clip_elementwise(&mut est, 1.0);
+                est
+            })
+            .collect();
+        aggregate(AggregationRule::FedAvg, &ests, &weights)
+    };
+
+    // Every client gets its own stacked block, exactly as in recover_set
+    // (here all blocks carry the same factors, which changes nothing about
+    // the work performed per block).
+    let stacked = StackedLbfgs::build(dim, (0..n).map(|cid| (cid, &approx)));
+    let mut scratch = RoundScratch::new();
+    let mut batched_round = || {
+        stacked.fused_dots(&dw, &mut scratch.dots);
+        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        scratch.est.resize(n * dim, 0.0);
+        let est_buf = &mut scratch.est[..n * dim];
+        let (stacked_ref, ps, dirs_ref) = (&stacked, &scratch.ps, &dirs);
+        pool::par_row_bands_weighted(est_buf, n, dim, dim, |rows, band| {
+            for (row, p) in band.chunks_mut(dim).zip(rows) {
+                dirs_ref[p].decode_into(row);
+                let entry = stacked_ref.entry_for(p).expect("all clients stacked");
+                stacked_ref.accumulate_correction(entry, ps, &dw, row);
+                vector::clip_elementwise(row, 1.0);
+            }
+        });
+        let refs: Vec<&[f32]> = est_buf.chunks(dim).collect();
+        aggregate_refs(AggregationRule::FedAvg, &refs, &weights)
+    };
+
+    // Differential gate before timing: the two rounds must agree bit for
+    // bit, or the speedup below measures the wrong computation.
+    let reference = per_client_round();
+    let batched = batched_round();
+    assert_eq!(
+        reference.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        batched.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        "batched round diverged from the per-client path"
+    );
+
+    let mut group = c.benchmark_group("recovery_round");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((dim * n) as u64));
+    group.bench_function("per_client_32clients_13k", |b| {
+        b.iter(|| black_box(per_client_round()));
+    });
+    group.bench_function("batched_32clients_13k", |b| {
+        b.iter(|| black_box(batched_round()));
+    });
+    group.finish();
+}
+
+fn bench_direction_decode(c: &mut Criterion) {
+    // Word-level LUT decode (one 256-entry table lookup per packed byte,
+    // four lanes copied at once) against the seed's per-element scalar
+    // `sign(i)` extraction. Both write into the same preallocated buffer
+    // so the comparison isolates decode cost.
+    let dim = 52_138;
+    let dir = GradientDirection::quantize(&random_vec(dim, 3), 1e-6);
+    let mut out = vec![0.0f32; dim];
+
+    let scalar: Vec<f32> = (0..dir.len()).map(|i| f32::from(dir.sign(i))).collect();
+    dir.decode_into(&mut out);
+    assert_eq!(
+        scalar.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        out.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        "LUT decode diverged from scalar decode"
+    );
+
+    let mut group = c.benchmark_group("direction");
+    group.throughput(Throughput::Elements(dim as u64));
+    group.bench_function("decode_scalar_52k", |b| {
+        b.iter(|| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f32::from(dir.sign(i));
+            }
+            black_box(out.last().copied())
+        });
+    });
+    group.bench_function("decode_lut_52k", |b| {
+        b.iter(|| {
+            dir.decode_into(&mut out);
+            black_box(out.last().copied())
+        });
+    });
+    group.finish();
+}
+
 fn bench_conv_backends(c: &mut Criterion) {
     use fuiov_nn::layers::{Conv2d, ConvBackend, Layer};
     use fuiov_nn::Tensor4;
@@ -214,6 +339,8 @@ criterion_group!(
     bench_lbfgs,
     bench_gemm,
     bench_recovery_round,
+    bench_batched_recovery_round,
+    bench_direction_decode,
     bench_conv_backends
 );
 criterion_main!(benches);

@@ -1,0 +1,403 @@
+//! Batched recovery-round engine: stacked L-BFGS Hessian-vector products.
+//!
+//! Every replayed round applies each remaining client's compact L-BFGS
+//! approximation to the **same** shared vector `v = w̄ₜ − wₜ` (Eq. 6). The
+//! per-client path therefore performs `n` independent small `hvp`s whose
+//! inbound passes all stream `v` again. This module restructures the round
+//! into block linear algebra over one stacked factor matrix:
+//!
+//! 1. **Fused inbound pass** — all clients' factor columns
+//!    `[ΔG₁ ΔW₁ │ ΔG₂ ΔW₂ │ …]` live in one `Σᵢ2sᵢ × d` matrix (stored
+//!    *transposed* so each logical column is a contiguous row), and a
+//!    single [`Mat::row_dots_into`] sweep computes every `colᵀ·v` at once,
+//!    parallelised over stacked columns via the row-band pool.
+//! 2. **Middle solves** — per client, the tiny `2sᵢ × 2sᵢ` factored system
+//!    is solved against its slice of the fused dots (scratch recycled
+//!    across clients).
+//! 3. **Fused outbound pass** — per client, `σv − ΔG·p₁ − σΔW·p₂` is
+//!    accumulated straight into that client's estimate row of the round
+//!    scratch, reading the client's `2s` stacked rows as parallel streams.
+//!
+//! **Bitwise identity.** Each stacked column's dot accumulates `f64`
+//! contributions in ascending element order with the `v[r] == 0.0` skip —
+//! exactly [`Mat::tr_matvec`]'s per-column order. The rhs rounds the
+//! `ΔW`-half to `f32` *before* the σ scaling (matching `tr_matvec` then
+//! `vector::scale`), the middle solve is the same [`Lu`] factorisation,
+//! and the outbound combination replays the per-element `scale` + `axpy`
+//! sequence of the per-client path. Every `f32` operation therefore
+//! happens in the same order with the same inputs, and the recovered model
+//! is bit-for-bit the per-client result at every thread count
+//! (see `tests/props.rs` and the frozen golden trace).
+//!
+//! [`Mat::row_dots_into`]: fuiov_tensor::Mat::row_dots_into
+//! [`Mat::tr_matvec`]: fuiov_tensor::Mat::tr_matvec
+//! [`Lu`]: fuiov_tensor::solve::Lu
+
+use crate::lbfgs::LbfgsApprox;
+use fuiov_storage::ClientId;
+use fuiov_tensor::solve::Lu;
+use fuiov_tensor::Mat;
+
+/// One client's block inside the stack.
+#[derive(Debug, Clone)]
+struct StackedEntry {
+    /// First stacked row of this client's block (`ΔG` columns first, then
+    /// `ΔW` columns).
+    offset: usize,
+    /// Pair count `s` (the block spans `2s` stacked rows).
+    pairs: usize,
+    sigma: f32,
+    middle: Lu,
+}
+
+/// All remaining clients' L-BFGS factors stacked into one matrix, ready to
+/// serve a whole recovery round with one fused inbound sweep.
+///
+/// Rebuild (via [`StackedLbfgs::build`]) whenever any client's
+/// approximation changes — pair refreshes are rare (every
+/// `pair_refresh_interval` rounds), so the copy amortises across many
+/// replayed rounds.
+#[derive(Debug, Clone)]
+pub struct StackedLbfgs {
+    dim: usize,
+    /// `Σᵢ2sᵢ × dim`, row-major: row `offsetᵢ + j` is client i's `ΔG`
+    /// column j; row `offsetᵢ + sᵢ + j` its `ΔW` column j.
+    stack: Mat,
+    entries: Vec<StackedEntry>,
+    /// Ascending client ids, parallel to `entries`.
+    clients: Vec<ClientId>,
+}
+
+impl StackedLbfgs {
+    /// Stacks the given approximations (must arrive in ascending client
+    /// order, e.g. by iterating a `BTreeMap`). `dim` is the model
+    /// dimension; an empty iterator yields an empty stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an approximation's dimension differs from `dim` or the
+    /// client ids are not strictly ascending.
+    pub fn build<'a, I>(dim: usize, approxes: I) -> Self
+    where
+        I: IntoIterator<Item = (ClientId, &'a LbfgsApprox)>,
+    {
+        let mut entries = Vec::new();
+        let mut clients = Vec::new();
+        let mut data: Vec<f32> = Vec::new();
+        let mut offset = 0usize;
+        for (client, approx) in approxes {
+            assert_eq!(approx.dim(), dim, "StackedLbfgs: dimension mismatch");
+            assert!(
+                clients.last().is_none_or(|&last| last < client),
+                "StackedLbfgs: clients must be strictly ascending"
+            );
+            let s = approx.pairs();
+            for j in 0..s {
+                data.extend(approx.dg_mat().col(j));
+            }
+            for j in 0..s {
+                data.extend(approx.dw_mat().col(j));
+            }
+            entries.push(StackedEntry {
+                offset,
+                pairs: s,
+                sigma: approx.sigma(),
+                middle: approx.middle_lu().clone(),
+            });
+            clients.push(client);
+            offset += 2 * s;
+        }
+        let stack = if offset == 0 {
+            Mat::zeros(0, dim.max(1))
+        } else {
+            Mat::from_vec(offset, dim, data)
+        };
+        StackedLbfgs { dim, stack, entries, clients }
+    }
+
+    /// Whether no client is stacked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of stacked clients.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total stacked factor columns `Σᵢ2sᵢ`.
+    pub fn total_columns(&self) -> usize {
+        self.stack.rows()
+    }
+
+    /// The entry index serving `client`, if it is stacked.
+    pub fn entry_for(&self, client: ClientId) -> Option<usize> {
+        self.clients.binary_search(&client).ok()
+    }
+
+    /// Pass 1: the fused inbound sweep. Computes every stacked column's
+    /// `f64`-accumulated dot with the shared `v` into `dots` (resized to
+    /// [`StackedLbfgs::total_columns`]), one parallel row-band pass over
+    /// the whole stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    pub fn fused_dots(&self, v: &[f32], dots: &mut Vec<f32>) {
+        assert_eq!(v.len(), self.dim, "fused_dots: dimension mismatch");
+        dots.clear();
+        dots.resize(self.stack.rows(), 0.0);
+        if !dots.is_empty() {
+            self.stack.row_dots_into(v, dots);
+        }
+    }
+
+    /// Pass 2: every client's middle solve against its slice of the fused
+    /// dots. `ps` receives the solutions at the same offsets as `dots`
+    /// (client i's `p` occupies `ps[offsetᵢ..offsetᵢ+2sᵢ]`); the two
+    /// scratch vectors are recycled across clients and calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dots.len() != total_columns()`.
+    pub fn solve_middles(
+        &self,
+        dots: &[f32],
+        ps: &mut Vec<f32>,
+        rhs_scratch: &mut Vec<f32>,
+        p_scratch: &mut Vec<f32>,
+    ) {
+        assert_eq!(dots.len(), self.stack.rows(), "solve_middles: dots length mismatch");
+        ps.clear();
+        for e in &self.entries {
+            let s = e.pairs;
+            // rhs = [ΔGᵀv ; σ·ΔWᵀv]: the ΔW dots were rounded to f32 by
+            // pass 1, so scaling here matches tr_matvec → vector::scale.
+            rhs_scratch.clear();
+            rhs_scratch.extend_from_slice(&dots[e.offset..e.offset + s]);
+            rhs_scratch
+                .extend(dots[e.offset + s..e.offset + 2 * s].iter().map(|&x| x * e.sigma));
+            e.middle.solve_into(rhs_scratch, p_scratch);
+            ps.extend_from_slice(p_scratch);
+        }
+    }
+
+    /// Pass 3 for one client: accumulates the Eq. 6 correction
+    /// `σv − ΔG·p₁ − σΔW·p₂` into `est` (`est[r] += 1.0 · correction[r]`,
+    /// the exact `axpy(1.0, …)` of the per-client path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range or slice lengths mismatch.
+    pub fn accumulate_correction(&self, entry: usize, ps: &[f32], v: &[f32], est: &mut [f32]) {
+        self.apply(entry, ps, v, est, true);
+    }
+
+    /// Pass 3 writing the raw Hessian-vector product instead of
+    /// accumulating — bit-for-bit [`LbfgsApprox::hvp`] of the stacked
+    /// client, used by the equivalence tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// As [`StackedLbfgs::accumulate_correction`].
+    pub fn write_hvp(&self, entry: usize, ps: &[f32], v: &[f32], out: &mut [f32]) {
+        self.apply(entry, ps, v, out, false);
+    }
+
+    // `-1.0 * x` is deliberate: it replays `axpy(-1.0, …)`'s exact `a * xi`
+    // multiply so the combination stays bit-for-bit the per-client chain.
+    #[allow(clippy::neg_multiply)]
+    fn apply(&self, entry: usize, ps: &[f32], v: &[f32], out: &mut [f32], accumulate: bool) {
+        let e = &self.entries[entry];
+        let s = e.pairs;
+        assert_eq!(v.len(), self.dim, "apply: dimension mismatch");
+        assert_eq!(out.len(), self.dim, "apply: output dimension mismatch");
+        let p = &ps[e.offset..e.offset + 2 * s];
+        let (p1, p2) = p.split_at(s);
+        let sigma = e.sigma;
+        // Per element: the same f64 dot (ascending j, no zero skip) and
+        // f32 combination sequence as `apply_compact` / the original
+        // matvec + scale + axpy chain.
+        if s == 2 {
+            // The paper's buffer size — fully zipped streams, no indexing.
+            let (g0, g1) = (self.stack.row(e.offset), self.stack.row(e.offset + 1));
+            let (w0, w1) = (self.stack.row(e.offset + 2), self.stack.row(e.offset + 3));
+            let (pg0, pg1) = (f64::from(p1[0]), f64::from(p1[1]));
+            let (pw0, pw1) = (f64::from(p2[0]), f64::from(p2[1]));
+            for (((((&vr, slot), &x0), &x1), &y0), &y1) in
+                v.iter().zip(out.iter_mut()).zip(g0).zip(g1).zip(w0).zip(w1)
+            {
+                let mut acc_g = 0.0f64;
+                acc_g += f64::from(x0) * pg0;
+                acc_g += f64::from(x1) * pg1;
+                let part_g = acc_g as f32;
+                let mut acc_w = 0.0f64;
+                acc_w += f64::from(y0) * pw0;
+                acc_w += f64::from(y1) * pw1;
+                let part_w = acc_w as f32;
+                let mut t = vr * sigma;
+                t += -1.0 * part_g;
+                t += -sigma * part_w;
+                if accumulate {
+                    *slot += 1.0 * t;
+                } else {
+                    *slot = t;
+                }
+            }
+            return;
+        }
+        // The client's 2s stacked rows, read as parallel sequential
+        // streams: element r of logical factor column j is rows_?[j][r].
+        let rows_g: Vec<&[f32]> = (0..s).map(|j| self.stack.row(e.offset + j)).collect();
+        let rows_w: Vec<&[f32]> = (0..s).map(|j| self.stack.row(e.offset + s + j)).collect();
+        for (r, (&vr, slot)) in v.iter().zip(out.iter_mut()).enumerate() {
+            let mut acc_g = 0.0f64;
+            for (row, &pj) in rows_g.iter().zip(p1) {
+                acc_g += f64::from(row[r]) * f64::from(pj);
+            }
+            let part_g = acc_g as f32;
+            let mut acc_w = 0.0f64;
+            for (row, &pj) in rows_w.iter().zip(p2) {
+                acc_w += f64::from(row[r]) * f64::from(pj);
+            }
+            let part_w = acc_w as f32;
+            let mut t = vr * sigma;
+            t += -1.0 * part_g;
+            t += -sigma * part_w;
+            if accumulate {
+                *slot += 1.0 * t;
+            } else {
+                *slot = t;
+            }
+        }
+    }
+}
+
+/// Reusable per-recovery scratch arena: every `d`-length (and `Σ2s`-length)
+/// temporary the replay loop needs, allocated once per recovery and
+/// recycled across all rounds and clients.
+#[derive(Debug, Default)]
+pub struct RoundScratch {
+    /// `w̄ₜ − wₜ` for the current round.
+    pub dw_t: Vec<f32>,
+    /// Fused per-column dots of the stack against `dw_t`.
+    pub dots: Vec<f32>,
+    /// Concatenated middle-solve solutions, offsets parallel to `dots`.
+    pub ps: Vec<f32>,
+    /// `2s`-length rhs scratch for the middle solves.
+    pub rhs: Vec<f32>,
+    /// `2s`-length solution scratch for the middle solves.
+    pub p: Vec<f32>,
+    /// Row-major `n × d` estimate matrix (one row per remaining client).
+    pub est: Vec<f32>,
+    /// Decoded stored direction of the client being refreshed.
+    pub stored: Vec<f32>,
+    /// `est − stored` for the pair being pushed.
+    pub dg: Vec<f32>,
+    /// `f64` accumulator reused by lr calibration windows.
+    pub acc64: Vec<f64>,
+}
+
+impl RoundScratch {
+    /// An empty arena; buffers grow on first use and are then recycled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the estimate matrix holds `rows × dim` elements (contents
+    /// are per-round garbage; every used row is fully overwritten).
+    pub fn ensure_est(&mut self, rows: usize, dim: usize) -> &mut [f32] {
+        self.est.resize(rows * dim, 0.0);
+        &mut self.est[..rows * dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_for(seed: u64, dim: usize, pairs: usize) -> LbfgsApprox {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let dws: Vec<Vec<f32>> =
+            (0..pairs).map(|_| (0..dim).map(|_| next()).collect()).collect();
+        let dgs: Vec<Vec<f32>> = dws
+            .iter()
+            .map(|w| w.iter().enumerate().map(|(i, x)| x * (1.5 + (i % 3) as f32)).collect())
+            .collect();
+        LbfgsApprox::new(&dws, &dgs).expect("synthetic pairs are well-conditioned")
+    }
+
+    #[test]
+    fn stacked_hvp_matches_per_client_bitwise() {
+        let dim = 33;
+        let approxes: Vec<(ClientId, LbfgsApprox)> = vec![
+            (2, approx_for(11, dim, 1)),
+            (5, approx_for(22, dim, 2)),
+            (9, approx_for(33, dim, 3)),
+        ];
+        let stacked =
+            StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));
+        assert_eq!(stacked.len(), 3);
+        assert_eq!(stacked.total_columns(), 2 * (1 + 2 + 3));
+        let v: Vec<f32> =
+            (0..dim).map(|i| if i % 5 == 0 { 0.0 } else { i as f32 * 0.01 - 0.4 }).collect();
+        let mut scratch = RoundScratch::new();
+        stacked.fused_dots(&v, &mut scratch.dots);
+        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        for (client, approx) in &approxes {
+            let e = stacked.entry_for(*client).expect("stacked");
+            let mut batched = vec![0.0f32; dim];
+            stacked.write_hvp(e, &scratch.ps, &v, &mut batched);
+            let per_client = approx.hvp(&v);
+            assert_eq!(
+                batched.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                per_client.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "client {client} diverged"
+            );
+        }
+        assert_eq!(stacked.entry_for(3), None);
+    }
+
+    #[test]
+    fn accumulate_adds_exactly_like_axpy() {
+        let dim = 10;
+        let approx = approx_for(7, dim, 2);
+        let stacked = StackedLbfgs::build(dim, [(0 as ClientId, &approx)]);
+        let v: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1 - 0.3).collect();
+        let mut scratch = RoundScratch::new();
+        stacked.fused_dots(&v, &mut scratch.dots);
+        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        let base: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+        let mut batched = base.clone();
+        stacked.accumulate_correction(0, &scratch.ps, &v, &mut batched);
+        let mut reference = base;
+        fuiov_tensor::vector::axpy(1.0, &approx.hvp(&v), &mut reference);
+        assert_eq!(
+            batched.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_stack_is_fine() {
+        let stacked = StackedLbfgs::build(4, std::iter::empty());
+        assert!(stacked.is_empty());
+        assert_eq!(stacked.total_columns(), 0);
+        let mut scratch = RoundScratch::new();
+        stacked.fused_dots(&[0.0; 4], &mut scratch.dots);
+        assert!(scratch.dots.is_empty());
+        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        assert!(scratch.ps.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_clients() {
+        let a = approx_for(1, 4, 1);
+        let _ = StackedLbfgs::build(4, [(3 as ClientId, &a), (1 as ClientId, &a)]);
+    }
+}

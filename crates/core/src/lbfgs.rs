@@ -19,6 +19,7 @@
 
 use fuiov_tensor::solve::Lu;
 use fuiov_tensor::{vector, Mat};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -76,20 +77,40 @@ impl LbfgsApprox {
     /// newest pair has non-positive curvature, or the middle matrix is
     /// singular.
     pub fn new(dws: &[Vec<f32>], dgs: &[Vec<f32>]) -> Result<Self, LbfgsError> {
+        Self::build(dws, dgs)
+    }
+
+    /// [`LbfgsApprox::new`] over borrowed columns — the allocation-free
+    /// call shape for ring-buffered pairs ([`PairBuffer::approximation`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`LbfgsApprox::new`].
+    pub fn from_slices(dws: &[&[f32]], dgs: &[&[f32]]) -> Result<Self, LbfgsError> {
+        Self::build(dws, dgs)
+    }
+
+    fn build<A: AsRef<[f32]>, B: AsRef<[f32]>>(
+        dws: &[A],
+        dgs: &[B],
+    ) -> Result<Self, LbfgsError> {
         if dws.is_empty() || dgs.is_empty() {
             return Err(LbfgsError::Empty);
         }
         if dws.len() != dgs.len() {
             return Err(LbfgsError::ShapeMismatch);
         }
-        let dim = dws[0].len();
-        if dim == 0 || dws.iter().chain(dgs).any(|v| v.len() != dim) {
+        let dim = dws[0].as_ref().len();
+        if dim == 0
+            || dws.iter().any(|v| v.as_ref().len() != dim)
+            || dgs.iter().any(|v| v.as_ref().len() != dim)
+        {
             return Err(LbfgsError::ShapeMismatch);
         }
 
         let last = dws.len() - 1;
-        let sy = vector::dot(&dgs[last], &dws[last]);
-        let ss = vector::dot(&dws[last], &dws[last]);
+        let sy = vector::dot(dgs[last].as_ref(), dws[last].as_ref());
+        let ss = vector::dot(dws[last].as_ref(), dws[last].as_ref());
         if sy <= 0.0 || ss <= 0.0 || !sy.is_finite() || !ss.is_finite() {
             return Err(LbfgsError::BadCurvature { sy });
         }
@@ -137,19 +158,29 @@ impl LbfgsApprox {
     ///
     /// Panics if `v.len() != dim()`.
     pub fn hvp(&self, v: &[f32]) -> Vec<f32> {
-        assert_eq!(v.len(), self.dim(), "hvp: dimension mismatch");
+        let mut out = vec![0.0f32; v.len()];
+        self.hvp_into(v, &mut out);
+        out
+    }
+
+    /// The textbook five-pass chain (two `tr_matvec`s, an explicit scale,
+    /// a solve, two `matvec` + `axpy` passes) that [`LbfgsApprox::hvp`]'s
+    /// fused implementation replaced. Kept as the differential baseline:
+    /// the unit tests demand `hvp` reproduce it bit for bit, and the
+    /// recovery-round benchmark measures the batched engine against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    pub fn hvp_reference(&self, v: &[f32]) -> Vec<f32> {
         let s = self.pairs();
-        // rhs = [ΔGᵀ v ; σ ΔWᵀ v]
         let top = self.dg.tr_matvec(v);
         let mut bottom = self.dw.tr_matvec(v);
         vector::scale(self.sigma, &mut bottom);
         let mut rhs = Vec::with_capacity(2 * s);
         rhs.extend_from_slice(&top);
         rhs.extend_from_slice(&bottom);
-
         let p = self.middle.solve(&rhs);
-
-        // out = σ v − ΔG·p[..s] − σ ΔW·p[s..]
         let mut out: Vec<f32> = v.to_vec();
         vector::scale(self.sigma, &mut out);
         let part_g = self.dg.matvec(&p[..s]);
@@ -157,6 +188,72 @@ impl LbfgsApprox {
         let part_w = self.dw.matvec(&p[s..]);
         vector::axpy(-self.sigma, &part_w, &mut out);
         out
+    }
+
+    /// [`LbfgsApprox::hvp`] into a caller-owned buffer.
+    ///
+    /// The implementation makes two fused sweeps over the `d × s` factors
+    /// instead of the textbook five (`ΔGᵀv`, `ΔWᵀv`, `σv`, `ΔG·p`, `ΔW·p`):
+    /// one inbound pass accumulating both halves of the rhs, one outbound
+    /// pass combining `σv − ΔG·p₁ − σΔW·p₂` element by element. Per output
+    /// element the `f32` operation sequence is exactly the naive chain
+    /// (`tr_matvec` per column, `scale`, `solve`, `matvec` + two `axpy`),
+    /// so the result is bitwise identical to the pre-fusion implementation
+    /// — the property the replay golden traces pin.
+    ///
+    /// Only `O(s)` scratch is allocated; the `d`-length temporaries of the
+    /// naive chain are gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()` or `out.len() != dim()`.
+    pub fn hvp_into(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(v.len(), self.dim(), "hvp: dimension mismatch");
+        assert_eq!(out.len(), self.dim(), "hvp: output dimension mismatch");
+        let s = self.pairs();
+        // rhs = [ΔGᵀ v ; σ ΔWᵀ v]: both per-column f64 accumulators advance
+        // together in one sweep over the rows, preserving `tr_matvec`'s
+        // per-column order (ascending r, skipping v[r] == 0), and the
+        // bottom half is rounded to f32 *before* the σ scaling — exactly
+        // `tr_matvec` then `vector::scale`.
+        let mut acc_g = vec![0.0f64; s];
+        let mut acc_w = vec![0.0f64; s];
+        for (r, &vr) in v.iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            let row_g = self.dg.row(r);
+            let row_w = self.dw.row(r);
+            for j in 0..s {
+                acc_g[j] += f64::from(vr) * f64::from(row_g[j]);
+                acc_w[j] += f64::from(vr) * f64::from(row_w[j]);
+            }
+        }
+        let mut rhs = Vec::with_capacity(2 * s);
+        rhs.extend(acc_g.iter().map(|&x| x as f32));
+        rhs.extend(acc_w.iter().map(|&x| (x as f32) * self.sigma));
+
+        let p = self.middle.solve(&rhs);
+
+        // out = σ v − ΔG·p[..s] − σ ΔW·p[s..], fused: the two row dots are
+        // `vector::dot`'s f64 accumulation (ascending j, no zero skip) and
+        // the combination replays `scale` + two `axpy`s per element.
+        apply_compact(&self.dg, &self.dw, self.sigma, &p, v, out, false);
+    }
+
+    /// `d × s` gradient-difference factor `ΔG` (batch-engine access).
+    pub(crate) fn dg_mat(&self) -> &Mat {
+        &self.dg
+    }
+
+    /// `d × s` model-difference factor `ΔW` (batch-engine access).
+    pub(crate) fn dw_mat(&self) -> &Mat {
+        &self.dw
+    }
+
+    /// Factored middle matrix (batch-engine access).
+    pub(crate) fn middle_lu(&self) -> &Lu {
+        &self.middle
     }
 
     /// Materialises the dense `d × d` approximation by applying
@@ -176,13 +273,62 @@ impl LbfgsApprox {
     }
 }
 
+/// Shared outbound kernel of the compact representation:
+/// `out[r] (+)= σ·v[r] − (ΔG·p₁)[r] − σ·(ΔW·p₂)[r]`.
+///
+/// Row dots accumulate in `f64` over ascending `j` with no zero skip
+/// (exactly [`fuiov_tensor::vector::dot`] as called by `Mat::matvec`), and
+/// the per-element combination replays the naive chain's `scale` + two
+/// `axpy`s, so both callers ([`LbfgsApprox::hvp_into`] and the batched
+/// engine) produce the same bits as the original five-pass implementation.
+// `-1.0 * x` is deliberate: it replays `axpy(-1.0, …)`'s exact `a * xi`
+// multiply so the combination stays bit-for-bit the original chain.
+#[allow(clippy::neg_multiply)]
+pub(crate) fn apply_compact(
+    dg: &Mat,
+    dw: &Mat,
+    sigma: f32,
+    p: &[f32],
+    v: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    let s = dg.cols();
+    let (p1, p2) = p.split_at(s);
+    for (r, (&vr, slot)) in v.iter().zip(out.iter_mut()).enumerate() {
+        let mut acc_g = 0.0f64;
+        for (x, &pj) in dg.row(r).iter().zip(p1) {
+            acc_g += f64::from(*x) * f64::from(pj);
+        }
+        let part_g = acc_g as f32;
+        let mut acc_w = 0.0f64;
+        for (x, &pj) in dw.row(r).iter().zip(p2) {
+            acc_w += f64::from(*x) * f64::from(pj);
+        }
+        let part_w = acc_w as f32;
+        let mut t = vr * sigma;
+        t += -1.0 * part_g;
+        t += -sigma * part_w;
+        if accumulate {
+            *slot += 1.0 * t;
+        } else {
+            *slot = t;
+        }
+    }
+}
+
 /// A FIFO buffer of at most `s` vector pairs, as maintained per client
 /// during recovery ("vector pairs are updated every … rounds", §V-A3).
+///
+/// Backed by ring buffers: eviction pops the oldest pair in O(1) instead of
+/// shifting every stored vector (`Vec::remove(0)` was O(s·d) per push), and
+/// [`PairBuffer::push_from_slices`] recycles the evicted allocations so a
+/// full buffer reaches a zero-allocation steady state.
 #[derive(Debug, Clone, Default)]
 pub struct PairBuffer {
     capacity: usize,
-    dws: Vec<Vec<f32>>,
-    dgs: Vec<Vec<f32>>,
+    dws: VecDeque<Vec<f32>>,
+    dgs: VecDeque<Vec<f32>>,
 }
 
 impl PairBuffer {
@@ -193,7 +339,11 @@ impl PairBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "PairBuffer: capacity must be positive");
-        PairBuffer { capacity, dws: Vec::new(), dgs: Vec::new() }
+        PairBuffer {
+            capacity,
+            dws: VecDeque::with_capacity(capacity),
+            dgs: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Number of stored pairs.
@@ -213,26 +363,58 @@ impl PairBuffer {
     /// Panics if `dw`/`dg` lengths differ from each other or from stored
     /// pairs.
     pub fn push(&mut self, dw: Vec<f32>, dg: Vec<f32>) {
-        assert_eq!(dw.len(), dg.len(), "PairBuffer::push: pair length mismatch");
-        if let Some(first) = self.dws.first() {
-            assert_eq!(first.len(), dw.len(), "PairBuffer::push: dimension changed");
-        }
+        self.check_shapes(&dw, &dg);
         if self.dws.len() == self.capacity {
-            self.dws.remove(0);
-            self.dgs.remove(0);
+            self.dws.pop_front();
+            self.dgs.pop_front();
         }
-        self.dws.push(dw);
-        self.dgs.push(dg);
+        self.dws.push_back(dw);
+        self.dgs.push_back(dg);
     }
 
-    /// Builds the L-BFGS approximation from the buffered pairs.
+    /// Pushes a pair copied from borrowed slices, recycling the evicted
+    /// pair's storage when the buffer is full — the replay hot loop's
+    /// allocation-free push.
+    ///
+    /// # Panics
+    ///
+    /// As [`PairBuffer::push`].
+    pub fn push_from_slices(&mut self, dw: &[f32], dg: &[f32]) {
+        self.check_shapes(dw, dg);
+        let (mut rw, mut rg) = if self.dws.len() == self.capacity {
+            (
+                self.dws.pop_front().expect("full buffer has a front"),
+                self.dgs.pop_front().expect("full buffer has a front"),
+            )
+        } else {
+            (Vec::with_capacity(dw.len()), Vec::with_capacity(dg.len()))
+        };
+        rw.clear();
+        rw.extend_from_slice(dw);
+        rg.clear();
+        rg.extend_from_slice(dg);
+        self.dws.push_back(rw);
+        self.dgs.push_back(rg);
+    }
+
+    fn check_shapes(&self, dw: &[f32], dg: &[f32]) {
+        assert_eq!(dw.len(), dg.len(), "PairBuffer::push: pair length mismatch");
+        if let Some(first) = self.dws.front() {
+            assert_eq!(first.len(), dw.len(), "PairBuffer::push: dimension changed");
+        }
+    }
+
+    /// Builds the L-BFGS approximation from the buffered pairs (borrowed
+    /// oldest → newest; no pair is cloned).
     ///
     /// # Errors
     ///
     /// Propagates [`LbfgsError`] from [`LbfgsApprox::new`] (including
     /// [`LbfgsError::Empty`] when the buffer has no pairs yet).
     pub fn approximation(&self) -> Result<LbfgsApprox, LbfgsError> {
-        LbfgsApprox::new(&self.dws, &self.dgs)
+        let dws: Vec<&[f32]> = self.dws.iter().map(Vec::as_slice).collect();
+        let dgs: Vec<&[f32]> = self.dgs.iter().map(Vec::as_slice).collect();
+        LbfgsApprox::from_slices(&dws, &dgs)
     }
 }
 
@@ -368,6 +550,68 @@ mod tests {
         let expected_sigma = vector::dot(&[2.0, 3.0], &[1.0, 1.0])
             / vector::dot(&[1.0, 1.0], &[1.0, 1.0]);
         assert!((approx.sigma() - expected_sigma).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fused_hvp_matches_original_five_pass_chain_bitwise() {
+        // Reimplements the pre-fusion implementation (two tr_matvecs, an
+        // explicit scale, a solve, two matvec+axpy passes) and demands the
+        // fused kernel reproduce it bit for bit — this is the contract
+        // that keeps the replay golden traces frozen. Exercise several s/d
+        // shapes, including vectors with exact zeros (the tr_matvec skip).
+        for (salt, d, s) in [(1u64, 7usize, 1usize), (2, 40, 2), (3, 129, 4)] {
+            let mut seed = salt;
+            let mut next = || {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            };
+            let dws: Vec<Vec<f32>> = (0..s).map(|_| (0..d).map(|_| next()).collect()).collect();
+            // dg = dw scaled per-coordinate by a positive factor: positive
+            // curvature guaranteed, anisotropic enough to be interesting.
+            let dgs: Vec<Vec<f32>> = dws
+                .iter()
+                .map(|w| w.iter().enumerate().map(|(i, x)| x * (1.0 + (i % 5) as f32)).collect())
+                .collect();
+            let b = LbfgsApprox::new(&dws, &dgs).unwrap();
+            let v: Vec<f32> =
+                (0..d).map(|i| if i % 7 == 0 { 0.0 } else { next() }).collect();
+
+            // The original chain, now kept alive as `hvp_reference`.
+            let naive = b.hvp_reference(&v);
+
+            let fused = b.hvp(&v);
+            assert_eq!(
+                fused.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                naive.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "fused hvp diverged at d={d} s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn push_from_slices_matches_push_and_recycles() {
+        let mut a = PairBuffer::new(2);
+        let mut b = PairBuffer::new(2);
+        let pairs: Vec<(Vec<f32>, Vec<f32>)> = (0..4)
+            .map(|i| {
+                let w: Vec<f32> = (0..3).map(|j| (i * 3 + j) as f32 + 1.0).collect();
+                let g: Vec<f32> = w.iter().map(|x| x * 2.0).collect();
+                (w, g)
+            })
+            .collect();
+        for (w, g) in &pairs {
+            a.push(w.clone(), g.clone());
+            b.push_from_slices(w, g);
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        let (aa, bb) = (a.approximation().unwrap(), b.approximation().unwrap());
+        assert_eq!(aa.sigma().to_bits(), bb.sigma().to_bits());
+        let v = vec![0.3, -0.7, 1.1];
+        assert_eq!(
+            aa.hvp(&v).iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            bb.hvp(&v).iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

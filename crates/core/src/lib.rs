@@ -20,6 +20,7 @@
 //! produces the [`fuiov_storage::HistoryStore`] it consumes.
 
 pub mod backtrack;
+pub mod batch;
 pub mod error;
 pub mod lbfgs;
 pub mod recover;
@@ -27,6 +28,7 @@ pub mod unlearner;
 pub mod verify;
 
 pub use backtrack::{backtrack, backtrack_set, BacktrackResult};
+pub use batch::{RoundScratch, StackedLbfgs};
 pub use error::UnlearnError;
 pub use lbfgs::{LbfgsApprox, LbfgsError, PairBuffer};
 pub use recover::{calibrate_lr, recover, recover_set, GradientOracle, NoOracle, RecoveryConfig, RecoveryOutcome};

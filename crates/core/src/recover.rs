@@ -21,12 +21,14 @@
 //! the federation) and refreshed periodically from recovered information
 //! as replay proceeds.
 
+use crate::batch::{RoundScratch, StackedLbfgs};
 use crate::error::UnlearnError;
 use crate::lbfgs::{LbfgsApprox, PairBuffer};
-use fuiov_fl::aggregate::aggregate;
+use fuiov_fl::aggregate::aggregate_refs;
 use fuiov_fl::config::AggregationRule;
-use fuiov_storage::{ClientId, HistoryStore, Round};
+use fuiov_storage::{ClientId, GradientDirection, HistoryStore, Round};
 use fuiov_tensor::{pool, vector};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Configuration of the recovery stage, defaulting to the paper's §V-A3
@@ -169,6 +171,7 @@ pub fn calibrate_lr(history: &HistoryStore) -> Option<f32> {
     let mut step_sum = 0.0f64;
     let mut dir_sum = 0.0f64;
     let mut samples = 0usize;
+    let mut agg: Vec<f64> = Vec::new(); // recycled across windows
     for win in rounds.windows(2) {
         let (a, b) = (win[0], win[1]);
         let (Some(wa), Some(wb)) = (history.model(a), history.model(b)) else { continue };
@@ -177,15 +180,16 @@ pub fn calibrate_lr(history: &HistoryStore) -> Option<f32> {
             continue;
         }
         let dim = wa.len();
-        let mut agg = vec![0.0f64; dim];
+        agg.clear();
+        agg.resize(dim, 0.0);
         let mut wsum = 0.0f64;
         for c in clients {
             let Some(dir) = history.direction(a, c) else { continue };
             let w = f64::from(history.weight(c));
             wsum += w;
-            for (acc, s) in agg.iter_mut().zip(dir.to_signs()) {
-                *acc += w * f64::from(s);
-            }
+            // Word-level LUT decode fused with the weighted accumulation —
+            // same per-element `acc += w · sign` as the scalar path.
+            dir.decode_axpy(w, &mut agg);
         }
         if wsum == 0.0 {
             continue;
@@ -336,23 +340,24 @@ pub fn recover_set(
 
     // ---- Seed vector pairs from the s rounds before F (§IV-B). ----
     let seed_start = f_round.saturating_sub(config.buffer_size);
-    let w_f = history
+    // Borrow the historical models on the common path; only a model that
+    // `interpolate_missing_models` has to synthesise is ever owned.
+    let w_f: &[f32] = history
         .model(f_round)
-        .ok_or(UnlearnError::MissingModel(f_round))?
-        .to_vec();
+        .ok_or(UnlearnError::MissingModel(f_round))?;
     for &client in &remaining {
         let mut buf = PairBuffer::new(config.buffer_size);
         // Base gradient g_F: stored direction at F, or oracle, or nearest
         // later round's direction.
-        let g_f = direction_or_oracle(history, client, f_round, &w_f, oracle, &mut oracle_queries)
+        let g_f = direction_or_oracle(history, client, f_round, w_f, oracle, &mut oracle_queries)
             .or_else(|| nearest_direction(history, client, f_round, t_end));
         if let Some(g_f) = g_f {
             for r in seed_start..f_round {
-                let w_r: Vec<f32> = match history.model(r) {
-                    Some(m) => m.to_vec(),
+                let w_r: Cow<'_, [f32]> = match history.model(r) {
+                    Some(m) => Cow::Borrowed(m),
                     None if config.interpolate_missing_models => {
                         match history.model_interpolated(r) {
-                            Some(m) => m,
+                            Some(m) => Cow::Owned(m),
                             None => continue,
                         }
                     }
@@ -367,7 +372,7 @@ pub fn recover_set(
                     &mut oracle_queries,
                 );
                 let Some(g_r) = g_r else { continue };
-                let dw = vector::sub(&w_r, &w_f);
+                let dw = vector::sub(&w_r, w_f);
                 let dg = vector::sub(&g_r, &g_f);
                 buf.push(dw, dg);
             }
@@ -379,58 +384,98 @@ pub fn recover_set(
     }
 
     // ---- Replay rounds F..T (Algorithm 1's main loop). ----
+    let dim = params.len();
     let mut update_norms = Vec::with_capacity(t_end - f_round);
     let mut estimator_fallbacks = 0usize;
     let mut prev_dw_norm = 0.0f32;
     let mut growth_run = 0usize;
 
+    // The batched engine: all clients' L-BFGS factors stacked into one
+    // matrix so each round runs ONE fused inbound sweep of the shared
+    // `w̄ₜ − wₜ` instead of n per-client passes. Rebuilt lazily whenever a
+    // pair refresh changes any approximation.
+    let mut stacked = StackedLbfgs::build(dim, std::iter::empty());
+    let mut stacked_dirty = config.hessian_correction;
+    // All replay-loop temporaries live in one arena, recycled across
+    // rounds: no per-round model clones, no per-client estimate vectors.
+    let mut scratch = RoundScratch::new();
+    let mut round_dirs: Vec<(ClientId, &GradientDirection, Option<usize>)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+
     for t in f_round..t_end {
-        let w_t: Vec<f32> = match history.model(t) {
-            Some(m) => m.to_vec(),
+        let w_t: Cow<'_, [f32]> = match history.model(t) {
+            Some(m) => Cow::Borrowed(m),
             None if config.interpolate_missing_models => history
                 .model_interpolated(t)
+                .map(Cow::Owned)
                 .ok_or(UnlearnError::MissingModel(t))?,
             None => return Err(UnlearnError::MissingModel(t)),
         };
-        let dw_t = vector::sub(&params, &w_t); // w̄_t − w_t
+        vector::sub_into(&params, &w_t, &mut scratch.dw_t); // w̄_t − w_t
 
-        // Per-client HVP + clip is embarrassingly parallel over read-only
-        // inputs; `par_map` returns results in `remaining` order, so the
-        // aggregation below consumes estimates in exactly the serial
-        // client order and the recovered model is bitwise identical at any
-        // pool width (DESIGN.md §5).
-        let per_client = pool::par_map(&remaining, 1, |_i, &client| {
-            // `None` = client did not participate in round t.
-            let dir = history.direction(t, client)?;
-            let mut est = dir.to_f32();
-            let mut fallback = false;
-            if config.hessian_correction {
-                match approxes.get(&client) {
-                    Some(approx) => {
-                        let correction = approx.hvp(&dw_t);
-                        vector::axpy(1.0, &correction, &mut est);
-                    }
-                    None => fallback = true,
-                }
-            }
-            vector::clip_elementwise(&mut est, config.clip_threshold);
-            Some((client, est, fallback))
-        });
-
-        let mut participants: Vec<ClientId> = Vec::new();
-        let mut grads: Vec<Vec<f32>> = Vec::new();
-        let mut weights: Vec<f32> = Vec::new();
-        for (client, est, fallback) in per_client.into_iter().flatten() {
-            estimator_fallbacks += usize::from(fallback);
-            participants.push(client);
-            weights.push(history.weight(client));
-            grads.push(est);
+        if config.hessian_correction && stacked_dirty {
+            stacked = StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));
+            stacked_dirty = false;
         }
 
-        if grads.is_empty() {
+        // Round roster in fixed `remaining` (ascending client) order — the
+        // aggregation below consumes estimate rows in exactly this order,
+        // so the recovered model is bitwise identical at any pool width
+        // (DESIGN.md §5).
+        round_dirs.clear();
+        weights.clear();
+        for &client in &remaining {
+            // `None` = client did not participate in round t.
+            let Some(dir) = history.direction(t, client) else { continue };
+            let entry = config
+                .hessian_correction
+                .then(|| stacked.entry_for(client))
+                .flatten();
+            if config.hessian_correction && entry.is_none() {
+                estimator_fallbacks += 1;
+            }
+            round_dirs.push((client, dir, entry));
+            weights.push(history.weight(client));
+        }
+        let n_part = round_dirs.len();
+
+        if n_part == 0 {
             update_norms.push(0.0);
         } else {
-            let agg = aggregate(config.aggregation, &grads, &weights);
+            // Passes 1+2 of the batched round: one fused column-dot sweep
+            // of dw_t over the whole stack, then every client's tiny
+            // middle solve against its slice of the dots.
+            if config.hessian_correction && !stacked.is_empty() {
+                stacked.fused_dots(&scratch.dw_t, &mut scratch.dots);
+                stacked.solve_middles(
+                    &scratch.dots,
+                    &mut scratch.ps,
+                    &mut scratch.rhs,
+                    &mut scratch.p,
+                );
+            }
+
+            // Pass 3: decode + correction + clip straight into each
+            // client's row of the flat estimate matrix. Rows are disjoint
+            // and each is computed element-for-element like the per-client
+            // path, so any banding keeps the result bitwise identical.
+            scratch.est.resize(n_part * dim, 0.0);
+            let est_buf = &mut scratch.est[..n_part * dim];
+            let (stacked_ref, dw_t, ps) = (&stacked, &scratch.dw_t, &scratch.ps);
+            let dirs_ref = &round_dirs;
+            pool::par_row_bands_weighted(est_buf, n_part, dim, dim, |rows, band| {
+                for (row, p) in band.chunks_mut(dim).zip(rows) {
+                    let (_, dir, entry) = &dirs_ref[p];
+                    dir.decode_into(row);
+                    if let Some(e) = entry {
+                        stacked_ref.accumulate_correction(*e, ps, dw_t, row);
+                    }
+                    vector::clip_elementwise(row, config.clip_threshold);
+                }
+            });
+
+            let refs: Vec<&[f32]> = est_buf.chunks(dim).collect();
+            let agg = aggregate_refs(config.aggregation, &refs, &weights);
             vector::axpy(-config.lr, &agg, &mut params);
             update_norms.push(vector::l2_norm(&agg));
         }
@@ -438,7 +483,7 @@ pub fn recover_set(
         // ---- Vector-pair refresh: periodic, plus the §IV-B adaptive
         // trigger when the recovered trajectory keeps drifting away from
         // the historical one. ----
-        let dw_norm = vector::l2_norm(&dw_t);
+        let dw_norm = vector::l2_norm(&scratch.dw_t);
         if dw_norm > prev_dw_norm {
             growth_run += 1;
         } else {
@@ -453,21 +498,25 @@ pub fn recover_set(
             if diverging {
                 growth_run = 0;
             }
-            // The clipped estimates live in `grads` (aligned with
-            // `participants`), so refreshing needs no per-round clones.
-            for (&client, est) in participants.iter().zip(&grads) {
-                let Some(dir) = history.direction(t, client) else { continue };
-                let stored = dir.to_f32();
-                let dg = vector::sub(est, &stored);
-                if vector::l2_norm(&dg) <= 1e-12 {
+            // The clipped estimates live as rows of the scratch estimate
+            // matrix (aligned with `round_dirs`), so refreshing needs no
+            // per-round clones: pairs are pushed from borrowed slices and
+            // the ring buffer recycles its evicted storage.
+            for (p, (client, dir, _)) in round_dirs.iter().enumerate() {
+                let est = &scratch.est[p * dim..(p + 1) * dim];
+                scratch.stored.resize(dim, 0.0);
+                dir.decode_into(&mut scratch.stored);
+                vector::sub_into(est, &scratch.stored, &mut scratch.dg);
+                if vector::l2_norm(&scratch.dg) <= 1e-12 {
                     continue; // clipped estimate identical to history: no info
                 }
                 let buf = buffers
-                    .entry(client)
+                    .entry(*client)
                     .or_insert_with(|| PairBuffer::new(config.buffer_size));
-                buf.push(dw_t.clone(), dg);
+                buf.push_from_slices(&scratch.dw_t, &scratch.dg);
                 if let Ok(approx) = buf.approximation() {
-                    approxes.insert(client, approx);
+                    approxes.insert(*client, approx);
+                    stacked_dirty = true;
                 }
                 // On failure keep the previous approximation.
             }
@@ -833,6 +882,58 @@ mod tests {
         h.record_model(5, vec![0.05; dim]);
         let lr = calibrate_lr(&h).unwrap();
         assert!((lr - 0.01).abs() < 1e-4, "calibrated {lr}");
+    }
+
+    #[test]
+    fn calibrate_lr_matches_scalar_sign_accumulation_bitwise() {
+        // The LUT-fused `decode_axpy` in the weighted accumulation must
+        // reproduce the scalar per-element `to_signs()` loop it replaced,
+        // down to the final bit of the calibrated rate.
+        let h = synthetic_history(25, 5, 1);
+        let lr = calibrate_lr(&h).expect("history is calibratable");
+
+        // Scalar reimplementation of the pre-LUT path.
+        let rounds = h.rounds();
+        let mut step_sum = 0.0f64;
+        let mut dir_sum = 0.0f64;
+        let mut samples = 0usize;
+        for win in rounds.windows(2) {
+            let (a, b) = (win[0], win[1]);
+            let (Some(wa), Some(wb)) = (h.model(a), h.model(b)) else { continue };
+            let clients = h.clients_in_round(a);
+            if clients.is_empty() {
+                continue;
+            }
+            let dim = wa.len();
+            let mut agg = vec![0.0f64; dim];
+            let mut wsum = 0.0f64;
+            for c in clients {
+                let Some(dir) = h.direction(a, c) else { continue };
+                let w = f64::from(h.weight(c));
+                wsum += w;
+                for (acc, s) in agg.iter_mut().zip(dir.to_signs()) {
+                    *acc += w * f64::from(s);
+                }
+            }
+            if wsum == 0.0 {
+                continue;
+            }
+            let step: f64 = wa
+                .iter()
+                .zip(wb)
+                .map(|(x, y)| (f64::from(*x) - f64::from(*y)).abs())
+                .sum::<f64>()
+                / dim as f64;
+            let dir_mag: f64 = agg.iter().map(|v| (v / wsum).abs()).sum::<f64>() / dim as f64;
+            if dir_mag > 0.0 && step > 0.0 {
+                step_sum += step;
+                dir_sum += dir_mag;
+                samples += 1;
+            }
+        }
+        assert!(samples > 0);
+        let expected = (step_sum / dir_sum) as f32;
+        assert_eq!(lr.to_bits(), expected.to_bits(), "lr {lr} vs scalar {expected}");
     }
 
     #[test]

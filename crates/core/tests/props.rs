@@ -2,8 +2,8 @@
 //! arbitrary (even adversarial) histories — no panics on valid inputs, no
 //! NaNs out, clip bounds respected.
 
-use fuiov_core::{backtrack_set, recover_set, NoOracle, RecoveryConfig};
-use fuiov_storage::HistoryStore;
+use fuiov_core::{backtrack_set, recover_set, LbfgsApprox, NoOracle, RecoveryConfig, RoundScratch, StackedLbfgs};
+use fuiov_storage::{ClientId, HistoryStore};
 use proptest::prelude::*;
 
 /// Builds a random but *valid* history: `rounds+1` models of dimension
@@ -94,6 +94,66 @@ proptest! {
             (Ok(x), Ok(y)) => prop_assert_eq!(x.params, y.params),
             (Err(_), Err(_)) => {}
             _ => prop_assert!(false, "determinism violated in error path"),
+        }
+    }
+
+    /// The batched recovery engine's stacked HVP is bit-for-bit the
+    /// per-client [`LbfgsApprox::hvp`] for every stacked client, across
+    /// random client counts, pair counts, and dimensions — the invariant
+    /// that lets `recover_set` swap one for the other without moving the
+    /// golden trace.
+    #[test]
+    fn stacked_hvp_is_bitwise_per_client_hvp(
+        dim in 3usize..48,
+        pair_counts in prop::collection::vec(1usize..=3, 1..=6),
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        // Pairs with dg a positive per-coordinate scaling of dw are always
+        // well-conditioned; clients whose factorisation still fails are
+        // simply left unstacked (mirroring recover_set's fallback).
+        let approxes: Vec<(ClientId, LbfgsApprox)> = pair_counts
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &s)| {
+                let dws: Vec<Vec<f32>> =
+                    (0..s).map(|_| (0..dim).map(|_| next()).collect()).collect();
+                let dgs: Vec<Vec<f32>> = dws
+                    .iter()
+                    .map(|w| {
+                        w.iter()
+                            .enumerate()
+                            .map(|(i, x)| x * (1.0 + (i % 4) as f32 * 0.5))
+                            .collect()
+                    })
+                    .collect();
+                LbfgsApprox::new(&dws, &dgs).ok().map(|a| (c, a))
+            })
+            .collect();
+        prop_assume!(!approxes.is_empty());
+        // Shared round vector with exact zeros planted (the zero-skip in
+        // the inbound pass must agree between the two paths).
+        let v: Vec<f32> =
+            (0..dim).map(|i| if i % 7 == 0 { 0.0 } else { next() }).collect();
+
+        let stacked = StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));
+        let mut scratch = RoundScratch::new();
+        stacked.fused_dots(&v, &mut scratch.dots);
+        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        let mut batched = vec![0.0f32; dim];
+        for (client, approx) in &approxes {
+            let entry = stacked.entry_for(*client).expect("client was stacked");
+            stacked.write_hvp(entry, &scratch.ps, &v, &mut batched);
+            let per_client = approx.hvp(&v);
+            prop_assert_eq!(
+                batched.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+                per_client.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+                "client {} diverged from per-client hvp", client
+            );
         }
     }
 

@@ -1,0 +1,112 @@
+//! Bitwise regression pins for the replay engine: the recovered model of a
+//! deterministic synthetic run must not move, bit for bit, across refactors
+//! of the recovery hot loop (per-client → batched engine).
+//!
+//! Run with `FUIOV_PIN_PRINT=1 cargo test -p fuiov-core --test replay_pinned
+//! -- --nocapture` to print the bits for re-pinning after an *intentional*
+//! numeric change.
+
+use fuiov_core::{recover, NoOracle, RecoveryConfig};
+use fuiov_storage::{ClientId, HistoryStore};
+use fuiov_tensor::vector;
+
+/// The synthetic linear-optimisation history used by the recover unit
+/// tests: clients pull the model toward distinct targets.
+fn synthetic_history(rounds: usize, clients: usize, forgotten: ClientId) -> HistoryStore {
+    let dim = 6;
+    let lr = 0.05f32;
+    let mut h = HistoryStore::new(1e-6);
+    let mut w = vec![0.0f32; dim];
+    for c in 0..clients {
+        h.record_join(c, if c == forgotten { 2 } else { 0 });
+        h.set_weight(c, 10.0);
+    }
+    for t in 0..rounds {
+        h.record_model(t, w.clone());
+        let mut grads = Vec::new();
+        for c in 0..clients {
+            if c == forgotten && t < 2 {
+                continue;
+            }
+            let target: Vec<f32> = (0..dim).map(|j| ((c + j) % 3) as f32 - 1.0).collect();
+            let g = vector::sub(&w, &target);
+            h.record_gradient(t, c, &g);
+            grads.push(g);
+        }
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        let weights = vec![10.0f32; refs.len()];
+        let agg = vector::weighted_mean(&refs, &weights);
+        vector::axpy(-lr, &agg, &mut w);
+    }
+    h.record_model(rounds, w);
+    h
+}
+
+fn run_bits(cfg: &RecoveryConfig) -> Vec<u32> {
+    let h = synthetic_history(30, 6, 1);
+    let out = recover(&h, 1, cfg, &mut NoOracle, |_, _| {}).unwrap();
+    // Pin the recovered params AND every per-round update norm: the norms
+    // differ between configs even when the trajectories reconverge, so a
+    // refactor that changes any intermediate round is caught.
+    out.params
+        .iter()
+        .chain(out.update_norms.iter())
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+fn check(label: &str, cfg: &RecoveryConfig, expected: &[u32]) {
+    let got = run_bits(cfg);
+    if std::env::var("FUIOV_PIN_PRINT").is_ok() {
+        println!("PIN {label}: {got:?}");
+        return;
+    }
+    assert_eq!(got, expected, "replay bits moved for config `{label}`");
+}
+
+#[test]
+fn pinned_default_refresh5() {
+    // lr off the training rate so replay does not trivially reconverge.
+    let cfg = RecoveryConfig::new(0.07).pair_refresh_interval(5).clip_threshold(0.8);
+    check("refresh5", &cfg, &EXPECT_REFRESH5);
+}
+
+#[test]
+fn pinned_divergence_patience() {
+    let cfg = RecoveryConfig::new(0.07)
+        .pair_refresh_interval(7)
+        .clip_threshold(0.8)
+        .divergence_patience(Some(1));
+    check("patience", &cfg, &EXPECT_PATIENCE);
+}
+
+#[test]
+fn pinned_no_hessian() {
+    let cfg = RecoveryConfig::new(0.07)
+        .pair_refresh_interval(5)
+        .clip_threshold(0.8)
+        .without_hessian();
+    check("no_hessian", &cfg, &EXPECT_NO_HESSIAN);
+}
+
+const EXPECT_REFRESH5: [u32; 34] = [
+    0, 1048406049, 3195889697, 0, 1048406049, 3195889697, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+    1050924810, 1050621196, 1050325783, 1050038371, 1049758763, 1049486765, 1049222186,
+    1048964840, 1048714548, 1048366253, 1047892810, 1047432419, 1046984746, 1046549462,
+    1046126250, 1045714794, 1045314789, 1044925938, 1044547939,
+];
+const EXPECT_PATIENCE: [u32; 34] = [
+    0, 1035973085, 3183456733, 0, 1035973085, 3183456733, 1050924810, 1050924810,
+    1050924810, 1049573376, 1048225558, 1046189754, 1044421627, 1042885134, 1041549133,
+    1040386704, 1038561782, 1036797952, 1035259763, 1033917146, 1032744128, 1031637690,
+    1029841248, 1028266534, 1026884435, 1025669760, 1024600730, 1023658438, 1022242957,
+    1020771661, 1019468288, 1018311552, 1017282995, 1016366592,
+];
+const EXPECT_NO_HESSIAN: [u32; 34] = [
+    0, 1050055749, 3197539397, 0, 1050055749, 3197539397, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+];

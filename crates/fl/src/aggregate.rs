@@ -13,6 +13,20 @@ use fuiov_tensor::vector;
 /// Panics if `grads` is empty, lengths are inconsistent, or the rule's
 /// preconditions are violated (e.g. trimming more values than clients).
 pub fn aggregate(rule: AggregationRule, grads: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+    let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+    aggregate_refs(rule, &refs, weights)
+}
+
+/// [`aggregate`] over borrowed gradient slices.
+///
+/// The recovery replay keeps every client's estimate as a row of one flat
+/// scratch matrix; this variant aggregates those rows without cloning them
+/// into owned vectors first.
+///
+/// # Panics
+///
+/// As [`aggregate`].
+pub fn aggregate_refs(rule: AggregationRule, grads: &[&[f32]], weights: &[f32]) -> Vec<f32> {
     assert!(!grads.is_empty(), "aggregate: no gradients");
     assert_eq!(grads.len(), weights.len(), "aggregate: weight count mismatch");
     let dim = grads[0].len();
@@ -20,10 +34,7 @@ pub fn aggregate(rule: AggregationRule, grads: &[Vec<f32>], weights: &[f32]) -> 
         assert_eq!(g.len(), dim, "aggregate: gradient length mismatch");
     }
     match rule {
-        AggregationRule::FedAvg => {
-            let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
-            vector::weighted_mean(&refs, weights)
-        }
+        AggregationRule::FedAvg => vector::weighted_mean(grads, weights),
         AggregationRule::CoordinateMedian => coordinate_stat(grads, |vals| {
             fuiov_tensor::stats::median(vals).expect("non-empty")
         }),
@@ -43,7 +54,7 @@ pub fn aggregate(rule: AggregationRule, grads: &[Vec<f32>], weights: &[f32]) -> 
         AggregationRule::SignSgd { lambda } => {
             let mut out = vec![0.0f32; dim];
             for g in grads {
-                for (o, &v) in out.iter_mut().zip(g) {
+                for (o, &v) in out.iter_mut().zip(*g) {
                     *o += if v > 0.0 {
                         1.0
                     } else if v < 0.0 {
@@ -59,7 +70,7 @@ pub fn aggregate(rule: AggregationRule, grads: &[Vec<f32>], weights: &[f32]) -> 
     }
 }
 
-fn coordinate_stat(grads: &[Vec<f32>], stat: impl Fn(&[f32]) -> f32) -> Vec<f32> {
+fn coordinate_stat(grads: &[&[f32]], stat: impl Fn(&[f32]) -> f32) -> Vec<f32> {
     let dim = grads[0].len();
     let mut column = vec![0.0f32; grads.len()];
     (0..dim)

@@ -13,6 +13,49 @@ const CODE_ZERO: u8 = 0b00;
 const CODE_POS: u8 = 0b01;
 const CODE_NEG: u8 = 0b10;
 
+/// Decodes one 2-bit code, with the same defensive `0b11 → 0` mapping as
+/// [`GradientDirection::sign`].
+const fn decode_code(code: u8) -> i8 {
+    match code {
+        CODE_POS => 1,
+        CODE_NEG => -1,
+        _ => 0,
+    }
+}
+
+/// 256-entry byte LUT: packed byte → its four decoded signs, low pair
+/// first. Built at compile time; one table lookup replaces four
+/// shift/mask/branch sequences in the decode hot loops.
+const SIGN_LUT: [[i8; 4]; 256] = {
+    let mut lut = [[0i8; 4]; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut i = 0usize;
+        while i < 4 {
+            lut[b][i] = decode_code(((b as u8) >> (i * 2)) & 0b11);
+            i += 1;
+        }
+        b += 1;
+    }
+    lut
+};
+
+/// [`SIGN_LUT`] widened to `f32`, so full bytes decode via a single
+/// 16-byte `copy_from_slice` instead of four int→float conversions.
+const F32_LUT: [[f32; 4]; 256] = {
+    let mut lut = [[0.0f32; 4]; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut i = 0usize;
+        while i < 4 {
+            lut[b][i] = SIGN_LUT[b][i] as f32;
+            i += 1;
+        }
+        b += 1;
+    }
+    lut
+};
+
 /// A packed vector of gradient directions (`+1`, `0`, `−1`), 2 bits each.
 ///
 /// ```
@@ -82,14 +125,66 @@ impl GradientDirection {
         }
     }
 
-    /// Unpacks to a sign vector.
+    /// Unpacks to a sign vector (word-level: 4 signs per byte LUT hit).
     pub fn to_signs(&self) -> Vec<i8> {
-        (0..self.len).map(|i| self.sign(i)).collect()
+        let mut out = vec![0i8; self.len];
+        for (chunk, &byte) in out.chunks_exact_mut(4).zip(&self.packed) {
+            chunk.copy_from_slice(&SIGN_LUT[byte as usize]);
+        }
+        let tail = self.len / 4 * 4;
+        for (i, slot) in out.iter_mut().enumerate().skip(tail) {
+            *slot = self.sign(i);
+        }
+        out
     }
 
     /// Unpacks to `f32` (the form Eq. 6 consumes as the base gradient).
     pub fn to_f32(&self) -> Vec<f32> {
-        (0..self.len).map(|i| f32::from(self.sign(i))).collect()
+        let mut out = vec![0.0f32; self.len];
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decodes the stored signs into a caller-owned `f32` buffer — the
+    /// zero-allocation form of [`GradientDirection::to_f32`], four elements
+    /// per byte-LUT hit. This is the batched replay loop's way of seeding
+    /// each estimate row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "decode_into: length mismatch");
+        for (chunk, &byte) in out.chunks_exact_mut(4).zip(&self.packed) {
+            chunk.copy_from_slice(&F32_LUT[byte as usize]);
+        }
+        let tail = self.len / 4 * 4;
+        for (i, slot) in out.iter_mut().enumerate().skip(tail) {
+            *slot = f32::from(self.sign(i));
+        }
+    }
+
+    /// Fused decode-and-accumulate: `acc[i] += a · sign(i)` over the whole
+    /// vector, with the sign decoded through the byte LUT. Arithmetic is
+    /// exactly `a * f64::from(sign)` per element — including the zeros —
+    /// so replacing a scalar `to_signs()` accumulation loop with this
+    /// kernel changes no bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != self.len()`.
+    pub fn decode_axpy(&self, a: f64, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.len, "decode_axpy: length mismatch");
+        for (chunk, &byte) in acc.chunks_exact_mut(4).zip(&self.packed) {
+            let signs = &SIGN_LUT[byte as usize];
+            for (slot, &s) in chunk.iter_mut().zip(signs) {
+                *slot += a * f64::from(s);
+            }
+        }
+        let tail = self.len / 4 * 4;
+        for (i, slot) in acc.iter_mut().enumerate().skip(tail) {
+            *slot += a * f64::from(self.sign(i));
+        }
     }
 
     /// Bytes used by the packed representation.
@@ -247,6 +342,53 @@ mod tests {
         // &d into_iter sugar.
         let total: i8 = (&d).into_iter().sum();
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn lut_agrees_with_scalar_decode_for_every_byte() {
+        // Exhaustive: every possible packed byte, every lane, including the
+        // never-written 0b11 code (decodes defensively to 0 on both paths).
+        for byte in 0u8..=255 {
+            let d = GradientDirection { len: 4, packed: vec![byte] };
+            for lane in 0..4 {
+                assert_eq!(SIGN_LUT[byte as usize][lane], d.sign(lane), "byte {byte:#010b}");
+                assert_eq!(
+                    F32_LUT[byte as usize][lane].to_bits(),
+                    f32::from(d.sign(lane)).to_bits(),
+                    "byte {byte:#010b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_scalar_at_all_tail_lengths() {
+        for n in 0..=17usize {
+            let signs: Vec<i8> = (0..n).map(|i| [1i8, -1, 0, 0, 1][i % 5]).collect();
+            let d = GradientDirection::from_signs(&signs);
+            let mut out = vec![7.0f32; n]; // poisoned: every slot must be written
+            d.decode_into(&mut out);
+            let scalar: Vec<f32> = (0..n).map(|i| f32::from(d.sign(i))).collect();
+            assert_eq!(out, scalar, "n={n}");
+            assert_eq!(d.to_f32(), scalar, "n={n}");
+        }
+    }
+
+    #[test]
+    fn decode_axpy_matches_scalar_accumulation_bitwise() {
+        for n in [0usize, 3, 4, 7, 12, 31] {
+            let signs: Vec<i8> = (0..n).map(|i| [0i8, 1, -1][i % 3]).collect();
+            let d = GradientDirection::from_signs(&signs);
+            let w = 2.375f64;
+            let mut acc: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 1.0).collect();
+            let mut scalar = acc.clone();
+            d.decode_axpy(w, &mut acc);
+            for (slot, s) in scalar.iter_mut().zip(d.to_signs()) {
+                *slot += w * f64::from(s);
+            }
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&acc), bits(&scalar), "n={n}");
+        }
     }
 
     #[test]

@@ -58,22 +58,44 @@ impl Mat {
     ///
     /// This is how the L-BFGS buffers `ΔW` and `ΔG` are assembled: each
     /// column is one model-difference (or gradient-difference) vector.
+    /// Accepts any slice type (`Vec<f32>`, `&[f32]`, …) so ring-buffered
+    /// callers can pass borrowed columns without cloning them first.
     ///
     /// # Panics
     ///
     /// Panics if `cols` is empty or the vectors have unequal lengths.
-    pub fn from_cols(cols: &[Vec<f32>]) -> Self {
+    pub fn from_cols<C: AsRef<[f32]>>(cols: &[C]) -> Self {
         assert!(!cols.is_empty(), "from_cols: no columns");
-        let dim = cols[0].len();
+        let dim = cols[0].as_ref().len();
         let k = cols.len();
         let mut m = Mat::zeros(dim, k);
         for (j, c) in cols.iter().enumerate() {
+            let c = c.as_ref();
             assert_eq!(c.len(), dim, "from_cols: ragged columns");
             for (i, &v) in c.iter().enumerate() {
                 m.set(i, j, v);
             }
         }
         m
+    }
+
+    /// Builds a `k × dim` matrix whose **rows** are the given vectors — the
+    /// transposed layout of [`Mat::from_cols`], used by the batched recovery
+    /// engine to keep every stacked L-BFGS factor column contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the vectors have unequal lengths.
+    pub fn from_row_vecs<R: AsRef<[f32]>>(rows: &[R]) -> Self {
+        assert!(!rows.is_empty(), "from_row_vecs: no rows");
+        let cols = rows[0].as_ref().len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            let r = r.as_ref();
+            assert_eq!(r.len(), cols, "from_row_vecs: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Mat { rows: rows.len(), cols, data }
     }
 
     /// Builds from a flat row-major buffer.
@@ -223,6 +245,69 @@ impl Mat {
             }
         }
         out.into_iter().map(|x| x as f32).collect()
+    }
+
+    /// One dot product per **row** against the shared vector `v`, written
+    /// into `out[r]` — the transpose-free dual of [`Mat::tr_matvec`].
+    ///
+    /// For a matrix stored *transposed* (each logical column contiguous as
+    /// a row, see [`Mat::from_row_vecs`]), `row_dots_into` computes exactly
+    /// what `tr_matvec` computes on the untransposed layout, with the same
+    /// per-element accumulation: each output accumulates
+    /// `f64(v[j]) · f64(row[j])` in ascending `j`, skipping `v[j] == 0.0`,
+    /// and rounds to `f32` once at the end. The pass is parallelised over
+    /// output rows via [`crate::pool::par_row_bands_weighted`] (each row
+    /// reads `cols` inputs but writes one output), so one fused sweep can
+    /// serve many stacked factor columns — this is the batched recovery
+    /// engine's inbound kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols` or `out.len() != self.rows`.
+    pub fn row_dots_into(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(v.len(), self.cols, "row_dots_into: vector length mismatch");
+        assert_eq!(out.len(), self.rows, "row_dots_into: output length mismatch");
+        crate::pool::par_row_bands_weighted(out, self.rows, 1, self.cols, |rows, band| {
+            // Four rows per sweep: each output keeps its own f64
+            // accumulator (so per-row accumulation order — and hence the
+            // bits — is untouched), but the four dependency chains run in
+            // parallel instead of serialising on one accumulator's add
+            // latency. The per-client `tr_matvec` interleaves its 2s
+            // chains the same way; matching it here is what makes the
+            // batched sweep at least as fast per column.
+            let mut r = rows.start;
+            while r + 4 <= rows.end {
+                let (a0, a1, a2, a3) =
+                    (self.row(r), self.row(r + 1), self.row(r + 2), self.row(r + 3));
+                let mut acc = [0.0f64; 4];
+                for ((((&vj, &x0), &x1), &x2), &x3) in
+                    v.iter().zip(a0).zip(a1).zip(a2).zip(a3)
+                {
+                    if vj == 0.0 {
+                        continue;
+                    }
+                    let vj64 = f64::from(vj);
+                    acc[0] += vj64 * f64::from(x0);
+                    acc[1] += vj64 * f64::from(x1);
+                    acc[2] += vj64 * f64::from(x2);
+                    acc[3] += vj64 * f64::from(x3);
+                }
+                for (k, &a) in acc.iter().enumerate() {
+                    band[r - rows.start + k] = a as f32;
+                }
+                r += 4;
+            }
+            for r in r..rows.end {
+                let mut acc = 0.0f64;
+                for (&vj, &x) in v.iter().zip(self.row(r)) {
+                    if vj == 0.0 {
+                        continue;
+                    }
+                    acc += f64::from(vj) * f64::from(x);
+                }
+                band[r - rows.start] = acc as f32;
+            }
+        });
     }
 
     /// Gram-style product `selfᵀ · other` (a `k × m` matrix for tall-skinny
@@ -595,6 +680,43 @@ mod tests {
             }
             crate::pool::set_threads(0);
         }
+    }
+
+    #[test]
+    fn row_dots_on_transpose_match_tr_matvec_bitwise() {
+        let _g = crate::pool::test_guard();
+        // A tall-skinny dim × k buffer (the L-BFGS factor shape) and its
+        // transposed storage: the fused per-row dots on the transpose must
+        // reproduce tr_matvec on the original, bit for bit, at every
+        // thread count. `test_mat` plants exact zeros so the shared
+        // `v[j] == 0.0` skip is exercised.
+        for &(dim, k) in &[(1usize, 1usize), (37, 4), (1024, 12), (20_000, 8)] {
+            let a = test_mat(dim, k, 3);
+            let v: Vec<f32> = test_mat(dim, 1, 4).as_slice().to_vec();
+            let golden = a.tr_matvec(&v);
+            let t = a.transpose();
+            for threads in [1usize, 3, 8] {
+                crate::pool::set_threads(threads);
+                let mut dots = vec![0.0f32; k];
+                t.row_dots_into(&v, &mut dots);
+                crate::pool::set_threads(0);
+                assert_eq!(
+                    dots.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    golden.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "row_dots diverged from tr_matvec at {dim}x{k}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_row_vecs_is_from_cols_transposed() {
+        let rows = [vec![1.0f32, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let m = Mat::from_row_vecs(&rows);
+        assert_eq!(m, Mat::from_cols(&rows).transpose());
+        // Borrowed-slice columns work too (the ring-buffer call shape).
+        let borrowed: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        assert_eq!(Mat::from_cols(&borrowed), Mat::from_cols(&rows));
     }
 
     #[test]

@@ -63,10 +63,34 @@ pub fn par_row_bands<F>(out: &mut [f32], rows: usize, cols: usize, body: F)
 where
     F: Fn(Range<usize>, &mut [f32]) + Sync,
 {
+    par_row_bands_weighted(out, rows, cols, cols, body);
+}
+
+/// [`par_row_bands`] with an explicit per-row work estimate, for kernels
+/// whose output rows are much narrower than the data each one reads.
+///
+/// The spawn gate of `par_row_bands` counts *output* elements, which is the
+/// right proxy for GEMM-shaped kernels but starves reductions: a fused
+/// dot-product pass writes `rows × 1` outputs while streaming `rows × dim`
+/// inputs. Passing `work_per_row = dim` here lets such kernels parallelise
+/// by the work they actually do. Banding and determinism are unchanged.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows * cols` or a worker panics.
+pub fn par_row_bands_weighted<F>(
+    out: &mut [f32],
+    rows: usize,
+    cols: usize,
+    work_per_row: usize,
+    body: F,
+) where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
     assert_eq!(out.len(), rows * cols, "par_row_bands: buffer size mismatch");
     let workers = threads()
         .min(rows)
-        .min((rows * cols) / MIN_ELEMS_PER_WORKER)
+        .min((rows * work_per_row) / MIN_ELEMS_PER_WORKER)
         .max(1);
     if workers == 1 {
         body(0..rows, out);
@@ -210,6 +234,29 @@ mod tests {
         });
         set_threads(0);
         assert_eq!(out, vec![1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_bands_match_serial_bitwise() {
+        let _g = test_guard();
+        // 64 single-column output rows, each "costing" 4096 elements: the
+        // weighted gate allows multiple workers where the plain gate would
+        // stay serial. Output must be bitwise identical either way.
+        let rows = 64;
+        let work = 4096;
+        let fill = |range: Range<usize>, band: &mut [f32]| {
+            for (i, r) in range.enumerate() {
+                band[i] = (r * 37) as f32 * 0.125 - 2.0;
+            }
+        };
+        set_threads(1);
+        let mut serial = vec![0.0f32; rows];
+        par_row_bands_weighted(&mut serial, rows, 1, work, fill);
+        set_threads(4);
+        let mut parallel = vec![0.0f32; rows];
+        par_row_bands_weighted(&mut parallel, rows, 1, work, fill);
+        set_threads(0);
+        assert!(serial.iter().zip(&parallel).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -113,12 +113,28 @@ impl Lu {
     /// # Panics
     ///
     /// Panics if `b.len() != dim()`.
-    #[allow(clippy::needless_range_loop)] // substitution indexes y and lu jointly
     pub fn solve(&self, b: &[f32]) -> Vec<f32> {
+        let mut y = Vec::with_capacity(self.dim());
+        self.solve_into(b, &mut y);
+        y
+    }
+
+    /// [`Lu::solve`] into a caller-owned buffer, recycling its allocation.
+    ///
+    /// The recovery replay solves one tiny `2s × 2s` system per client per
+    /// round; this variant lets the batched engine keep a single scratch
+    /// vector alive across all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    #[allow(clippy::needless_range_loop)] // substitution indexes y and lu jointly
+    pub fn solve_into(&self, b: &[f32], y: &mut Vec<f32>) {
         let n = self.dim();
         assert_eq!(b.len(), n, "Lu::solve: rhs length mismatch");
         // Apply permutation, then forward substitution (L has unit diagonal).
-        let mut y: Vec<f32> = self.perm.iter().map(|&p| b[p]).collect();
+        y.clear();
+        y.extend(self.perm.iter().map(|&p| b[p]));
         for r in 1..n {
             let mut acc = f64::from(y[r]);
             for c in 0..r {
@@ -134,7 +150,6 @@ impl Lu {
             }
             y[r] = (acc / f64::from(self.lu.get(r, r))) as f32;
         }
-        y
     }
 
     /// Solves `A·X = B` column-by-column.
@@ -233,6 +248,19 @@ mod tests {
         let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let lu = Lu::factor(&a).unwrap();
         assert!((lu.det() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_into_matches_solve_and_recycles() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let mut y = Vec::with_capacity(2);
+        lu.solve_into(&[3.0, 5.0], &mut y);
+        assert_eq!(y, lu.solve(&[3.0, 5.0]));
+        let ptr = y.as_ptr();
+        lu.solve_into(&[1.0, -1.0], &mut y);
+        assert_eq!(y, lu.solve(&[1.0, -1.0]));
+        assert_eq!(ptr, y.as_ptr(), "solve_into must reuse the buffer");
     }
 
     #[test]

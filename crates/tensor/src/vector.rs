@@ -69,6 +69,19 @@ pub fn sub(x: &[f32], y: &[f32]) -> Vec<f32> {
     x.iter().zip(y).map(|(a, b)| a - b).collect()
 }
 
+/// Element-wise difference `x − y` written into `out`, recycling its
+/// allocation (the zero-allocation form of [`sub`] for replay hot loops
+/// that compute `w̄ₜ − wₜ` every round).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn sub_into(x: &[f32], y: &[f32], out: &mut Vec<f32>) {
+    assert_eq!(x.len(), y.len(), "sub_into: length mismatch");
+    out.clear();
+    out.extend(x.iter().zip(y).map(|(a, b)| a - b));
+}
+
 /// Euclidean norm `‖x‖₂`, accumulated in `f64`.
 pub fn l2_norm(x: &[f32]) -> f32 {
     x.iter()
@@ -272,6 +285,19 @@ mod tests {
         let x = vec![1.0, 2.0, 3.0];
         let y = vec![0.5, -1.0, 2.0];
         assert_eq!(sub(&add(&x, &y), &y), x);
+    }
+
+    #[test]
+    fn sub_into_matches_sub_and_recycles() {
+        let x = vec![1.0f32, -2.5, 0.25];
+        let y = vec![0.5f32, 1.5, 0.25];
+        let mut out = Vec::with_capacity(3);
+        sub_into(&x, &y, &mut out);
+        assert_eq!(out, sub(&x, &y));
+        let ptr = out.as_ptr();
+        sub_into(&y, &x, &mut out);
+        assert_eq!(out, sub(&y, &x));
+        assert_eq!(ptr, out.as_ptr(), "sub_into must reuse the buffer");
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!
 //! Set `FUIOV_BENCH_JSON=<path>` to also append one JSON object per
 //! benchmark to that file (used to snapshot `BENCH_micro.json`).
+//!
+//! Set `FUIOV_BENCH_SMOKE=1` to run every benchmark with a minimal budget
+//! (3 samples, milliseconds of measurement): numbers become meaningless,
+//! but the bench code itself — setup, assertions, kernels — executes, so
+//! CI can keep benches compiling and running without paying for timing.
 
 use std::fmt::Write as _;
 use std::hint::black_box as std_black_box;
@@ -92,16 +97,27 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
 }
 
+/// Whether the smoke-run mode (`FUIOV_BENCH_SMOKE=1`) is active.
+fn smoke() -> bool {
+    std::env::var("FUIOV_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timing samples per benchmark.
+    /// Sets the number of timing samples per benchmark (ignored in smoke
+    /// mode, which pins the minimal budget).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(3);
+        if !smoke() {
+            self.sample_size = n.max(3);
+        }
         self
     }
 
-    /// Sets the total measurement budget per benchmark.
+    /// Sets the total measurement budget per benchmark (ignored in smoke
+    /// mode).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement = d;
+        if !smoke() {
+            self.measurement = d;
+        }
         self
     }
 
@@ -203,10 +219,15 @@ impl Criterion {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement) = if smoke() {
+            (3, Duration::from_millis(3))
+        } else {
+            (20, Duration::from_millis(600))
+        };
         BenchmarkGroup {
             name: name.into(),
-            sample_size: 20,
-            measurement: Duration::from_millis(600),
+            sample_size,
+            measurement,
             throughput: None,
             _criterion: self,
         }
