@@ -111,7 +111,7 @@ pub fn fedrecover(
     let mut buffers: BTreeMap<ClientId, PairBuffer> = BTreeMap::new();
     let mut approxes: BTreeMap<ClientId, LbfgsApprox> = BTreeMap::new();
     let seed_start = f_round.saturating_sub(config.buffer_size);
-    let w_f: &[f32] = history
+    let w_f = history
         .model(f_round)
         .ok_or(UnlearnError::MissingModel(f_round))?;
     for &client in &remaining {
@@ -122,7 +122,7 @@ pub fn fedrecover(
                 else {
                     continue;
                 };
-                buf.push(vector::sub(w_r, w_f), vector::sub(g_r, g_f));
+                buf.push(vector::sub(&w_r, &w_f), vector::sub(g_r, g_f));
             }
         }
         if let Ok(a) = buf.approximation() {
@@ -144,7 +144,14 @@ pub fn fedrecover(
     let mut weights: Vec<f32> = Vec::new();
 
     for t in f_round..t_end {
-        let w_t = history.model(t).ok_or(UnlearnError::MissingModel(t))?;
+        // Stream the historical model through the round's snapshot view
+        // (spilled rounds decode once into the LRU) and warm the cache for
+        // the next round before the heavy estimation work.
+        let view = history.round_view(t);
+        if t + 1 < t_end {
+            history.prefetch(t + 1);
+        }
+        let w_t = view.model().ok_or(UnlearnError::MissingModel(t))?;
         vector::sub_into(&params, w_t, &mut scratch.dw_t);
         let dw_t = &scratch.dw_t;
         let replayed = t - f_round + 1;

@@ -194,6 +194,6 @@ mod tests {
         let cfg = FedRecoveryConfig::new(0.1).noise_sigma(0.0);
         let out = fedrecovery(&h, &empty, 0, &cfg, 0).unwrap();
         assert_eq!(out.residuals_removed, 0);
-        assert_eq!(&out.params[..], h.model(5).unwrap());
+        assert_eq!(&out.params[..], &*h.model(5).unwrap());
     }
 }

@@ -302,6 +302,122 @@ fn bench_direction_decode(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_history_tiering(c: &mut Criterion) {
+    // The tiered-store claim: under a tight in-memory budget the history
+    // keeps a small hot set resident (delta-coded cold rounds live in the
+    // spill file) and streaming replay through `RoundView` + `prefetch`
+    // stays within a small factor of the all-in-memory replay. Both
+    // replays are asserted bitwise identical before any timing.
+    use fuiov_storage::{HistoryStore, TierConfig};
+
+    let dim = 52_138; // paper MNIST CNN size
+    let n = 16usize;
+    let rounds = 24usize;
+    let build = |tier: TierConfig| -> HistoryStore {
+        let mut h = HistoryStore::with_tier(1e-6, tier);
+        for cid in 0..n {
+            h.record_join(cid, 0);
+        }
+        let mut w = random_vec(dim, 7);
+        for t in 0..rounds {
+            h.record_model(t, w.clone());
+            for cid in 0..n {
+                h.record_gradient(t, cid, &random_vec(dim, (t * n + cid) as u64));
+            }
+            vector::axpy(-1e-3, &random_vec(dim, 1_000 + t as u64), &mut w);
+        }
+        h.record_model(rounds, w);
+        h
+    };
+    // One streaming replay pass F..T through the batched engine: per
+    // round, dw_t = w̄ − w_t, one fused stacked inbound sweep, per-client
+    // LUT direction decode + Eq. 6 correction + clip, FedAvg, step — the
+    // exact `recover_set` round, sourcing every model and direction
+    // through the store's `RoundView` + `prefetch` path.
+    let dws = vec![random_vec(dim, 1), random_vec(dim, 2)];
+    let dgs: Vec<Vec<f32>> = dws
+        .iter()
+        .map(|w| {
+            let mut g = w.clone();
+            vector::scale(2.0, &mut g);
+            g
+        })
+        .collect();
+    let approx = LbfgsApprox::new(&dws, &dgs).expect("valid pairs");
+    let stacked = StackedLbfgs::build(dim, (0..n).map(|cid| (cid, &approx)));
+    let replay = |h: &HistoryStore| -> Vec<f32> {
+        let mut params = h.model(0).expect("round 0").to_vec();
+        let mut scratch = RoundScratch::new();
+        let mut dw_t = vec![0.0f32; dim];
+        let weights = vec![1.0f32; n];
+        for t in 0..rounds {
+            let view = h.round_view(t);
+            if t + 1 < rounds {
+                h.prefetch(t + 1);
+            }
+            let w_t = view.model().expect("replay model");
+            vector::sub_into(&params, w_t, &mut dw_t);
+            stacked.fused_dots(&dw_t, &mut scratch.dots);
+            stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+            scratch.est.resize(n * dim, 0.0);
+            let mut rows = 0;
+            for (row, (cid, dir)) in scratch.est.chunks_mut(dim).zip(view.directions()) {
+                dir.decode_into(row);
+                let entry = stacked.entry_for(cid).expect("all clients stacked");
+                stacked.accumulate_correction(entry, &scratch.ps, &dw_t, row);
+                vector::clip_elementwise(row, 1.0);
+                rows += 1;
+            }
+            let refs: Vec<&[f32]> = scratch.est.chunks(dim).take(rows).collect();
+            let agg = aggregate_refs(AggregationRule::FedAvg, &refs, &weights[..rows]);
+            vector::axpy(-0.05, &agg, &mut params);
+        }
+        params
+    };
+
+    let hot = build(TierConfig::unbounded());
+    // Budget ≈ two rounds of f32 checkpoints: everything older spills.
+    let budget = 2 * dim * 4;
+    let cold = build(TierConfig::bounded(budget).with_keyframe_interval(8));
+    assert!(cold.spilled_bytes() > 0, "budget must force the cold store to spill");
+
+    let logical = hot.model_bytes() + hot.direction_bytes();
+    let resident = cold.resident_bytes();
+    eprintln!(
+        "[history] logical {} B vs resident {} B over {rounds} rounds \
+         ({:.1}x resident reduction; {} B delta-coded on disk, {} B/model-round stored)",
+        logical,
+        resident,
+        logical as f64 / resident as f64,
+        cold.spilled_bytes(),
+        cold.model_bytes_stored() / (rounds + 1),
+    );
+    assert!(
+        resident * 4 <= logical,
+        "tiering must cut resident history bytes at least 4x: {resident} vs {logical}"
+    );
+
+    // Differential gate: the spilled stream must replay the same bits.
+    let reference = replay(&hot);
+    let streamed = replay(&cold);
+    assert_eq!(
+        reference.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        streamed.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        "cold-store streaming replay diverged from the in-memory replay"
+    );
+
+    let mut group = c.benchmark_group("history");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((dim * n * rounds) as u64));
+    group.bench_function("replay_hot_16c_52k", |b| {
+        b.iter(|| black_box(replay(&hot)));
+    });
+    group.bench_function("replay_cold_stream_16c_52k", |b| {
+        b.iter(|| black_box(replay(&cold)));
+    });
+    group.finish();
+}
+
 fn bench_conv_backends(c: &mut Criterion) {
     use fuiov_nn::layers::{Conv2d, ConvBackend, Layer};
     use fuiov_nn::Tensor4;
@@ -341,6 +457,7 @@ criterion_group!(
     bench_recovery_round,
     bench_batched_recovery_round,
     bench_direction_decode,
+    bench_history_tiering,
     bench_conv_backends
 );
 criterion_main!(benches);

@@ -26,7 +26,7 @@ use crate::error::UnlearnError;
 use crate::lbfgs::{LbfgsApprox, PairBuffer};
 use fuiov_fl::aggregate::aggregate_refs;
 use fuiov_fl::config::AggregationRule;
-use fuiov_storage::{ClientId, GradientDirection, HistoryStore, Round};
+use fuiov_storage::{ClientId, HistoryStore, Round};
 use fuiov_tensor::{pool, vector};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
@@ -164,27 +164,26 @@ impl RecoveryConfig {
 /// Returns `None` if the history has fewer than two models or no
 /// recorded directions.
 pub fn calibrate_lr(history: &HistoryStore) -> Option<f32> {
-    let rounds = history.rounds();
-    if rounds.len() < 2 {
-        return None;
-    }
     let mut step_sum = 0.0f64;
     let mut dir_sum = 0.0f64;
     let mut samples = 0usize;
     let mut agg: Vec<f64> = Vec::new(); // recycled across windows
-    for win in rounds.windows(2) {
-        let (a, b) = (win[0], win[1]);
-        let (Some(wa), Some(wb)) = (history.model(a), history.model(b)) else { continue };
-        let clients = history.clients_in_round(a);
-        if clients.is_empty() {
+    // Pairwise walk of consecutive recorded rounds, streaming each round
+    // through its snapshot view (no per-call Vec, no model copies even
+    // when `a` sits in the spill tier).
+    let mut later = history.rounds_iter();
+    later.next()?;
+    for (a, b) in history.rounds_iter().zip(later) {
+        let view = history.round_view(a);
+        let (Some(wa), Some(wb)) = (view.model(), history.model(b)) else { continue };
+        if view.n_clients() == 0 {
             continue;
         }
         let dim = wa.len();
         agg.clear();
         agg.resize(dim, 0.0);
         let mut wsum = 0.0f64;
-        for c in clients {
-            let Some(dir) = history.direction(a, c) else { continue };
+        for (c, dir) in view.directions() {
             let w = f64::from(history.weight(c));
             wsum += w;
             // Word-level LUT decode fused with the weighted accumulation —
@@ -196,7 +195,7 @@ pub fn calibrate_lr(history: &HistoryStore) -> Option<f32> {
         }
         let step: f64 = wa
             .iter()
-            .zip(wb)
+            .zip(wb.iter())
             .map(|(x, y)| (f64::from(*x) - f64::from(*y)).abs())
             .sum::<f64>()
             / dim as f64;
@@ -323,8 +322,7 @@ pub fn recover_set(
     // with a typed error instead so callers can fall back (e.g. retrain).
     let window_has_participant = (f_round..t_end).any(|t| {
         history
-            .clients_in_round(t)
-            .into_iter()
+            .clients_in_round_iter(t)
             .any(|c| !forgotten_set.contains(&c))
     });
     if remaining.is_empty() || !window_has_participant {
@@ -340,24 +338,31 @@ pub fn recover_set(
 
     // ---- Seed vector pairs from the s rounds before F (§IV-B). ----
     let seed_start = f_round.saturating_sub(config.buffer_size);
-    // Borrow the historical models on the common path; only a model that
-    // `interpolate_missing_models` has to synthesise is ever owned.
-    let w_f: &[f32] = history
+    // Hold the historical models through their tier guard on the common
+    // path (a hot round stays borrowed, a spilled one is pinned in the
+    // decode cache); only a model that `interpolate_missing_models` has to
+    // synthesise is ever owned.
+    let w_f = history
         .model(f_round)
         .ok_or(UnlearnError::MissingModel(f_round))?;
     for &client in &remaining {
         let mut buf = PairBuffer::new(config.buffer_size);
         // Base gradient g_F: stored direction at F, or oracle, or nearest
         // later round's direction.
-        let g_f = direction_or_oracle(history, client, f_round, w_f, oracle, &mut oracle_queries)
+        let g_f = direction_or_oracle(history, client, f_round, &w_f, oracle, &mut oracle_queries)
             .or_else(|| nearest_direction(history, client, f_round, t_end));
         if let Some(g_f) = g_f {
             for r in seed_start..f_round {
-                let w_r: Cow<'_, [f32]> = match history.model(r) {
-                    Some(m) => Cow::Borrowed(m),
+                let guard = history.model(r);
+                let interp;
+                let w_r: &[f32] = match guard.as_deref() {
+                    Some(m) => m,
                     None if config.interpolate_missing_models => {
                         match history.model_interpolated(r) {
-                            Some(m) => Cow::Owned(m),
+                            Some(m) => {
+                                interp = m;
+                                &interp
+                            }
                             None => continue,
                         }
                     }
@@ -367,12 +372,12 @@ pub fn recover_set(
                     history,
                     client,
                     r,
-                    &w_r,
+                    w_r,
                     oracle,
                     &mut oracle_queries,
                 );
                 let Some(g_r) = g_r else { continue };
-                let dw = vector::sub(&w_r, w_f);
+                let dw = vector::sub(w_r, &w_f);
                 let dg = vector::sub(&g_r, &g_f);
                 buf.push(dw, dg);
             }
@@ -399,11 +404,22 @@ pub fn recover_set(
     // All replay-loop temporaries live in one arena, recycled across
     // rounds: no per-round model clones, no per-client estimate vectors.
     let mut scratch = RoundScratch::new();
-    let mut round_dirs: Vec<(ClientId, &GradientDirection, Option<usize>)> = Vec::new();
+    let mut roster: Vec<(ClientId, Option<usize>)> = Vec::new();
     let mut weights: Vec<f32> = Vec::new();
 
     for t in f_round..t_end {
-        let w_t: Cow<'_, [f32]> = match history.model(t) {
+        // Snapshot the round once: packed direction words and the model
+        // stay pinned behind the view (hot rounds borrow, spilled rounds
+        // decode once into the LRU) and stream straight into the LUT
+        // kernels below — no intermediate `Vec<f32>` per client.
+        let view = history.round_view(t);
+        // Warm the decode cache for the next replay round while this one
+        // computes, so a cold (spilled) trajectory pays its segment read
+        // off the critical path of round t+1.
+        if t + 1 < t_end {
+            history.prefetch(t + 1);
+        }
+        let w_t: Cow<'_, [f32]> = match view.model() {
             Some(m) => Cow::Borrowed(m),
             None if config.interpolate_missing_models => history
                 .model_interpolated(t)
@@ -422,11 +438,13 @@ pub fn recover_set(
         // aggregation below consumes estimate rows in exactly this order,
         // so the recovered model is bitwise identical at any pool width
         // (DESIGN.md §5).
-        round_dirs.clear();
+        roster.clear();
         weights.clear();
         for &client in &remaining {
-            // `None` = client did not participate in round t.
-            let Some(dir) = history.direction(t, client) else { continue };
+            // Not in the view = client did not participate in round t.
+            if view.direction(client).is_none() {
+                continue;
+            }
             let entry = config
                 .hessian_correction
                 .then(|| stacked.entry_for(client))
@@ -434,10 +452,10 @@ pub fn recover_set(
             if config.hessian_correction && entry.is_none() {
                 estimator_fallbacks += 1;
             }
-            round_dirs.push((client, dir, entry));
+            roster.push((client, entry));
             weights.push(history.weight(client));
         }
-        let n_part = round_dirs.len();
+        let n_part = roster.len();
 
         if n_part == 0 {
             update_norms.push(0.0);
@@ -462,13 +480,14 @@ pub fn recover_set(
             scratch.est.resize(n_part * dim, 0.0);
             let est_buf = &mut scratch.est[..n_part * dim];
             let (stacked_ref, dw_t, ps) = (&stacked, &scratch.dw_t, &scratch.ps);
-            let dirs_ref = &round_dirs;
+            let (roster_ref, view_ref) = (&roster, &view);
             pool::par_row_bands_weighted(est_buf, n_part, dim, dim, |rows, band| {
                 for (row, p) in band.chunks_mut(dim).zip(rows) {
-                    let (_, dir, entry) = &dirs_ref[p];
+                    let (client, entry) = roster_ref[p];
+                    let dir = view_ref.direction(client).expect("roster checked");
                     dir.decode_into(row);
                     if let Some(e) = entry {
-                        stacked_ref.accumulate_correction(*e, ps, dw_t, row);
+                        stacked_ref.accumulate_correction(e, ps, dw_t, row);
                     }
                     vector::clip_elementwise(row, config.clip_threshold);
                 }
@@ -499,12 +518,13 @@ pub fn recover_set(
                 growth_run = 0;
             }
             // The clipped estimates live as rows of the scratch estimate
-            // matrix (aligned with `round_dirs`), so refreshing needs no
+            // matrix (aligned with `roster`), so refreshing needs no
             // per-round clones: pairs are pushed from borrowed slices and
             // the ring buffer recycles its evicted storage.
-            for (p, (client, dir, _)) in round_dirs.iter().enumerate() {
+            for (p, (client, _)) in roster.iter().enumerate() {
                 let est = &scratch.est[p * dim..(p + 1) * dim];
                 scratch.stored.resize(dim, 0.0);
+                let dir = view.direction(*client).expect("roster checked");
                 dir.decode_into(&mut scratch.stored);
                 vector::sub_into(est, &scratch.stored, &mut scratch.dg);
                 if vector::l2_norm(&scratch.dg) <= 1e-12 {
@@ -920,7 +940,7 @@ mod tests {
             }
             let step: f64 = wa
                 .iter()
-                .zip(wb)
+                .zip(wb.iter())
                 .map(|(x, y)| (f64::from(*x) - f64::from(*y)).abs())
                 .sum::<f64>()
                 / dim as f64;

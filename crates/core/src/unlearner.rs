@@ -159,7 +159,7 @@ mod tests {
         let unlearner = Unlearner::new(server.history(), RecoveryConfig::new(0.3));
         let bt = unlearner.forget(1).unwrap();
         assert_eq!(bt.join_round, 2);
-        assert_eq!(&bt.params[..], server.history().model(2).unwrap());
+        assert_eq!(&bt.params[..], &*server.history().model(2).unwrap());
 
         let out = unlearner.forget_and_recover(1).unwrap();
         assert_eq!(out.rounds_replayed, 10);

@@ -81,7 +81,7 @@ proptest! {
         let bt_all = backtrack_set(&h, &[0, 1, 2]).unwrap();
         let min_join = *joins.iter().min().unwrap();
         prop_assert_eq!(bt_all.join_round, min_join);
-        prop_assert_eq!(&bt_all.params[..], h.model(min_join).unwrap());
+        prop_assert_eq!(&bt_all.params[..], &*h.model(min_join).unwrap());
     }
 
     /// Recovery is deterministic: same history, same config, same output.

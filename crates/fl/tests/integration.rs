@@ -47,8 +47,8 @@ fn cosine_schedule_trains_and_decays_update_norms() {
     // Parameter movement shrinks over the anneal: compare early vs late
     // model deltas from the recorded history.
     let h = server.history();
-    let early = fuiov_tensor::vector::l2_distance(h.model(1).unwrap(), h.model(0).unwrap());
-    let late = fuiov_tensor::vector::l2_distance(h.model(30).unwrap(), h.model(29).unwrap());
+    let early = fuiov_tensor::vector::l2_distance(&h.model(1).unwrap(), &h.model(0).unwrap());
+    let late = fuiov_tensor::vector::l2_distance(&h.model(30).unwrap(), &h.model(29).unwrap());
     assert!(
         late < early,
         "late steps should be smaller under cosine decay: {early} -> {late}"

@@ -1,0 +1,209 @@
+//! Lossless delta coding of `f32` checkpoint vectors.
+//!
+//! Between two keyframes the global model moves slowly, so consecutive
+//! checkpoints agree in their high bits. This module encodes a round's
+//! model as the element-wise difference from a *base* round, varint
+//! (LEB128) compressed after zigzag mapping — and reconstructs the
+//! original **bit for bit**, which is what lets the tiered
+//! [`HistoryStore`](crate::history::HistoryStore) keep replay bitwise
+//! identical to the flat in-memory store.
+//!
+//! The difference is taken in a *totally ordered* integer image of the
+//! `f32` bit pattern (sign-magnitude folded so that the integer order
+//! matches numeric order). Nearby floats map to nearby integers, so
+//! small parameter movement yields small deltas and short varints; the
+//! mapping is a bijection, so the inverse transform is exact for every
+//! bit pattern including `-0.0` and NaN payloads.
+
+/// Maps `f32` bits to a totally ordered `u32`: numeric order of the
+/// floats (with `-0.0 < +0.0`) becomes unsigned integer order.
+#[inline]
+pub fn to_ordered(bits: u32) -> u32 {
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
+}
+
+/// Inverse of [`to_ordered`].
+#[inline]
+pub fn from_ordered(ord: u32) -> u32 {
+    if ord & 0x8000_0000 != 0 {
+        ord & 0x7FFF_FFFF
+    } else {
+        !ord
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` as a LEB128 varint.
+#[inline]
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint, advancing `buf`. `None` on truncation or a
+/// varint longer than 10 bytes.
+#[inline]
+fn get_varint(buf: &mut &[u8]) -> Option<u64> {
+    let mut v = 0u64;
+    for shift in 0..10 {
+        let (&byte, rest) = buf.split_first()?;
+        *buf = rest;
+        v |= u64::from(byte & 0x7F) << (shift * 7);
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Encodes `cur` as zigzag-varint deltas against `base`, appending to
+/// `out`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn encode(base: &[f32], cur: &[f32], out: &mut Vec<u8>) {
+    assert_eq!(base.len(), cur.len(), "delta::encode: length mismatch");
+    for (b, c) in base.iter().zip(cur) {
+        let d = i64::from(to_ordered(c.to_bits())) - i64::from(to_ordered(b.to_bits()));
+        put_varint(out, zigzag(d));
+    }
+}
+
+/// Decodes `len` delta-coded elements against `base` (exact inverse of
+/// [`encode`]). Returns `None` on truncation, an out-of-range delta, or
+/// trailing bytes.
+pub fn decode(base: &[f32], mut bytes: &[u8], len: usize) -> Option<Vec<f32>> {
+    if base.len() != len {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    for b in base {
+        let d = unzigzag(get_varint(&mut bytes)?);
+        let ord = i64::from(to_ordered(b.to_bits())) + d;
+        let ord = u32::try_from(ord).ok()?;
+        out.push(f32::from_bits(from_ordered(ord)));
+    }
+    bytes.is_empty().then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_mapping_is_a_monotone_bijection() {
+        let samples = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            1e-30,
+            -1e-30,
+            f32::NAN,
+        ];
+        for &v in &samples {
+            let bits = v.to_bits();
+            assert_eq!(from_ordered(to_ordered(bits)), bits, "{v}");
+        }
+        // Numeric order ↦ unsigned order (finite values; total_cmp also
+        // puts -0.0 below +0.0, matching the mapping).
+        let mut finite: Vec<f32> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        finite.sort_by(f32::total_cmp);
+        let mapped: Vec<u32> = finite.iter().map(|v| to_ordered(v.to_bits())).collect();
+        let mut sorted = mapped.clone();
+        sorted.sort_unstable();
+        assert_eq!(mapped, sorted);
+        // -0.0 maps strictly below +0.0.
+        assert!(to_ordered((-0.0f32).to_bits()) < to_ordered(0.0f32.to_bits()));
+    }
+
+    #[test]
+    fn varints_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(get_varint(&mut s), Some(v));
+            assert!(s.is_empty());
+        }
+        let mut s: &[u8] = &[0x80, 0x80]; // truncated continuation
+        assert_eq!(get_varint(&mut s), None);
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let base = vec![0.5f32, -0.25, 0.0, -0.0, 1e-8, 1000.0, f32::NAN];
+        let cur = vec![0.50001f32, -0.26, -0.0, 0.0, -1e-8, 999.5, 3.25];
+        let mut buf = Vec::new();
+        encode(&base, &cur, &mut buf);
+        let back = decode(&base, &buf, cur.len()).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(&back), bits(&cur));
+    }
+
+    #[test]
+    fn small_movement_compresses_below_f32() {
+        // A realistic SGD step: every parameter moves by ~1e-4 relative.
+        let base: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let cur: Vec<f32> = base.iter().map(|v| v - 1e-4 * v).collect();
+        let mut buf = Vec::new();
+        encode(&base, &cur, &mut buf);
+        assert!(
+            buf.len() < cur.len() * 4,
+            "delta stream ({} B) should beat raw f32 ({} B)",
+            buf.len(),
+            cur.len() * 4
+        );
+        let back = decode(&base, &buf, cur.len()).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            cur.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_bytes() {
+        let base = vec![1.0f32; 8];
+        let cur = vec![1.25f32; 8];
+        let mut buf = Vec::new();
+        encode(&base, &cur, &mut buf);
+        assert!(decode(&base, &buf[..buf.len() - 1], 8).is_none());
+        let mut extended = buf.clone();
+        extended.push(0);
+        assert!(decode(&base, &extended, 8).is_none());
+        assert!(decode(&base[..4], &buf, 8).is_none(), "base length mismatch");
+    }
+
+    #[test]
+    fn empty_vectors_encode_to_nothing() {
+        let mut buf = Vec::new();
+        encode(&[], &[], &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(decode(&[], &buf, 0), Some(Vec::new()));
+    }
+}

@@ -187,6 +187,19 @@ impl GradientDirection {
         }
     }
 
+    /// The raw packed 2-bit words (4 signs per byte, low pair first) —
+    /// what the spill-segment codec copies verbatim, so a reloaded
+    /// direction is bit-identical by construction.
+    pub fn packed_bytes(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// Reassembles a direction from raw packed words. `None` if the byte
+    /// count doesn't match `len` (a malformed spill record).
+    pub(crate) fn from_packed(len: usize, packed: Vec<u8>) -> Option<Self> {
+        (packed.len() == len.div_ceil(4)).then_some(GradientDirection { len, packed })
+    }
+
     /// Bytes used by the packed representation.
     pub fn byte_size(&self) -> usize {
         self.packed.len()

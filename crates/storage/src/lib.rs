@@ -10,9 +10,13 @@
 //! - [`direction`]: the packed sign representation
 //!   ([`GradientDirection`]).
 //! - [`history`]: the per-round record a server keeps
-//!   ([`HistoryStore`]), plus the full-precision
+//!   ([`HistoryStore`]), now *tiered*: hot rounds in memory, cold rounds
+//!   delta-coded and spilled to an append-only segment file under a
+//!   configurable byte budget ([`TierConfig`]), plus the full-precision
 //!   [`history::FullGradientStore`] used by the baselines and the storage
 //!   comparison experiment.
+//! - [`delta`]: lossless varint-zigzag delta coding of `f32` checkpoints.
+//! - [`segment`]: the checksummed spill-segment record format.
 //! - [`checkpoint`]: a small binary model-checkpoint format.
 //!
 //! # Example
@@ -28,9 +32,15 @@
 //! ```
 
 pub mod checkpoint;
+pub mod delta;
 pub mod direction;
 pub mod history;
+pub mod segment;
 pub mod serialize;
 
 pub use direction::GradientDirection;
-pub use history::{ClientId, HistoryStore, Participation, Round};
+pub use history::{
+    ClientId, ClientsIter, DirectionRef, HistoryStore, ModelRef, Participation, Round, RoundView,
+    Tier, TierConfig, TierStats, DEFAULT_KEYFRAME_INTERVAL,
+};
+pub use segment::SegmentDecodeError;

@@ -1,0 +1,621 @@
+//! Append-only spill segments for the tiered [`HistoryStore`].
+//!
+//! Cold rounds are evicted from memory as self-describing, checksummed
+//! records appended to a single spill file. The framing follows the
+//! [`checkpoint`](crate::checkpoint) encode discipline — little-endian,
+//! magic + version up front, truncation detected before any payload is
+//! touched — and adds an FNV-1a trailer so bit rot inside a record is a
+//! typed [`SegmentDecodeError`], never a panic or a silently wrong model.
+//!
+//! ```text
+//! record := magic:u32 | version:u16 | kind:u8 | round:u64 | base:u64
+//!         | payload_len:u32 | payload | fnv1a64(header‖payload):u64
+//! ```
+//!
+//! `kind` selects the payload codec: a raw `f32` keyframe, a
+//! [`delta`](crate::delta)-coded model residual against `base`, or a
+//! round's packed direction map (client ids + 2-bit sign words,
+//! verbatim). `base` equals `round` for non-delta records.
+
+use crate::delta;
+use crate::direction::GradientDirection;
+use crate::history::{ClientId, Round};
+use bytes::{Buf, BufMut};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Record magic, "FUSG".
+pub const MAGIC: u32 = 0x4655_5347;
+/// Segment format version.
+pub const VERSION: u16 = 1;
+/// Fixed header bytes before the payload.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 8 + 8 + 4;
+/// Trailing checksum bytes.
+pub const TRAILER_LEN: usize = 8;
+/// Byte offset of the `round` field inside a record (testkit's
+/// stale-keyframe fault rewrites it, then [`reseal`]s the record).
+pub const ROUND_FIELD_OFFSET: usize = 4 + 2 + 1;
+
+/// What a record's payload contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Raw little-endian `f32` model keyframe.
+    Keyframe,
+    /// Varint-zigzag model residual against the `base` round.
+    Delta,
+    /// A round's packed `client → GradientDirection` map.
+    Directions,
+}
+
+impl RecordKind {
+    fn code(self) -> u8 {
+        match self {
+            RecordKind::Keyframe => 1,
+            RecordKind::Delta => 2,
+            RecordKind::Directions => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(RecordKind::Keyframe),
+            2 => Some(RecordKind::Delta),
+            3 => Some(RecordKind::Directions),
+            _ => None,
+        }
+    }
+}
+
+/// Error decoding a spill-segment record. Every corruption mode the
+/// testkit `Corruptor` can inject maps to a distinct variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentDecodeError {
+    /// Record shorter than its header + declared payload, or a payload
+    /// that ends mid-value.
+    Truncated,
+    /// Magic mismatch — not a FUSG record.
+    BadMagic(u32),
+    /// Unsupported segment version.
+    BadVersion(u16),
+    /// Unknown record kind code.
+    BadKind(u8),
+    /// FNV-1a checksum mismatch — the record bytes rotted.
+    BadChecksum {
+        /// Checksum stored in the record trailer.
+        expected: u64,
+        /// Checksum recomputed over the record bytes.
+        found: u64,
+    },
+    /// The record decodes cleanly but describes a different round than
+    /// the index said it would (a stale keyframe).
+    RoundMismatch {
+        /// Round the caller asked for.
+        expected: u64,
+        /// Round the record claims to hold.
+        found: u64,
+    },
+    /// A delta record was decoded without its base model (round given).
+    MissingBase(u64),
+    /// Underlying I/O failure reading the spill file.
+    Io(String),
+}
+
+impl fmt::Display for SegmentDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentDecodeError::Truncated => write!(f, "spill record truncated"),
+            SegmentDecodeError::BadMagic(m) => write!(f, "bad spill record magic {m:#010x}"),
+            SegmentDecodeError::BadVersion(v) => write!(f, "unsupported spill record version {v}"),
+            SegmentDecodeError::BadKind(k) => write!(f, "unknown spill record kind {k}"),
+            SegmentDecodeError::BadChecksum { expected, found } => write!(
+                f,
+                "spill record checksum mismatch (stored {expected:#018x}, computed {found:#018x})"
+            ),
+            SegmentDecodeError::RoundMismatch { expected, found } => {
+                write!(f, "stale spill record: wanted round {expected}, record holds {found}")
+            }
+            SegmentDecodeError::MissingBase(r) => {
+                write!(f, "delta record needs base model of round {r}")
+            }
+            SegmentDecodeError::Io(e) => write!(f, "spill file i/o: {e}"),
+        }
+    }
+}
+
+impl Error for SegmentDecodeError {}
+
+/// FNV-1a over `data`, absorbed a 64-bit little-endian word per step
+/// (byte-wise over the tail) — the same digest family the golden-trace
+/// system uses, but one multiply per 8 payload bytes instead of per byte.
+/// Record verification sits on the streaming-replay hot path, so the
+/// checksum must not cost a per-byte multiply chain; any single-byte flip
+/// still changes the word it lands in and therefore the digest.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = data.chunks_exact(8);
+    for w in &mut chunks {
+        h ^= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Recomputes and rewrites the trailing checksum of a framed record in
+/// place (after deliberate field surgery — the testkit's stale-keyframe
+/// fault must present as [`SegmentDecodeError::RoundMismatch`], not as a
+/// checksum failure).
+///
+/// # Panics
+///
+/// Panics if `record` is shorter than a checksum trailer.
+pub fn reseal(record: &mut [u8]) {
+    let body = record.len() - TRAILER_LEN;
+    let sum = fnv1a64(&record[..body]);
+    record[body..].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn frame(kind: RecordKind, round: Round, base: Round, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(kind.code());
+    buf.put_u64_le(round as u64);
+    buf.put_u64_le(base as u64);
+    buf.put_u32_le(payload.len() as u32);
+    buf.extend_from_slice(payload);
+    let sum = fnv1a64(&buf);
+    buf.put_u64_le(sum);
+    buf
+}
+
+/// Encodes a full `f32` keyframe record.
+pub fn encode_keyframe(round: Round, params: &[f32]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + params.len() * 4);
+    payload.put_u32_le(params.len() as u32);
+    for &p in params {
+        payload.put_f32_le(p);
+    }
+    frame(RecordKind::Keyframe, round, round, &payload)
+}
+
+/// Encodes a delta record: `cur` coded against the model of `base_round`.
+///
+/// # Panics
+///
+/// Panics if `base.len() != cur.len()`.
+pub fn encode_delta(round: Round, base_round: Round, base: &[f32], cur: &[f32]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + cur.len());
+    payload.put_u32_le(cur.len() as u32);
+    delta::encode(base, cur, &mut payload);
+    frame(RecordKind::Delta, round, base_round, &payload)
+}
+
+/// Encodes a round's direction map: the packed 2-bit sign words are
+/// copied verbatim, so spill → reload is bit-identical by construction.
+pub fn encode_directions(round: Round, dirs: &BTreeMap<ClientId, GradientDirection>) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.put_u32_le(dirs.len() as u32);
+    for (&client, dir) in dirs {
+        payload.put_u64_le(client as u64);
+        payload.put_u32_le(dir.len() as u32);
+        let packed = dir.packed_bytes();
+        payload.put_u32_le(packed.len() as u32);
+        payload.extend_from_slice(packed);
+    }
+    frame(RecordKind::Directions, round, round, &payload)
+}
+
+/// Validates framing + checksum and returns `(kind, round, base, payload)`.
+///
+/// # Errors
+///
+/// Any [`SegmentDecodeError`] except `RoundMismatch`/`MissingBase`, which
+/// are the typed-decode layer's concern.
+pub fn check_record(record: &[u8]) -> Result<(RecordKind, Round, Round, &[u8]), SegmentDecodeError> {
+    if record.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(SegmentDecodeError::Truncated);
+    }
+    let mut buf = record;
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(SegmentDecodeError::BadMagic(magic));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(SegmentDecodeError::BadVersion(version));
+    }
+    let kind_code = buf.get_u8();
+    let kind = RecordKind::from_code(kind_code).ok_or(SegmentDecodeError::BadKind(kind_code))?;
+    let round = buf.get_u64_le();
+    let base = buf.get_u64_le();
+    let payload_len = buf.get_u32_le() as usize;
+    if buf.len() < payload_len + TRAILER_LEN {
+        return Err(SegmentDecodeError::Truncated);
+    }
+    let payload = &buf[..payload_len];
+    let body = HEADER_LEN + payload_len;
+    let expected = u64::from_le_bytes(record[body..body + TRAILER_LEN].try_into().unwrap());
+    let found = fnv1a64(&record[..body]);
+    if expected != found {
+        return Err(SegmentDecodeError::BadChecksum { expected, found });
+    }
+    Ok((kind, round as Round, base as Round, payload))
+}
+
+/// Decodes a model record (keyframe or delta) for `expected_round`.
+/// Delta records need the base-round model in `base`.
+///
+/// # Errors
+///
+/// Framing/checksum errors from [`check_record`], `RoundMismatch` if the
+/// record holds a different round, `MissingBase` for a delta without its
+/// base, `Truncated`/`BadKind` for malformed payloads.
+pub fn decode_model(
+    record: &[u8],
+    expected_round: Round,
+    base: Option<&[f32]>,
+) -> Result<Vec<f32>, SegmentDecodeError> {
+    let (kind, round, base_round, mut payload) = check_record(record)?;
+    if round != expected_round {
+        return Err(SegmentDecodeError::RoundMismatch {
+            expected: expected_round as u64,
+            found: round as u64,
+        });
+    }
+    if payload.len() < 4 {
+        return Err(SegmentDecodeError::Truncated);
+    }
+    let len = payload.get_u32_le() as usize;
+    match kind {
+        RecordKind::Keyframe => {
+            if payload.len() < len * 4 {
+                return Err(SegmentDecodeError::Truncated);
+            }
+            Ok((0..len).map(|_| payload.get_f32_le()).collect())
+        }
+        RecordKind::Delta => {
+            let base = base.ok_or(SegmentDecodeError::MissingBase(base_round as u64))?;
+            delta::decode(base, payload, len).ok_or(SegmentDecodeError::Truncated)
+        }
+        RecordKind::Directions => Err(SegmentDecodeError::BadKind(kind.code())),
+    }
+}
+
+/// Decodes a directions record for `expected_round`.
+///
+/// # Errors
+///
+/// Framing/checksum errors from [`check_record`], `RoundMismatch`,
+/// `BadKind` for a model record, `Truncated` for malformed payloads.
+pub fn decode_directions(
+    record: &[u8],
+    expected_round: Round,
+) -> Result<BTreeMap<ClientId, GradientDirection>, SegmentDecodeError> {
+    let (kind, round, _, mut payload) = check_record(record)?;
+    if round != expected_round {
+        return Err(SegmentDecodeError::RoundMismatch {
+            expected: expected_round as u64,
+            found: round as u64,
+        });
+    }
+    if kind != RecordKind::Directions {
+        return Err(SegmentDecodeError::BadKind(kind.code()));
+    }
+    if payload.len() < 4 {
+        return Err(SegmentDecodeError::Truncated);
+    }
+    let n = payload.get_u32_le() as usize;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        if payload.len() < 16 {
+            return Err(SegmentDecodeError::Truncated);
+        }
+        let client = payload.get_u64_le() as ClientId;
+        let len = payload.get_u32_le() as usize;
+        let nbytes = payload.get_u32_le() as usize;
+        if payload.len() < nbytes {
+            return Err(SegmentDecodeError::Truncated);
+        }
+        let dir = GradientDirection::from_packed(len, payload[..nbytes].to_vec())
+            .ok_or(SegmentDecodeError::Truncated)?;
+        payload.advance(nbytes);
+        out.insert(client, dir);
+    }
+    Ok(out)
+}
+
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+struct SpillInner {
+    file: Option<File>,
+    path: PathBuf,
+    len: u64,
+}
+
+/// The append-only spill file backing one [`HistoryStore`] lineage.
+///
+/// Shared via `Arc` between a store, its clones and its thinned copies —
+/// records are never rewritten, so an `(offset, len)` handle taken by any
+/// of them stays valid for the lifetime of the `Arc`. The file is created
+/// lazily on first append (an unbounded store never touches disk) and
+/// deleted when the last owner drops.
+pub struct SpillFile {
+    inner: Mutex<SpillInner>,
+}
+
+impl fmt::Debug for SpillFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SpillFile")
+            .field("path", &inner.path)
+            .field("len", &inner.len)
+            .field("created", &inner.file.is_some())
+            .finish()
+    }
+}
+
+impl SpillFile {
+    /// A lazily-created spill file in the system temp directory.
+    pub fn new() -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "fuiov-spill-{}-{}.seg",
+            std::process::id(),
+            SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        SpillFile { inner: Mutex::new(SpillInner { file: None, path, len: 0 }) }
+    }
+
+    /// Where the segment file lives (or will live once first written).
+    pub fn path(&self) -> PathBuf {
+        self.inner.lock().path.clone()
+    }
+
+    /// Bytes appended so far (logical length; a fault-injected
+    /// `set_len` on the path is deliberately not observed).
+    pub fn len(&self) -> u64 {
+        self.inner.lock().len
+    }
+
+    /// Whether nothing has been spilled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a framed record, returning its `(offset, len)` handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation/write errors.
+    pub fn append(&self, record: &[u8]) -> std::io::Result<(u64, u32)> {
+        let mut inner = self.inner.lock();
+        if inner.file.is_none() {
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&inner.path)?;
+            inner.file = Some(file);
+        }
+        let offset = inner.len;
+        let file = inner.file.as_mut().expect("just created");
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(record)?;
+        inner.len = offset + record.len() as u64;
+        Ok((offset, record.len() as u32))
+    }
+
+    /// Reads back the record at `(offset, len)`.
+    ///
+    /// # Errors
+    ///
+    /// `Truncated` if the file ends early (e.g. a crash mid-append),
+    /// `Io` for anything else.
+    pub fn read(&self, offset: u64, len: u32) -> Result<Vec<u8>, SegmentDecodeError> {
+        let mut inner = self.inner.lock();
+        let file = inner
+            .file
+            .as_mut()
+            .ok_or_else(|| SegmentDecodeError::Io("spill file never created".into()))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| SegmentDecodeError::Io(e.to_string()))?;
+        let mut buf = vec![0u8; len as usize];
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match file.read(&mut buf[filled..]) {
+                Ok(0) => return Err(SegmentDecodeError::Truncated),
+                Ok(n) => filled += n,
+                Err(e) => return Err(SegmentDecodeError::Io(e.to_string())),
+            }
+        }
+        Ok(buf)
+    }
+}
+
+impl Default for SpillFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let inner = self.inner.lock();
+        if inner.file.is_some() {
+            let _ = std::fs::remove_file(&inner.path);
+        }
+    }
+}
+
+/// Whether a segment file exists at `path` (test/diagnostic helper —
+/// lets thinning tests assert no spill reload happened).
+pub fn segment_file_exists(path: &Path) -> bool {
+    path.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn keyframe_roundtrips_bitwise() {
+        let params = vec![0.0f32, -0.0, 1.5, -3.25, f32::MIN_POSITIVE, f32::NAN];
+        let rec = encode_keyframe(9, &params);
+        let back = decode_model(&rec, 9, None).unwrap();
+        assert_eq!(bits(&back), bits(&params));
+    }
+
+    #[test]
+    fn delta_roundtrips_bitwise_and_requires_base() {
+        let base = vec![1.0f32, 2.0, -3.0, 0.25];
+        let cur = vec![1.0001f32, 1.9998, -3.002, 0.2501];
+        let rec = encode_delta(5, 4, &base, &cur);
+        let back = decode_model(&rec, 5, Some(&base)).unwrap();
+        assert_eq!(bits(&back), bits(&cur));
+        assert_eq!(decode_model(&rec, 5, None), Err(SegmentDecodeError::MissingBase(4)));
+    }
+
+    #[test]
+    fn directions_roundtrip_verbatim() {
+        let mut dirs = BTreeMap::new();
+        dirs.insert(3 as ClientId, GradientDirection::from_signs(&[1, -1, 0, 0, 1]));
+        dirs.insert(11 as ClientId, GradientDirection::from_signs(&[0, 0, -1]));
+        let rec = encode_directions(2, &dirs);
+        let back = decode_directions(&rec, 2).unwrap();
+        assert_eq!(back, dirs);
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let rec = encode_keyframe(0, &[1.0, 2.0]);
+        for cut in [3, HEADER_LEN - 1, rec.len() - TRAILER_LEN - 1, rec.len() - 1] {
+            assert_eq!(
+                decode_model(&rec[..cut], 0, None),
+                Err(SegmentDecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_kind_are_typed() {
+        let mut rec = encode_keyframe(0, &[1.0]);
+        rec[0] ^= 0xFF;
+        assert!(matches!(check_record(&rec), Err(SegmentDecodeError::BadMagic(_))));
+
+        let mut rec = encode_keyframe(0, &[1.0]);
+        rec[4] = 0xEE;
+        reseal(&mut rec); // version field is inside the checksummed body
+        assert!(matches!(check_record(&rec), Err(SegmentDecodeError::BadVersion(_))));
+
+        let mut rec = encode_keyframe(0, &[1.0]);
+        rec[6] = 9;
+        reseal(&mut rec);
+        assert_eq!(check_record(&rec).unwrap_err(), SegmentDecodeError::BadKind(9));
+    }
+
+    #[test]
+    fn checksum_catches_payload_rot() {
+        let mut rec = encode_keyframe(1, &[1.0, 2.0, 3.0]);
+        rec[HEADER_LEN + 5] ^= 0x01;
+        assert!(matches!(
+            decode_model(&rec, 1, None),
+            Err(SegmentDecodeError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_round_after_reseal_is_round_mismatch() {
+        let mut rec = encode_keyframe(7, &[4.0, 5.0]);
+        rec[ROUND_FIELD_OFFSET..ROUND_FIELD_OFFSET + 8].copy_from_slice(&3u64.to_le_bytes());
+        reseal(&mut rec);
+        assert_eq!(
+            decode_model(&rec, 7, None),
+            Err(SegmentDecodeError::RoundMismatch { expected: 7, found: 3 })
+        );
+        // Without the reseal the checksum fires first.
+        let mut rec2 = encode_keyframe(7, &[4.0, 5.0]);
+        rec2[ROUND_FIELD_OFFSET] ^= 0x02;
+        assert!(matches!(
+            decode_model(&rec2, 7, None),
+            Err(SegmentDecodeError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn model_vs_direction_kind_confusion_is_typed() {
+        let rec = encode_keyframe(0, &[1.0]);
+        assert!(matches!(decode_directions(&rec, 0), Err(SegmentDecodeError::BadKind(1))));
+        let dirs = BTreeMap::from([(1 as ClientId, GradientDirection::from_signs(&[1]))]);
+        let rec = encode_directions(0, &dirs);
+        assert!(matches!(decode_model(&rec, 0, None), Err(SegmentDecodeError::BadKind(3))));
+    }
+
+    #[test]
+    fn spill_file_appends_and_reads_back() {
+        let spill = SpillFile::new();
+        assert!(spill.is_empty());
+        assert!(!spill.path().exists(), "lazy: no file before first append");
+
+        let a = encode_keyframe(0, &[1.0, 2.0]);
+        let b = encode_keyframe(1, &[3.0]);
+        let (off_a, len_a) = spill.append(&a).unwrap();
+        let (off_b, len_b) = spill.append(&b).unwrap();
+        assert_eq!(off_a, 0);
+        assert_eq!(off_b, a.len() as u64);
+        assert_eq!(spill.len(), (a.len() + b.len()) as u64);
+
+        assert_eq!(spill.read(off_a, len_a).unwrap(), a);
+        assert_eq!(spill.read(off_b, len_b).unwrap(), b);
+
+        let path = spill.path();
+        assert!(path.exists());
+        drop(spill);
+        assert!(!path.exists(), "spill file removed on drop");
+    }
+
+    #[test]
+    fn spill_file_truncation_surfaces_as_truncated() {
+        let spill = SpillFile::new();
+        let rec = encode_keyframe(0, &vec![1.0f32; 64]);
+        let (off, len) = spill.append(&rec).unwrap();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(spill.path())
+            .unwrap()
+            .set_len(u64::from(len) - 5)
+            .unwrap();
+        assert_eq!(spill.read(off, len), Err(SegmentDecodeError::Truncated));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert!(SegmentDecodeError::Truncated.to_string().contains("truncated"));
+        assert!(SegmentDecodeError::BadMagic(7).to_string().contains("magic"));
+        assert!(SegmentDecodeError::MissingBase(3).to_string().contains("base"));
+        assert!(SegmentDecodeError::RoundMismatch { expected: 1, found: 2 }
+            .to_string()
+            .contains("stale"));
+        assert!(SegmentDecodeError::BadChecksum { expected: 1, found: 2 }
+            .to_string()
+            .contains("checksum"));
+        assert!(SegmentDecodeError::Io("x".into()).to_string().contains("i/o"));
+        assert!(SegmentDecodeError::BadVersion(9).to_string().contains("version"));
+        assert!(SegmentDecodeError::BadKind(9).to_string().contains("kind"));
+    }
+}

@@ -7,7 +7,7 @@
 //! paper's storage savings).
 
 use crate::direction::GradientDirection;
-use crate::history::{HistoryStore, Participation};
+use crate::history::{DirectionRef, HistoryStore, Participation};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::error::Error;
 use std::fmt;
@@ -74,13 +74,13 @@ pub fn encode_history(h: &HistoryStore) -> Bytes {
         let m = h.model(*r).expect("round listed");
         buf.put_u64_le(*r as u64);
         buf.put_u32_le(m.len() as u32);
-        for v in m {
+        for v in m.iter() {
             buf.put_f32_le(*v);
         }
     }
 
     // Directions (packed form, per round × client).
-    let mut entries: Vec<(usize, usize, &GradientDirection)> = Vec::new();
+    let mut entries: Vec<(usize, usize, DirectionRef)> = Vec::new();
     for r in &rounds {
         for c in h.clients_in_round(*r) {
             if let Some(d) = h.direction(*r, c) {

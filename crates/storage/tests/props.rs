@@ -1,10 +1,18 @@
 //! Property-based tests for the storage formats: serialisation
-//! round-trips, thinning invariants, and requantisation consistency.
+//! round-trips, thinning invariants, requantisation consistency, and the
+//! tiered delta/spill codec.
 
 use fuiov_storage::history::FullGradientStore;
 use fuiov_storage::serialize::{decode_history, encode_history};
-use fuiov_storage::{GradientDirection, HistoryStore};
+use fuiov_storage::{delta, GradientDirection, HistoryStore, Tier, TierConfig};
 use proptest::prelude::*;
+
+/// Arbitrary `f32` including every bit pattern class (subnormals, ±0,
+/// infinities, NaN payloads) — the delta codec must be exact on all of
+/// them.
+fn arb_f32_bits() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
 
 fn arb_history() -> impl Strategy<Value = HistoryStore> {
     let dim = 6usize;
@@ -49,8 +57,8 @@ proptest! {
             prop_assert_eq!(back.model(r), h.model(r));
             for c in h.clients_in_round(r) {
                 prop_assert_eq!(
-                    back.direction(r, c).map(GradientDirection::to_signs),
-                    h.direction(r, c).map(GradientDirection::to_signs)
+                    back.direction(r, c).as_deref().map(GradientDirection::to_signs),
+                    h.direction(r, c).as_deref().map(GradientDirection::to_signs)
                 );
             }
         }
@@ -182,5 +190,43 @@ proptest! {
         let da = GradientDirection::from_signs(&a);
         let db = GradientDirection::from_signs(&b);
         prop_assert_eq!(a == b, da == db);
+    }
+
+    /// The raw delta codec round-trips *any* f32 bit patterns exactly —
+    /// including NaN payloads, ±0, infinities and subnormals.
+    #[test]
+    fn delta_codec_roundtrips_bitwise(
+        pairs in prop::collection::vec((arb_f32_bits(), arb_f32_bits()), 0..64),
+    ) {
+        let base: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let cur: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let mut buf = Vec::new();
+        delta::encode(&base, &cur, &mut buf);
+        let back = delta::decode(&base, &buf, cur.len()).expect("decodes");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        prop_assert_eq!(bits(&back), bits(&cur));
+    }
+
+    /// Delta-checkpointed spill storage reconstructs every round bitwise
+    /// for every keyframe interval k ∈ {1, 2, 5, 8}, with a zero budget
+    /// forcing every round through the spill tier.
+    #[test]
+    fn spilled_checkpoints_roundtrip_bitwise_for_all_keyframe_intervals(
+        models in prop::collection::vec(prop::collection::vec(arb_f32_bits(), 5), 1..20),
+    ) {
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        for k in [1usize, 2, 5, 8] {
+            let tier = TierConfig::bounded(0).with_keyframe_interval(k);
+            let mut h = HistoryStore::with_tier(1e-4, tier);
+            for (t, m) in models.iter().enumerate() {
+                h.record_model(t, m.clone());
+            }
+            for (t, m) in models.iter().enumerate() {
+                prop_assert_eq!(h.model_tier(t), Some(Tier::Spilled), "k={} t={}", k, t);
+                let got = h.model(t).expect("spilled round decodes");
+                prop_assert_eq!(bits(&got), bits(m), "k={} t={}", k, t);
+            }
+            prop_assert_eq!(h.tier_stats().decode_errors, 0);
+        }
     }
 }

@@ -9,8 +9,11 @@
 //!
 //! [`FaultPlan`]: crate::plan::FaultPlan
 
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+
 use fuiov_storage::direction::GradientDirection;
-use fuiov_storage::{ClientId, HistoryStore, Round};
+use fuiov_storage::{segment, ClientId, HistoryStore, Round};
 
 /// Namespace for the corruption operations (see module docs).
 #[derive(Debug, Clone, Copy, Default)]
@@ -97,7 +100,7 @@ impl Corruptor {
         if history.direction(round, client).is_none() {
             return false;
         }
-        let Some(older) = history.direction(older_round, client).cloned() else {
+        let Some(older) = history.direction(older_round, client).map(|d| (*d).clone()) else {
             return false;
         };
         history.record_direction(round, client, older);
@@ -122,6 +125,119 @@ impl Corruptor {
             .into_iter()
             .filter(|&(client, round, lag)| Self::stale_replace(history, round, client, lag))
             .count()
+    }
+
+    /// Ensures `round`'s model lives in the on-disk tier, returning its
+    /// `(offset, len)` extent in the spill file. Spills the whole store if
+    /// the record is still hot; `None` when no model is recorded at all.
+    fn spilled_extent(history: &mut HistoryStore, round: Round) -> Option<(u64, u32)> {
+        if history.spilled_model_extent(round).is_none() {
+            history.model(round)?;
+            history.force_spill_all();
+        }
+        history.spilled_model_extent(round)
+    }
+
+    /// Tears the tail off the spill-segment record holding `round`'s
+    /// model, the way a crash mid-append would: the file is cut one byte
+    /// short of the record's end, which also destroys any records written
+    /// after it. Decoding the round afterwards yields
+    /// [`segment::SegmentDecodeError::Truncated`]. Returns `false` when no
+    /// model is recorded for `round`.
+    pub fn truncate_spill_record(history: &mut HistoryStore, round: Round) -> bool {
+        let Some((offset, len)) = Self::spilled_extent(history, round) else {
+            return false;
+        };
+        let Ok(file) = OpenOptions::new().write(true).open(history.spill_path()) else {
+            return false;
+        };
+        if file.set_len(offset + u64::from(len) - 1).is_err() {
+            return false;
+        }
+        history.invalidate_caches();
+        true
+    }
+
+    /// Flips the final byte (part of the FNV trailer) of the spill-segment
+    /// record holding `round`'s model. The frame stays intact, so decoding
+    /// yields [`segment::SegmentDecodeError::BadChecksum`] — even for an
+    /// empty payload. Returns `false` when no model is recorded for
+    /// `round`.
+    pub fn corrupt_spill_checksum(history: &mut HistoryStore, round: Round) -> bool {
+        let Some((offset, len)) = Self::spilled_extent(history, round) else {
+            return false;
+        };
+        let Ok(mut file) = OpenOptions::new().read(true).write(true).open(history.spill_path())
+        else {
+            return false;
+        };
+        let pos = offset + u64::from(len) - 1;
+        let mut byte = [0u8; 1];
+        if file.seek(SeekFrom::Start(pos)).is_err() || file.read_exact(&mut byte).is_err() {
+            return false;
+        }
+        byte[0] ^= 0xFF;
+        if file.seek(SeekFrom::Start(pos)).is_err() || file.write_all(&byte).is_err() {
+            return false;
+        }
+        history.invalidate_caches();
+        true
+    }
+
+    /// Rewrites the round field of `round`'s spilled record to
+    /// `round + shift` and reseals the FNV trailer, producing a
+    /// checksum-valid record that belongs to the wrong round — the stale
+    /// keyframe an RSU would serve after replaying an old write. Decoding
+    /// yields [`segment::SegmentDecodeError::RoundMismatch`]. Returns
+    /// `false` when no model is recorded for `round`.
+    pub fn stale_keyframe(history: &mut HistoryStore, round: Round, shift: usize) -> bool {
+        let Some((offset, len)) = Self::spilled_extent(history, round) else {
+            return false;
+        };
+        let Ok(mut file) = OpenOptions::new().read(true).write(true).open(history.spill_path())
+        else {
+            return false;
+        };
+        let mut record = vec![0u8; len as usize];
+        if file.seek(SeekFrom::Start(offset)).is_err() || file.read_exact(&mut record).is_err() {
+            return false;
+        }
+        let wrong = (round + shift.max(1)) as u64;
+        record[segment::ROUND_FIELD_OFFSET..segment::ROUND_FIELD_OFFSET + 8]
+            .copy_from_slice(&wrong.to_le_bytes());
+        segment::reseal(&mut record);
+        if file.seek(SeekFrom::Start(offset)).is_err() || file.write_all(&record).is_err() {
+            return false;
+        }
+        history.invalidate_caches();
+        true
+    }
+
+    /// Applies every spill-segment fault of `plan` to `history`, returning
+    /// how many landed. Checksum and stale-keyframe faults go first;
+    /// truncations last, because tearing the file also destroys every
+    /// record appended after the torn one.
+    pub fn apply_segment_faults(history: &mut HistoryStore, plan: &crate::plan::FaultPlan) -> usize {
+        use crate::plan::Fault;
+        let faults: Vec<Fault> = plan.segment_faults().into_iter().cloned().collect();
+        let mut landed = 0;
+        for f in &faults {
+            landed += match f {
+                Fault::CorruptSpillChecksum { round } => {
+                    usize::from(Self::corrupt_spill_checksum(history, *round))
+                }
+                Fault::StaleKeyframe { round, shift } => {
+                    usize::from(Self::stale_keyframe(history, *round, *shift))
+                }
+                _ => 0,
+            };
+        }
+        for f in &faults {
+            if let Fault::TruncateSpillRecord { round } = f {
+                landed += usize::from(Self::truncate_spill_record(history, *round));
+            }
+        }
+        landed
     }
 }
 
@@ -188,12 +304,62 @@ mod tests {
     #[test]
     fn stale_replace_copies_older_direction() {
         let mut h = tiny_history();
-        let older = h.direction(0, 3).unwrap().clone();
+        let older = (*h.direction(0, 3).unwrap()).clone();
         assert!(Corruptor::stale_replace(&mut h, 1, 3, 1));
-        assert_eq!(h.direction(1, 3), Some(&older));
+        assert_eq!(h.direction(1, 3).as_deref(), Some(&older));
         // Underflow, missing target, missing source: all no-ops.
         assert!(!Corruptor::stale_replace(&mut h, 0, 3, 1));
         assert!(!Corruptor::stale_replace(&mut h, 7, 3, 1));
+    }
+
+    #[test]
+    fn segment_faults_yield_typed_errors_never_panics() {
+        use fuiov_storage::segment::SegmentDecodeError;
+
+        // Truncation: the torn record reads back as Truncated.
+        let mut h = tiny_history();
+        assert!(Corruptor::truncate_spill_record(&mut h, 1));
+        assert!(matches!(
+            h.try_model(1),
+            Err(SegmentDecodeError::Truncated | SegmentDecodeError::Io(_))
+        ));
+        assert!(h.model(1).is_none(), "lenient accessor degrades to None");
+        assert!(!Corruptor::truncate_spill_record(&mut h, 9), "missing round is a no-op");
+
+        // Checksum rot: frame intact, trailer wrong.
+        let mut h = tiny_history();
+        assert!(Corruptor::corrupt_spill_checksum(&mut h, 0));
+        assert!(matches!(h.try_model(0), Err(SegmentDecodeError::BadChecksum { .. })));
+        assert!(h.model(0).is_none());
+
+        // Stale keyframe: checksum-valid record for the wrong round.
+        let mut h = tiny_history();
+        assert!(Corruptor::stale_keyframe(&mut h, 0, 3));
+        assert!(matches!(
+            h.try_model(0),
+            Err(SegmentDecodeError::RoundMismatch { expected: 0, found: 3 })
+        ));
+        assert!(h.model(0).is_none());
+        assert!(h.tier_stats().decode_errors > 0, "errors are counted");
+    }
+
+    #[test]
+    fn apply_segment_faults_orders_truncation_last() {
+        use crate::plan::{Fault, FaultPlan};
+        let mut h = tiny_history();
+        // Round 0's record precedes round 1's in the spill file; if the
+        // truncation at round 0 ran first it would also destroy round 1's
+        // record and the checksum fault could not land.
+        let plan = FaultPlan::from_faults(
+            7,
+            vec![
+                Fault::TruncateSpillRecord { round: 0 },
+                Fault::CorruptSpillChecksum { round: 1 },
+            ],
+        );
+        assert_eq!(Corruptor::apply_segment_faults(&mut h, &plan), 2);
+        assert!(h.model(0).is_none());
+        assert!(h.model(1).is_none());
     }
 
     #[test]

@@ -115,7 +115,8 @@ pub fn history_roundtrip_identity(h: &HistoryStore) -> Result<(), String> {
         return Err(format!("rounds changed: {:?} -> {:?}", h.rounds(), back.rounds()));
     }
     for r in h.rounds() {
-        let (a, b) = (h.model(r).unwrap_or(&[]), back.model(r).unwrap_or(&[]));
+        let (a, b) = (h.model(r), back.model(r));
+        let (a, b) = (a.as_deref().unwrap_or(&[]), b.as_deref().unwrap_or(&[]));
         if let Some(i) = first_bit_mismatch(a, b) {
             return Err(format!("model at round {r} altered at element {i}"));
         }

@@ -34,11 +34,20 @@ pub enum FaultClass {
     /// round's direction — the stale vector-pair source recovery then
     /// seeds from.
     StaleDirections,
+    /// A spill-segment record loses its tail (torn append to the history
+    /// store's on-disk tier).
+    SegmentTruncation,
+    /// A spill-segment record's bytes rot in place (its FNV trailer no
+    /// longer matches).
+    SegmentChecksum,
+    /// A spilled keyframe carries the wrong round number — the record is
+    /// internally consistent but belongs to a different round.
+    StaleKeyframe,
 }
 
 impl FaultClass {
     /// All classes, in declaration order.
-    pub const ALL: [FaultClass; 7] = [
+    pub const ALL: [FaultClass; 10] = [
         FaultClass::Dropout,
         FaultClass::SignFlip,
         FaultClass::Delay,
@@ -46,6 +55,9 @@ impl FaultClass {
         FaultClass::CheckpointTruncation,
         FaultClass::CheckpointMagic,
         FaultClass::StaleDirections,
+        FaultClass::SegmentTruncation,
+        FaultClass::SegmentChecksum,
+        FaultClass::StaleKeyframe,
     ];
 }
 
@@ -104,6 +116,27 @@ pub enum Fault {
         /// How many rounds old the replacement is.
         lag: usize,
     },
+    /// The spill-segment record holding `round`'s model loses its final
+    /// byte ([`crate::Corruptor::truncate_spill_record`]).
+    TruncateSpillRecord {
+        /// The round whose spilled record is torn.
+        round: Round,
+    },
+    /// A byte of the spill-segment record holding `round`'s model is
+    /// flipped in place ([`crate::Corruptor::corrupt_spill_checksum`]).
+    CorruptSpillChecksum {
+        /// The round whose spilled record rots.
+        round: Round,
+    },
+    /// The spilled record for `round` is resealed under round
+    /// `round + shift` ([`crate::Corruptor::stale_keyframe`]), so decode
+    /// sees a checksum-valid record for the wrong round.
+    StaleKeyframe {
+        /// The round whose spilled record goes stale.
+        round: Round,
+        /// How far the recorded round number is shifted.
+        shift: usize,
+    },
 }
 
 impl Fault {
@@ -117,6 +150,9 @@ impl Fault {
             Fault::TruncateCheckpoint { .. } => FaultClass::CheckpointTruncation,
             Fault::CorruptCheckpointMagic => FaultClass::CheckpointMagic,
             Fault::StaleDirections { .. } => FaultClass::StaleDirections,
+            Fault::TruncateSpillRecord { .. } => FaultClass::SegmentTruncation,
+            Fault::CorruptSpillChecksum { .. } => FaultClass::SegmentChecksum,
+            Fault::StaleKeyframe { .. } => FaultClass::StaleKeyframe,
         }
     }
 }
@@ -231,6 +267,17 @@ impl FaultPlan {
             faults.push(Fault::TruncateCheckpoint { prefix: rng.gen_range(0..10_000usize) });
         }
         faults.push(Fault::CorruptCheckpointMagic);
+
+        // Spill-segment faults (the history store's on-disk tier): also
+        // global, also floored at one of each. A separate stream keeps
+        // earlier draws stable across taxonomy growth.
+        let mut rng = rng_for(seed, streams::TESTKIT + 0x42);
+        faults.push(Fault::TruncateSpillRecord { round: rng.gen_range(0..spec.rounds) });
+        faults.push(Fault::CorruptSpillChecksum { round: rng.gen_range(0..spec.rounds) });
+        faults.push(Fault::StaleKeyframe {
+            round: rng.gen_range(0..spec.rounds),
+            shift: rng.gen_range(1..=spec.max_stale_lag.max(1)),
+        });
 
         let by_cell = faults
             .iter()
@@ -361,6 +408,22 @@ impl FaultPlan {
             })
             .collect()
     }
+
+    /// All spill-segment faults, in plan order (apply with
+    /// [`crate::Corruptor::apply_segment_faults`]).
+    pub fn segment_faults(&self) -> Vec<&Fault> {
+        self.faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    Fault::TruncateSpillRecord { .. }
+                        | Fault::CorruptSpillChecksum { .. }
+                        | Fault::StaleKeyframe { .. }
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -437,6 +500,15 @@ mod tests {
                     assert!(plan.truncations().contains(prefix));
                 }
                 Fault::CorruptCheckpointMagic => {}
+                Fault::TruncateSpillRecord { round } | Fault::CorruptSpillChecksum { round } => {
+                    assert!(*round < spec().rounds);
+                    assert!(plan.segment_faults().iter().any(|g| *g == f));
+                }
+                Fault::StaleKeyframe { round, shift } => {
+                    assert!(*round < spec().rounds);
+                    assert!(*shift >= 1);
+                    assert!(plan.segment_faults().iter().any(|g| *g == f));
+                }
             }
         }
     }

@@ -176,6 +176,41 @@ fn corrupted_checkpoints_fail_with_typed_errors() {
 }
 
 #[test]
+fn segment_faults_degrade_to_typed_errors_and_are_counted() {
+    let scenario = CanonicalRun::standard();
+    for seed in seeds() {
+        let plan = plan_for(&scenario, seed);
+        assert_eq!(plan.segment_faults().len(), 3, "plans floor one fault per segment class");
+        let mut run = scenario.train();
+        let landed = Corruptor::apply_segment_faults(&mut run.history, &plan);
+        assert!(landed >= 1, "seed {seed}: no segment fault landed");
+        // Every stored round must now read back as either a clean model or
+        // a typed decode error — never a panic.
+        let mut typed = 0usize;
+        for t in run.history.rounds() {
+            match run.history.try_model(t) {
+                Ok(_) => {}
+                Err(e) => {
+                    typed += 1;
+                    assert!(!e.to_string().is_empty(), "seed {seed}: silent error");
+                    assert!(run.history.model(t).is_none(), "lenient path must agree");
+                }
+            }
+        }
+        assert!(typed >= 1, "seed {seed}: {landed} faults landed but none surfaced");
+        assert!(
+            run.history.tier_stats().decode_errors >= typed,
+            "seed {seed}: decode errors must be counted"
+        );
+        // Recovery over the damaged store is typed, never a panic.
+        match scenario.recover_forgotten(&run.history, |_, _| {}) {
+            Ok(out) => assert!(out.params.iter().all(|v| v.is_finite())),
+            Err(e) => assert!(!e.to_string().is_empty(), "seed {seed}: silent error"),
+        }
+    }
+}
+
+#[test]
 fn lost_replay_checkpoint_is_a_typed_recovery_error() {
     // Drop a model inside the replay window F..T: recovery must return a
     // typed error (or succeed via interpolation when enabled), not panic.

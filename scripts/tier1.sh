@@ -20,6 +20,13 @@ for seed in 101 202; do
   FUIOV_FAULT_SEED="$seed" cargo test -p fuiov-testkit -q --test fault_matrix
 done
 
+# Tiering stage: the same golden trace with the history forced out to the
+# spill tier (tight byte budget, short keyframe interval so delta chains
+# are exercised). The pinned FNV digests must survive spill + reload
+# unchanged — bitwise tier invariance, not approximate agreement.
+FUIOV_HISTORY_BUDGET=4096 FUIOV_KEYFRAME_INTERVAL=3 \
+  cargo test -p fuiov-testkit -q --test golden_trace
+
 # Bench smoke: every benchmark (including its pre-timing bitwise
 # differential assertions) executes once with a minimal budget, so bench
 # code cannot rot between full BENCH_micro.json refreshes.

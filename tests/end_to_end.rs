@@ -55,7 +55,7 @@ fn full_pipeline_forget_and_recover() {
 
     let bt = unlearner.forget(4).expect("backtrack");
     assert_eq!(bt.join_round, 2);
-    assert_eq!(&bt.params[..], history.model(2).unwrap());
+    assert_eq!(&bt.params[..], &*history.model(2).unwrap());
 
     let out = unlearner.forget_and_recover(4).expect("recover");
     assert_eq!(out.rounds_replayed, 18);

@@ -43,6 +43,96 @@ fn faulted_end_to_end_run_degrades_gracefully() {
 }
 
 #[test]
+fn cold_spilled_history_recovers_bitwise_identically() {
+    // Tiering oracle: force every checkpoint and direction map out to the
+    // spill file under a zero in-memory budget, drop the decode caches,
+    // and replay. Streaming rounds back through the segment tier must
+    // reproduce the all-in-memory recovery bit for bit.
+    use fuiov_core::calibrate_lr;
+    use fuiov_testkit::bitwise_eq;
+
+    let scenario = CanonicalRun::standard();
+    let run = scenario.train();
+    let hot = scenario.recover_forgotten(&run.history, |_, _| {}).unwrap();
+
+    let mut cold_store = run.history.clone();
+    cold_store.set_budget(Some(0));
+    cold_store.force_spill_all();
+    cold_store.invalidate_caches();
+    assert_eq!(cold_store.tier_stats().decode_errors, 0);
+    assert!(cold_store.spilled_bytes() > 0, "budget 0 must spill the store");
+
+    let cold = scenario.recover_forgotten(&cold_store, |_, _| {}).unwrap();
+    assert!(
+        bitwise_eq(&hot.params, &cold.params),
+        "spilled replay must match the in-memory replay bit for bit"
+    );
+    assert_eq!(hot.rounds_replayed, cold.rounds_replayed);
+    assert_eq!(hot.estimator_fallbacks, cold.estimator_fallbacks);
+    assert_eq!(
+        calibrate_lr(&run.history).map(f32::to_bits),
+        calibrate_lr(&cold_store).map(f32::to_bits),
+        "calibration must be tier-invariant"
+    );
+
+    assert_eq!(cold_store.tier_stats().decode_errors, 0, "clean store, clean decodes");
+}
+
+#[test]
+fn fedrecover_baseline_is_tier_invariant() {
+    // The FedRecover baseline streams rounds through the same RoundView
+    // path as core recovery; spilling the whole history to disk must not
+    // move a single bit of its output.
+    use fuiov_baselines::{fedrecover, FedRecoverConfig};
+    use fuiov_core::recover::NoOracle;
+    use fuiov_storage::history::FullGradientStore;
+    use fuiov_storage::HistoryStore;
+    use fuiov_testkit::bitwise_eq;
+
+    // Synthetic quadratic federation: client c pulls toward its own
+    // target, client 1 (forgotten) only joins at round 2.
+    let (dim, rounds, clients, lr) = (6usize, 12usize, 4usize, 0.05f32);
+    let mut h = HistoryStore::new(1e-6);
+    let mut fs = FullGradientStore::new();
+    for c in 0..clients {
+        h.record_join(c, if c == 1 { 2 } else { 0 });
+    }
+    let mut w: Vec<f32> = (0..dim).map(|j| 0.3 * (j as f32 + 1.0)).collect();
+    for t in 0..rounds {
+        h.record_model(t, w.clone());
+        let mut grads = Vec::new();
+        for c in 0..clients {
+            if c == 1 && t < 2 {
+                continue;
+            }
+            let target: Vec<f32> = (0..dim).map(|j| ((c + j) % 3) as f32).collect();
+            let g: Vec<f32> = w.iter().zip(&target).map(|(a, b)| a - b).collect();
+            h.record_gradient(t, c, &g);
+            fs.record(t, c, g.clone());
+            grads.push(g);
+        }
+        let n = grads.len() as f32;
+        for j in 0..dim {
+            let mean: f32 = grads.iter().map(|g| g[j]).sum::<f32>() / n;
+            w[j] -= lr * mean;
+        }
+    }
+    h.record_model(rounds, w);
+
+    let mut cold = h.clone();
+    cold.set_budget(Some(0));
+    cold.force_spill_all();
+    cold.invalidate_caches();
+
+    let cfg = FedRecoverConfig::new(lr);
+    let hot = fedrecover(&h, &fs, 1, &cfg, &mut NoOracle).unwrap();
+    let spilled = fedrecover(&cold, &fs, 1, &cfg, &mut NoOracle).unwrap();
+    assert!(bitwise_eq(&hot.params, &spilled.params), "fedrecover must be tier-invariant");
+    assert_eq!(hot.rounds_replayed, spilled.rounds_replayed);
+    assert_eq!(cold.tier_stats().decode_errors, 0);
+}
+
+#[test]
 fn forgetting_after_everyone_left_is_a_typed_error() {
     // The regression the testkit PR fixed: when no remaining vehicle has
     // any record in the replay window, recovery must report
