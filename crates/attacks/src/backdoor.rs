@@ -33,7 +33,11 @@ pub struct Trigger {
 impl Trigger {
     /// The paper's 3×3 black-square trigger in the bottom-right corner.
     pub fn paper_default() -> Self {
-        Trigger { size: 3, value: 0.0, corner: Corner::BottomRight }
+        Trigger {
+            size: 3,
+            value: 0.0,
+            corner: Corner::BottomRight,
+        }
     }
 
     /// Stamps the trigger onto one flat CHW sample.
@@ -44,8 +48,15 @@ impl Trigger {
     /// length is inconsistent with `(c, h, w)`.
     pub fn stamp(&self, features: &mut [f32], shape: (usize, usize, usize)) {
         let (c, h, w) = shape;
-        assert_eq!(features.len(), c * h * w, "Trigger::stamp: feature length mismatch");
-        assert!(self.size <= h && self.size <= w, "Trigger::stamp: trigger exceeds image");
+        assert_eq!(
+            features.len(),
+            c * h * w,
+            "Trigger::stamp: feature length mismatch"
+        );
+        assert!(
+            self.size <= h && self.size <= w,
+            "Trigger::stamp: trigger exceeds image"
+        );
         let (y0, x0) = match self.corner {
             Corner::TopLeft => (0, 0),
             Corner::BottomRight => (h - self.size, w - self.size),
@@ -76,7 +87,11 @@ impl Backdoor {
     /// poison fraction as a parameter (the paper poisons "a random
     /// selection").
     pub fn paper_default(fraction: f32) -> Self {
-        Backdoor { trigger: Trigger::paper_default(), target_class: 2, fraction }
+        Backdoor {
+            trigger: Trigger::paper_default(),
+            target_class: 2,
+            fraction,
+        }
     }
 
     /// Poisons `data` in place (stamp + relabel); returns poisoned indices.
@@ -112,8 +127,9 @@ impl Backdoor {
     /// `target_class` anyway).
     pub fn triggered_test_set(&self, clean: &Dataset) -> Dataset {
         let shape = clean.shape();
-        let keep: Vec<usize> =
-            (0..clean.len()).filter(|&i| clean.label(i) != self.target_class).collect();
+        let keep: Vec<usize> = (0..clean.len())
+            .filter(|&i| clean.label(i) != self.target_class)
+            .collect();
         let mut out = clean.subset(&keep);
         for i in 0..out.len() {
             self.trigger.stamp(out.features_mut(i), shape);
@@ -134,7 +150,11 @@ mod tests {
     #[test]
     fn stamp_writes_patch_bottom_right() {
         let mut features = vec![0.5f32; 12 * 12];
-        let t = Trigger { size: 3, value: 1.0, corner: Corner::BottomRight };
+        let t = Trigger {
+            size: 3,
+            value: 1.0,
+            corner: Corner::BottomRight,
+        };
         t.stamp(&mut features, (1, 12, 12));
         assert_eq!(features[12 * 12 - 1], 1.0); // bottom-right pixel
         assert_eq!(features[(9) * 12 + 9], 1.0); // patch corner
@@ -144,7 +164,11 @@ mod tests {
     #[test]
     fn stamp_top_left_multichannel() {
         let mut features = vec![0.5f32; 2 * 4 * 4];
-        let t = Trigger { size: 2, value: 0.0, corner: Corner::TopLeft };
+        let t = Trigger {
+            size: 2,
+            value: 0.0,
+            corner: Corner::TopLeft,
+        };
         t.stamp(&mut features, (2, 4, 4));
         assert_eq!(features[0], 0.0);
         assert_eq!(features[16], 0.0); // second channel
@@ -188,6 +212,11 @@ mod tests {
     #[should_panic(expected = "trigger exceeds image")]
     fn oversized_trigger_rejected() {
         let mut features = vec![0.0f32; 4];
-        Trigger { size: 3, value: 0.0, corner: Corner::TopLeft }.stamp(&mut features, (1, 2, 2));
+        Trigger {
+            size: 3,
+            value: 0.0,
+            corner: Corner::TopLeft,
+        }
+        .stamp(&mut features, (1, 2, 2));
     }
 }

@@ -86,7 +86,11 @@ mod tests {
     use fuiov_data::DigitStyle;
 
     fn spec() -> ModelSpec {
-        ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 }
+        ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        }
     }
 
     #[test]
@@ -108,10 +112,7 @@ mod tests {
     fn scaling_attacker_scales_gradient() {
         let data = Dataset::digits(20, &DigitStyle::small(), 1);
         let honest = HonestClient::new(5, spec(), data.clone(), 10, 1);
-        let mut attacker = ScalingAttacker::new(
-            HonestClient::new(5, spec(), data, 10, 1),
-            -2.0,
-        );
+        let mut attacker = ScalingAttacker::new(HonestClient::new(5, spec(), data, 10, 1), -2.0);
         let mut honest = honest;
         let params = vec![0.01; spec().param_count()];
         let g_honest = honest.gradient(&params, 0);

@@ -46,13 +46,20 @@ mod tests {
     use fuiov_nn::ModelSpec;
 
     fn setup() -> (Sequential, Dataset) {
-        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+        let spec = ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        };
         (spec.build(1), Dataset::digits(50, &DigitStyle::small(), 4))
     }
 
     /// A model rigged to always predict `class` via an output bias.
     fn constant_model(class: usize) -> Sequential {
-        let spec = ModelSpec::Linear { inputs: 144, classes: 10 };
+        let spec = ModelSpec::Linear {
+            inputs: 144,
+            classes: 10,
+        };
         let mut m = spec.build(0);
         let mut p = vec![0.0; m.param_count()];
         // Last 10 entries are the output bias.
@@ -72,15 +79,24 @@ mod tests {
         // Backdoor target is class 2, model predicts 1 → ASR 0.
         assert_eq!(asr_bd, 0.0);
         let mut m2 = constant_model(2);
-        assert_eq!(backdoor_asr(&mut m2, &test, &Backdoor::paper_default(1.0)), 1.0);
+        assert_eq!(
+            backdoor_asr(&mut m2, &test, &Backdoor::paper_default(1.0)),
+            1.0
+        );
     }
 
     #[test]
     fn constant_other_model_has_zero_asr() {
         let (_, test) = setup();
         let mut m = constant_model(5);
-        assert_eq!(label_flip_asr(&mut m, &test, &LabelFlip::paper_default()), 0.0);
-        assert_eq!(backdoor_asr(&mut m, &test, &Backdoor::paper_default(1.0)), 0.0);
+        assert_eq!(
+            label_flip_asr(&mut m, &test, &LabelFlip::paper_default()),
+            0.0
+        );
+        assert_eq!(
+            backdoor_asr(&mut m, &test, &Backdoor::paper_default(1.0)),
+            0.0
+        );
     }
 
     #[test]

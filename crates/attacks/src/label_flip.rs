@@ -21,7 +21,11 @@ pub struct LabelFlip {
 impl LabelFlip {
     /// The paper's MNIST configuration: all '7's relabelled to '1'.
     pub fn paper_default() -> Self {
-        LabelFlip { source_class: 7, target_class: 1, fraction: 1.0 }
+        LabelFlip {
+            source_class: 7,
+            target_class: 1,
+            fraction: 1.0,
+        }
     }
 
     /// Poisons `data` in place; returns the indices that were flipped.
@@ -35,7 +39,10 @@ impl LabelFlip {
             self.source_class < data.num_classes() && self.target_class < data.num_classes(),
             "LabelFlip: class out of range"
         );
-        assert_ne!(self.source_class, self.target_class, "LabelFlip: source == target");
+        assert_ne!(
+            self.source_class, self.target_class,
+            "LabelFlip: source == target"
+        );
         assert!(
             (0.0..=1.0).contains(&self.fraction),
             "LabelFlip: fraction must be in [0, 1]"
@@ -73,7 +80,11 @@ mod tests {
     #[test]
     fn partial_flip_respects_fraction() {
         let mut d = data();
-        let flip = LabelFlip { source_class: 3, target_class: 0, fraction: 0.4 };
+        let flip = LabelFlip {
+            source_class: 3,
+            target_class: 0,
+            fraction: 0.4,
+        };
         let flipped = flip.poison(&mut d, 0);
         assert_eq!(flipped.len(), 2);
         assert_eq!(d.indices_of_class(3).len(), 3);
@@ -83,14 +94,22 @@ mod tests {
     fn poison_is_deterministic() {
         let mut a = data();
         let mut b = data();
-        let flip = LabelFlip { source_class: 2, target_class: 9, fraction: 0.5 };
+        let flip = LabelFlip {
+            source_class: 2,
+            target_class: 9,
+            fraction: 0.5,
+        };
         assert_eq!(flip.poison(&mut a, 5), flip.poison(&mut b, 5));
     }
 
     #[test]
     fn zero_fraction_is_noop() {
         let mut d = data();
-        let flip = LabelFlip { source_class: 2, target_class: 9, fraction: 0.0 };
+        let flip = LabelFlip {
+            source_class: 2,
+            target_class: 9,
+            fraction: 0.0,
+        };
         assert!(flip.poison(&mut d, 0).is_empty());
         assert_eq!(d.indices_of_class(2).len(), 5);
     }
@@ -99,6 +118,11 @@ mod tests {
     #[should_panic(expected = "source == target")]
     fn rejects_equal_classes() {
         let mut d = data();
-        let _ = LabelFlip { source_class: 1, target_class: 1, fraction: 1.0 }.poison(&mut d, 0);
+        let _ = LabelFlip {
+            source_class: 1,
+            target_class: 1,
+            fraction: 1.0,
+        }
+        .poison(&mut d, 0);
     }
 }

@@ -56,7 +56,13 @@ impl ModelReplacement {
         assert!(boost > 0.0, "ModelReplacement: boost must be positive");
         assert!(lr > 0.0, "ModelReplacement: lr must be positive");
         assert!(!target.is_empty(), "ModelReplacement: empty target");
-        ModelReplacement { id, weight, target, boost, lr }
+        ModelReplacement {
+            id,
+            weight,
+            target,
+            boost,
+            lr,
+        }
     }
 }
 
@@ -70,7 +76,11 @@ impl Client for ModelReplacement {
     }
 
     fn gradient(&mut self, params: &[f32], _round: Round) -> Vec<f32> {
-        assert_eq!(params.len(), self.target.len(), "ModelReplacement: dimension mismatch");
+        assert_eq!(
+            params.len(),
+            self.target.len(),
+            "ModelReplacement: dimension mismatch"
+        );
         // w_next = w − η·(share·g) should equal target when g is scaled by
         // the inverse share: g = boost·(w − target)/η.
         let mut g = vector::sub(params, &self.target);

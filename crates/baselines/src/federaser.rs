@@ -44,8 +44,14 @@ impl FedEraserConfig {
     ///
     /// Panics if `lr` is not strictly positive and finite.
     pub fn new(lr: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "FedEraserConfig: invalid learning rate");
-        FedEraserConfig { lr, calibration_interval: 5 }
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "FedEraserConfig: invalid learning rate"
+        );
+        FedEraserConfig {
+            lr,
+            calibration_interval: 5,
+        }
     }
 
     /// Sets the calibration interval Δt.
@@ -113,7 +119,9 @@ pub fn federaser(
         let mut updates: Vec<Vec<f32>> = Vec::new();
         let mut weights: Vec<f32> = Vec::new();
         for &client in &remaining {
-            let Some(stored) = full.gradient(t, client) else { continue };
+            let Some(stored) = full.gradient(t, client) else {
+                continue;
+            };
             let stored_norm = vector::l2_norm(stored);
             let update = match oracle.gradient_at(client, &params) {
                 Some(calibrated) if vector::l2_norm(&calibrated) > 0.0 => {
@@ -142,7 +150,12 @@ pub fn federaser(
         t += config.calibration_interval;
     }
 
-    Ok(FedEraserOutcome { params, rounds_sampled, calibrations, fallbacks })
+    Ok(FedEraserOutcome {
+        params,
+        rounds_sampled,
+        calibrations,
+        fallbacks,
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +164,11 @@ mod tests {
     use fuiov_core::recover::NoOracle;
 
     /// Quadratic synthetic world shared with the FedRecover tests.
-    fn synthetic(rounds: usize, clients: usize, forgotten: ClientId) -> (HistoryStore, FullGradientStore) {
+    fn synthetic(
+        rounds: usize,
+        clients: usize,
+        forgotten: ClientId,
+    ) -> (HistoryStore, FullGradientStore) {
         let dim = 5;
         let lr = 0.05f32;
         let mut h = HistoryStore::new(1e-6);

@@ -51,7 +51,10 @@ impl FedRecoverConfig {
     ///
     /// Panics if `lr` is not strictly positive and finite.
     pub fn new(lr: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "FedRecoverConfig: invalid learning rate");
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "FedRecoverConfig: invalid learning rate"
+        );
         FedRecoverConfig {
             lr,
             buffer_size: 2,
@@ -118,8 +121,7 @@ pub fn fedrecover(
         let mut buf = PairBuffer::new(config.buffer_size);
         if let Some(g_f) = full.gradient(f_round, client) {
             for r in seed_start..f_round {
-                let (Some(w_r), Some(g_r)) = (history.model(r), full.gradient(r, client))
-                else {
+                let (Some(w_r), Some(g_r)) = (history.model(r), full.gradient(r, client)) else {
                     continue;
                 };
                 buf.push(vector::sub(&w_r, &w_f), vector::sub(g_r, g_f));
@@ -156,6 +158,10 @@ pub fn fedrecover(
         let dw_t = &scratch.dw_t;
         let replayed = t - f_round + 1;
         let correction_round = replayed % config.correction_interval == 0;
+        fuiov_obs::counter!("fedrecover.replay_rounds").inc();
+        if correction_round {
+            fuiov_obs::counter!("fedrecover.correction_rounds").inc();
+        }
 
         weights.clear();
 
@@ -164,9 +170,12 @@ pub fn fedrecover(
             // vector-pair refresh mutates shared state per client.
             let mut grads: Vec<Vec<f32>> = Vec::new();
             for &client in &remaining {
-                let Some(g_hist) = full.gradient(t, client) else { continue };
+                let Some(g_hist) = full.gradient(t, client) else {
+                    continue;
+                };
                 let mut est = if let Some(exact) = oracle.gradient_at(client, &params) {
                     exact_queries += 1;
+                    fuiov_obs::counter!("fedrecover.exact_queries").inc();
                     // Use the exact gradient and refresh this client's
                     // vector pairs with ground truth.
                     if vector::l2_norm(dw_t) > 1e-12 {
@@ -184,6 +193,7 @@ pub fn fedrecover(
                 } else {
                     let (est, fallback) = estimate(g_hist, dw_t, approxes.get(&client));
                     estimator_fallbacks += usize::from(fallback);
+                    fuiov_obs::counter!("fedrecover.estimator_fallbacks").add(fallback as u64);
                     est
                 };
                 clip_estimate(&mut est, g_hist, config);
@@ -213,6 +223,7 @@ pub fn fedrecover(
                 }
                 let entry = stacked.entry_for(client);
                 estimator_fallbacks += usize::from(entry.is_none());
+                fuiov_obs::counter!("fedrecover.estimator_fallbacks").add(entry.is_none() as u64);
                 roster.push((client, entry));
                 weights.push(history.weight(client));
             }
@@ -286,7 +297,11 @@ mod tests {
     use fuiov_core::recover::NoOracle;
 
     /// History + full store from a synthetic quadratic optimisation.
-    fn synthetic(rounds: usize, clients: usize, forgotten: ClientId) -> (HistoryStore, FullGradientStore) {
+    fn synthetic(
+        rounds: usize,
+        clients: usize,
+        forgotten: ClientId,
+    ) -> (HistoryStore, FullGradientStore) {
         let dim = 5;
         let lr = 0.05f32;
         let mut h = HistoryStore::new(1e-6);

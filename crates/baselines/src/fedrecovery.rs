@@ -43,8 +43,14 @@ impl FedRecoveryConfig {
     ///
     /// Panics if `lr` is not strictly positive or `noise_sigma` negative.
     pub fn new(lr: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "FedRecoveryConfig: invalid learning rate");
-        FedRecoveryConfig { lr, noise_sigma: 1e-3 }
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "FedRecoveryConfig: invalid learning rate"
+        );
+        FedRecoveryConfig {
+            lr,
+            noise_sigma: 1e-3,
+        }
     }
 
     /// Sets the noise standard deviation.
@@ -93,7 +99,9 @@ pub fn fedrecovery(
 
     let mut residuals_removed = 0usize;
     for t in bt.join_round..t_end {
-        let Some(g) = full.gradient(t, forgotten) else { continue };
+        let Some(g) = full.gradient(t, forgotten) else {
+            continue;
+        };
         // Total FedAvg weight of that round's participants.
         let total: f32 = history
             .clients_in_round(t)
@@ -119,7 +127,10 @@ pub fn fedrecovery(
         }
     }
 
-    Ok(FedRecoveryOutcome { params, residuals_removed })
+    Ok(FedRecoveryOutcome {
+        params,
+        residuals_removed,
+    })
 }
 
 #[cfg(test)]

@@ -35,7 +35,11 @@ pub fn retrain(
             // Joining "at the end" means the vehicle never participates.
             schedule.set_membership(
                 v,
-                Membership { joined: rounds, leaves_after: None, dropouts: Vec::new() },
+                Membership {
+                    joined: rounds,
+                    leaves_after: None,
+                    dropouts: Vec::new(),
+                },
             );
         }
     }
@@ -54,15 +58,18 @@ mod tests {
 
     #[test]
     fn retrain_never_involves_excluded_client() {
-        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+        let spec = ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        };
         let data = Dataset::digits(60, &DigitStyle::small(), 2);
         let parts = fuiov_data::partition::partition_iid(data.len(), 3, 2);
         let mut clients: Vec<Box<dyn Client>> = parts
             .into_iter()
             .enumerate()
             .map(|(id, idx)| {
-                Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, 2))
-                    as Box<dyn Client>
+                Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, 2)) as Box<dyn Client>
             })
             .collect();
         let cfg = FlConfig::new(3, 0.2).batch_size(10).parallel_clients(false);
@@ -71,7 +78,14 @@ mod tests {
         // Retrain without client 1 and verify via a fresh server's history.
         let mut server = Server::new(cfg.clone(), spec.build(9).params());
         let mut sched2 = schedule.clone();
-        sched2.set_membership(1, Membership { joined: 3, leaves_after: None, dropouts: vec![] });
+        sched2.set_membership(
+            1,
+            Membership {
+                joined: 3,
+                leaves_after: None,
+                dropouts: vec![],
+            },
+        );
         server.train(&mut clients, &sched2);
         assert!(server.history().join_round(1).is_none());
 

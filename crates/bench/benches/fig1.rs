@@ -18,7 +18,11 @@ fn attacked_scenario(attack: Attack) -> Scenario {
 fn bench_fig1(c: &mut Criterion) {
     let flip = attacked_scenario(Attack::LabelFlip(LabelFlip::paper_default()));
     let bd = attacked_scenario(Attack::Backdoor(Backdoor {
-        trigger: Trigger { size: 3, value: 1.0, corner: Corner::BottomRight },
+        trigger: Trigger {
+            size: 3,
+            value: 1.0,
+            corner: Corner::BottomRight,
+        },
         target_class: 2,
         fraction: 0.5,
     }));

@@ -228,7 +228,12 @@ fn bench_batched_recovery_round(c: &mut Criterion) {
     let mut scratch = RoundScratch::new();
     let mut batched_round = || {
         stacked.fused_dots(&dw, &mut scratch.dots);
-        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        stacked.solve_middles(
+            &scratch.dots,
+            &mut scratch.ps,
+            &mut scratch.rhs,
+            &mut scratch.p,
+        );
         scratch.est.resize(n * dim, 0.0);
         let est_buf = &mut scratch.est[..n * dim];
         let (stacked_ref, ps, dirs_ref) = (&stacked, &scratch.ps, &dirs);
@@ -358,7 +363,12 @@ fn bench_history_tiering(c: &mut Criterion) {
             let w_t = view.model().expect("replay model");
             vector::sub_into(&params, w_t, &mut dw_t);
             stacked.fused_dots(&dw_t, &mut scratch.dots);
-            stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+            stacked.solve_middles(
+                &scratch.dots,
+                &mut scratch.ps,
+                &mut scratch.rhs,
+                &mut scratch.p,
+            );
             scratch.est.resize(n * dim, 0.0);
             let mut rows = 0;
             for (row, (cid, dir)) in scratch.est.chunks_mut(dim).zip(view.directions()) {
@@ -379,7 +389,10 @@ fn bench_history_tiering(c: &mut Criterion) {
     // Budget ≈ two rounds of f32 checkpoints: everything older spills.
     let budget = 2 * dim * 4;
     let cold = build(TierConfig::bounded(budget).with_keyframe_interval(8));
-    assert!(cold.spilled_bytes() > 0, "budget must force the cold store to spill");
+    assert!(
+        cold.spilled_bytes() > 0,
+        "budget must force the cold store to spill"
+    );
 
     let logical = hot.model_bytes() + hot.direction_bytes();
     let resident = cold.resident_bytes();

@@ -12,12 +12,7 @@ use rand::Rng;
 use std::hint::black_box;
 
 fn bench_storage(c: &mut Criterion) {
-    for row in storage_rows(
-        &[("mnist-cnn", 52_138), ("gtsrb-cnn", 13_692)],
-        100,
-        100,
-        0,
-    ) {
+    for row in storage_rows(&[("mnist-cnn", 52_138), ("gtsrb-cnn", 13_692)], 100, 100, 0) {
         eprintln!(
             "[storage] {}: {} params, full {} B vs packed {} B per client·round ({:.2}% saved)",
             row.model,

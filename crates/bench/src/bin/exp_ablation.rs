@@ -46,8 +46,14 @@ fn main() {
 
     let mut table = Table::new(&["variant", "recovered accuracy", "estimator fallbacks"]);
     let mut run = |label: &str, cfg: fuiov_core::RecoveryConfig| {
-        let out = recover_set(&trained.history, &[forgotten], &cfg, &mut NoOracle, |_, _| {})
-            .expect("recover");
+        let out = recover_set(
+            &trained.history,
+            &[forgotten],
+            &cfg,
+            &mut NoOracle,
+            |_, _| {},
+        )
+        .expect("recover");
         table.row(&[
             label.to_string(),
             fmt3(trained.accuracy_of(&out.params)),
@@ -56,12 +62,18 @@ fn main() {
     };
 
     run("paper defaults (s=2, refresh 21, Eq. 6 on)", base);
-    run("no Hessian correction (sign replay)", base.without_hessian());
+    run(
+        "no Hessian correction (sign replay)",
+        base.without_hessian(),
+    );
     run("buffer s=1", base.buffer_size(1));
     run("buffer s=4", base.buffer_size(4));
     run("buffer s=8", base.buffer_size(8));
     run("refresh every 5 rounds", base.pair_refresh_interval(5));
-    run("refresh never (interval 10000)", base.pair_refresh_interval(10_000));
+    run(
+        "refresh never (interval 10000)",
+        base.pair_refresh_interval(10_000),
+    );
     run(
         "adaptive divergence trigger (patience 5)",
         base.divergence_patience(Some(5)),

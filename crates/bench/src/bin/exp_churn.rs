@@ -50,8 +50,14 @@ fn main() {
         // Ours: no client participation, departures are irrelevant.
         let ours = {
             let cfg = ours_config(&trained.history, sc.lr);
-            let out = recover_set(&trained.history, &[forgotten], &cfg, &mut NoOracle, |_, _| {})
-                .expect("ours");
+            let out = recover_set(
+                &trained.history,
+                &[forgotten],
+                &cfg,
+                &mut NoOracle,
+                |_, _| {},
+            )
+            .expect("ours");
             trained.accuracy_of(&out.params)
         };
 

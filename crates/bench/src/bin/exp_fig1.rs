@@ -25,7 +25,11 @@ fn main() {
     println!("== Fig. 1: attack success rate across the unlearning pipeline ==");
     println!("(paper: 56%/41% before; <1% after forgetting; no rebound after recovery)\n");
 
-    let mut base = if tiny { Scenario::tiny(seed) } else { Scenario::digits(seed) };
+    let mut base = if tiny {
+        Scenario::tiny(seed)
+    } else {
+        Scenario::digits(seed)
+    };
     base.malicious_fraction = 0.2;
 
     let mut table = Table::new(&[
@@ -41,12 +45,19 @@ fn main() {
     // have black backgrounds, so the visible-trigger equivalent is bright
     // (DESIGN.md §2 documents the substitution).
     let bright_backdoor = Backdoor {
-        trigger: Trigger { size: 3, value: 1.0, corner: Corner::BottomRight },
+        trigger: Trigger {
+            size: 3,
+            value: 1.0,
+            corner: Corner::BottomRight,
+        },
         target_class: 2,
         fraction: 0.5,
     };
     for (attack, label) in [
-        (Attack::LabelFlip(LabelFlip::paper_default()), "label-flip (7→1)"),
+        (
+            Attack::LabelFlip(LabelFlip::paper_default()),
+            "label-flip (7→1)",
+        ),
         (Attack::Backdoor(bright_backdoor), "backdoor (3×3 → 2)"),
     ] {
         eprintln!("running {label} …");

@@ -23,7 +23,11 @@ fn main() {
     println!("== Fig. 2: accuracy after recovery vs clip threshold L (δ = 1e-6) ==");
     println!("(paper: interior optimum at L = 1, accuracy 86%)\n");
 
-    let sc = if tiny { Scenario::tiny(seed) } else { Scenario::digits(seed) };
+    let sc = if tiny {
+        Scenario::tiny(seed)
+    } else {
+        Scenario::digits(seed)
+    };
     eprintln!("training once …");
     let trained = sc.train();
     let baseline = trained.accuracy_of(&trained.final_params);

@@ -28,12 +28,18 @@ fn main() {
     println!("== Fig. 3: accuracy after recovery vs sign threshold δ (L = 1) ==");
     println!("(paper: interior optimum at δ = 1e-6, accuracy 86%)\n");
 
-    let mut sc = if tiny { Scenario::tiny(seed) } else { Scenario::digits(seed) };
+    let mut sc = if tiny {
+        Scenario::tiny(seed)
+    } else {
+        Scenario::digits(seed)
+    };
     sc.keep_full_gradients = true;
     eprintln!("training once (keeping full gradients for re-quantisation) …");
     let trained = sc.train();
 
-    let deltas = [1e-8f32, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1];
+    let deltas = [
+        1e-8f32, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1,
+    ];
     eprintln!("sweeping δ over {deltas:?} …");
     let pts = fig3(&trained, &deltas);
 

@@ -72,4 +72,5 @@ fn main() {
     println!("expected shape: the pipeline transfers to IoT unchanged (flat parameter");
     println!("vectors); note the Eq. 6 correction helps on the CNN tasks but not on");
     println!("this MLP task — the sign-replay variant is the stronger \"ours\" here");
+    println!("\n{}", fuiov_obs::RunReport::capture());
 }

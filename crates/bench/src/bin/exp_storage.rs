@@ -33,9 +33,20 @@ fn main() {
     let rounds = 100;
 
     let models = [
-        ("tiny test MLP", ModelSpec::Mlp { inputs: 144, hidden: 32, classes: 10 }.param_count()),
+        (
+            "tiny test MLP",
+            ModelSpec::Mlp {
+                inputs: 144,
+                hidden: 32,
+                classes: 10,
+            }
+            .param_count(),
+        ),
         ("paper MNIST CNN (28×28)", ModelSpec::mnist().param_count()),
-        ("paper GTSRB CNN (32×32)", ModelSpec::gtsrb(12).param_count()),
+        (
+            "paper GTSRB CNN (32×32)",
+            ModelSpec::gtsrb(12).param_count(),
+        ),
         ("1M-param model", 1_000_000),
     ];
 

@@ -46,8 +46,8 @@ fn main() {
     for keep_every in [1usize, 2, 5, 10, 25] {
         let thin = trained.history.thinned_models(keep_every);
         let cfg = ours_config(&thin, sc.lr).interpolate_missing_models(true);
-        let out = recover_set(&thin, &[forgotten], &cfg, &mut NoOracle, |_, _| {})
-            .expect("recover");
+        let out =
+            recover_set(&thin, &[forgotten], &cfg, &mut NoOracle, |_, _| {}).expect("recover");
         table.row(&[
             keep_every.to_string(),
             thin.rounds().len().to_string(),

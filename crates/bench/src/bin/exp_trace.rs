@@ -68,7 +68,10 @@ fn main() {
         eval(&bt.params)
     );
     let calibrated = fuiov_core::calibrate_lr(&history);
-    println!("calibrated recovery lr: {calibrated:?} (training lr {})", sc.lr);
+    println!(
+        "calibrated recovery lr: {calibrated:?} (training lr {})",
+        sc.lr
+    );
     println!("\n== recovery accuracy vs recovery lr (with / without Hessian) ==");
     let mut lrs = vec![sc.lr, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0002];
     if let Some(c) = calibrated {

@@ -7,9 +7,7 @@
 
 use crate::scenario::{Attack, Scenario, Trained};
 use fuiov_attacks::{backdoor_asr, label_flip_asr};
-use fuiov_baselines::{
-    fedrecover, fedrecovery, retrain, FedRecoverConfig, FedRecoveryConfig,
-};
+use fuiov_baselines::{fedrecover, fedrecovery, retrain, FedRecoverConfig, FedRecoveryConfig};
 use fuiov_core::unlearner::ClientPoolOracle;
 use fuiov_core::{backtrack_set, calibrate_lr, recover_set, NoOracle, RecoveryConfig, Unlearner};
 use fuiov_fl::Client;
@@ -92,16 +90,28 @@ pub fn table1_row(mut sc: Scenario, dataset: &'static str) -> Table1Row {
             .filter(|c| c.id() != forgotten)
             .collect();
         let mut oracle = ClientPoolOracle::new(refs);
-        let out = fedrecover(&trained.history, &trained.full_store, forgotten, &cfg, &mut oracle)
-            .expect("fedrecover");
+        let out = fedrecover(
+            &trained.history,
+            &trained.full_store,
+            forgotten,
+            &cfg,
+            &mut oracle,
+        )
+        .expect("fedrecover");
         trained.accuracy_of(&out.params)
     };
 
     // FedRecovery: residual removal + noise.
     let fedrecovery_acc = {
         let cfg = FedRecoveryConfig::new(sc.lr).noise_sigma(1e-3);
-        let out = fedrecovery(&trained.history, &trained.full_store, forgotten, &cfg, sc.seed)
-            .expect("fedrecovery");
+        let out = fedrecovery(
+            &trained.history,
+            &trained.full_store,
+            forgotten,
+            &cfg,
+            sc.seed,
+        )
+        .expect("fedrecovery");
         trained.accuracy_of(&out.params)
     };
 
@@ -109,7 +119,13 @@ pub fn table1_row(mut sc: Scenario, dataset: &'static str) -> Table1Row {
     let retraining = {
         let init = trained.spec.build(sc.seed.wrapping_add(1)).params();
         let mut clients = sc.build_clients();
-        let params = retrain(init, sc.fl_config(), &mut clients, &trained.schedule, forgotten);
+        let params = retrain(
+            init,
+            sc.fl_config(),
+            &mut clients,
+            &trained.schedule,
+            forgotten,
+        );
         trained.accuracy_of(&params)
     };
 
@@ -206,8 +222,14 @@ pub fn fig2(trained: &Trained, l_values: &[f32]) -> Vec<(f32, f32)> {
         .iter()
         .map(|&l| {
             let cfg = ours_config(&trained.history, sc.lr).clip_threshold(l);
-            let out = recover_set(&trained.history, &[forgotten], &cfg, &mut NoOracle, |_, _| {})
-                .expect("recover");
+            let out = recover_set(
+                &trained.history,
+                &[forgotten],
+                &cfg,
+                &mut NoOracle,
+                |_, _| {},
+            )
+            .expect("recover");
             (l, trained.accuracy_of(&out.params))
         })
         .collect()

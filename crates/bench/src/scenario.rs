@@ -275,16 +275,21 @@ impl Scenario {
                 (train, test)
             }
             DatasetKind::Signs => {
-                let style = SignStyle { size: self.image_size, ..Default::default() };
+                let style = SignStyle {
+                    size: self.image_size,
+                    ..Default::default()
+                };
                 let train = Dataset::signs(total, &style, self.seed);
                 let test = Dataset::signs(self.n_test, &style, self.seed.wrapping_add(0xD15EA5E));
                 (train, test)
             }
             DatasetKind::Sensors => {
-                let style = SensorStyle { len: self.image_size, ..Default::default() };
+                let style = SensorStyle {
+                    len: self.image_size,
+                    ..Default::default()
+                };
                 let train = Dataset::sensors(total, &style, self.seed);
-                let test =
-                    Dataset::sensors(self.n_test, &style, self.seed.wrapping_add(0xD15EA5E));
+                let test = Dataset::sensors(self.n_test, &style, self.seed.wrapping_add(0xD15EA5E));
                 (train, test)
             }
         }
@@ -306,7 +311,10 @@ impl Scenario {
     /// malicious client under attack, otherwise the last client id.
     pub fn forgotten_id(&self) -> ClientId {
         if self.attack.is_some() {
-            self.malicious_ids().first().copied().unwrap_or(self.n_clients - 1)
+            self.malicious_ids()
+                .first()
+                .copied()
+                .unwrap_or(self.n_clients - 1)
         } else {
             self.n_clients - 1
         }
@@ -352,7 +360,13 @@ impl Scenario {
                         self.batch_size,
                         self.seed,
                     )),
-                    _ => Box::new(HonestClient::new(id, spec, shard, self.batch_size, self.seed)),
+                    _ => Box::new(HonestClient::new(
+                        id,
+                        spec,
+                        shard,
+                        self.batch_size,
+                        self.seed,
+                    )),
                 };
                 client
             })
@@ -380,7 +394,10 @@ impl Scenario {
                 }
             }
             DatasetKind::Signs => {
-                let style = SignStyle { size: self.image_size, ..Default::default() };
+                let style = SignStyle {
+                    size: self.image_size,
+                    ..Default::default()
+                };
                 for _ in 0..self.attacker_data_boost {
                     shard.push_image(
                         fuiov_data::synth_signs::render_sign(&mut rng, class, &style),
@@ -389,7 +406,10 @@ impl Scenario {
                 }
             }
             DatasetKind::Sensors => {
-                let style = SensorStyle { len: self.image_size, ..Default::default() };
+                let style = SensorStyle {
+                    len: self.image_size,
+                    ..Default::default()
+                };
                 for _ in 0..self.attacker_data_boost {
                     shard.push_image(
                         fuiov_data::synth_sensors::render_maneuver(&mut rng, class, &style),
@@ -577,17 +597,31 @@ mod tests {
         assert_eq!(d.image_size, 28);
         assert_eq!(
             d.model_spec(),
-            fuiov_nn::ModelSpec::CnnTwoFc { in_ch: 1, h: 28, w: 28, c1: 8, c2: 16, hidden: 64, classes: 10 }
+            fuiov_nn::ModelSpec::CnnTwoFc {
+                in_ch: 1,
+                h: 28,
+                w: 28,
+                c1: 8,
+                c2: 16,
+                hidden: 64,
+                classes: 10
+            }
         );
         let s = Scenario::signs_paper(0);
         assert_eq!(s.image_size, 32);
-        assert!(matches!(s.model_spec(), fuiov_nn::ModelSpec::CnnOneFc { h: 32, .. }));
+        assert!(matches!(
+            s.model_spec(),
+            fuiov_nn::ModelSpec::CnnOneFc { h: 32, .. }
+        ));
     }
 
     #[test]
     fn sensors_scenario_builds_and_has_mlp() {
         let sc = Scenario::sensors(1);
-        assert!(matches!(sc.model_spec(), fuiov_nn::ModelSpec::Mlp { inputs: 192, .. }));
+        assert!(matches!(
+            sc.model_spec(),
+            fuiov_nn::ModelSpec::Mlp { inputs: 192, .. }
+        ));
         let clients = sc.build_clients();
         assert_eq!(clients.len(), 10);
     }

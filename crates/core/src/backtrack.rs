@@ -30,7 +30,10 @@ pub struct BacktrackResult {
 /// - [`UnlearnError::EmptyHistory`] if no models were recorded;
 /// - [`UnlearnError::UnknownClient`] if the client never joined;
 /// - [`UnlearnError::MissingModel`] if `w_F` was not recorded.
-pub fn backtrack(history: &HistoryStore, client: ClientId) -> Result<BacktrackResult, UnlearnError> {
+pub fn backtrack(
+    history: &HistoryStore,
+    client: ClientId,
+) -> Result<BacktrackResult, UnlearnError> {
     backtrack_set(history, &[client])
 }
 
@@ -54,14 +57,21 @@ pub fn backtrack_set(
     }
     let mut join_round = Round::MAX;
     for &c in clients {
-        let f = history.join_round(c).ok_or(UnlearnError::UnknownClient(c))?;
+        let f = history
+            .join_round(c)
+            .ok_or(UnlearnError::UnknownClient(c))?;
         join_round = join_round.min(f);
     }
     let params = history
         .model(join_round)
         .ok_or(UnlearnError::MissingModel(join_round))?
         .to_vec();
-    Ok(BacktrackResult { clients: clients.to_vec(), join_round, params, latest_round })
+    Ok(BacktrackResult {
+        clients: clients.to_vec(),
+        join_round,
+        params,
+        latest_round,
+    })
 }
 
 #[cfg(test)]
@@ -107,7 +117,10 @@ mod tests {
     #[test]
     fn empty_set_errors() {
         let h = history();
-        assert_eq!(backtrack_set(&h, &[]).unwrap_err(), UnlearnError::EmptyHistory);
+        assert_eq!(
+            backtrack_set(&h, &[]).unwrap_err(),
+            UnlearnError::EmptyHistory
+        );
     }
 
     #[test]
@@ -122,7 +135,10 @@ mod tests {
     #[test]
     fn unknown_client_errors() {
         let h = history();
-        assert_eq!(backtrack(&h, 99).unwrap_err(), UnlearnError::UnknownClient(99));
+        assert_eq!(
+            backtrack(&h, 99).unwrap_err(),
+            UnlearnError::UnknownClient(99)
+        );
     }
 
     #[test]

@@ -112,7 +112,12 @@ impl StackedLbfgs {
         } else {
             Mat::from_vec(offset, dim, data)
         };
-        StackedLbfgs { dim, stack, entries, clients }
+        StackedLbfgs {
+            dim,
+            stack,
+            entries,
+            clients,
+        }
     }
 
     /// Whether no client is stacked.
@@ -167,7 +172,11 @@ impl StackedLbfgs {
         rhs_scratch: &mut Vec<f32>,
         p_scratch: &mut Vec<f32>,
     ) {
-        assert_eq!(dots.len(), self.stack.rows(), "solve_middles: dots length mismatch");
+        assert_eq!(
+            dots.len(),
+            self.stack.rows(),
+            "solve_middles: dots length mismatch"
+        );
         ps.clear();
         for e in &self.entries {
             let s = e.pairs;
@@ -175,8 +184,11 @@ impl StackedLbfgs {
             // pass 1, so scaling here matches tr_matvec → vector::scale.
             rhs_scratch.clear();
             rhs_scratch.extend_from_slice(&dots[e.offset..e.offset + s]);
-            rhs_scratch
-                .extend(dots[e.offset + s..e.offset + 2 * s].iter().map(|&x| x * e.sigma));
+            rhs_scratch.extend(
+                dots[e.offset + s..e.offset + 2 * s]
+                    .iter()
+                    .map(|&x| x * e.sigma),
+            );
             e.middle.solve_into(rhs_scratch, p_scratch);
             ps.extend_from_slice(p_scratch);
         }
@@ -319,14 +331,22 @@ mod tests {
     fn approx_for(seed: u64, dim: usize, pairs: usize) -> LbfgsApprox {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         };
-        let dws: Vec<Vec<f32>> =
-            (0..pairs).map(|_| (0..dim).map(|_| next()).collect()).collect();
+        let dws: Vec<Vec<f32>> = (0..pairs)
+            .map(|_| (0..dim).map(|_| next()).collect())
+            .collect();
         let dgs: Vec<Vec<f32>> = dws
             .iter()
-            .map(|w| w.iter().enumerate().map(|(i, x)| x * (1.5 + (i % 3) as f32)).collect())
+            .map(|w| {
+                w.iter()
+                    .enumerate()
+                    .map(|(i, x)| x * (1.5 + (i % 3) as f32))
+                    .collect()
+            })
             .collect();
         LbfgsApprox::new(&dws, &dgs).expect("synthetic pairs are well-conditioned")
     }
@@ -339,15 +359,26 @@ mod tests {
             (5, approx_for(22, dim, 2)),
             (9, approx_for(33, dim, 3)),
         ];
-        let stacked =
-            StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));
+        let stacked = StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));
         assert_eq!(stacked.len(), 3);
         assert_eq!(stacked.total_columns(), 2 * (1 + 2 + 3));
-        let v: Vec<f32> =
-            (0..dim).map(|i| if i % 5 == 0 { 0.0 } else { i as f32 * 0.01 - 0.4 }).collect();
+        let v: Vec<f32> = (0..dim)
+            .map(|i| {
+                if i % 5 == 0 {
+                    0.0
+                } else {
+                    i as f32 * 0.01 - 0.4
+                }
+            })
+            .collect();
         let mut scratch = RoundScratch::new();
         stacked.fused_dots(&v, &mut scratch.dots);
-        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        stacked.solve_middles(
+            &scratch.dots,
+            &mut scratch.ps,
+            &mut scratch.rhs,
+            &mut scratch.p,
+        );
         for (client, approx) in &approxes {
             let e = stacked.entry_for(*client).expect("stacked");
             let mut batched = vec![0.0f32; dim];
@@ -370,7 +401,12 @@ mod tests {
         let v: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1 - 0.3).collect();
         let mut scratch = RoundScratch::new();
         stacked.fused_dots(&v, &mut scratch.dots);
-        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        stacked.solve_middles(
+            &scratch.dots,
+            &mut scratch.ps,
+            &mut scratch.rhs,
+            &mut scratch.p,
+        );
         let base: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
         let mut batched = base.clone();
         stacked.accumulate_correction(0, &scratch.ps, &v, &mut batched);
@@ -390,7 +426,12 @@ mod tests {
         let mut scratch = RoundScratch::new();
         stacked.fused_dots(&[0.0; 4], &mut scratch.dots);
         assert!(scratch.dots.is_empty());
-        stacked.solve_middles(&scratch.dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
+        stacked.solve_middles(
+            &scratch.dots,
+            &mut scratch.ps,
+            &mut scratch.rhs,
+            &mut scratch.p,
+        );
         assert!(scratch.ps.is_empty());
     }
 

@@ -64,12 +64,22 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(UnlearnError::UnknownClient(3).to_string().contains("client 3"));
-        assert!(UnlearnError::MissingModel(7).to_string().contains("round 7"));
+        assert!(UnlearnError::UnknownClient(3)
+            .to_string()
+            .contains("client 3"));
+        assert!(UnlearnError::MissingModel(7)
+            .to_string()
+            .contains("round 7"));
         assert!(UnlearnError::EmptyHistory.to_string().contains("empty"));
-        let e = UnlearnError::NothingToRecover { join_round: 9, latest_round: 9 };
+        let e = UnlearnError::NothingToRecover {
+            join_round: 9,
+            latest_round: 9,
+        };
         assert!(e.to_string().contains("joined at round 9"));
-        let e = UnlearnError::EmptyMembershipWindow { start_round: 3, end_round: 8 };
+        let e = UnlearnError::EmptyMembershipWindow {
+            start_round: 3,
+            end_round: 8,
+        };
         assert!(e.to_string().contains("rounds 3..8"));
     }
 }

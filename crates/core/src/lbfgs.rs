@@ -46,7 +46,10 @@ impl fmt::Display for LbfgsError {
             LbfgsError::Empty => write!(f, "no L-BFGS vector pairs supplied"),
             LbfgsError::ShapeMismatch => write!(f, "vector pair shapes disagree"),
             LbfgsError::BadCurvature { sy } => {
-                write!(f, "non-positive curvature (Δgᵀ·Δw = {sy}); BFGS scaling undefined")
+                write!(
+                    f,
+                    "non-positive curvature (Δgᵀ·Δw = {sy}); BFGS scaling undefined"
+                )
             }
             LbfgsError::SingularMiddle => write!(f, "singular L-BFGS middle matrix"),
         }
@@ -90,10 +93,7 @@ impl LbfgsApprox {
         Self::build(dws, dgs)
     }
 
-    fn build<A: AsRef<[f32]>, B: AsRef<[f32]>>(
-        dws: &[A],
-        dgs: &[B],
-    ) -> Result<Self, LbfgsError> {
+    fn build<A: AsRef<[f32]>, B: AsRef<[f32]>>(dws: &[A], dgs: &[B]) -> Result<Self, LbfgsError> {
         if dws.is_empty() || dgs.is_empty() {
             return Err(LbfgsError::Empty);
         }
@@ -133,7 +133,12 @@ impl LbfgsApprox {
         let m = Mat::block2x2(&neg_d, &lt, &l, &sww);
 
         let middle = Lu::factor(&m).map_err(|_| LbfgsError::SingularMiddle)?;
-        Ok(LbfgsApprox { dw, dg, middle, sigma })
+        Ok(LbfgsApprox {
+            dw,
+            dg,
+            middle,
+            sigma,
+        })
     }
 
     /// Model dimension `d`.
@@ -449,11 +454,7 @@ mod tests {
     #[test]
     fn secant_equation_holds_for_newest_pair() {
         // Anisotropic quadratic.
-        let q = Mat::from_rows(&[
-            &[4.0, 1.0, 0.0],
-            &[1.0, 3.0, 0.5],
-            &[0.0, 0.5, 2.0],
-        ]);
+        let q = Mat::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 0.5], &[0.0, 0.5, 2.0]]);
         let dws = vec![vec![1.0, 0.0, 0.0], vec![0.2, 1.0, -0.3]];
         let (dws, dgs) = quadratic_pairs(&q, &dws);
         let b = LbfgsApprox::new(&dws, &dgs).unwrap();
@@ -498,7 +499,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_mismatched() {
         assert_eq!(LbfgsApprox::new(&[], &[]).unwrap_err(), LbfgsError::Empty);
-        assert_eq!(LbfgsApprox::new(&[vec![1.0]], &[]).unwrap_err(), LbfgsError::Empty);
+        assert_eq!(
+            LbfgsApprox::new(&[vec![1.0]], &[]).unwrap_err(),
+            LbfgsError::Empty
+        );
         assert_eq!(
             LbfgsApprox::new(&[vec![1.0], vec![2.0]], &[vec![1.0]]).unwrap_err(),
             LbfgsError::ShapeMismatch
@@ -547,8 +551,8 @@ mod tests {
         assert_eq!(buf.len(), 2);
         // Oldest pair evicted: sigma now comes from the newest pair.
         let approx = buf.approximation().unwrap();
-        let expected_sigma = vector::dot(&[2.0, 3.0], &[1.0, 1.0])
-            / vector::dot(&[1.0, 1.0], &[1.0, 1.0]);
+        let expected_sigma =
+            vector::dot(&[2.0, 3.0], &[1.0, 1.0]) / vector::dot(&[1.0, 1.0], &[1.0, 1.0]);
         assert!((approx.sigma() - expected_sigma).abs() < 1e-6);
     }
 
@@ -562,7 +566,9 @@ mod tests {
         for (salt, d, s) in [(1u64, 7usize, 1usize), (2, 40, 2), (3, 129, 4)] {
             let mut seed = salt;
             let mut next = || {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
             };
             let dws: Vec<Vec<f32>> = (0..s).map(|_| (0..d).map(|_| next()).collect()).collect();
@@ -570,11 +576,17 @@ mod tests {
             // curvature guaranteed, anisotropic enough to be interesting.
             let dgs: Vec<Vec<f32>> = dws
                 .iter()
-                .map(|w| w.iter().enumerate().map(|(i, x)| x * (1.0 + (i % 5) as f32)).collect())
+                .map(|w| {
+                    w.iter()
+                        .enumerate()
+                        .map(|(i, x)| x * (1.0 + (i % 5) as f32))
+                        .collect()
+                })
                 .collect();
             let b = LbfgsApprox::new(&dws, &dgs).unwrap();
-            let v: Vec<f32> =
-                (0..d).map(|i| if i % 7 == 0 { 0.0 } else { next() }).collect();
+            let v: Vec<f32> = (0..d)
+                .map(|i| if i % 7 == 0 { 0.0 } else { next() })
+                .collect();
 
             // The original chain, now kept alive as `hvp_reference`.
             let naive = b.hvp_reference(&v);

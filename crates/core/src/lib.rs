@@ -31,6 +31,8 @@ pub use backtrack::{backtrack, backtrack_set, BacktrackResult};
 pub use batch::{RoundScratch, StackedLbfgs};
 pub use error::UnlearnError;
 pub use lbfgs::{LbfgsApprox, LbfgsError, PairBuffer};
-pub use recover::{calibrate_lr, recover, recover_set, GradientOracle, NoOracle, RecoveryConfig, RecoveryOutcome};
+pub use recover::{
+    calibrate_lr, recover, recover_set, GradientOracle, NoOracle, RecoveryConfig, RecoveryOutcome,
+};
 pub use unlearner::{ClientPoolOracle, Unlearner};
 pub use verify::{forgetting_score, membership_advantage};

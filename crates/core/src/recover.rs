@@ -71,7 +71,10 @@ impl RecoveryConfig {
     ///
     /// Panics if `lr` is not strictly positive and finite.
     pub fn new(lr: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "RecoveryConfig: invalid learning rate");
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "RecoveryConfig: invalid learning rate"
+        );
         RecoveryConfig {
             lr,
             clip_threshold: 1.0,
@@ -111,7 +114,10 @@ impl RecoveryConfig {
     ///
     /// Panics if not strictly positive and finite.
     pub fn clip_threshold(mut self, l: f32) -> Self {
-        assert!(l > 0.0 && l.is_finite(), "RecoveryConfig: invalid clip threshold");
+        assert!(
+            l > 0.0 && l.is_finite(),
+            "RecoveryConfig: invalid clip threshold"
+        );
         self.clip_threshold = l;
         self
     }
@@ -133,7 +139,10 @@ impl RecoveryConfig {
     ///
     /// Panics if zero.
     pub fn pair_refresh_interval(mut self, rounds: usize) -> Self {
-        assert!(rounds > 0, "RecoveryConfig: refresh interval must be positive");
+        assert!(
+            rounds > 0,
+            "RecoveryConfig: refresh interval must be positive"
+        );
         self.pair_refresh_interval = rounds;
         self
     }
@@ -168,6 +177,7 @@ pub fn calibrate_lr(history: &HistoryStore) -> Option<f32> {
     let mut dir_sum = 0.0f64;
     let mut samples = 0usize;
     let mut agg: Vec<f64> = Vec::new(); // recycled across windows
+
     // Pairwise walk of consecutive recorded rounds, streaming each round
     // through its snapshot view (no per-call Vec, no model copies even
     // when `a` sits in the spill tier).
@@ -175,7 +185,9 @@ pub fn calibrate_lr(history: &HistoryStore) -> Option<f32> {
     later.next()?;
     for (a, b) in history.rounds_iter().zip(later) {
         let view = history.round_view(a);
-        let (Some(wa), Some(wb)) = (view.model(), history.model(b)) else { continue };
+        let (Some(wa), Some(wb)) = (view.model(), history.model(b)) else {
+            continue;
+        };
         if view.n_clients() == 0 {
             continue;
         }
@@ -206,6 +218,8 @@ pub fn calibrate_lr(history: &HistoryStore) -> Option<f32> {
             samples += 1;
         }
     }
+    fuiov_obs::counter!("core.calibrations").inc();
+    fuiov_obs::counter!("core.calibrate_samples").add(samples as u64);
     if samples == 0 || dir_sum == 0.0 {
         return None;
     }
@@ -297,8 +311,7 @@ pub fn recover_set(
     mut on_round: impl FnMut(Round, &[f32]),
 ) -> Result<RecoveryOutcome, UnlearnError> {
     let bt = crate::backtrack::backtrack_set(history, forgotten)?;
-    let forgotten_set: std::collections::BTreeSet<ClientId> =
-        forgotten.iter().copied().collect();
+    let forgotten_set: std::collections::BTreeSet<ClientId> = forgotten.iter().copied().collect();
     let f_round = bt.join_round;
     let t_end = bt.latest_round;
     if f_round >= t_end {
@@ -332,6 +345,7 @@ pub fn recover_set(
         });
     }
 
+    fuiov_obs::journal::begin("core.recover", f_round as u64);
     let mut oracle_queries = 0usize;
     let mut buffers: BTreeMap<ClientId, PairBuffer> = BTreeMap::new();
     let mut approxes: BTreeMap<ClientId, LbfgsApprox> = BTreeMap::new();
@@ -368,14 +382,7 @@ pub fn recover_set(
                     }
                     None => continue,
                 };
-                let g_r = direction_or_oracle(
-                    history,
-                    client,
-                    r,
-                    w_r,
-                    oracle,
-                    &mut oracle_queries,
-                );
+                let g_r = direction_or_oracle(history, client, r, w_r, oracle, &mut oracle_queries);
                 let Some(g_r) = g_r else { continue };
                 let dw = vector::sub(w_r, &w_f);
                 let dg = vector::sub(&g_r, &g_f);
@@ -432,6 +439,7 @@ pub fn recover_set(
         if config.hessian_correction && stacked_dirty {
             stacked = StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));
             stacked_dirty = false;
+            fuiov_obs::counter!("core.stack_rebuilds").inc();
         }
 
         // Round roster in fixed `remaining` (ascending client) order — the
@@ -451,6 +459,7 @@ pub fn recover_set(
                 .flatten();
             if config.hessian_correction && entry.is_none() {
                 estimator_fallbacks += 1;
+                fuiov_obs::counter!("core.estimator_fallbacks").inc();
             }
             roster.push((client, entry));
             weights.push(history.weight(client));
@@ -464,6 +473,7 @@ pub fn recover_set(
             // of dw_t over the whole stack, then every client's tiny
             // middle solve against its slice of the dots.
             if config.hessian_correction && !stacked.is_empty() {
+                fuiov_obs::counter!("core.hvp_fused_sweeps").inc();
                 stacked.fused_dots(&scratch.dw_t, &mut scratch.dots);
                 stacked.solve_middles(
                     &scratch.dots,
@@ -481,6 +491,10 @@ pub fn recover_set(
             let est_buf = &mut scratch.est[..n_part * dim];
             let (stacked_ref, dw_t, ps) = (&stacked, &scratch.dw_t, &scratch.ps);
             let (roster_ref, view_ref) = (&roster, &view);
+            // Hoisted so the disabled path adds nothing inside the bands;
+            // when enabled, the extra norm reads are pure observation — the
+            // clipped rows are bitwise unchanged.
+            let obs_on = fuiov_obs::enabled();
             pool::par_row_bands_weighted(est_buf, n_part, dim, dim, |rows, band| {
                 for (row, p) in band.chunks_mut(dim).zip(rows) {
                     let (client, entry) = roster_ref[p];
@@ -489,7 +503,20 @@ pub fn recover_set(
                     if let Some(e) = entry {
                         stacked_ref.accumulate_correction(e, ps, dw_t, row);
                     }
-                    vector::clip_elementwise(row, config.clip_threshold);
+                    if obs_on {
+                        let pre = vector::l2_norm(row);
+                        vector::clip_elementwise(row, config.clip_threshold);
+                        let post = vector::l2_norm(row);
+                        fuiov_obs::histogram!("core.clip_pre_norm_micros")
+                            .observe_scaled(pre as f64);
+                        fuiov_obs::histogram!("core.clip_post_norm_micros")
+                            .observe_scaled(post as f64);
+                        if post.to_bits() != pre.to_bits() {
+                            fuiov_obs::counter!("core.clip_activations").inc();
+                        }
+                    } else {
+                        vector::clip_elementwise(row, config.clip_threshold);
+                    }
                 }
             });
 
@@ -534,6 +561,7 @@ pub fn recover_set(
                     .entry(*client)
                     .or_insert_with(|| PairBuffer::new(config.buffer_size));
                 buf.push_from_slices(&scratch.dw_t, &scratch.dg);
+                fuiov_obs::counter!("core.pair_refreshes").inc();
                 if let Ok(approx) = buf.approximation() {
                     approxes.insert(*client, approx);
                     stacked_dirty = true;
@@ -542,9 +570,12 @@ pub fn recover_set(
             }
         }
 
+        fuiov_obs::counter!("core.replay_rounds").inc();
+        fuiov_obs::journal::instant("core.recover.round", t as u64, n_part as u64);
         on_round(t, &params);
     }
 
+    fuiov_obs::journal::end("core.recover", f_round as u64, (t_end - f_round) as u64);
     Ok(RecoveryOutcome {
         params,
         clients: forgotten.to_vec(),
@@ -572,6 +603,7 @@ fn direction_or_oracle(
     }
     let grad = oracle.gradient_at(client, model)?;
     *oracle_queries += 1;
+    fuiov_obs::counter!("core.oracle_queries").inc();
     Some(vector::signs_to_f32(&vector::sign_with_threshold(
         &grad,
         history.delta(),
@@ -612,8 +644,7 @@ mod tests {
                     continue;
                 }
                 // Gradient of ½‖w − target_c‖²  with target depending on c.
-                let target: Vec<f32> =
-                    (0..dim).map(|j| ((c + j) % 3) as f32 - 1.0).collect();
+                let target: Vec<f32> = (0..dim).map(|j| ((c + j) % 3) as f32 - 1.0).collect();
                 let g = vector::sub(&w, &target);
                 h.record_gradient(t, c, &g);
                 grads.push(g);
@@ -654,7 +685,10 @@ mod tests {
             (
                 out.params.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
                 out.estimator_fallbacks,
-                out.update_norms.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                out.update_norms
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<u32>>(),
             )
         };
         let serial = run(1);
@@ -727,7 +761,10 @@ mod tests {
         let err = recover(&h, 1, &cfg, &mut NoOracle, |_, _| {}).unwrap_err();
         assert_eq!(
             err,
-            UnlearnError::EmptyMembershipWindow { start_round: 2, end_round: 5 }
+            UnlearnError::EmptyMembershipWindow {
+                start_round: 2,
+                end_round: 5
+            }
         );
     }
 
@@ -764,7 +801,11 @@ mod tests {
         let cfg = RecoveryConfig::new(1.0).clip_threshold(l);
         let out = recover(&h, 1, &cfg, &mut NoOracle, |_, _| {}).unwrap();
         let bound = (6.0f32).sqrt() * l + 1e-6;
-        assert!(out.update_norms.iter().all(|&n| n <= bound), "norms {:?}", out.update_norms);
+        assert!(
+            out.update_norms.iter().all(|&n| n <= bound),
+            "norms {:?}",
+            out.update_norms
+        );
     }
 
     struct CountingOracle(usize);
@@ -884,7 +925,10 @@ mod tests {
         // And it must beat simply stopping at the backtrack point.
         let bt = crate::backtrack::backtrack(&h, 1).unwrap();
         let bt_dist = vector::l2_distance(&bt.params, &full_out.params);
-        assert!(dist < bt_dist, "interpolation should improve on no recovery");
+        assert!(
+            dist < bt_dist,
+            "interpolation should improve on no recovery"
+        );
     }
 
     #[test]
@@ -919,7 +963,9 @@ mod tests {
         let mut samples = 0usize;
         for win in rounds.windows(2) {
             let (a, b) = (win[0], win[1]);
-            let (Some(wa), Some(wb)) = (h.model(a), h.model(b)) else { continue };
+            let (Some(wa), Some(wb)) = (h.model(a), h.model(b)) else {
+                continue;
+            };
             let clients = h.clients_in_round(a);
             if clients.is_empty() {
                 continue;
@@ -928,7 +974,9 @@ mod tests {
             let mut agg = vec![0.0f64; dim];
             let mut wsum = 0.0f64;
             for c in clients {
-                let Some(dir) = h.direction(a, c) else { continue };
+                let Some(dir) = h.direction(a, c) else {
+                    continue;
+                };
                 let w = f64::from(h.weight(c));
                 wsum += w;
                 for (acc, s) in agg.iter_mut().zip(dir.to_signs()) {
@@ -953,7 +1001,11 @@ mod tests {
         }
         assert!(samples > 0);
         let expected = (step_sum / dir_sum) as f32;
-        assert_eq!(lr.to_bits(), expected.to_bits(), "lr {lr} vs scalar {expected}");
+        assert_eq!(
+            lr.to_bits(),
+            expected.to_bits(),
+            "lr {lr} vs scalar {expected}"
+        );
     }
 
     #[test]

@@ -71,7 +71,13 @@ impl<'h> Unlearner<'h> {
         &self,
         clients: &[ClientId],
     ) -> Result<RecoveryOutcome, UnlearnError> {
-        crate::recover::recover_set(self.history, clients, &self.config, &mut NoOracle, |_, _| {})
+        crate::recover::recover_set(
+            self.history,
+            clients,
+            &self.config,
+            &mut NoOracle,
+            |_, _| {},
+        )
     }
 
     /// Full pipeline with an oracle for still-online vehicles and a
@@ -130,24 +136,37 @@ mod tests {
     use fuiov_fl::{FlConfig, HonestClient, Server};
     use fuiov_nn::ModelSpec;
 
-    fn trained_server(rounds: usize, n_clients: usize, forgotten: usize) -> (Server, Vec<Box<dyn Client>>) {
-        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+    fn trained_server(
+        rounds: usize,
+        n_clients: usize,
+        forgotten: usize,
+    ) -> (Server, Vec<Box<dyn Client>>) {
+        let spec = ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        };
         let data = Dataset::digits(20 * n_clients, &DigitStyle::small(), 11);
         let parts = fuiov_data::partition::partition_iid(data.len(), n_clients, 11);
         let mut clients: Vec<Box<dyn Client>> = parts
             .into_iter()
             .enumerate()
             .map(|(id, idx)| {
-                Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, 11))
-                    as Box<dyn Client>
+                Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, 11)) as Box<dyn Client>
             })
             .collect();
-        let cfg = FlConfig::new(rounds, 0.3).batch_size(10).parallel_clients(false);
+        let cfg = FlConfig::new(rounds, 0.3)
+            .batch_size(10)
+            .parallel_clients(false);
         let mut server = Server::new(cfg, spec.build(7).params());
         let mut schedule = ChurnSchedule::static_membership(n_clients, rounds);
         schedule.set_membership(
             forgotten,
-            Membership { joined: 2, leaves_after: None, dropouts: vec![] },
+            Membership {
+                joined: 2,
+                leaves_after: None,
+                dropouts: vec![],
+            },
         );
         server.train(&mut clients, &schedule);
         (server, clients)
@@ -175,7 +194,11 @@ mod tests {
     fn oracle_backed_recovery_queries_live_clients() {
         // Forgotten client joined at 2; another client joins at 3 so its
         // seed window needs the oracle.
-        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+        let spec = ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        };
         let n = 4;
         let data = Dataset::digits(20 * n, &DigitStyle::small(), 13);
         let parts = fuiov_data::partition::partition_iid(data.len(), n, 13);
@@ -183,15 +206,30 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(id, idx)| {
-                Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, 13))
-                    as Box<dyn Client>
+                Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, 13)) as Box<dyn Client>
             })
             .collect();
-        let cfg = FlConfig::new(10, 0.3).batch_size(10).parallel_clients(false);
+        let cfg = FlConfig::new(10, 0.3)
+            .batch_size(10)
+            .parallel_clients(false);
         let mut server = Server::new(cfg, spec.build(7).params());
         let mut schedule = ChurnSchedule::static_membership(n, 10);
-        schedule.set_membership(1, Membership { joined: 2, leaves_after: None, dropouts: vec![] });
-        schedule.set_membership(3, Membership { joined: 3, leaves_after: None, dropouts: vec![] });
+        schedule.set_membership(
+            1,
+            Membership {
+                joined: 2,
+                leaves_after: None,
+                dropouts: vec![],
+            },
+        );
+        schedule.set_membership(
+            3,
+            Membership {
+                joined: 3,
+                leaves_after: None,
+                dropouts: vec![],
+            },
+        );
         server.train(&mut clients, &schedule);
 
         let unlearner = Unlearner::new(server.history(), RecoveryConfig::new(0.3));

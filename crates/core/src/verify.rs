@@ -54,8 +54,14 @@ pub fn forgetting_score(
     forgotten_data: &Dataset,
     reference_data: &Dataset,
 ) -> f32 {
-    assert!(!forgotten_data.is_empty(), "forgetting_score: empty forgotten set");
-    assert!(!reference_data.is_empty(), "forgetting_score: empty reference set");
+    assert!(
+        !forgotten_data.is_empty(),
+        "forgetting_score: empty forgotten set"
+    );
+    assert!(
+        !reference_data.is_empty(),
+        "forgetting_score: empty reference set"
+    );
     let fb = mean_loss(model, params_before, forgotten_data);
     let fa = mean_loss(model, params_after, forgotten_data);
     let rb = mean_loss(model, params_before, reference_data);
@@ -79,8 +85,14 @@ pub fn membership_advantage(
     member_data: &Dataset,
     nonmember_data: &Dataset,
 ) -> f32 {
-    assert!(!member_data.is_empty(), "membership_advantage: empty member set");
-    assert!(!nonmember_data.is_empty(), "membership_advantage: empty non-member set");
+    assert!(
+        !member_data.is_empty(),
+        "membership_advantage: empty member set"
+    );
+    assert!(
+        !nonmember_data.is_empty(),
+        "membership_advantage: empty non-member set"
+    );
     model.set_params(params);
 
     let per_sample = |model: &mut Sequential, data: &Dataset| -> Vec<f32> {
@@ -117,7 +129,11 @@ mod tests {
     use fuiov_nn::{ModelSpec, Tensor4};
     use fuiov_tensor::vector;
 
-    const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 24, classes: 10 };
+    const SPEC: ModelSpec = ModelSpec::Mlp {
+        inputs: 144,
+        hidden: 24,
+        classes: 10,
+    };
 
     /// Overfit a model to `data` starting from `params`.
     fn overfit(params: &[f32], data: &Dataset, steps: usize) -> Vec<f32> {
@@ -144,7 +160,10 @@ mod tests {
         let after = overfit(&init, &other, 60);
         let mut m = SPEC.build(0);
         let score = forgetting_score(&mut m, &before, &after, &forgotten, &reference);
-        assert!(score > 0.3, "memorisation removal should show: score {score}");
+        assert!(
+            score > 0.3,
+            "memorisation removal should show: score {score}"
+        );
     }
 
     #[test]

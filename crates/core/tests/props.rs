@@ -2,7 +2,9 @@
 //! arbitrary (even adversarial) histories — no panics on valid inputs, no
 //! NaNs out, clip bounds respected.
 
-use fuiov_core::{backtrack_set, recover_set, LbfgsApprox, NoOracle, RecoveryConfig, RoundScratch, StackedLbfgs};
+use fuiov_core::{
+    backtrack_set, recover_set, LbfgsApprox, NoOracle, RecoveryConfig, RoundScratch, StackedLbfgs,
+};
 use fuiov_storage::{ClientId, HistoryStore};
 use proptest::prelude::*;
 
@@ -14,10 +16,7 @@ fn arb_history(
     rounds: usize,
     clients: usize,
 ) -> impl Strategy<Value = (HistoryStore, Vec<usize>)> {
-    let models = prop::collection::vec(
-        prop::collection::vec(-1.0f32..1.0, dim),
-        rounds + 1,
-    );
+    let models = prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim), rounds + 1);
     let joins = prop::collection::vec(0usize..rounds, clients);
     let grads = prop::collection::vec(
         prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim), rounds),

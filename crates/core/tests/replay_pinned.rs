@@ -67,7 +67,9 @@ fn check(label: &str, cfg: &RecoveryConfig, expected: &[u32]) {
 #[test]
 fn pinned_default_refresh5() {
     // lr off the training rate so replay does not trivially reconverge.
-    let cfg = RecoveryConfig::new(0.07).pair_refresh_interval(5).clip_threshold(0.8);
+    let cfg = RecoveryConfig::new(0.07)
+        .pair_refresh_interval(5)
+        .clip_threshold(0.8);
     check("refresh5", &cfg, &EXPECT_REFRESH5);
 }
 
@@ -90,23 +92,23 @@ fn pinned_no_hessian() {
 }
 
 const EXPECT_REFRESH5: [u32; 34] = [
-    0, 1048406049, 3195889697, 0, 1048406049, 3195889697, 1050924810, 1050924810,
-    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
-    1050924810, 1050621196, 1050325783, 1050038371, 1049758763, 1049486765, 1049222186,
-    1048964840, 1048714548, 1048366253, 1047892810, 1047432419, 1046984746, 1046549462,
-    1046126250, 1045714794, 1045314789, 1044925938, 1044547939,
+    0, 1048406049, 3195889697, 0, 1048406049, 3195889697, 1050924810, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050621196,
+    1050325783, 1050038371, 1049758763, 1049486765, 1049222186, 1048964840, 1048714548, 1048366253,
+    1047892810, 1047432419, 1046984746, 1046549462, 1046126250, 1045714794, 1045314789, 1044925938,
+    1044547939,
 ];
 const EXPECT_PATIENCE: [u32; 34] = [
-    0, 1035973085, 3183456733, 0, 1035973085, 3183456733, 1050924810, 1050924810,
-    1050924810, 1049573376, 1048225558, 1046189754, 1044421627, 1042885134, 1041549133,
-    1040386704, 1038561782, 1036797952, 1035259763, 1033917146, 1032744128, 1031637690,
-    1029841248, 1028266534, 1026884435, 1025669760, 1024600730, 1023658438, 1022242957,
-    1020771661, 1019468288, 1018311552, 1017282995, 1016366592,
+    0, 1035973085, 3183456733, 0, 1035973085, 3183456733, 1050924810, 1050924810, 1050924810,
+    1049573376, 1048225558, 1046189754, 1044421627, 1042885134, 1041549133, 1040386704, 1038561782,
+    1036797952, 1035259763, 1033917146, 1032744128, 1031637690, 1029841248, 1028266534, 1026884435,
+    1025669760, 1024600730, 1023658438, 1022242957, 1020771661, 1019468288, 1018311552, 1017282995,
+    1016366592,
 ];
 const EXPECT_NO_HESSIAN: [u32; 34] = [
-    0, 1050055749, 3197539397, 0, 1050055749, 3197539397, 1050924810, 1050924810,
-    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
-    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
-    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
-    1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+    0, 1050055749, 3197539397, 0, 1050055749, 3197539397, 1050924810, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+    1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810, 1050924810,
+    1050924810,
 ];

@@ -55,7 +55,11 @@ impl Transform {
         shape: (usize, usize, usize),
     ) -> Vec<f32> {
         let (c, h, w) = shape;
-        assert_eq!(features.len(), c * h * w, "Transform::apply: feature length mismatch");
+        assert_eq!(
+            features.len(),
+            c * h * w,
+            "Transform::apply: feature length mismatch"
+        );
         match *self {
             Transform::FlipHorizontal => {
                 let mut out = features.to_vec();
@@ -83,8 +87,7 @@ impl Transform {
                             let dx = x as f32 + 0.5 - cx;
                             let sx = cos * dx + sin * dy + cx;
                             let sy = -sin * dx + cos * dy + cy;
-                            if sx >= 0.0 && sy >= 0.0 && (sx as usize) < w && (sy as usize) < h
-                            {
+                            if sx >= 0.0 && sy >= 0.0 && (sx as usize) < w && (sy as usize) < h {
                                 out[(ch * h + y) * w + x] =
                                     features[(ch * h + sy as usize) * w + sx as usize];
                             }

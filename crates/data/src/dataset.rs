@@ -27,8 +27,18 @@ impl Dataset {
     ///
     /// Panics if any dimension or the class count is zero.
     pub fn empty(c: usize, h: usize, w: usize, num_classes: usize) -> Self {
-        assert!(c > 0 && h > 0 && w > 0 && num_classes > 0, "Dataset::empty: zero dimension");
-        Dataset { c, h, w, num_classes, samples: Vec::new(), labels: Vec::new() }
+        assert!(
+            c > 0 && h > 0 && w > 0 && num_classes > 0,
+            "Dataset::empty: zero dimension"
+        );
+        Dataset {
+            c,
+            h,
+            w,
+            num_classes,
+            samples: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Generates a balanced synthetic digit dataset (MNIST substitute).
@@ -95,7 +105,11 @@ impl Dataset {
     ///
     /// Panics if the feature length or label doesn't match.
     pub fn push_raw(&mut self, features: Vec<f32>, label: usize) {
-        assert_eq!(features.len(), self.c * self.h * self.w, "push_raw: feature length");
+        assert_eq!(
+            features.len(),
+            self.c * self.h * self.w,
+            "push_raw: feature length"
+        );
         assert!(label < self.num_classes, "push_raw: label out of range");
         self.samples.push(features);
         self.labels.push(label);
@@ -240,7 +254,10 @@ impl Dataset {
     /// Panics if shapes or class counts differ.
     pub fn merge(&mut self, other: &Dataset) {
         assert_eq!(self.shape(), other.shape(), "merge: shape mismatch");
-        assert_eq!(self.num_classes, other.num_classes, "merge: class count mismatch");
+        assert_eq!(
+            self.num_classes, other.num_classes,
+            "merge: class count mismatch"
+        );
         for i in 0..other.len() {
             self.samples.push(other.samples[i].clone());
             self.labels.push(other.labels[i]);
@@ -256,8 +273,9 @@ impl Dataset {
         for &c in classes {
             assert!(c < self.num_classes, "filter_classes: class out of range");
         }
-        let idx: Vec<usize> =
-            (0..self.len()).filter(|&i| classes.contains(&self.labels[i])).collect();
+        let idx: Vec<usize> = (0..self.len())
+            .filter(|&i| classes.contains(&self.labels[i]))
+            .collect();
         self.subset(&idx)
     }
 
@@ -272,7 +290,9 @@ impl Dataset {
 
     /// Indices of all samples with the given label.
     pub fn indices_of_class(&self, label: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.labels[i] == label).collect()
+        (0..self.len())
+            .filter(|&i| self.labels[i] == label)
+            .collect()
     }
 }
 

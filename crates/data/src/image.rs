@@ -19,7 +19,12 @@ pub struct Image {
 impl Image {
     /// Creates an image filled with a constant value in every channel.
     pub fn filled(c: usize, h: usize, w: usize, value: f32) -> Self {
-        Image { c, h, w, pixels: vec![value; c * h * w] }
+        Image {
+            c,
+            h,
+            w,
+            pixels: vec![value; c * h * w],
+        }
     }
 
     /// All-black image.
@@ -58,7 +63,10 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
-        assert!(c < self.c && y < self.h && x < self.w, "Image::get: out of bounds");
+        assert!(
+            c < self.c && y < self.h && x < self.w,
+            "Image::get: out of bounds"
+        );
         self.pixels[(c * self.h + y) * self.w + x]
     }
 
@@ -147,7 +155,10 @@ impl Image {
 
     /// Fills a convex polygon given normalised vertices (winding either way).
     pub fn fill_convex_polygon(&mut self, verts: &[(f32, f32)], color: &[f32]) {
-        assert!(verts.len() >= 3, "fill_convex_polygon: need at least 3 vertices");
+        assert!(
+            verts.len() >= 3,
+            "fill_convex_polygon: need at least 3 vertices"
+        );
         let pts: Vec<(f32, f32)> = verts
             .iter()
             .map(|&(x, y)| (x * self.w as f32, y * self.h as f32))

@@ -54,7 +54,10 @@ pub fn partition_dirichlet(
     alpha: f64,
     seed: u64,
 ) -> Vec<Vec<usize>> {
-    assert!(n_clients > 0, "partition_dirichlet: need at least one client");
+    assert!(
+        n_clients > 0,
+        "partition_dirichlet: need at least one client"
+    );
     assert!(alpha > 0.0, "partition_dirichlet: alpha must be positive");
     assert!(
         labels.len() >= n_clients,
@@ -65,8 +68,7 @@ pub fn partition_dirichlet(
     let mut out: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
 
     for class in 0..num_classes {
-        let mut members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
         if members.is_empty() {
             continue;
         }
@@ -198,8 +200,7 @@ mod tests {
         let mut rng = rng_for(1, 2);
         for &shape in &[0.5f64, 1.0, 4.0] {
             let n = 4000;
-            let mean: f64 =
-                (0..n).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / n as f64;
             assert!(
                 (mean - shape).abs() < 0.15 * shape.max(1.0),
                 "gamma mean {mean} far from shape {shape}"

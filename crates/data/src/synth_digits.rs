@@ -75,7 +75,10 @@ impl Default for DigitStyle {
 impl DigitStyle {
     /// A reduced 12×12 style for fast unit tests (same code path).
     pub fn small() -> Self {
-        DigitStyle { size: 12, ..Default::default() }
+        DigitStyle {
+            size: 12,
+            ..Default::default()
+        }
     }
 }
 
@@ -85,7 +88,10 @@ impl DigitStyle {
 ///
 /// Panics if `label >= 10`.
 pub fn render_digit<R: Rng>(rng: &mut R, label: usize, style: &DigitStyle) -> Image {
-    assert!(label < NUM_CLASSES, "render_digit: label {label} out of range");
+    assert!(
+        label < NUM_CLASSES,
+        "render_digit: label {label} out of range"
+    );
     let mut img = Image::zeros(1, style.size, style.size);
     let scale = rng.gen_range(style.scale.0..style.scale.1);
     let dx = rng.gen_range(-style.max_shift..style.max_shift);
@@ -95,12 +101,7 @@ pub fn render_digit<R: Rng>(rng: &mut R, label: usize, style: &DigitStyle) -> Im
 
     for &seg in GLYPHS[label] {
         let ((x0, y0), (x1, y1)) = SEG[seg];
-        let map = |x: f32, y: f32| {
-            (
-                (x - 0.5) * scale + 0.5 + dx,
-                (y - 0.5) * scale + 0.5 + dy,
-            )
-        };
+        let map = |x: f32, y: f32| ((x - 0.5) * scale + 0.5 + dx, (y - 0.5) * scale + 0.5 + dy);
         img.draw_segment(map(x0, y0), map(x1, y1), stroke, &[ink]);
     }
 
@@ -150,8 +151,9 @@ mod tests {
             scale: (0.9, 0.901),
             size: 28,
         };
-        let imgs: Vec<Image> =
-            (0..10).map(|l| render_digit(&mut rng(0), l, &style)).collect();
+        let imgs: Vec<Image> = (0..10)
+            .map(|l| render_digit(&mut rng(0), l, &style))
+            .collect();
         for i in 0..10 {
             for j in (i + 1)..10 {
                 let diff: f32 = imgs[i]

@@ -72,7 +72,10 @@ impl Default for SensorStyle {
 impl SensorStyle {
     /// Shorter windows for fast unit tests.
     pub fn small() -> Self {
-        SensorStyle { len: 24, ..Default::default() }
+        SensorStyle {
+            len: 24,
+            ..Default::default()
+        }
     }
 }
 
@@ -91,7 +94,10 @@ fn bump(t: f32, c: f32, w: f32) -> f32 {
 ///
 /// Panics if `label >= NUM_CLASSES`.
 pub fn render_maneuver<R: Rng>(rng: &mut R, label: usize, style: &SensorStyle) -> Image {
-    assert!(label < NUM_CLASSES, "render_maneuver: label {label} out of range");
+    assert!(
+        label < NUM_CLASSES,
+        "render_maneuver: label {label} out of range"
+    );
     let maneuver = MANEUVERS[label];
     let len = style.len;
     let mut img = Image::filled(3, 1, len, 0.5);
@@ -161,7 +167,12 @@ mod tests {
 
     #[test]
     fn accelerate_and_brake_are_mirrored_on_ax() {
-        let style = SensorStyle { noise_sigma: 0.0, max_shift: 0.0, drift: 0.0, ..Default::default() };
+        let style = SensorStyle {
+            noise_sigma: 0.0,
+            max_shift: 0.0,
+            drift: 0.0,
+            ..Default::default()
+        };
         let acc = render_maneuver(&mut rng(1), 1, &style);
         let brk = render_maneuver(&mut rng(1), 2, &style);
         // Same jitter draw → ax channels mirror about the 0.5 baseline.
@@ -174,16 +185,29 @@ mod tests {
 
     #[test]
     fn turns_live_on_the_lateral_axis() {
-        let style = SensorStyle { noise_sigma: 0.0, max_shift: 0.0, drift: 0.0, ..Default::default() };
+        let style = SensorStyle {
+            noise_sigma: 0.0,
+            max_shift: 0.0,
+            drift: 0.0,
+            ..Default::default()
+        };
         let left = render_maneuver(&mut rng(2), 3, &style);
         let mid = style.len / 2;
         assert!(left.get(1, 0, mid) > 0.6, "lateral lobe missing");
-        assert!((left.get(0, 0, mid) - 0.5).abs() < 0.05, "longitudinal should stay flat");
+        assert!(
+            (left.get(0, 0, mid) - 0.5).abs() < 0.05,
+            "longitudinal should stay flat"
+        );
     }
 
     #[test]
     fn rough_road_is_high_frequency_on_az() {
-        let style = SensorStyle { noise_sigma: 0.0, max_shift: 0.0, drift: 0.0, ..Default::default() };
+        let style = SensorStyle {
+            noise_sigma: 0.0,
+            max_shift: 0.0,
+            drift: 0.0,
+            ..Default::default()
+        };
         let rough = render_maneuver(&mut rng(3), 5, &style);
         // Count sign changes of az − baseline around the window centre.
         let mut flips = 0;
@@ -200,9 +224,15 @@ mod tests {
 
     #[test]
     fn classes_pairwise_distinct() {
-        let style = SensorStyle { noise_sigma: 0.0, max_shift: 0.0, drift: 0.0, ..Default::default() };
-        let imgs: Vec<Image> =
-            (0..NUM_CLASSES).map(|l| render_maneuver(&mut rng(0), l, &style)).collect();
+        let style = SensorStyle {
+            noise_sigma: 0.0,
+            max_shift: 0.0,
+            drift: 0.0,
+            ..Default::default()
+        };
+        let imgs: Vec<Image> = (0..NUM_CLASSES)
+            .map(|l| render_maneuver(&mut rng(0), l, &style))
+            .collect();
         for i in 0..NUM_CLASSES {
             for j in (i + 1)..NUM_CLASSES {
                 let diff: f32 = imgs[i]

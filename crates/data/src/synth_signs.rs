@@ -52,18 +52,78 @@ const BLACK: [f32; 3] = [0.05, 0.05, 0.05];
 /// default; the catalogue deliberately contains visually-confusable pairs
 /// (same board, different pictogram) so the task doesn't saturate.
 const CLASSES: [ClassDef; 12] = [
-    ClassDef { board: Board::Circle, picto: Picto::HBar, fill: RED, ink: WHITE }, // no-entry
-    ClassDef { board: Board::Circle, picto: Picto::None, fill: RED, ink: WHITE }, // prohibition
-    ClassDef { board: Board::Circle, picto: Picto::LeftArrow, fill: BLUE, ink: WHITE },
-    ClassDef { board: Board::Circle, picto: Picto::RightArrow, fill: BLUE, ink: WHITE },
-    ClassDef { board: Board::Triangle, picto: Picto::Cross, fill: YELLOW, ink: BLACK },
-    ClassDef { board: Board::Triangle, picto: Picto::VBar, fill: YELLOW, ink: BLACK },
-    ClassDef { board: Board::InvTriangle, picto: Picto::None, fill: WHITE, ink: RED }, // yield
-    ClassDef { board: Board::Octagon, picto: Picto::HBar, fill: RED, ink: WHITE },     // stop
-    ClassDef { board: Board::Diamond, picto: Picto::None, fill: YELLOW, ink: BLACK },  // priority
-    ClassDef { board: Board::Circle, picto: Picto::Dot, fill: BLUE, ink: WHITE },
-    ClassDef { board: Board::Triangle, picto: Picto::Chevron, fill: YELLOW, ink: BLACK },
-    ClassDef { board: Board::Diamond, picto: Picto::Dot, fill: YELLOW, ink: BLACK },
+    ClassDef {
+        board: Board::Circle,
+        picto: Picto::HBar,
+        fill: RED,
+        ink: WHITE,
+    }, // no-entry
+    ClassDef {
+        board: Board::Circle,
+        picto: Picto::None,
+        fill: RED,
+        ink: WHITE,
+    }, // prohibition
+    ClassDef {
+        board: Board::Circle,
+        picto: Picto::LeftArrow,
+        fill: BLUE,
+        ink: WHITE,
+    },
+    ClassDef {
+        board: Board::Circle,
+        picto: Picto::RightArrow,
+        fill: BLUE,
+        ink: WHITE,
+    },
+    ClassDef {
+        board: Board::Triangle,
+        picto: Picto::Cross,
+        fill: YELLOW,
+        ink: BLACK,
+    },
+    ClassDef {
+        board: Board::Triangle,
+        picto: Picto::VBar,
+        fill: YELLOW,
+        ink: BLACK,
+    },
+    ClassDef {
+        board: Board::InvTriangle,
+        picto: Picto::None,
+        fill: WHITE,
+        ink: RED,
+    }, // yield
+    ClassDef {
+        board: Board::Octagon,
+        picto: Picto::HBar,
+        fill: RED,
+        ink: WHITE,
+    }, // stop
+    ClassDef {
+        board: Board::Diamond,
+        picto: Picto::None,
+        fill: YELLOW,
+        ink: BLACK,
+    }, // priority
+    ClassDef {
+        board: Board::Circle,
+        picto: Picto::Dot,
+        fill: BLUE,
+        ink: WHITE,
+    },
+    ClassDef {
+        board: Board::Triangle,
+        picto: Picto::Chevron,
+        fill: YELLOW,
+        ink: BLACK,
+    },
+    ClassDef {
+        board: Board::Diamond,
+        picto: Picto::Dot,
+        fill: YELLOW,
+        ink: BLACK,
+    },
 ];
 
 /// Default number of sign classes generated.
@@ -102,7 +162,10 @@ impl Default for SignStyle {
 impl SignStyle {
     /// Reduced 16×16 style for fast unit tests.
     pub fn small() -> Self {
-        SignStyle { size: 16, ..Default::default() }
+        SignStyle {
+            size: 16,
+            ..Default::default()
+        }
     }
 }
 
@@ -121,7 +184,10 @@ fn regular_polygon(center: (f32, f32), r: f32, sides: usize, phase: f32) -> Vec<
 ///
 /// Panics if `label >= NUM_CLASSES`.
 pub fn render_sign<R: Rng>(rng: &mut R, label: usize, style: &SignStyle) -> Image {
-    assert!(label < NUM_CLASSES, "render_sign: label {label} out of range");
+    assert!(
+        label < NUM_CLASSES,
+        "render_sign: label {label} out of range"
+    );
     let def = &CLASSES[label];
 
     // Road-scene background: sky-to-asphalt vertical gradient + noise.
@@ -186,17 +252,47 @@ pub fn render_sign<R: Rng>(rng: &mut R, label: usize, style: &SignStyle) -> Imag
         }
         Picto::LeftArrow => {
             img.draw_segment((cx + pr, cy), (cx - pr, cy), 0.06, &def.ink);
-            img.draw_segment((cx - pr, cy), (cx - pr * 0.2, cy - pr * 0.7), 0.06, &def.ink);
-            img.draw_segment((cx - pr, cy), (cx - pr * 0.2, cy + pr * 0.7), 0.06, &def.ink);
+            img.draw_segment(
+                (cx - pr, cy),
+                (cx - pr * 0.2, cy - pr * 0.7),
+                0.06,
+                &def.ink,
+            );
+            img.draw_segment(
+                (cx - pr, cy),
+                (cx - pr * 0.2, cy + pr * 0.7),
+                0.06,
+                &def.ink,
+            );
         }
         Picto::RightArrow => {
             img.draw_segment((cx - pr, cy), (cx + pr, cy), 0.06, &def.ink);
-            img.draw_segment((cx + pr, cy), (cx + pr * 0.2, cy - pr * 0.7), 0.06, &def.ink);
-            img.draw_segment((cx + pr, cy), (cx + pr * 0.2, cy + pr * 0.7), 0.06, &def.ink);
+            img.draw_segment(
+                (cx + pr, cy),
+                (cx + pr * 0.2, cy - pr * 0.7),
+                0.06,
+                &def.ink,
+            );
+            img.draw_segment(
+                (cx + pr, cy),
+                (cx + pr * 0.2, cy + pr * 0.7),
+                0.06,
+                &def.ink,
+            );
         }
         Picto::Chevron => {
-            img.draw_segment((cx - pr, cy + pr * 0.5), (cx, cy - pr * 0.5), 0.06, &def.ink);
-            img.draw_segment((cx, cy - pr * 0.5), (cx + pr, cy + pr * 0.5), 0.06, &def.ink);
+            img.draw_segment(
+                (cx - pr, cy + pr * 0.5),
+                (cx, cy - pr * 0.5),
+                0.06,
+                &def.ink,
+            );
+            img.draw_segment(
+                (cx, cy - pr * 0.5),
+                (cx + pr, cy + pr * 0.5),
+                0.06,
+                &def.ink,
+            );
         }
         Picto::None => {}
     }
@@ -237,19 +333,35 @@ mod tests {
     #[test]
     fn red_classes_have_red_dominance_at_center_region() {
         // Class 0 (no-entry): red board around the centre.
-        let style = SignStyle { noise_sigma: 0.0, max_rotation: 1e-6, max_shift: 1e-6, brightness: (0.99, 1.0), ..Default::default() };
+        let style = SignStyle {
+            noise_sigma: 0.0,
+            max_rotation: 1e-6,
+            max_shift: 1e-6,
+            brightness: (0.99, 1.0),
+            ..Default::default()
+        };
         let img = render_sign(&mut rng(1), 0, &style);
         // Sample just off-centre (centre has the white bar).
         let y = 22;
         let x = 16;
-        assert!(img.get(0, y, x) > img.get(2, y, x), "red channel should dominate");
+        assert!(
+            img.get(0, y, x) > img.get(2, y, x),
+            "red channel should dominate"
+        );
     }
 
     #[test]
     fn classes_are_pairwise_distinct() {
-        let style = SignStyle { noise_sigma: 0.0, max_rotation: 1e-6, max_shift: 1e-6, brightness: (0.99, 1.0), ..Default::default() };
-        let imgs: Vec<Image> =
-            (0..NUM_CLASSES).map(|l| render_sign(&mut rng(0), l, &style)).collect();
+        let style = SignStyle {
+            noise_sigma: 0.0,
+            max_rotation: 1e-6,
+            max_shift: 1e-6,
+            brightness: (0.99, 1.0),
+            ..Default::default()
+        };
+        let imgs: Vec<Image> = (0..NUM_CLASSES)
+            .map(|l| render_sign(&mut rng(0), l, &style))
+            .collect();
         for i in 0..NUM_CLASSES {
             for j in (i + 1)..NUM_CLASSES {
                 let diff: f32 = imgs[i]

@@ -23,7 +23,10 @@ impl ConfusionMatrix {
     /// Panics if `classes == 0`.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "ConfusionMatrix: classes must be positive");
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Evaluates a model over a dataset.
@@ -54,7 +57,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either label is out of range.
     pub fn record(&mut self, truth: usize, prediction: usize) {
-        assert!(truth < self.classes && prediction < self.classes, "record: label out of range");
+        assert!(
+            truth < self.classes && prediction < self.classes,
+            "record: label out of range"
+        );
         self.counts[truth * self.classes + prediction] += 1;
     }
 
@@ -64,7 +70,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if out of range.
     pub fn count(&self, truth: usize, prediction: usize) -> usize {
-        assert!(truth < self.classes && prediction < self.classes, "count: label out of range");
+        assert!(
+            truth < self.classes && prediction < self.classes,
+            "count: label out of range"
+        );
         self.counts[truth * self.classes + prediction]
     }
 
@@ -176,7 +185,12 @@ mod tests {
         use fuiov_data::DigitStyle;
         use fuiov_nn::ModelSpec;
         let data = Dataset::digits(40, &DigitStyle::small(), 6);
-        let mut m = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 }.build(1);
+        let mut m = ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        }
+        .build(1);
         let cm = ConfusionMatrix::evaluate(&mut m, &data);
         assert_eq!(cm.total(), 40);
         assert_eq!(cm.classes(), 10);

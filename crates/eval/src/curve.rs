@@ -47,10 +47,7 @@ impl Curve {
 
     /// Maximum value, if any.
     pub fn max_value(&self) -> Option<f32> {
-        self.points
-            .iter()
-            .map(|&(_, v)| v)
-            .reduce(f32::max)
+        self.points.iter().map(|&(_, v)| v).reduce(f32::max)
     }
 
     /// Length of the longest strictly-decreasing suffix — the §IV-B
@@ -90,7 +87,9 @@ impl Curve {
 
 impl FromIterator<(Round, f32)> for Curve {
     fn from_iter<I: IntoIterator<Item = (Round, f32)>>(iter: I) -> Self {
-        Curve { points: iter.into_iter().collect() }
+        Curve {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -58,7 +58,13 @@ pub fn per_class_accuracy(model: &mut Sequential, data: &Dataset) -> Vec<Option<
     }
     hit.into_iter()
         .zip(seen)
-        .map(|(h, s)| if s == 0 { None } else { Some(h as f32 / s as f32) })
+        .map(|(h, s)| {
+            if s == 0 {
+                None
+            } else {
+                Some(h as f32 / s as f32)
+            }
+        })
         .collect()
 }
 
@@ -79,7 +85,11 @@ mod tests {
     use fuiov_nn::ModelSpec;
 
     fn setup() -> (Sequential, Dataset) {
-        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+        let spec = ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        };
         (spec.build(3), Dataset::digits(40, &DigitStyle::small(), 8))
     }
 

@@ -28,7 +28,10 @@ impl Table {
     /// Panics if `headers` is empty.
     pub fn new(headers: &[&str]) -> Self {
         assert!(!headers.is_empty(), "Table: need at least one column");
-        Table { headers: headers.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -37,7 +40,11 @@ impl Table {
     ///
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "Table: cell count mismatch");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "Table: cell count mismatch"
+        );
         self.rows.push(cells.to_vec());
         self
     }
@@ -68,7 +75,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));

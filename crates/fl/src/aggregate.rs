@@ -28,7 +28,11 @@ pub fn aggregate(rule: AggregationRule, grads: &[Vec<f32>], weights: &[f32]) -> 
 /// As [`aggregate`].
 pub fn aggregate_refs(rule: AggregationRule, grads: &[&[f32]], weights: &[f32]) -> Vec<f32> {
     assert!(!grads.is_empty(), "aggregate: no gradients");
-    assert_eq!(grads.len(), weights.len(), "aggregate: weight count mismatch");
+    assert_eq!(
+        grads.len(),
+        weights.len(),
+        "aggregate: weight count mismatch"
+    );
     let dim = grads[0].len();
     for g in grads {
         assert_eq!(g.len(), dim, "aggregate: gradient length mismatch");
@@ -116,20 +120,32 @@ mod tests {
 
     #[test]
     fn trimmed_mean_drops_extremes() {
-        let out = aggregate(AggregationRule::TrimmedMean { trim: 1 }, &grads(), &[1.0; 3]);
+        let out = aggregate(
+            AggregationRule::TrimmedMean { trim: 1 },
+            &grads(),
+            &[1.0; 3],
+        );
         assert_eq!(out, vec![3.0, 0.0]);
     }
 
     #[test]
     fn sign_sgd_sums_directions() {
-        let out = aggregate(AggregationRule::SignSgd { lambda: 0.5 }, &grads(), &[1.0; 3]);
+        let out = aggregate(
+            AggregationRule::SignSgd { lambda: 0.5 },
+            &grads(),
+            &[1.0; 3],
+        );
         assert_eq!(out, vec![1.5, 0.0]);
     }
 
     #[test]
     #[should_panic(expected = "trim 2 too large")]
     fn trim_bound_checked() {
-        let _ = aggregate(AggregationRule::TrimmedMean { trim: 2 }, &grads(), &[1.0; 3]);
+        let _ = aggregate(
+            AggregationRule::TrimmedMean { trim: 2 },
+            &grads(),
+            &[1.0; 3],
+        );
     }
 
     #[test]

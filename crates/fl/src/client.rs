@@ -68,13 +68,7 @@ impl HonestClient {
     /// # Panics
     ///
     /// Panics if `data` is empty or `batch_size == 0`.
-    pub fn new(
-        id: ClientId,
-        spec: ModelSpec,
-        data: Dataset,
-        batch_size: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(id: ClientId, spec: ModelSpec, data: Dataset, batch_size: usize, seed: u64) -> Self {
         assert!(!data.is_empty(), "HonestClient: empty dataset");
         assert!(batch_size > 0, "HonestClient: batch_size must be positive");
         HonestClient {
@@ -144,7 +138,11 @@ mod tests {
 
     fn client(id: ClientId) -> HonestClient {
         let data = Dataset::digits(20, &DigitStyle::small(), 3);
-        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+        let spec = ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        };
         HonestClient::new(id, spec, data, 10, 7)
     }
 

@@ -8,6 +8,20 @@
 
 use crate::server::RoundSummary;
 
+/// Byte counts one round would transmit with `participants` vehicles on a
+/// `model_dim`-parameter model: `(download, full-f32 upload, 2-bit sign
+/// upload)`. Shared by [`CommsReport`] and the server's live round
+/// accounting so the two can never disagree.
+pub fn round_bytes(model_dim: usize, participants: usize) -> (usize, usize, usize) {
+    let model_bytes = model_dim * 4;
+    let sign_bytes = model_dim.div_ceil(4);
+    (
+        participants * model_bytes,
+        participants * model_bytes,
+        participants * sign_bytes,
+    )
+}
+
 /// Byte counts for one round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundComms {
@@ -38,16 +52,17 @@ impl CommsReport {
     /// Panics if `model_dim == 0`.
     pub fn from_summaries(model_dim: usize, summaries: &[RoundSummary]) -> Self {
         assert!(model_dim > 0, "CommsReport: model_dim must be positive");
-        let model_bytes = model_dim * 4;
-        let sign_bytes = model_dim.div_ceil(4);
         let rounds = summaries
             .iter()
-            .map(|s| RoundComms {
-                round: s.round,
-                participants: s.participants.len(),
-                down_bytes: s.participants.len() * model_bytes,
-                up_bytes_full: s.participants.len() * model_bytes,
-                up_bytes_sign: s.participants.len() * sign_bytes,
+            .map(|s| {
+                let (down, full, sign) = round_bytes(model_dim, s.participants.len());
+                RoundComms {
+                    round: s.round,
+                    participants: s.participants.len(),
+                    down_bytes: down,
+                    up_bytes_full: full,
+                    up_bytes_sign: sign,
+                }
             })
             .collect();
         CommsReport { rounds, model_dim }
@@ -100,9 +115,21 @@ mod tests {
 
     fn summaries() -> Vec<RoundSummary> {
         vec![
-            RoundSummary { round: 0, participants: vec![0, 1, 2], update_norm: 1.0 },
-            RoundSummary { round: 1, participants: vec![0, 2], update_norm: 0.5 },
-            RoundSummary { round: 2, participants: vec![], update_norm: 0.0 },
+            RoundSummary {
+                round: 0,
+                participants: vec![0, 1, 2],
+                update_norm: 1.0,
+            },
+            RoundSummary {
+                round: 1,
+                participants: vec![0, 2],
+                update_norm: 0.5,
+            },
+            RoundSummary {
+                round: 2,
+                participants: vec![],
+                update_norm: 0.0,
+            },
         ]
     }
 
@@ -142,15 +169,18 @@ mod tests {
         use fuiov_data::{Dataset, DigitStyle};
         use fuiov_nn::ModelSpec;
 
-        let spec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+        let spec = ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        };
         let data = Dataset::digits(40, &DigitStyle::small(), 1);
         let parts = fuiov_data::partition::partition_iid(data.len(), 2, 1);
         let mut clients: Vec<Box<dyn Client>> = parts
             .into_iter()
             .enumerate()
             .map(|(id, idx)| {
-                Box::new(HonestClient::new(id, spec, data.subset(&idx), 20, 1))
-                    as Box<dyn Client>
+                Box::new(HonestClient::new(id, spec, data.subset(&idx), 20, 1)) as Box<dyn Client>
             })
             .collect();
         let mut server = Server::new(

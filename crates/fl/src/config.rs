@@ -77,7 +77,10 @@ impl FlConfig {
     /// Panics if `rounds == 0` or `lr` is not strictly positive.
     pub fn new(rounds: Round, lr: f32) -> Self {
         assert!(rounds > 0, "FlConfig: rounds must be positive");
-        assert!(lr > 0.0 && lr.is_finite(), "FlConfig: invalid learning rate");
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "FlConfig: invalid learning rate"
+        );
         FlConfig {
             rounds,
             lr,
@@ -195,8 +198,10 @@ mod tests {
 
     #[test]
     fn lr_schedule_applies() {
-        let cfg = FlConfig::new(20, 1.0)
-            .lr_schedule(LrSchedule::StepDecay { every: 5, factor: 0.5 });
+        let cfg = FlConfig::new(20, 1.0).lr_schedule(LrSchedule::StepDecay {
+            every: 5,
+            factor: 0.5,
+        });
         assert_eq!(cfg.lr_at(0), 1.0);
         assert_eq!(cfg.lr_at(5), 0.5);
         assert_eq!(cfg.lr_at(10), 0.25);

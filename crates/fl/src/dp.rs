@@ -31,9 +31,20 @@ impl<C: Client> DpClient<C> {
     /// Panics if `clip_norm` is not strictly positive or
     /// `noise_multiplier` is negative.
     pub fn new(inner: C, clip_norm: f32, noise_multiplier: f32, seed: u64) -> Self {
-        assert!(clip_norm > 0.0 && clip_norm.is_finite(), "DpClient: invalid clip norm");
-        assert!(noise_multiplier >= 0.0, "DpClient: negative noise multiplier");
-        DpClient { inner, clip_norm, noise_multiplier, seed }
+        assert!(
+            clip_norm > 0.0 && clip_norm.is_finite(),
+            "DpClient: invalid clip norm"
+        );
+        assert!(
+            noise_multiplier >= 0.0,
+            "DpClient: negative noise multiplier"
+        );
+        DpClient {
+            inner,
+            clip_norm,
+            noise_multiplier,
+            seed,
+        }
     }
 
     /// The clip bound in force.
@@ -88,7 +99,11 @@ mod tests {
     use fuiov_data::{Dataset, DigitStyle};
     use fuiov_nn::ModelSpec;
 
-    const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 };
+    const SPEC: ModelSpec = ModelSpec::Mlp {
+        inputs: 144,
+        hidden: 8,
+        classes: 10,
+    };
 
     fn honest(id: ClientId) -> HonestClient {
         let data = Dataset::digits(20, &DigitStyle::small(), 3);
@@ -148,7 +163,10 @@ mod tests {
         let s_clean = vector::sign_with_threshold(&g_clean, 1e-3);
         let s_dp = vector::sign_with_threshold(&g_dp, 1e-3);
         let agree = vector::sign_agreement(&s_clean, &s_dp) as f32 / s_clean.len() as f32;
-        assert!(agree > 0.5, "mild noise should preserve most informative signs: {agree}");
+        assert!(
+            agree > 0.5,
+            "mild noise should preserve most informative signs: {agree}"
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod schedule;
 pub mod server;
 
 pub use client::{Client, HonestClient};
-pub use config::{AggregationRule, FlConfig};
 pub use comms::CommsReport;
+pub use config::{AggregationRule, FlConfig};
 pub use dp::DpClient;
 pub use schedule::LrSchedule;
 pub use server::Server;

@@ -52,7 +52,11 @@ pub struct Membership {
 impl Membership {
     /// A vehicle present for the whole run with no dropouts.
     pub fn always() -> Self {
-        Membership { joined: 0, leaves_after: None, dropouts: Vec::new() }
+        Membership {
+            joined: 0,
+            leaves_after: None,
+            dropouts: Vec::new(),
+        }
     }
 
     /// Whether the vehicle participates in `round`.
@@ -76,12 +80,18 @@ impl ChurnSchedule {
     /// baselines assume (§V-A3: "vehicles do not exit FL in the comparison
     /// methods").
     pub fn static_membership(n: usize, rounds: Round) -> Self {
-        ChurnSchedule { memberships: vec![Membership::always(); n], rounds }
+        ChurnSchedule {
+            memberships: vec![Membership::always(); n],
+            rounds,
+        }
     }
 
     /// Builds a schedule from explicit memberships.
     pub fn from_memberships(memberships: Vec<Membership>, rounds: Round) -> Self {
-        ChurnSchedule { memberships, rounds }
+        ChurnSchedule {
+            memberships,
+            rounds,
+        }
     }
 
     /// Samples a schedule for `n` vehicles over `rounds` rounds.
@@ -118,9 +128,16 @@ impl ChurnSchedule {
                     dropouts.push(t);
                 }
             }
-            memberships.push(Membership { joined, leaves_after, dropouts });
+            memberships.push(Membership {
+                joined,
+                leaves_after,
+                dropouts,
+            });
         }
-        ChurnSchedule { memberships, rounds }
+        ChurnSchedule {
+            memberships,
+            rounds,
+        }
     }
 
     /// Number of vehicles in the schedule.
@@ -187,7 +204,11 @@ mod tests {
 
     #[test]
     fn membership_interval_logic() {
-        let m = Membership { joined: 3, leaves_after: Some(7), dropouts: vec![5] };
+        let m = Membership {
+            joined: 3,
+            leaves_after: Some(7),
+            dropouts: vec![5],
+        };
         assert!(!m.active_in(2));
         assert!(m.active_in(3));
         assert!(!m.active_in(5)); // dropout
@@ -197,7 +218,10 @@ mod tests {
 
     #[test]
     fn sample_is_deterministic() {
-        let model = ChurnModel { initial_active: 3, ..Default::default() };
+        let model = ChurnModel {
+            initial_active: 3,
+            ..Default::default()
+        };
         let a = ChurnSchedule::sample(&model, 10, 20, 42);
         let b = ChurnSchedule::sample(&model, 10, 20, 42);
         assert_eq!(a, b);
@@ -207,7 +231,12 @@ mod tests {
 
     #[test]
     fn initial_active_join_at_zero() {
-        let model = ChurnModel { initial_active: 4, arrival_prob: 0.0, departure_prob: 0.0, dropout_prob: 0.0 };
+        let model = ChurnModel {
+            initial_active: 4,
+            arrival_prob: 0.0,
+            departure_prob: 0.0,
+            dropout_prob: 0.0,
+        };
         let s = ChurnSchedule::sample(&model, 6, 10, 1);
         for v in 0..4 {
             assert_eq!(s.membership(v).joined, 0);
@@ -235,7 +264,14 @@ mod tests {
     #[test]
     fn set_membership_pins_join_round() {
         let mut s = ChurnSchedule::static_membership(3, 10);
-        s.set_membership(1, Membership { joined: 2, leaves_after: None, dropouts: vec![] });
+        s.set_membership(
+            1,
+            Membership {
+                joined: 2,
+                leaves_after: None,
+                dropouts: vec![],
+            },
+        );
         assert!(!s.active_in(1).contains(&1));
         assert!(s.active_in(2).contains(&1));
     }

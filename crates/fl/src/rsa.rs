@@ -40,7 +40,12 @@ impl RsaConfig {
     pub fn new(lr: f32, rounds: usize) -> Self {
         assert!(lr > 0.0 && lr.is_finite(), "RsaConfig: invalid lr");
         assert!(rounds > 0, "RsaConfig: rounds must be positive");
-        RsaConfig { lr, lambda: 0.005, rounds, weight_decay: 0.0 }
+        RsaConfig {
+            lr,
+            lambda: 0.005,
+            rounds,
+            weight_decay: 0.0,
+        }
     }
 
     /// Sets the consensus weight λ.
@@ -99,11 +104,7 @@ fn sign_of_diff(a: &[f32], b: &[f32]) -> Vec<f32> {
 ///
 /// Panics if `clients` is empty or a client's gradient dimension doesn't
 /// match the model.
-pub fn train_rsa(
-    clients: &mut [Box<dyn Client>],
-    init: &[f32],
-    config: &RsaConfig,
-) -> RsaOutcome {
+pub fn train_rsa(clients: &mut [Box<dyn Client>], init: &[f32], config: &RsaConfig) -> RsaOutcome {
     assert!(!clients.is_empty(), "train_rsa: no clients");
     let dim = init.len();
     let mut m0: Vec<f32> = init.to_vec();
@@ -133,7 +134,10 @@ pub fn train_rsa(
         }
     }
 
-    RsaOutcome { server_model: m0, client_models: locals }
+    RsaOutcome {
+        server_model: m0,
+        client_models: locals,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +148,11 @@ mod tests {
     use fuiov_nn::ModelSpec;
     use fuiov_storage::{ClientId, Round};
 
-    const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 16, classes: 10 };
+    const SPEC: ModelSpec = ModelSpec::Mlp {
+        inputs: 144,
+        hidden: 16,
+        classes: 10,
+    };
 
     fn honest_clients(n: usize, seed: u64) -> Vec<Box<dyn Client>> {
         let data = Dataset::digits(n * 30, &DigitStyle::small(), seed);

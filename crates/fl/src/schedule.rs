@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
         assert_eq!(s.lr_at(0, 1.0), 1.0);
         assert_eq!(s.lr_at(9, 1.0), 1.0);
         assert_eq!(s.lr_at(10, 1.0), 0.5);
@@ -75,7 +78,10 @@ mod tests {
 
     #[test]
     fn cosine_anneals_to_floor() {
-        let s = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            floor: 0.1,
+        };
         assert!((s.lr_at(0, 1.0) - 1.0).abs() < 1e-6);
         assert!((s.lr_at(100, 1.0) - 0.1).abs() < 1e-6);
         let mid = s.lr_at(50, 1.0);
@@ -86,7 +92,10 @@ mod tests {
 
     #[test]
     fn cosine_is_monotone_decreasing() {
-        let s = LrSchedule::Cosine { total: 40, floor: 0.0 };
+        let s = LrSchedule::Cosine {
+            total: 40,
+            floor: 0.0,
+        };
         let mut prev = f32::INFINITY;
         for t in 0..=40 {
             let lr = s.lr_at(t, 1.0);

@@ -48,7 +48,10 @@ impl Server {
     ///
     /// Panics if `initial_params` is empty.
     pub fn new(cfg: FlConfig, initial_params: Vec<f32>) -> Self {
-        assert!(!initial_params.is_empty(), "Server::new: empty parameter vector");
+        assert!(
+            !initial_params.is_empty(),
+            "Server::new: empty parameter vector"
+        );
         let history = HistoryStore::new(cfg.sign_delta);
         Server {
             cfg,
@@ -134,16 +137,19 @@ impl Server {
     /// gradient dimension doesn't match the model.
     pub fn run_round(&mut self, clients: &mut [Box<dyn Client>], active: &[usize]) -> RoundSummary {
         let t = self.round;
+        fuiov_obs::journal::begin("fl.round", t as u64);
         self.history.record_model(t, self.params.clone());
 
         // Mid-round dropout hook: a polled vehicle may still fail to
         // upload (`Client::responds_in`). Filtering here keeps dropouts
         // out of every record — history, summaries, comms accounting.
+        let polled = active.len();
         let active: Vec<usize> = active
             .iter()
             .copied()
             .filter(|&idx| clients[idx].responds_in(t))
             .collect();
+        fuiov_obs::counter!("fl.dropouts").add((polled - active.len()) as u64);
 
         let mut participants = Vec::with_capacity(active.len());
         let mut grads: Vec<Vec<f32>> = Vec::with_capacity(active.len());
@@ -178,8 +184,23 @@ impl Server {
         };
 
         self.round += 1;
-        let summary = RoundSummary { round: t, participants, update_norm };
+        let summary = RoundSummary {
+            round: t,
+            participants,
+            update_norm,
+        };
         self.summaries.push(summary.clone());
+        if fuiov_obs::enabled() {
+            let n = summary.participants.len();
+            let (down, up_full, up_sign) = crate::comms::round_bytes(self.params.len(), n);
+            fuiov_obs::counter!("fl.rounds").inc();
+            fuiov_obs::counter!("fl.participant_rounds").add(n as u64);
+            fuiov_obs::counter!("fl.download_bytes").add(down as u64);
+            fuiov_obs::counter!("fl.upload_bytes_full").add(up_full as u64);
+            fuiov_obs::counter!("fl.upload_bytes_sign").add(up_sign as u64);
+            fuiov_obs::histogram!("fl.update_norm_micros").observe_scaled(update_norm as f64);
+        }
+        fuiov_obs::journal::end("fl.round", t as u64, summary.participants.len() as u64);
         summary
     }
 
@@ -292,7 +313,11 @@ mod tests {
     use fuiov_nn::ModelSpec;
 
     fn spec() -> ModelSpec {
-        ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 }
+        ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        }
     }
 
     fn make_clients(n: usize) -> Vec<Box<dyn Client>> {
@@ -302,14 +327,15 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(id, idx)| {
-                Box::new(HonestClient::new(id, spec(), data.subset(&idx), 10, 5))
-                    as Box<dyn Client>
+                Box::new(HonestClient::new(id, spec(), data.subset(&idx), 10, 5)) as Box<dyn Client>
             })
             .collect()
     }
 
     fn server(rounds: usize) -> Server {
-        let cfg = FlConfig::new(rounds, 0.5).batch_size(10).parallel_clients(false);
+        let cfg = FlConfig::new(rounds, 0.5)
+            .batch_size(10)
+            .parallel_clients(false);
         Server::new(cfg, spec().build(1).params())
     }
 
@@ -374,7 +400,11 @@ mod tests {
         let mut schedule = ChurnSchedule::static_membership(3, 5);
         schedule.set_membership(
             1,
-            Membership { joined: 2, leaves_after: Some(3), dropouts: vec![] },
+            Membership {
+                joined: 2,
+                leaves_after: Some(3),
+                dropouts: vec![],
+            },
         );
         s.train(&mut clients, &schedule);
         let h = s.history();

@@ -9,7 +9,11 @@ use fuiov_fl::comms::CommsReport;
 use fuiov_fl::server::RoundSummary;
 
 fn summary(round: usize, participants: &[usize]) -> RoundSummary {
-    RoundSummary { round, participants: participants.to_vec(), update_norm: 1.0 }
+    RoundSummary {
+        round,
+        participants: participants.to_vec(),
+        update_norm: 1.0,
+    }
 }
 
 #[test]
@@ -61,10 +65,7 @@ fn hand_computed_multi_round_totals() {
 
 #[test]
 fn zero_participant_rounds_cost_nothing() {
-    let r = CommsReport::from_summaries(
-        100,
-        &[summary(0, &[]), summary(1, &[]), summary(2, &[7])],
-    );
+    let r = CommsReport::from_summaries(100, &[summary(0, &[]), summary(1, &[]), summary(2, &[7])]);
     assert_eq!(r.rounds()[0].down_bytes, 0);
     assert_eq!(r.rounds()[0].up_bytes_full, 0);
     assert_eq!(r.rounds()[0].up_bytes_sign, 0);
@@ -87,7 +88,9 @@ fn accounting_matches_recorded_history_bytes() {
     let d = 13; // ragged: ⌈26/8⌉ = 4 bytes
     let mut h = HistoryStore::new(1e-6);
     h.record_model(0, vec![0.0; d]);
-    let grad: Vec<f32> = (0..d).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+    let grad: Vec<f32> = (0..d)
+        .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+        .collect();
     h.record_join(0, 0);
     h.record_join(1, 0);
     h.record_gradient(0, 0, &grad);

@@ -7,7 +7,11 @@ use fuiov_fl::mobility::{ChurnModel, ChurnSchedule};
 use fuiov_fl::{Client, CommsReport, FlConfig, HonestClient, LrSchedule, Server};
 use fuiov_nn::ModelSpec;
 
-const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 16, classes: 10 };
+const SPEC: ModelSpec = ModelSpec::Mlp {
+    inputs: 144,
+    hidden: 16,
+    classes: 10,
+};
 
 fn shards(n: usize, seed: u64) -> Vec<Dataset> {
     let data = Dataset::digits(n * 20, &DigitStyle::small(), seed);
@@ -39,7 +43,10 @@ fn cosine_schedule_trains_and_decays_update_norms() {
     let cfg = FlConfig::new(30, 0.3)
         .batch_size(20)
         .parallel_clients(false)
-        .lr_schedule(LrSchedule::Cosine { total: 30, floor: 0.01 });
+        .lr_schedule(LrSchedule::Cosine {
+            total: 30,
+            floor: 0.01,
+        });
     let mut server = Server::new(cfg, SPEC.build(31).params());
     server.train(&mut clients, &ChurnSchedule::static_membership(4, 30));
     let acc = accuracy(server.params(), 31);
@@ -66,17 +73,27 @@ fn dp_clients_train_with_bounded_updates() {
             Box::new(DpClient::new(inner, 0.5, 0.01, seed)) as Box<dyn Client>
         })
         .collect();
-    let cfg = FlConfig::new(25, 0.3).batch_size(20).parallel_clients(false);
+    let cfg = FlConfig::new(25, 0.3)
+        .batch_size(20)
+        .parallel_clients(false);
     let init = SPEC.build(seed).params();
     let before = accuracy(&init, seed);
     let mut server = Server::new(cfg, init);
     server.train(&mut clients, &ChurnSchedule::static_membership(4, 25));
     let after = accuracy(server.params(), seed);
-    assert!(after > before, "DP training should still learn: {before} -> {after}");
+    assert!(
+        after > before,
+        "DP training should still learn: {before} -> {after}"
+    );
     // Every round's aggregated update is bounded by the clip norm (mean
     // of vectors with ‖·‖ ≤ 0.5 + noise slack).
     for s in server.summaries() {
-        assert!(s.update_norm <= 0.9, "round {} update {} exceeds DP bound", s.round, s.update_norm);
+        assert!(
+            s.update_norm <= 0.9,
+            "round {} update {} exceeds DP bound",
+            s.round,
+            s.update_norm
+        );
     }
 }
 

@@ -51,12 +51,7 @@ fn probe_loss(layer: &mut dyn Layer, x: &Tensor4, coeff: &[f32]) -> f64 {
 /// let report = check_input_gradient(&mut layer, &x, 1e-3, 42);
 /// assert!(report.passes(1e-2));
 /// ```
-pub fn check_input_gradient(
-    layer: &mut dyn Layer,
-    x: &Tensor4,
-    eps: f32,
-    seed: u64,
-) -> GradCheck {
+pub fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor4, eps: f32, seed: u64) -> GradCheck {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let out = layer.forward(x);
     let coeff: Vec<f32> = (0..out.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -64,7 +59,10 @@ pub fn check_input_gradient(
     let grad_out = Tensor4::from_vec(n, c, h, w, coeff.clone());
     let analytic = layer.backward(&grad_out);
 
-    let mut worst = GradCheck { max_rel_error: 0.0, worst_index: 0 };
+    let mut worst = GradCheck {
+        max_rel_error: 0.0,
+        worst_index: 0,
+    };
     for i in 0..x.len() {
         let mut xp = x.clone();
         xp.as_mut_slice()[i] += eps;
@@ -75,19 +73,17 @@ pub fn check_input_gradient(
         let ana = analytic.as_slice()[i];
         let rel = (num - ana).abs() / (1.0 + num.abs().max(ana.abs()));
         if rel > worst.max_rel_error {
-            worst = GradCheck { max_rel_error: rel, worst_index: i };
+            worst = GradCheck {
+                max_rel_error: rel,
+                worst_index: i,
+            };
         }
     }
     worst
 }
 
 /// Checks parameter gradients against central finite differences.
-pub fn check_param_gradient(
-    layer: &mut dyn Layer,
-    x: &Tensor4,
-    eps: f32,
-    seed: u64,
-) -> GradCheck {
+pub fn check_param_gradient(layer: &mut dyn Layer, x: &Tensor4, eps: f32, seed: u64) -> GradCheck {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let out = layer.forward(x);
     let coeff: Vec<f32> = (0..out.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -101,7 +97,10 @@ pub fn check_param_gradient(
     let mut params = vec![0.0; layer.param_count()];
     layer.read_params(&mut params);
 
-    let mut worst = GradCheck { max_rel_error: 0.0, worst_index: 0 };
+    let mut worst = GradCheck {
+        max_rel_error: 0.0,
+        worst_index: 0,
+    };
     for i in 0..params.len() {
         let orig = params[i];
         params[i] = orig + eps;
@@ -116,7 +115,10 @@ pub fn check_param_gradient(
         let ana = analytic[i];
         let rel = (num - ana).abs() / (1.0 + num.abs().max(ana.abs()));
         if rel > worst.max_rel_error {
-            worst = GradCheck { max_rel_error: rel, worst_index: i };
+            worst = GradCheck {
+                max_rel_error: rel,
+                worst_index: i,
+            };
         }
     }
     worst

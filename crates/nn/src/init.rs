@@ -28,7 +28,10 @@ pub fn kaiming_uniform<R: Rng>(rng: &mut R, w: &mut [f32], fan_in: usize) {
 ///
 /// Panics if `fan_in + fan_out == 0`.
 pub fn xavier_uniform<R: Rng>(rng: &mut R, w: &mut [f32], fan_in: usize, fan_out: usize) {
-    assert!(fan_in + fan_out > 0, "xavier_uniform: fans must be positive");
+    assert!(
+        fan_in + fan_out > 0,
+        "xavier_uniform: fans must be positive"
+    );
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     for v in w {
         *v = rng.gen_range(-bound..bound);

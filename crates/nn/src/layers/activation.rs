@@ -34,7 +34,11 @@ impl Layer for Sigmoid {
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
         let out = self.out.as_ref().expect("sigmoid: backward before forward");
-        assert_eq!(grad_out.len(), out.len(), "sigmoid: gradient shape mismatch");
+        assert_eq!(
+            grad_out.len(),
+            out.len(),
+            "sigmoid: gradient shape mismatch"
+        );
         let mut grad_in = grad_out.clone();
         for (g, &o) in grad_in.as_mut_slice().iter_mut().zip(out.as_slice()) {
             *g *= o * (1.0 - o);
@@ -103,7 +107,10 @@ impl LeakyRelu {
     ///
     /// Panics if `alpha` is negative or not finite.
     pub fn new(alpha: f32) -> Self {
-        assert!(alpha >= 0.0 && alpha.is_finite(), "LeakyRelu: invalid alpha");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "LeakyRelu: invalid alpha"
+        );
         LeakyRelu { alpha, mask: None }
     }
 }
@@ -126,8 +133,15 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let mask = self.mask.as_ref().expect("leaky_relu: backward before forward");
-        assert_eq!(grad_out.len(), mask.len(), "leaky_relu: gradient shape mismatch");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("leaky_relu: backward before forward");
+        assert_eq!(
+            grad_out.len(),
+            mask.len(),
+            "leaky_relu: gradient shape mismatch"
+        );
         let mut grad_in = grad_out.clone();
         for (g, &pos) in grad_in.as_mut_slice().iter_mut().zip(mask) {
             if !pos {

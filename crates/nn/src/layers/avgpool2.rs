@@ -51,7 +51,11 @@ impl Layer for AvgPool2 {
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
         let (n, c, h, w) = self.in_shape.expect("avgpool2: backward before forward");
         let (oh, ow) = (h / 2, w / 2);
-        assert_eq!(grad_out.shape(), (n, c, oh, ow), "avgpool2: gradient shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            (n, c, oh, ow),
+            "avgpool2: gradient shape mismatch"
+        );
         let mut grad_in = Tensor4::zeros(n, c, h, w);
         for b in 0..n {
             for ch in 0..c {

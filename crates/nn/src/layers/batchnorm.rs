@@ -52,7 +52,7 @@ impl BatchNorm2 {
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
             training: true,
-        cache: None,
+            cache: None,
         }
     }
 }
@@ -128,9 +128,16 @@ impl Layer for BatchNorm2 {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let cache = self.cache.as_ref().expect("batchnorm2: backward before forward (train mode)");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("batchnorm2: backward before forward (train mode)");
         let (n, c, h, w) = cache.x_hat.shape();
-        assert_eq!(grad_out.shape(), (n, c, h, w), "batchnorm2: gradient shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            (n, c, h, w),
+            "batchnorm2: gradient shape mismatch"
+        );
         let m = (n * h * w) as f32;
         let mut grad_in = Tensor4::zeros(n, c, h, w);
 
@@ -157,8 +164,7 @@ impl Layer for BatchNorm2 {
                     for xx in 0..w {
                         let dy = grad_out.get(b, ch, y, xx);
                         let xh = cache.x_hat.get(b, ch, y, xx);
-                        let dx = coeff
-                            * (m * dy - sum_dy as f32 - xh * sum_dy_xhat as f32);
+                        let dx = coeff * (m * dy - sum_dy as f32 - xh * sum_dy_xhat as f32);
                         grad_in.set(b, ch, y, xx, dx);
                     }
                 }
@@ -210,7 +216,9 @@ mod tests {
             2,
             2,
             2,
-            (0..16).map(|i| (i as f32 * 0.7).sin() * 2.0 + 0.5).collect(),
+            (0..16)
+                .map(|i| (i as f32 * 0.7).sin() * 2.0 + 0.5)
+                .collect(),
         )
     }
 
@@ -251,7 +259,10 @@ mod tests {
             .zip(y_train.as_slice())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max);
-        assert!(diff < 0.2, "running stats should approximate batch stats, diff {diff}");
+        assert!(
+            diff < 0.2,
+            "running stats should approximate batch stats, diff {diff}"
+        );
     }
 
     #[test]

@@ -178,8 +178,7 @@ impl Conv2d {
             let mut data = vec![0.0f32; self.out_channels * total];
             for oc in 0..self.out_channels {
                 for b in 0..n {
-                    data[oc * total + b * plane..][..plane]
-                        .copy_from_slice(grad_out.plane(b, oc));
+                    data[oc * total + b * plane..][..plane].copy_from_slice(grad_out.plane(b, oc));
                 }
             }
             Mat::from_vec(self.out_channels, total, data)
@@ -226,7 +225,10 @@ impl Conv2d {
 
     /// Output spatial size for an `h × w` input.
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+        (
+            h + 2 * self.padding + 1 - self.kernel,
+            w + 2 * self.padding + 1 - self.kernel,
+        )
     }
 
     #[inline]
@@ -519,8 +521,7 @@ mod tests {
         );
         let run = |threads: usize| {
             fuiov_tensor::pool::set_threads(threads);
-            let mut c =
-                Conv2d::new(&mut rng(), 2, 4, 3, 1).with_backend(ConvBackend::Im2col);
+            let mut c = Conv2d::new(&mut rng(), 2, 4, 3, 1).with_backend(ConvBackend::Im2col);
             let y = c.forward(&x);
             let g = Tensor4::from_vec(
                 3,

@@ -28,7 +28,13 @@ impl Dropout {
     /// Panics if `p` is outside `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1)");
-        Dropout { p, seed, step: 0, training: true, mask: None }
+        Dropout {
+            p,
+            seed,
+            step: 0,
+            training: true,
+            mask: None,
+        }
     }
 }
 
@@ -62,7 +68,11 @@ impl Layer for Dropout {
         match &self.mask {
             None => grad_out.clone(), // eval mode or p == 0: identity
             Some(mask) => {
-                assert_eq!(grad_out.len(), mask.len(), "dropout: gradient shape mismatch");
+                assert_eq!(
+                    grad_out.len(),
+                    mask.len(),
+                    "dropout: gradient shape mismatch"
+                );
                 let keep = 1.0 - self.p;
                 let mut grad_in = grad_out.clone();
                 for (g, &m) in grad_in.as_mut_slice().iter_mut().zip(mask) {
@@ -98,7 +108,11 @@ mod tests {
         let x = Tensor4::from_vec(1, 1, 1, 1000, vec![1.0; 1000]);
         let y = d.forward(&x);
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
-        let kept = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        let kept = y
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
         assert_eq!(zeros + kept, 1000);
         assert!((400..600).contains(&zeros), "zeros={zeros} far from p=0.5");
         // Expected value preserved: mean ≈ 1.

@@ -28,7 +28,10 @@ impl Linear {
     ///
     /// Panics if either dimension is zero.
     pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "Linear::new: zero dimension");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "Linear::new: zero dimension"
+        );
         let mut weight = vec![0.0; in_features * out_features];
         init::xavier_uniform(rng, &mut weight, in_features, out_features);
         Linear {
@@ -69,11 +72,10 @@ impl Layer for Linear {
         for b in 0..n {
             let xi = x.item(b);
             let oi = &mut out.as_mut_slice()[b * self.out_features..(b + 1) * self.out_features];
-            for (o, (row, bias)) in oi.iter_mut().zip(
-                self.weight
-                    .chunks_exact(self.in_features)
-                    .zip(&self.bias),
-            ) {
+            for (o, (row, bias)) in oi
+                .iter_mut()
+                .zip(self.weight.chunks_exact(self.in_features).zip(&self.bias))
+            {
                 *o = fuiov_tensor::vector::dot(row, xi) + bias;
             }
         }
@@ -87,7 +89,11 @@ impl Layer for Linear {
             .as_ref()
             .expect("linear: backward before forward");
         let n = x.n();
-        assert_eq!(grad_out.features(), self.out_features, "linear: grad features");
+        assert_eq!(
+            grad_out.features(),
+            self.out_features,
+            "linear: grad features"
+        );
         assert_eq!(grad_out.n(), n, "linear: grad batch size");
 
         let mut grad_in = Tensor4::zeros(n, self.in_features, 1, 1);
@@ -101,8 +107,7 @@ impl Layer for Linear {
                 }
                 self.grad_bias[o] += g;
                 let wrow = &self.weight[o * self.in_features..(o + 1) * self.in_features];
-                let grow =
-                    &mut self.grad_weight[o * self.in_features..(o + 1) * self.in_features];
+                let grow = &mut self.grad_weight[o * self.in_features..(o + 1) * self.in_features];
                 for i in 0..self.in_features {
                     grow[i] += g * xi[i];
                     gi[i] += g * wrow[i];

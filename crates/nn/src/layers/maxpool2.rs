@@ -18,7 +18,10 @@ pub struct MaxPool2 {
 impl MaxPool2 {
     /// Creates a 2×2/stride-2 max-pool layer.
     pub fn new() -> Self {
-        MaxPool2 { argmax: None, in_shape: None }
+        MaxPool2 {
+            argmax: None,
+            in_shape: None,
+        }
     }
 
     /// Output spatial size for an input of `h × w`.
@@ -68,9 +71,16 @@ impl Layer for MaxPool2 {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let argmax = self.argmax.as_ref().expect("maxpool2: backward before forward");
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("maxpool2: backward before forward");
         let (n, c, h, w) = self.in_shape.expect("maxpool2: backward before forward");
-        assert_eq!(grad_out.len(), argmax.len(), "maxpool2: gradient shape mismatch");
+        assert_eq!(
+            grad_out.len(),
+            argmax.len(),
+            "maxpool2: gradient shape mismatch"
+        );
         let mut grad_in = Tensor4::zeros(n, c, h, w);
         for (&idx, &g) in argmax.iter().zip(grad_out.as_slice()) {
             grad_in.as_mut_slice()[idx] += g;

@@ -23,8 +23,16 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// Panics if `labels.len() != logits.n()` or any label is out of range.
 pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> (f32, Tensor4) {
     let (n, classes, h, w) = logits.shape();
-    assert_eq!(h * w, 1, "softmax_cross_entropy: logits must be (n, c, 1, 1)");
-    assert_eq!(labels.len(), n, "softmax_cross_entropy: label count mismatch");
+    assert_eq!(
+        h * w,
+        1,
+        "softmax_cross_entropy: logits must be (n, c, 1, 1)"
+    );
+    assert_eq!(
+        labels.len(),
+        n,
+        "softmax_cross_entropy: label count mismatch"
+    );
     let mut grad = Tensor4::zeros(n, classes, 1, 1);
     let mut total = 0.0f64;
     for (b, &y) in labels.iter().enumerate() {

@@ -105,19 +105,42 @@ pub enum ModelSpec {
 impl ModelSpec {
     /// The paper's MNIST architecture at full 28×28 scale.
     pub fn mnist() -> Self {
-        ModelSpec::CnnTwoFc { in_ch: 1, h: 28, w: 28, c1: 8, c2: 16, hidden: 64, classes: 10 }
+        ModelSpec::CnnTwoFc {
+            in_ch: 1,
+            h: 28,
+            w: 28,
+            c1: 8,
+            c2: 16,
+            hidden: 64,
+            classes: 10,
+        }
     }
 
     /// The paper's GTSRB architecture (3-channel 32×32, here with the
     /// synthetic sign dataset's default class count).
     pub fn gtsrb(classes: usize) -> Self {
-        ModelSpec::CnnOneFc { in_ch: 3, h: 32, w: 32, c1: 8, c2: 16, classes }
+        ModelSpec::CnnOneFc {
+            in_ch: 3,
+            h: 32,
+            w: 32,
+            c1: 8,
+            c2: 16,
+            classes,
+        }
     }
 
     /// A reduced-scale CNN for integration tests (same code path as
     /// [`ModelSpec::mnist`], ~20× fewer parameters).
     pub fn tiny_cnn(in_ch: usize, hw: usize, classes: usize) -> Self {
-        ModelSpec::CnnTwoFc { in_ch, h: hw, w: hw, c1: 4, c2: 4, hidden: 16, classes }
+        ModelSpec::CnnTwoFc {
+            in_ch,
+            h: hw,
+            w: hw,
+            c1: 4,
+            c2: 4,
+            hidden: 16,
+            classes,
+        }
     }
 
     /// Number of output classes.
@@ -148,7 +171,15 @@ impl ModelSpec {
     pub fn build(&self, seed: u64) -> Sequential {
         let mut rng = rng_for(seed, streams::INIT);
         let layers: Vec<Box<dyn Layer>> = match *self {
-            ModelSpec::CnnTwoFc { in_ch, h, w, c1, c2, hidden, classes } => {
+            ModelSpec::CnnTwoFc {
+                in_ch,
+                h,
+                w,
+                c1,
+                c2,
+                hidden,
+                classes,
+            } => {
                 let flat = c2 * (h / 4) * (w / 4);
                 vec![
                     Box::new(Conv2d::new(&mut rng, in_ch, c1, 3, 1)),
@@ -163,7 +194,14 @@ impl ModelSpec {
                     Box::new(Linear::new(&mut rng, hidden, classes)),
                 ]
             }
-            ModelSpec::CnnOneFc { in_ch, h, w, c1, c2, classes } => {
+            ModelSpec::CnnOneFc {
+                in_ch,
+                h,
+                w,
+                c1,
+                c2,
+                classes,
+            } => {
                 let flat = c2 * (h / 4) * (w / 4);
                 vec![
                     Box::new(Conv2d::new(&mut rng, in_ch, c1, 3, 1)),
@@ -176,7 +214,11 @@ impl ModelSpec {
                     Box::new(Linear::new(&mut rng, flat, classes)),
                 ]
             }
-            ModelSpec::Mlp { inputs, hidden, classes } => vec![
+            ModelSpec::Mlp {
+                inputs,
+                hidden,
+                classes,
+            } => vec![
                 Box::new(Flatten::new()),
                 Box::new(Linear::new(&mut rng, inputs, hidden)),
                 Box::new(Relu::new()),
@@ -186,7 +228,15 @@ impl ModelSpec {
                 Box::new(Flatten::new()),
                 Box::new(Linear::new(&mut rng, inputs, classes)),
             ],
-            ModelSpec::CnnBn { in_ch, h, w, c1, c2, hidden, classes } => {
+            ModelSpec::CnnBn {
+                in_ch,
+                h,
+                w,
+                c1,
+                c2,
+                hidden,
+                classes,
+            } => {
                 let flat = c2 * (h / 4) * (w / 4);
                 vec![
                     Box::new(Conv2d::new(&mut rng, in_ch, c1, 3, 1)),
@@ -203,7 +253,12 @@ impl ModelSpec {
                     Box::new(Linear::new(&mut rng, hidden, classes)),
                 ]
             }
-            ModelSpec::MlpDropout { inputs, hidden, classes, drop_permille } => vec![
+            ModelSpec::MlpDropout {
+                inputs,
+                hidden,
+                classes,
+                drop_permille,
+            } => vec![
                 Box::new(Flatten::new()),
                 Box::new(Linear::new(&mut rng, inputs, hidden)),
                 Box::new(Relu::new()),
@@ -237,7 +292,10 @@ impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sequential")
             .field("spec", &self.spec)
-            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
             .field("param_count", &self.param_count)
             .finish()
     }
@@ -246,7 +304,12 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     fn from_layers(spec: ModelSpec, layers: Vec<Box<dyn Layer>>) -> Self {
         let param_count = layers.iter().map(|l| l.param_count()).sum();
-        Sequential { spec, layers, param_count, training: true }
+        Sequential {
+            spec,
+            layers,
+            param_count,
+            training: true,
+        }
     }
 
     /// The architecture this model was built from.
@@ -397,19 +460,17 @@ mod tests {
     use super::*;
 
     fn xor_batch() -> (Tensor4, Vec<usize>) {
-        let x = Tensor4::from_vec(
-            4,
-            2,
-            1,
-            1,
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-        );
+        let x = Tensor4::from_vec(4, 2, 1, 1, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
         (x, vec![0, 1, 1, 0])
     }
 
     #[test]
     fn build_is_deterministic() {
-        let spec = ModelSpec::Mlp { inputs: 4, hidden: 8, classes: 3 };
+        let spec = ModelSpec::Mlp {
+            inputs: 4,
+            hidden: 8,
+            classes: 3,
+        };
         let a = spec.build(5).params();
         let b = spec.build(5).params();
         let c = spec.build(6).params();
@@ -438,7 +499,14 @@ mod tests {
 
     #[test]
     fn cnn_one_fc_shapes() {
-        let spec = ModelSpec::CnnOneFc { in_ch: 3, h: 8, w: 8, c1: 4, c2: 4, classes: 5 };
+        let spec = ModelSpec::CnnOneFc {
+            in_ch: 3,
+            h: 8,
+            w: 8,
+            c1: 4,
+            c2: 4,
+            classes: 5,
+        };
         let mut m = spec.build(0);
         let x = Tensor4::zeros(2, 3, 8, 8);
         assert_eq!(m.forward(&x).shape(), (2, 5, 1, 1));
@@ -446,7 +514,11 @@ mod tests {
 
     #[test]
     fn whole_model_gradient_matches_numeric() {
-        let spec = ModelSpec::Mlp { inputs: 3, hidden: 4, classes: 2 };
+        let spec = ModelSpec::Mlp {
+            inputs: 3,
+            hidden: 4,
+            classes: 2,
+        };
         let mut m = spec.build(9);
         let x = Tensor4::from_vec(2, 3, 1, 1, vec![0.1, -0.2, 0.5, 0.7, 0.0, -0.4]);
         let labels = [0usize, 1];
@@ -473,7 +545,11 @@ mod tests {
 
     #[test]
     fn sgd_learns_xor() {
-        let spec = ModelSpec::Mlp { inputs: 2, hidden: 16, classes: 2 };
+        let spec = ModelSpec::Mlp {
+            inputs: 2,
+            hidden: 16,
+            classes: 2,
+        };
         let mut m = spec.build(3);
         let (x, y) = xor_batch();
         for _ in 0..800 {
@@ -487,7 +563,10 @@ mod tests {
 
     #[test]
     fn loss_and_grad_does_not_accumulate_across_calls() {
-        let spec = ModelSpec::Linear { inputs: 2, classes: 2 };
+        let spec = ModelSpec::Linear {
+            inputs: 2,
+            classes: 2,
+        };
         let mut m = spec.build(0);
         let x = Tensor4::from_vec(1, 2, 1, 1, vec![1.0, -1.0]);
         let (_, g1) = m.loss_and_grad(&x, &[0]);
@@ -497,30 +576,53 @@ mod tests {
 
     #[test]
     fn predict_matches_accuracy() {
-        let spec = ModelSpec::Linear { inputs: 2, classes: 2 };
+        let spec = ModelSpec::Linear {
+            inputs: 2,
+            classes: 2,
+        };
         let mut m = spec.build(1);
         let (x, y) = xor_batch();
         let preds = m.predict(&x);
         let acc = m.accuracy(&x, &y);
-        let manual =
-            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f32 / y.len() as f32;
+        let manual = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f32 / y.len() as f32;
         assert_eq!(acc, manual);
     }
 
     #[test]
     fn cnn_bn_builds_and_flows() {
-        let spec = ModelSpec::CnnBn { in_ch: 1, h: 8, w: 8, c1: 4, c2: 4, hidden: 8, classes: 3 };
+        let spec = ModelSpec::CnnBn {
+            in_ch: 1,
+            h: 8,
+            w: 8,
+            c1: 4,
+            c2: 4,
+            hidden: 8,
+            classes: 3,
+        };
         let mut m = spec.build(0);
         let x = Tensor4::zeros(2, 1, 8, 8);
         assert_eq!(m.forward(&x).shape(), (2, 3, 1, 1));
         // BN adds 2 params per channel over the plain CnnTwoFc.
-        let plain = ModelSpec::CnnTwoFc { in_ch: 1, h: 8, w: 8, c1: 4, c2: 4, hidden: 8, classes: 3 };
+        let plain = ModelSpec::CnnTwoFc {
+            in_ch: 1,
+            h: 8,
+            w: 8,
+            c1: 4,
+            c2: 4,
+            hidden: 8,
+            classes: 3,
+        };
         assert_eq!(m.param_count(), plain.param_count() + 2 * 4 + 2 * 4);
     }
 
     #[test]
     fn dropout_model_eval_mode_is_deterministic() {
-        let spec = ModelSpec::MlpDropout { inputs: 4, hidden: 8, classes: 2, drop_permille: 500 };
+        let spec = ModelSpec::MlpDropout {
+            inputs: 4,
+            hidden: 8,
+            classes: 2,
+            drop_permille: 500,
+        };
         let mut m = spec.build(1);
         let x = Tensor4::from_vec(1, 4, 1, 1, vec![0.5, -0.5, 0.3, 0.1]);
         // predict() runs in eval mode: repeated calls agree.
@@ -544,7 +646,11 @@ mod tests {
 
     #[test]
     fn clone_is_independent() {
-        let spec = ModelSpec::Mlp { inputs: 2, hidden: 4, classes: 2 };
+        let spec = ModelSpec::Mlp {
+            inputs: 2,
+            hidden: 4,
+            classes: 2,
+        };
         let m1 = spec.build(0);
         let mut m2 = m1.clone();
         let zeros = vec![0.0; m2.param_count()];

@@ -30,8 +30,16 @@ impl Sgd {
     ///
     /// Panics if `lr` is not strictly positive and finite.
     pub fn new(lr: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "Sgd::new: invalid learning rate");
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: None }
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "Sgd::new: invalid learning rate"
+        );
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: None,
+        }
     }
 
     /// Enables classical momentum.
@@ -78,9 +86,7 @@ impl Sgd {
             vector::axpy(self.weight_decay, params, &mut effective);
         }
         if self.momentum > 0.0 {
-            let vel = self
-                .velocity
-                .get_or_insert_with(|| vec![0.0; params.len()]);
+            let vel = self.velocity.get_or_insert_with(|| vec![0.0; params.len()]);
             assert_eq!(vel.len(), params.len(), "Sgd::step: parameter size changed");
             for (v, g) in vel.iter_mut().zip(&effective) {
                 *v = self.momentum * *v + g;
@@ -117,8 +123,19 @@ impl Adam {
     ///
     /// Panics if `lr` is not strictly positive and finite.
     pub fn new(lr: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "Adam::new: invalid learning rate");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: None, v: None }
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "Adam::new: invalid learning rate"
+        );
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: None,
+            v: None,
+        }
     }
 
     /// Overrides the moment decay rates.
@@ -227,7 +244,10 @@ mod tests {
         for _ in 0..50 {
             adam.step(&mut p, &[1e-4, 1.0]);
         }
-        assert!(p[0].abs() > 0.1 * p[1].abs(), "small-gradient coordinate stalled: {p:?}");
+        assert!(
+            p[0].abs() > 0.1 * p[1].abs(),
+            "small-gradient coordinate stalled: {p:?}"
+        );
     }
 
     #[test]

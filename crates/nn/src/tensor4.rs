@@ -25,7 +25,13 @@ pub struct Tensor4 {
 impl Tensor4 {
     /// All-zeros tensor with the given shape.
     pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
-        Tensor4 { n, c, h, w, data: vec![0.0; n * c * h * w] }
+        Tensor4 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
     }
 
     /// Builds a tensor from a flat NCHW buffer.
@@ -34,7 +40,11 @@ impl Tensor4 {
     ///
     /// Panics if `data.len() != n*c*h*w`.
     pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), n * c * h * w, "Tensor4::from_vec: size mismatch");
+        assert_eq!(
+            data.len(),
+            n * c * h * w,
+            "Tensor4::from_vec: size mismatch"
+        );
         Tensor4 { n, c, h, w, data }
     }
 
@@ -142,7 +152,11 @@ impl Tensor4 {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(mut self, c: usize, h: usize, w: usize) -> Tensor4 {
-        assert_eq!(self.features(), c * h * w, "reshape: element count mismatch");
+        assert_eq!(
+            self.features(),
+            c * h * w,
+            "reshape: element count mismatch"
+        );
         self.c = c;
         self.h = h;
         self.w = w;

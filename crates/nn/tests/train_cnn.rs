@@ -48,7 +48,15 @@ fn train(model: &mut Sequential, x: &Tensor4, y: &[usize], steps: usize, lr: f32
 
 #[test]
 fn cnn_two_fc_learns_blob_quadrants() {
-    let spec = ModelSpec::CnnTwoFc { in_ch: 1, h: 8, w: 8, c1: 4, c2: 4, hidden: 16, classes: 4 };
+    let spec = ModelSpec::CnnTwoFc {
+        in_ch: 1,
+        h: 8,
+        w: 8,
+        c1: 4,
+        c2: 4,
+        hidden: 16,
+        classes: 4,
+    };
     let mut m = spec.build(5);
     let (x, y) = blob_dataset(48, 1);
     let acc = train(&mut m, &x, &y, 60, 0.1);
@@ -62,7 +70,14 @@ fn cnn_two_fc_learns_blob_quadrants() {
 
 #[test]
 fn cnn_one_fc_learns_blob_quadrants() {
-    let spec = ModelSpec::CnnOneFc { in_ch: 1, h: 8, w: 8, c1: 4, c2: 4, classes: 4 };
+    let spec = ModelSpec::CnnOneFc {
+        in_ch: 1,
+        h: 8,
+        w: 8,
+        c1: 4,
+        c2: 4,
+        classes: 4,
+    };
     let mut m = spec.build(6);
     let (x, y) = blob_dataset(48, 3);
     let acc = train(&mut m, &x, &y, 60, 0.1);
@@ -71,7 +86,15 @@ fn cnn_one_fc_learns_blob_quadrants() {
 
 #[test]
 fn batchnorm_cnn_learns_and_eval_mode_stays_strong() {
-    let spec = ModelSpec::CnnBn { in_ch: 1, h: 8, w: 8, c1: 4, c2: 4, hidden: 16, classes: 4 };
+    let spec = ModelSpec::CnnBn {
+        in_ch: 1,
+        h: 8,
+        w: 8,
+        c1: 4,
+        c2: 4,
+        hidden: 16,
+        classes: 4,
+    };
     let mut m = spec.build(7);
     let (x, y) = blob_dataset(48, 4);
     let train_acc = train(&mut m, &x, &y, 60, 0.05);
@@ -84,7 +107,15 @@ fn batchnorm_cnn_learns_and_eval_mode_stays_strong() {
 
 #[test]
 fn adam_trains_the_cnn_too() {
-    let spec = ModelSpec::CnnTwoFc { in_ch: 1, h: 8, w: 8, c1: 4, c2: 4, hidden: 16, classes: 4 };
+    let spec = ModelSpec::CnnTwoFc {
+        in_ch: 1,
+        h: 8,
+        w: 8,
+        c1: 4,
+        c2: 4,
+        hidden: 16,
+        classes: 4,
+    };
     let mut m = spec.build(8);
     let (x, y) = blob_dataset(48, 5);
     let mut adam = Adam::new(0.01);

@@ -1,0 +1,211 @@
+//! Bounded round-event journal.
+//!
+//! A ring buffer of span events (`Begin`/`End`/`Instant`) with globally
+//! monotonic sequence numbers. Replay loops journal each round's begin
+//! and end together with small integer payloads (round index, participant
+//! count), so a hung or slow recovery can be inspected without attaching
+//! a debugger — the tail of the ring says exactly which round and stage
+//! the run died in.
+//!
+//! **Determinism:** events carry *no wall-clock time* unless the
+//! non-default `wallclock` feature is on; sequence numbers are the only
+//! ordering. Capacity is bounded (`FUIOV_OBS_JOURNAL`, default 4096
+//! events; `0` disables), oldest events drop first, and the drop count is
+//! reported so truncation is never silent.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Default ring capacity in events.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event.
+    Instant,
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Globally monotonic sequence number (gaps mean dropped events).
+    pub seq: u64,
+    /// Static span label, e.g. `"core.recover.round"`.
+    pub span: &'static str,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
+    /// First payload word (conventionally the round index).
+    pub a: u64,
+    /// Second payload word (conventionally a count).
+    pub b: u64,
+    /// Nanoseconds since the first journal touch. `None` unless the
+    /// non-default `wallclock` feature is enabled — deterministic paths
+    /// never observe time.
+    pub nanos: Option<u64>,
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+
+fn ring() -> &'static Mutex<Ring> {
+    RING.get_or_init(|| {
+        let capacity = std::env::var("FUIOV_OBS_JOURNAL")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAPACITY);
+        Mutex::new(Ring {
+            events: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        })
+    })
+}
+
+#[cfg(feature = "wallclock")]
+fn now_nanos() -> Option<u64> {
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Some(epoch.elapsed().as_nanos() as u64)
+}
+
+#[cfg(not(feature = "wallclock"))]
+fn now_nanos() -> Option<u64> {
+    None
+}
+
+fn record(span: &'static str, kind: EventKind, a: u64, b: u64) -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    let mut ring = ring().lock().unwrap_or_else(PoisonError::into_inner);
+    if ring.capacity == 0 {
+        return 0;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    if ring.events.len() == ring.capacity {
+        ring.events.pop_front();
+        ring.dropped += 1;
+    }
+    ring.events.push_back(Event {
+        seq,
+        span,
+        kind,
+        a,
+        b,
+        nanos: now_nanos(),
+    });
+    seq
+}
+
+/// Journals a span begin; returns its sequence number (0 when disabled).
+pub fn begin(span: &'static str, a: u64) -> u64 {
+    record(span, EventKind::Begin, a, 0)
+}
+
+/// Journals a span end with a result payload.
+pub fn end(span: &'static str, a: u64, b: u64) -> u64 {
+    record(span, EventKind::End, a, b)
+}
+
+/// Journals a point event.
+pub fn instant(span: &'static str, a: u64, b: u64) -> u64 {
+    record(span, EventKind::Instant, a, b)
+}
+
+/// Copies the current ring contents, oldest first.
+pub fn snapshot() -> Vec<Event> {
+    let ring = ring().lock().unwrap_or_else(PoisonError::into_inner);
+    ring.events.iter().cloned().collect()
+}
+
+/// Events evicted so far because the ring was full.
+pub fn dropped() -> u64 {
+    ring()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .dropped
+}
+
+/// The ring capacity in force.
+pub fn capacity() -> usize {
+    ring()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .capacity
+}
+
+/// Empties the ring (sequence numbers keep rising; tests use the
+/// monotone sequence to correlate across clears).
+pub fn clear() {
+    let mut ring = ring().lock().unwrap_or_else(PoisonError::into_inner);
+    ring.events.clear();
+    ring.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_order_with_monotonic_seq() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        clear();
+        let s0 = begin("test.span", 3);
+        let s1 = end("test.span", 3, 8);
+        assert!(s1 > s0);
+        let events = snapshot();
+        let ours: Vec<&Event> = events.iter().filter(|e| e.span == "test.span").collect();
+        assert_eq!(ours.len(), 2);
+        assert_eq!(ours[0].kind, EventKind::Begin);
+        assert_eq!(ours[1].kind, EventKind::End);
+        assert_eq!(ours[1].b, 8);
+        assert!(ours[0].seq < ours[1].seq);
+        #[cfg(not(feature = "wallclock"))]
+        assert!(
+            ours.iter().all(|e| e.nanos.is_none()),
+            "no wall-clock in deterministic paths"
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        clear();
+        let cap = capacity();
+        for i in 0..(cap as u64 + 10) {
+            instant("test.flood", i, 0);
+        }
+        let events = snapshot();
+        assert!(events.len() <= cap);
+        assert!(dropped() >= 10);
+        // Oldest dropped first: the surviving window is the tail.
+        let floods: Vec<&Event> = events.iter().filter(|e| e.span == "test.flood").collect();
+        assert_eq!(floods.last().unwrap().a, cap as u64 + 9);
+        clear();
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let _g = crate::test_lock();
+        crate::set_enabled(false);
+        clear();
+        begin("test.disabled", 0);
+        assert!(snapshot().iter().all(|e| e.span != "test.disabled"));
+        crate::set_enabled(true);
+    }
+}

@@ -1,0 +1,165 @@
+//! # fuiov-obs — deterministic observability for the unlearning stack
+//!
+//! The paper's argument is quantitative (recovery cost vs. retraining,
+//! storage saved by sign-only directions, clip-threshold behaviour), yet a
+//! replay loop is opaque while it runs. This crate makes a run *visible*
+//! without making it *different*:
+//!
+//! - [`registry`] — a lock-free static registry of atomic [`Counter`]s,
+//!   [`Gauge`]s and [`Histogram`]s, declared in place with the
+//!   [`counter!`]/[`gauge!`]/[`histogram!`] macros and exported as a human
+//!   summary table, JSON-lines, or Prometheus text ([`export`]).
+//! - [`journal`] — a bounded ring buffer of round events (span begin/end
+//!   with monotonic sequence numbers). **No wall-clock in deterministic
+//!   paths**: timestamps exist only behind the non-default `wallclock`
+//!   feature, so golden traces can never drift.
+//! - [`RunReport`] — an end-of-run snapshot the examples and experiment
+//!   binaries print.
+//!
+//! ## Determinism contract
+//!
+//! Instrumentation is *observational*: no counter, gauge, histogram or
+//! journal event may feed back into model arithmetic, iteration order, or
+//! any recorded byte. Histogram sums are integer micro-units precisely so
+//! that concurrent observation is associative — the same set of events
+//! produces the same totals under any thread interleaving. The golden
+//! traces and replay fingerprints are byte-identical with observability
+//! compiled in, enabled, or disabled (`fuiov-testkit` pins this).
+//!
+//! ## Knobs
+//!
+//! | Knob | Effect |
+//! |------|--------|
+//! | `FUIOV_OBS` | `0`/`false`/`off` disables collection at runtime (default: on) |
+//! | `FUIOV_OBS_JOURNAL` | journal capacity in events (default 4096; `0` disables the journal) |
+//! | feature `enabled` | compile collection in at all (default feature) |
+//! | feature `wallclock` | attach nanosecond timestamps to journal events (non-default) |
+//!
+//! ## Example
+//!
+//! ```
+//! use fuiov_obs::{counter, histogram, RunReport};
+//!
+//! counter!("demo.rounds").inc();
+//! histogram!("demo.update_norm_micros").observe_scaled(0.25);
+//! let report = RunReport::capture();
+//! assert!(report.snapshot.counter("demo.rounds") >= 1);
+//! println!("{report}");
+//! ```
+
+pub mod export;
+pub mod journal;
+pub mod registry;
+mod report;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Snapshot};
+pub use report::RunReport;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Tri-state runtime switch: 0 = unresolved, 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether collection is active: the `enabled` feature is compiled in and
+/// the `FUIOV_OBS` environment variable (read once, overridable with
+/// [`set_enabled`]) does not turn it off.
+///
+/// One relaxed atomic load on the hot path — cheap enough to gate every
+/// recording call, and instrumentation sites hoist it out of inner loops
+/// when the extra observation itself costs something (e.g. clip norms).
+#[inline]
+pub fn enabled() -> bool {
+    if !cfg!(feature = "enabled") {
+        return false;
+    }
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => resolve_enabled(),
+        1 => false,
+        _ => true,
+    }
+}
+
+#[cold]
+fn resolve_enabled() -> bool {
+    let on = match std::env::var("FUIOV_OBS") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    };
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Overrides the runtime switch (tests use this to compare obs-on and
+/// obs-off behaviour within one process). Compiled-out builds (`enabled`
+/// feature off) stay off regardless.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Declares (statically, in place) and returns a `&'static` [`Counter`].
+///
+/// The metric registers itself in the global registry on first touch;
+/// until then it costs one static and nothing else.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static METRIC: $crate::registry::Counter = $crate::registry::Counter::new($name);
+        &METRIC
+    }};
+}
+
+/// Declares (statically, in place) and returns a `&'static` [`Gauge`].
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static METRIC: $crate::registry::Gauge = $crate::registry::Gauge::new($name);
+        &METRIC
+    }};
+}
+
+/// Declares (statically, in place) and returns a `&'static` [`Histogram`]
+/// with log2 buckets.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static METRIC: $crate::registry::Histogram = $crate::registry::Histogram::new($name);
+        &METRIC
+    }};
+}
+
+/// Serialises tests that toggle the global switch or assert on global
+/// registry/journal state. Not part of the public API.
+#[doc(hidden)]
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_enabled_round_trips() {
+        let _g = test_lock();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _g = test_lock();
+        set_enabled(false);
+        let c = counter!("lib.disabled_probe");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

@@ -196,7 +196,10 @@ mod tests {
         let mut extended = buf.clone();
         extended.push(0);
         assert!(decode(&base, &extended, 8).is_none());
-        assert!(decode(&base[..4], &buf, 8).is_none(), "base length mismatch");
+        assert!(
+            decode(&base[..4], &buf, 8).is_none(),
+            "base length mismatch"
+        );
     }
 
     #[test]

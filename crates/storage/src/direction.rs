@@ -97,7 +97,10 @@ impl GradientDirection {
             };
             packed[i / 4] |= code << ((i % 4) * 2);
         }
-        GradientDirection { len: signs.len(), packed }
+        GradientDirection {
+            len: signs.len(),
+            packed,
+        }
     }
 
     /// Number of stored elements.
@@ -362,9 +365,16 @@ mod tests {
         // Exhaustive: every possible packed byte, every lane, including the
         // never-written 0b11 code (decodes defensively to 0 on both paths).
         for byte in 0u8..=255 {
-            let d = GradientDirection { len: 4, packed: vec![byte] };
+            let d = GradientDirection {
+                len: 4,
+                packed: vec![byte],
+            };
             for lane in 0..4 {
-                assert_eq!(SIGN_LUT[byte as usize][lane], d.sign(lane), "byte {byte:#010b}");
+                assert_eq!(
+                    SIGN_LUT[byte as usize][lane],
+                    d.sign(lane),
+                    "byte {byte:#010b}"
+                );
                 assert_eq!(
                     F32_LUT[byte as usize][lane].to_bits(),
                     f32::from(d.sign(lane)).to_bits(),

@@ -75,13 +75,19 @@ pub struct TierConfig {
 impl TierConfig {
     /// Unbounded memory, default keyframe interval.
     pub fn unbounded() -> Self {
-        TierConfig { budget_bytes: None, keyframe_interval: DEFAULT_KEYFRAME_INTERVAL }
+        TierConfig {
+            budget_bytes: None,
+            keyframe_interval: DEFAULT_KEYFRAME_INTERVAL,
+        }
     }
 
     /// A bounded store: resident slots are spilled (coldest round first)
     /// once they exceed `budget_bytes`.
     pub fn bounded(budget_bytes: usize) -> Self {
-        TierConfig { budget_bytes: Some(budget_bytes), ..Self::unbounded() }
+        TierConfig {
+            budget_bytes: Some(budget_bytes),
+            ..Self::unbounded()
+        }
     }
 
     /// Sets the keyframe interval (clamped to ≥ 1).
@@ -111,7 +117,10 @@ impl TierConfig {
         let keyframe_interval = keyframe
             .and_then(|s| s.trim().parse::<usize>().ok())
             .map_or(DEFAULT_KEYFRAME_INTERVAL, |k| k.max(1));
-        TierConfig { budget_bytes, keyframe_interval }
+        TierConfig {
+            budget_bytes,
+            keyframe_interval,
+        }
     }
 }
 
@@ -133,13 +142,22 @@ pub enum Tier {
 #[derive(Debug, Clone)]
 enum ModelSlot {
     Hot(Arc<Vec<f32>>),
-    Spilled { offset: u64, len: u32, base: Option<Round> },
+    Spilled {
+        offset: u64,
+        len: u32,
+        base: Option<Round>,
+    },
 }
 
 #[derive(Debug, Clone)]
 enum DirSlot {
     Mem(Arc<BTreeMap<ClientId, GradientDirection>>),
-    Spilled { offset: u64, len: u32, packed_bytes: usize, full_bytes: usize },
+    Spilled {
+        offset: u64,
+        len: u32,
+        packed_bytes: usize,
+        full_bytes: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -151,7 +169,11 @@ struct DecodeCache {
 
 impl DecodeCache {
     fn new(cap: usize) -> Self {
-        DecodeCache { cap, models: Vec::new(), dirs: Vec::new() }
+        DecodeCache {
+            cap,
+            models: Vec::new(),
+            dirs: Vec::new(),
+        }
     }
 
     fn get_model(&mut self, round: Round) -> Option<Arc<Vec<f32>>> {
@@ -436,7 +458,10 @@ impl HistoryStore {
         HistoryStore {
             delta,
             dim: None,
-            tier: TierConfig { keyframe_interval: tier.keyframe_interval.max(1), ..tier },
+            tier: TierConfig {
+                keyframe_interval: tier.keyframe_interval.max(1),
+                ..tier
+            },
             models: BTreeMap::new(),
             shadow_models: BTreeMap::new(),
             directions: BTreeMap::new(),
@@ -476,8 +501,9 @@ impl HistoryStore {
         }
     }
 
-    fn bump(counter: &AtomicUsize) {
+    fn bump(counter: &AtomicUsize, obs: &'static fuiov_obs::Counter) {
         counter.fetch_add(1, Ordering::Relaxed);
+        obs.inc();
     }
 
     // ------------------------------------------------------------------
@@ -525,9 +551,10 @@ impl HistoryStore {
     /// second call for the same client is ignored — the paper's `F` is the
     /// *first* join round.
     pub fn record_join(&mut self, client: ClientId, round: Round) {
-        self.participation
-            .entry(client)
-            .or_insert(Participation { joined: round, left: None });
+        self.participation.entry(client).or_insert(Participation {
+            joined: round,
+            left: None,
+        });
     }
 
     /// Records that `client` left after `round`.
@@ -558,7 +585,10 @@ impl HistoryStore {
         let value = match self.decode_model_value(round) {
             Ok(v) => v,
             Err(_) => {
-                Self::bump(&self.counters.decode_errors);
+                Self::bump(
+                    &self.counters.decode_errors,
+                    fuiov_obs::counter!("storage.decode_errors"),
+                );
                 None
             }
         };
@@ -570,7 +600,11 @@ impl HistoryStore {
 
     /// Removes the direction recorded for `(round, client)`, returning it
     /// if present. Models a lost or never-persisted upload.
-    pub fn remove_direction(&mut self, round: Round, client: ClientId) -> Option<GradientDirection> {
+    pub fn remove_direction(
+        &mut self,
+        round: Round,
+        client: ClientId,
+    ) -> Option<GradientDirection> {
         self.directions.get(&round)?;
         self.dirs_mut(round).remove(&client)
     }
@@ -581,7 +615,10 @@ impl HistoryStore {
     ///
     /// Panics if the weight is not strictly positive and finite.
     pub fn set_weight(&mut self, client: ClientId, weight: f32) {
-        assert!(weight > 0.0 && weight.is_finite(), "set_weight: invalid weight");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "set_weight: invalid weight"
+        );
         self.weights.insert(client, weight);
     }
 
@@ -604,7 +641,10 @@ impl HistoryStore {
             ModelSlot::Spilled { .. } => match self.load_model_chain(round) {
                 Ok(v) => Some(ModelRef::Cached(v)),
                 Err(_) => {
-                    Self::bump(&self.counters.decode_errors);
+                    Self::bump(
+                        &self.counters.decode_errors,
+                        fuiov_obs::counter!("storage.decode_errors"),
+                    );
                     None
                 }
             },
@@ -621,9 +661,9 @@ impl HistoryStore {
         match self.models.get(&round) {
             None => Ok(None),
             Some(ModelSlot::Hot(v)) => Ok(Some(ModelRef::Hot(v.as_slice()))),
-            Some(ModelSlot::Spilled { .. }) => {
-                self.load_model_chain(round).map(|v| Some(ModelRef::Cached(v)))
-            }
+            Some(ModelSlot::Spilled { .. }) => self
+                .load_model_chain(round)
+                .map(|v| Some(ModelRef::Cached(v))),
         }
     }
 
@@ -635,7 +675,10 @@ impl HistoryStore {
                 let map = match self.load_spilled_dirs(round, *offset, *len) {
                     Ok(m) => m,
                     Err(_) => {
-                        Self::bump(&self.counters.decode_errors);
+                        Self::bump(
+                            &self.counters.decode_errors,
+                            fuiov_obs::counter!("storage.decode_errors"),
+                        );
                         return None;
                     }
                 };
@@ -655,7 +698,10 @@ impl HistoryStore {
             Some(ModelSlot::Spilled { .. }) => match self.load_model_chain(round) {
                 Ok(v) => Some(v),
                 Err(_) => {
-                    Self::bump(&self.counters.decode_errors);
+                    Self::bump(
+                        &self.counters.decode_errors,
+                        fuiov_obs::counter!("storage.decode_errors"),
+                    );
                     None
                 }
             },
@@ -667,7 +713,10 @@ impl HistoryStore {
                 match self.load_spilled_dirs(round, *offset, *len) {
                     Ok(m) => m,
                     Err(_) => {
-                        Self::bump(&self.counters.decode_errors);
+                        Self::bump(
+                            &self.counters.decode_errors,
+                            fuiov_obs::counter!("storage.decode_errors"),
+                        );
                         Arc::new(BTreeMap::new())
                     }
                 }
@@ -704,14 +753,21 @@ impl HistoryStore {
     /// next [`HistoryStore::round_view`] is a pure cache hit. Decode
     /// failures are counted, not raised.
     pub fn prefetch(&self, round: Round) {
+        fuiov_obs::counter!("storage.prefetches").inc();
         if let Some(ModelSlot::Spilled { .. }) = self.models.get(&round) {
             if self.load_model_chain(round).is_err() {
-                Self::bump(&self.counters.decode_errors);
+                Self::bump(
+                    &self.counters.decode_errors,
+                    fuiov_obs::counter!("storage.decode_errors"),
+                );
             }
         }
         if let Some(DirSlot::Spilled { offset, len, .. }) = self.directions.get(&round) {
             if self.load_spilled_dirs(round, *offset, *len).is_err() {
-                Self::bump(&self.counters.decode_errors);
+                Self::bump(
+                    &self.counters.decode_errors,
+                    fuiov_obs::counter!("storage.decode_errors"),
+                );
             }
         }
     }
@@ -732,7 +788,10 @@ impl HistoryStore {
                         m.keys().copied().collect::<Vec<ClientId>>().into_iter(),
                     ),
                     Err(_) => {
-                        Self::bump(&self.counters.decode_errors);
+                        Self::bump(
+                            &self.counters.decode_errors,
+                            fuiov_obs::counter!("storage.decode_errors"),
+                        );
                         ClientsIterInner::Owned(Vec::new().into_iter())
                     }
                 }
@@ -880,12 +939,17 @@ impl HistoryStore {
     // ------------------------------------------------------------------
 
     fn any_model_slot(&self, round: Round) -> Option<&ModelSlot> {
-        self.models.get(&round).or_else(|| self.shadow_models.get(&round))
+        self.models
+            .get(&round)
+            .or_else(|| self.shadow_models.get(&round))
     }
 
     /// Decoded value of `round`'s model regardless of tier (`Ok(None)` if
     /// the round was never recorded).
-    fn decode_model_value(&self, round: Round) -> Result<Option<Arc<Vec<f32>>>, SegmentDecodeError> {
+    fn decode_model_value(
+        &self,
+        round: Round,
+    ) -> Result<Option<Arc<Vec<f32>>>, SegmentDecodeError> {
         match self.any_model_slot(round) {
             None => Ok(None),
             Some(ModelSlot::Hot(v)) => Ok(Some(Arc::clone(v))),
@@ -902,6 +966,7 @@ impl HistoryStore {
         let mut value: Option<Arc<Vec<f32>>> = None;
         loop {
             if let Some(v) = self.cache.lock().get_model(cur) {
+                fuiov_obs::counter!("storage.decode_cache_hits").inc();
                 value = Some(v);
                 break;
             }
@@ -925,7 +990,10 @@ impl HistoryStore {
                 unreachable!("chain slot vanished mid-decode")
             };
             let bytes = self.spill.read(*offset, *len)?;
-            Self::bump(&self.counters.spill_loads);
+            Self::bump(
+                &self.counters.spill_loads,
+                fuiov_obs::counter!("storage.spill_loads"),
+            );
             let decoded = match base {
                 None => segment::decode_model(&bytes, r, None)?,
                 Some(_) => segment::decode_model(
@@ -948,10 +1016,14 @@ impl HistoryStore {
         len: u32,
     ) -> Result<Arc<BTreeMap<ClientId, GradientDirection>>, SegmentDecodeError> {
         if let Some(m) = self.cache.lock().get_dirs(round) {
+            fuiov_obs::counter!("storage.decode_cache_hits").inc();
             return Ok(m);
         }
         let bytes = self.spill.read(offset, len)?;
-        Self::bump(&self.counters.spill_loads);
+        Self::bump(
+            &self.counters.spill_loads,
+            fuiov_obs::counter!("storage.spill_loads"),
+        );
         let map = Arc::new(segment::decode_directions(&bytes, round)?);
         self.cache.lock().put_dirs(round, Arc::clone(&map));
         Ok(map)
@@ -966,7 +1038,10 @@ impl HistoryStore {
             let map = match self.load_spilled_dirs(round, offset, len) {
                 Ok(m) => m,
                 Err(_) => {
-                    Self::bump(&self.counters.decode_errors);
+                    Self::bump(
+                        &self.counters.decode_errors,
+                        fuiov_obs::counter!("storage.decode_errors"),
+                    );
                     Arc::new(BTreeMap::new())
                 }
             };
@@ -990,7 +1065,8 @@ impl HistoryStore {
         if !self.models.contains_key(&round) && !self.shadow_models.contains_key(&round) {
             return;
         }
-        let is_dep = |s: &ModelSlot| matches!(s, ModelSlot::Spilled { base: Some(b), .. } if *b == round);
+        let is_dep =
+            |s: &ModelSlot| matches!(s, ModelSlot::Spilled { base: Some(b), .. } if *b == round);
         let deps: Vec<(bool, Round)> = self
             .models
             .iter()
@@ -1006,12 +1082,23 @@ impl HistoryStore {
         for (shadow, u) in deps {
             match self.load_model_chain(u) {
                 Ok(v) => {
-                    let target = if shadow { &mut self.shadow_models } else { &mut self.models };
+                    let target = if shadow {
+                        &mut self.shadow_models
+                    } else {
+                        &mut self.models
+                    };
                     target.insert(u, ModelSlot::Hot(v));
                 }
                 Err(_) => {
-                    Self::bump(&self.counters.decode_errors);
-                    let target = if shadow { &mut self.shadow_models } else { &mut self.models };
+                    Self::bump(
+                        &self.counters.decode_errors,
+                        fuiov_obs::counter!("storage.decode_errors"),
+                    );
+                    let target = if shadow {
+                        &mut self.shadow_models
+                    } else {
+                        &mut self.models
+                    };
                     target.remove(&u);
                     self.cache.lock().remove_model(u);
                 }
@@ -1047,9 +1134,13 @@ impl HistoryStore {
         let Ok((offset, len)) = self.spill.append(&record) else {
             return false; // disk refused — stay hot rather than lose data
         };
-        self.models.insert(round, ModelSlot::Spilled { offset, len, base });
+        self.models
+            .insert(round, ModelSlot::Spilled { offset, len, base });
         self.cache.lock().put_model(round, v);
-        Self::bump(&self.counters.spill_writes);
+        Self::bump(
+            &self.counters.spill_writes,
+            fuiov_obs::counter!("storage.spill_writes"),
+        );
         true
     }
 
@@ -1063,11 +1154,24 @@ impl HistoryStore {
             return false;
         };
         let packed_bytes = map.values().map(GradientDirection::byte_size).sum();
-        let full_bytes = map.values().map(GradientDirection::full_f32_byte_size).sum();
-        self.directions
-            .insert(round, DirSlot::Spilled { offset, len, packed_bytes, full_bytes });
+        let full_bytes = map
+            .values()
+            .map(GradientDirection::full_f32_byte_size)
+            .sum();
+        self.directions.insert(
+            round,
+            DirSlot::Spilled {
+                offset,
+                len,
+                packed_bytes,
+                full_bytes,
+            },
+        );
         self.cache.lock().put_dirs(round, map);
-        Self::bump(&self.counters.spill_writes);
+        Self::bump(
+            &self.counters.spill_writes,
+            fuiov_obs::counter!("storage.spill_writes"),
+        );
         true
     }
 
@@ -1128,7 +1232,10 @@ impl HistoryStore {
             if !progressed {
                 return; // e.g. disk full — keep data hot instead of spinning
             }
-            Self::bump(&self.counters.evictions);
+            Self::bump(
+                &self.counters.evictions,
+                fuiov_obs::counter!("storage.evictions"),
+            );
         }
     }
 
@@ -1269,7 +1376,10 @@ impl HistoryStore {
     ///
     /// Panics if `keep_every == 0`.
     pub fn thinned_models(&self, keep_every: usize) -> HistoryStore {
-        assert!(keep_every > 0, "thinned_models: keep_every must be positive");
+        assert!(
+            keep_every > 0,
+            "thinned_models: keep_every must be positive"
+        );
         let mut out = HistoryStore {
             delta: self.delta,
             dim: self.dim,
@@ -1304,8 +1414,9 @@ impl HistoryStore {
         let kept: Vec<Round> = out.models.keys().copied().collect();
         for r in kept {
             let mut cur = r;
-            while let Some(ModelSlot::Spilled { base: Some(base), .. }) =
-                out.models.get(&cur).or_else(|| out.shadow_models.get(&cur))
+            while let Some(ModelSlot::Spilled {
+                base: Some(base), ..
+            }) = out.models.get(&cur).or_else(|| out.shadow_models.get(&cur))
             {
                 let base = *base;
                 if out.models.contains_key(&base) || out.shadow_models.contains_key(&base) {
@@ -1355,7 +1466,10 @@ impl FullGradientStore {
 
     /// Records a client's full gradient for `round`.
     pub fn record(&mut self, round: Round, client: ClientId, grad: Vec<f32>) {
-        self.gradients.entry(round).or_default().insert(client, grad);
+        self.gradients
+            .entry(round)
+            .or_default()
+            .insert(client, grad);
     }
 
     /// The recorded gradient, if any.
@@ -1601,7 +1715,11 @@ mod tests {
             }
             for t in 0..12 {
                 assert_eq!(h.model_tier(t), Some(Tier::Spilled), "k={k} t={t}");
-                assert_eq!(h.directions_tier(t), Some(Tier::Hot).filter(|_| false).or(Some(Tier::Spilled)), "k={k} t={t}");
+                assert_eq!(
+                    h.directions_tier(t),
+                    Some(Tier::Hot).filter(|_| false).or(Some(Tier::Spilled)),
+                    "k={k} t={t}"
+                );
             }
             // Random-access every round: chain decode must be exact.
             for t in (0..12).rev() {
@@ -1622,7 +1740,9 @@ mod tests {
         let mut h = HistoryStore::with_tier(0.0, tier);
         for t in 0..16 {
             // A slowly-drifting trajectory, like SGD between keyframes.
-            let m: Vec<f32> = (0..256).map(|i| (i as f32).cos() + t as f32 * 1e-4).collect();
+            let m: Vec<f32> = (0..256)
+                .map(|i| (i as f32).cos() + t as f32 * 1e-4)
+                .collect();
             h.record_model(t, m);
         }
         assert!(
@@ -1671,7 +1791,11 @@ mod tests {
         h.invalidate_caches();
         for (t, hv) in hot.iter().enumerate() {
             let cold = h.try_round_view(t).expect("spilled round decodes");
-            assert_eq!(bits(hv.model().unwrap()), bits(cold.model().unwrap()), "t={t}");
+            assert_eq!(
+                bits(hv.model().unwrap()),
+                bits(cold.model().unwrap()),
+                "t={t}"
+            );
             assert_eq!(
                 hv.directions().collect::<Vec<_>>(),
                 cold.directions().collect::<Vec<_>>(),
@@ -1701,7 +1825,10 @@ mod tests {
     fn iterator_variants_match_vec_variants() {
         let mut h = store_with_two_rounds();
         assert_eq!(h.rounds_iter().collect::<Vec<_>>(), h.rounds());
-        assert_eq!(h.clients_in_round_iter(1).collect::<Vec<_>>(), h.clients_in_round(1));
+        assert_eq!(
+            h.clients_in_round_iter(1).collect::<Vec<_>>(),
+            h.clients_in_round(1)
+        );
         assert_eq!(h.clients_in_round_iter(1).len(), 2);
         assert_eq!(h.clients_in_round_iter(42).count(), 0);
         h.force_spill_all();
@@ -1805,7 +1932,11 @@ mod tests {
         let path = h.spill_path();
         {
             use std::io::{Read, Seek, SeekFrom, Write};
-            let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
             let mut buf = vec![0u8; len as usize];
             f.seek(SeekFrom::Start(offset)).unwrap();
             f.read_exact(&mut buf).unwrap();

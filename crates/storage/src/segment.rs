@@ -118,7 +118,10 @@ impl fmt::Display for SegmentDecodeError {
                 "spill record checksum mismatch (stored {expected:#018x}, computed {found:#018x})"
             ),
             SegmentDecodeError::RoundMismatch { expected, found } => {
-                write!(f, "stale spill record: wanted round {expected}, record holds {found}")
+                write!(
+                    f,
+                    "stale spill record: wanted round {expected}, record holds {found}"
+                )
             }
             SegmentDecodeError::MissingBase(r) => {
                 write!(f, "delta record needs base model of round {r}")
@@ -222,7 +225,9 @@ pub fn encode_directions(round: Round, dirs: &BTreeMap<ClientId, GradientDirecti
 ///
 /// Any [`SegmentDecodeError`] except `RoundMismatch`/`MissingBase`, which
 /// are the typed-decode layer's concern.
-pub fn check_record(record: &[u8]) -> Result<(RecordKind, Round, Round, &[u8]), SegmentDecodeError> {
+pub fn check_record(
+    record: &[u8],
+) -> Result<(RecordKind, Round, Round, &[u8]), SegmentDecodeError> {
     if record.len() < HEADER_LEN + TRAILER_LEN {
         return Err(SegmentDecodeError::Truncated);
     }
@@ -248,6 +253,7 @@ pub fn check_record(record: &[u8]) -> Result<(RecordKind, Round, Round, &[u8]), 
     let expected = u64::from_le_bytes(record[body..body + TRAILER_LEN].try_into().unwrap());
     let found = fnv1a64(&record[..body]);
     if expected != found {
+        fuiov_obs::counter!("storage.segment_checksum_failures").inc();
         return Err(SegmentDecodeError::BadChecksum { expected, found });
     }
     Ok((kind, round as Round, base as Round, payload))
@@ -373,7 +379,13 @@ impl SpillFile {
             std::process::id(),
             SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        SpillFile { inner: Mutex::new(SpillInner { file: None, path, len: 0 }) }
+        SpillFile {
+            inner: Mutex::new(SpillInner {
+                file: None,
+                path,
+                len: 0,
+            }),
+        }
     }
 
     /// Where the segment file lives (or will live once first written).
@@ -487,13 +499,19 @@ mod tests {
         let rec = encode_delta(5, 4, &base, &cur);
         let back = decode_model(&rec, 5, Some(&base)).unwrap();
         assert_eq!(bits(&back), bits(&cur));
-        assert_eq!(decode_model(&rec, 5, None), Err(SegmentDecodeError::MissingBase(4)));
+        assert_eq!(
+            decode_model(&rec, 5, None),
+            Err(SegmentDecodeError::MissingBase(4))
+        );
     }
 
     #[test]
     fn directions_roundtrip_verbatim() {
         let mut dirs = BTreeMap::new();
-        dirs.insert(3 as ClientId, GradientDirection::from_signs(&[1, -1, 0, 0, 1]));
+        dirs.insert(
+            3 as ClientId,
+            GradientDirection::from_signs(&[1, -1, 0, 0, 1]),
+        );
         dirs.insert(11 as ClientId, GradientDirection::from_signs(&[0, 0, -1]));
         let rec = encode_directions(2, &dirs);
         let back = decode_directions(&rec, 2).unwrap();
@@ -503,7 +521,12 @@ mod tests {
     #[test]
     fn truncation_is_typed() {
         let rec = encode_keyframe(0, &[1.0, 2.0]);
-        for cut in [3, HEADER_LEN - 1, rec.len() - TRAILER_LEN - 1, rec.len() - 1] {
+        for cut in [
+            3,
+            HEADER_LEN - 1,
+            rec.len() - TRAILER_LEN - 1,
+            rec.len() - 1,
+        ] {
             assert_eq!(
                 decode_model(&rec[..cut], 0, None),
                 Err(SegmentDecodeError::Truncated),
@@ -516,17 +539,26 @@ mod tests {
     fn bad_magic_version_kind_are_typed() {
         let mut rec = encode_keyframe(0, &[1.0]);
         rec[0] ^= 0xFF;
-        assert!(matches!(check_record(&rec), Err(SegmentDecodeError::BadMagic(_))));
+        assert!(matches!(
+            check_record(&rec),
+            Err(SegmentDecodeError::BadMagic(_))
+        ));
 
         let mut rec = encode_keyframe(0, &[1.0]);
         rec[4] = 0xEE;
         reseal(&mut rec); // version field is inside the checksummed body
-        assert!(matches!(check_record(&rec), Err(SegmentDecodeError::BadVersion(_))));
+        assert!(matches!(
+            check_record(&rec),
+            Err(SegmentDecodeError::BadVersion(_))
+        ));
 
         let mut rec = encode_keyframe(0, &[1.0]);
         rec[6] = 9;
         reseal(&mut rec);
-        assert_eq!(check_record(&rec).unwrap_err(), SegmentDecodeError::BadKind(9));
+        assert_eq!(
+            check_record(&rec).unwrap_err(),
+            SegmentDecodeError::BadKind(9)
+        );
     }
 
     #[test]
@@ -546,7 +578,10 @@ mod tests {
         reseal(&mut rec);
         assert_eq!(
             decode_model(&rec, 7, None),
-            Err(SegmentDecodeError::RoundMismatch { expected: 7, found: 3 })
+            Err(SegmentDecodeError::RoundMismatch {
+                expected: 7,
+                found: 3
+            })
         );
         // Without the reseal the checksum fires first.
         let mut rec2 = encode_keyframe(7, &[4.0, 5.0]);
@@ -560,10 +595,16 @@ mod tests {
     #[test]
     fn model_vs_direction_kind_confusion_is_typed() {
         let rec = encode_keyframe(0, &[1.0]);
-        assert!(matches!(decode_directions(&rec, 0), Err(SegmentDecodeError::BadKind(1))));
+        assert!(matches!(
+            decode_directions(&rec, 0),
+            Err(SegmentDecodeError::BadKind(1))
+        ));
         let dirs = BTreeMap::from([(1 as ClientId, GradientDirection::from_signs(&[1]))]);
         let rec = encode_directions(0, &dirs);
-        assert!(matches!(decode_model(&rec, 0, None), Err(SegmentDecodeError::BadKind(3))));
+        assert!(matches!(
+            decode_model(&rec, 0, None),
+            Err(SegmentDecodeError::BadKind(3))
+        ));
     }
 
     #[test]
@@ -605,17 +646,33 @@ mod tests {
 
     #[test]
     fn error_display_is_meaningful() {
-        assert!(SegmentDecodeError::Truncated.to_string().contains("truncated"));
-        assert!(SegmentDecodeError::BadMagic(7).to_string().contains("magic"));
-        assert!(SegmentDecodeError::MissingBase(3).to_string().contains("base"));
-        assert!(SegmentDecodeError::RoundMismatch { expected: 1, found: 2 }
+        assert!(SegmentDecodeError::Truncated
             .to_string()
-            .contains("stale"));
-        assert!(SegmentDecodeError::BadChecksum { expected: 1, found: 2 }
+            .contains("truncated"));
+        assert!(SegmentDecodeError::BadMagic(7)
             .to_string()
-            .contains("checksum"));
-        assert!(SegmentDecodeError::Io("x".into()).to_string().contains("i/o"));
-        assert!(SegmentDecodeError::BadVersion(9).to_string().contains("version"));
+            .contains("magic"));
+        assert!(SegmentDecodeError::MissingBase(3)
+            .to_string()
+            .contains("base"));
+        assert!(SegmentDecodeError::RoundMismatch {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("stale"));
+        assert!(SegmentDecodeError::BadChecksum {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("checksum"));
+        assert!(SegmentDecodeError::Io("x".into())
+            .to_string()
+            .contains("i/o"));
+        assert!(SegmentDecodeError::BadVersion(9)
+            .to_string()
+            .contains("version"));
         assert!(SegmentDecodeError::BadKind(9).to_string().contains("kind"));
     }
 }

@@ -318,11 +318,17 @@ mod tests {
     #[test]
     fn participation_summary_formats() {
         assert_eq!(
-            participation_summary(Participation { joined: 3, left: None }),
+            participation_summary(Participation {
+                joined: 3,
+                left: None
+            }),
             "joined 3"
         );
         assert_eq!(
-            participation_summary(Participation { joined: 3, left: Some(9) }),
+            participation_summary(Participation {
+                joined: 3,
+                left: Some(9)
+            }),
             "joined 3 left 9"
         );
     }

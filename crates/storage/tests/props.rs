@@ -17,10 +17,7 @@ fn arb_f32_bits() -> impl Strategy<Value = f32> {
 fn arb_history() -> impl Strategy<Value = HistoryStore> {
     let dim = 6usize;
     (1usize..8, 1usize..4).prop_flat_map(move |(rounds, clients)| {
-        let models = prop::collection::vec(
-            prop::collection::vec(-2.0f32..2.0, dim),
-            rounds + 1,
-        );
+        let models = prop::collection::vec(prop::collection::vec(-2.0f32..2.0, dim), rounds + 1);
         let grads = prop::collection::vec(
             prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim), rounds),
             clients,

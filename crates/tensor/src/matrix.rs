@@ -26,7 +26,11 @@ pub struct Mat {
 impl Mat {
     /// All-zeros matrix of shape `rows × cols`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of size `n × n`.
@@ -51,7 +55,11 @@ impl Mat {
             assert_eq!(r.len(), cols, "from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Mat { rows: rows.len(), cols, data }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a `dim × k` matrix whose columns are the given vectors.
@@ -95,7 +103,11 @@ impl Mat {
             assert_eq!(r.len(), cols, "from_row_vecs: ragged rows");
             data.extend_from_slice(r);
         }
-        Mat { rows: rows.len(), cols, data }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds from a flat row-major buffer.
@@ -266,7 +278,11 @@ impl Mat {
     /// Panics if `v.len() != self.cols` or `out.len() != self.rows`.
     pub fn row_dots_into(&self, v: &[f32], out: &mut [f32]) {
         assert_eq!(v.len(), self.cols, "row_dots_into: vector length mismatch");
-        assert_eq!(out.len(), self.rows, "row_dots_into: output length mismatch");
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "row_dots_into: output length mismatch"
+        );
         crate::pool::par_row_bands_weighted(out, self.rows, 1, self.cols, |rows, band| {
             // Four rows per sweep: each output keeps its own f64
             // accumulator (so per-row accumulation order — and hence the
@@ -277,12 +293,14 @@ impl Mat {
             // batched sweep at least as fast per column.
             let mut r = rows.start;
             while r + 4 <= rows.end {
-                let (a0, a1, a2, a3) =
-                    (self.row(r), self.row(r + 1), self.row(r + 2), self.row(r + 3));
+                let (a0, a1, a2, a3) = (
+                    self.row(r),
+                    self.row(r + 1),
+                    self.row(r + 2),
+                    self.row(r + 3),
+                );
                 let mut acc = [0.0f64; 4];
-                for ((((&vj, &x0), &x1), &x2), &x3) in
-                    v.iter().zip(a0).zip(a1).zip(a2).zip(a3)
-                {
+                for ((((&vj, &x0), &x1), &x2), &x3) in v.iter().zip(a0).zip(a1).zip(a2).zip(a3) {
                     if vj == 0.0 {
                         continue;
                     }
@@ -645,7 +663,9 @@ mod tests {
     fn test_mat(rows: usize, cols: usize, salt: u64) -> Mat {
         let mut data = Vec::with_capacity(rows * cols);
         for idx in 0..rows * cols {
-            let mut z = (idx as u64).wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut z = (idx as u64)
+                .wrapping_add(salt)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z ^= z >> 27;
             if z % 7 == 0 {

@@ -87,7 +87,11 @@ pub fn par_row_bands_weighted<F>(
 ) where
     F: Fn(Range<usize>, &mut [f32]) + Sync,
 {
-    assert_eq!(out.len(), rows * cols, "par_row_bands: buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        rows * cols,
+        "par_row_bands: buffer size mismatch"
+    );
     let workers = threads()
         .min(rows)
         .min((rows * work_per_row) / MIN_ELEMS_PER_WORKER)
@@ -136,9 +140,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = threads()
-        .min(items.len() / min_per_worker.max(1))
-        .max(1);
+    let workers = threads().min(items.len() / min_per_worker.max(1)).max(1);
     if workers == 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -176,7 +178,8 @@ where
 #[cfg(test)]
 pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -217,7 +220,10 @@ mod tests {
         let mut parallel = vec![0.0f32; rows * cols];
         par_row_bands(&mut parallel, rows, cols, fill);
         set_threads(0);
-        assert!(serial.iter().zip(&parallel).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]
@@ -256,7 +262,10 @@ mod tests {
         let mut parallel = vec![0.0f32; rows];
         par_row_bands_weighted(&mut parallel, rows, 1, work, fill);
         set_threads(0);
-        assert!(serial.iter().zip(&parallel).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -92,9 +92,7 @@ pub fn l2_norm(x: &[f32]) -> f32 {
 
 /// Squared Euclidean norm `‖x‖₂²`.
 pub fn l2_norm_sq(x: &[f32]) -> f32 {
-    x.iter()
-        .map(|a| f64::from(*a) * f64::from(*a))
-        .sum::<f64>() as f32
+    x.iter().map(|a| f64::from(*a) * f64::from(*a)).sum::<f64>() as f32
 }
 
 /// Euclidean distance `‖x − y‖₂`.
@@ -137,7 +135,10 @@ pub fn linf_norm(x: &[f32]) -> f32 {
 /// assert!((fuiov_tensor::vector::l2_norm(&g) - 1.0).abs() < 1e-6);
 /// ```
 pub fn clip_l2(x: &mut [f32], l: f32) {
-    assert!(l > 0.0 && l.is_finite(), "clip_l2: threshold must be positive");
+    assert!(
+        l > 0.0 && l.is_finite(),
+        "clip_l2: threshold must be positive"
+    );
     let norm = l2_norm(x);
     if norm > l {
         scale(l / norm, x);
@@ -158,7 +159,10 @@ pub fn clip_l2(x: &mut [f32], l: f32) {
 /// assert_eq!(g, vec![0.5, -1.0, 1.0]);
 /// ```
 pub fn clip_elementwise(x: &mut [f32], l: f32) {
-    assert!(l > 0.0 && l.is_finite(), "clip_elementwise: threshold must be positive");
+    assert!(
+        l > 0.0 && l.is_finite(),
+        "clip_elementwise: threshold must be positive"
+    );
     for v in x {
         *v = v.clamp(-l, l);
     }
@@ -199,7 +203,10 @@ pub fn signs_to_f32(s: &[i8]) -> Vec<f32> {
 /// Panics if `x.len() != y.len()`.
 pub fn lerp(x: &[f32], y: &[f32], t: f32) -> Vec<f32> {
     assert_eq!(x.len(), y.len(), "lerp: length mismatch");
-    x.iter().zip(y).map(|(a, b)| (1.0 - t) * a + t * b).collect()
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (1.0 - t) * a + t * b)
+        .collect()
 }
 
 /// Weighted average of several vectors: `Σ wᵢ·xᵢ / Σ wᵢ`.
@@ -213,7 +220,11 @@ pub fn lerp(x: &[f32], y: &[f32], t: f32) -> Vec<f32> {
 /// or all weights sum to zero.
 pub fn weighted_mean(vecs: &[&[f32]], weights: &[f32]) -> Vec<f32> {
     assert!(!vecs.is_empty(), "weighted_mean: no vectors");
-    assert_eq!(vecs.len(), weights.len(), "weighted_mean: weight count mismatch");
+    assert_eq!(
+        vecs.len(),
+        weights.len(),
+        "weighted_mean: weight count mismatch"
+    );
     let dim = vecs[0].len();
     let total: f64 = weights.iter().map(|w| f64::from(*w)).sum();
     assert!(total != 0.0, "weighted_mean: weights sum to zero");

@@ -167,7 +167,10 @@ impl Corruptor {
         let Some((offset, len)) = Self::spilled_extent(history, round) else {
             return false;
         };
-        let Ok(mut file) = OpenOptions::new().read(true).write(true).open(history.spill_path())
+        let Ok(mut file) = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(history.spill_path())
         else {
             return false;
         };
@@ -194,7 +197,10 @@ impl Corruptor {
         let Some((offset, len)) = Self::spilled_extent(history, round) else {
             return false;
         };
-        let Ok(mut file) = OpenOptions::new().read(true).write(true).open(history.spill_path())
+        let Ok(mut file) = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(history.spill_path())
         else {
             return false;
         };
@@ -217,7 +223,10 @@ impl Corruptor {
     /// how many landed. Checksum and stale-keyframe faults go first;
     /// truncations last, because tearing the file also destroys every
     /// record appended after the torn one.
-    pub fn apply_segment_faults(history: &mut HistoryStore, plan: &crate::plan::FaultPlan) -> usize {
+    pub fn apply_segment_faults(
+        history: &mut HistoryStore,
+        plan: &crate::plan::FaultPlan,
+    ) -> usize {
         use crate::plan::Fault;
         let faults: Vec<Fault> = plan.segment_faults().into_iter().cloned().collect();
         let mut landed = 0;
@@ -298,7 +307,10 @@ mod tests {
         let mut h = tiny_history();
         assert!(Corruptor::flip_signs(&mut h, 0, 3, &[0, 2, 99]));
         assert_eq!(h.direction(0, 3).unwrap().to_signs(), vec![-1, -1, 1, 1]);
-        assert!(!Corruptor::flip_signs(&mut h, 5, 3, &[0]), "missing cell is a no-op");
+        assert!(
+            !Corruptor::flip_signs(&mut h, 5, 3, &[0]),
+            "missing cell is a no-op"
+        );
     }
 
     #[test]
@@ -324,12 +336,18 @@ mod tests {
             Err(SegmentDecodeError::Truncated | SegmentDecodeError::Io(_))
         ));
         assert!(h.model(1).is_none(), "lenient accessor degrades to None");
-        assert!(!Corruptor::truncate_spill_record(&mut h, 9), "missing round is a no-op");
+        assert!(
+            !Corruptor::truncate_spill_record(&mut h, 9),
+            "missing round is a no-op"
+        );
 
         // Checksum rot: frame intact, trailer wrong.
         let mut h = tiny_history();
         assert!(Corruptor::corrupt_spill_checksum(&mut h, 0));
-        assert!(matches!(h.try_model(0), Err(SegmentDecodeError::BadChecksum { .. })));
+        assert!(matches!(
+            h.try_model(0),
+            Err(SegmentDecodeError::BadChecksum { .. })
+        ));
         assert!(h.model(0).is_none());
 
         // Stale keyframe: checksum-valid record for the wrong round.
@@ -337,7 +355,10 @@ mod tests {
         assert!(Corruptor::stale_keyframe(&mut h, 0, 3));
         assert!(matches!(
             h.try_model(0),
-            Err(SegmentDecodeError::RoundMismatch { expected: 0, found: 3 })
+            Err(SegmentDecodeError::RoundMismatch {
+                expected: 0,
+                found: 3
+            })
         ));
         assert!(h.model(0).is_none());
         assert!(h.tier_stats().decode_errors > 0, "errors are counted");

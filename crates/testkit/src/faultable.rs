@@ -52,7 +52,12 @@ impl std::fmt::Debug for FaultableClient {
 impl FaultableClient {
     /// Wraps `inner` under `plan`.
     pub fn new(inner: Box<dyn Client>, plan: Arc<FaultPlan>) -> Self {
-        FaultableClient { inner, plan, prev_upload: None, duplicated_now: false }
+        FaultableClient {
+            inner,
+            plan,
+            prev_upload: None,
+            duplicated_now: false,
+        }
     }
 
     /// Wraps every client of a federation under one shared plan.
@@ -100,7 +105,11 @@ impl Client for FaultableClient {
         if let Some(flips) = self.plan.sign_flips(id, round) {
             for &i in flips {
                 if i < upload.len() {
-                    upload[i] = if upload[i] >= 0.0 { -FLIP_MAGNITUDE } else { FLIP_MAGNITUDE };
+                    upload[i] = if upload[i] >= 0.0 {
+                        -FLIP_MAGNITUDE
+                    } else {
+                        FLIP_MAGNITUDE
+                    };
                 }
             }
         }
@@ -139,15 +148,24 @@ mod tests {
 
     #[test]
     fn dropout_suppresses_response() {
-        let plan = plan_with(&[Fault::Dropout { client: 0, round: 1 }]);
+        let plan = plan_with(&[Fault::Dropout {
+            client: 0,
+            round: 1,
+        }]);
         let c = FaultableClient::new(Box::new(Scripted { id: 0, dim: 4 }), plan);
         assert!(!c.responds_in(1));
-        assert!(c.responds_in(0), "other rounds unaffected (cell exclusivity)");
+        assert!(
+            c.responds_in(0),
+            "other rounds unaffected (cell exclusivity)"
+        );
     }
 
     #[test]
     fn delay_reports_previous_upload() {
-        let plan = plan_with(&[Fault::Delay { client: 1, round: 2 }]);
+        let plan = plan_with(&[Fault::Delay {
+            client: 1,
+            round: 2,
+        }]);
         let mut c = FaultableClient::new(Box::new(Scripted { id: 1, dim: 3 }), plan);
         let g0 = c.gradient(&[], 0);
         assert_eq!(g0, vec![1.0; 3], "round 0 on time");
@@ -160,14 +178,20 @@ mod tests {
 
     #[test]
     fn delay_without_history_degrades_to_on_time() {
-        let plan = plan_with(&[Fault::Delay { client: 1, round: 0 }]);
+        let plan = plan_with(&[Fault::Delay {
+            client: 1,
+            round: 0,
+        }]);
         let mut c = FaultableClient::new(Box::new(Scripted { id: 1, dim: 2 }), plan);
         assert_eq!(c.gradient(&[], 0), vec![1.0; 2]);
     }
 
     #[test]
     fn duplicate_doubles_weight_for_that_round_only() {
-        let plan = plan_with(&[Fault::Duplicate { client: 0, round: 1 }]);
+        let plan = plan_with(&[Fault::Duplicate {
+            client: 0,
+            round: 1,
+        }]);
         let mut c = FaultableClient::new(Box::new(Scripted { id: 0, dim: 2 }), plan);
         let _ = c.gradient(&[], 0);
         assert_eq!(c.weight(), 10.0);
@@ -179,7 +203,11 @@ mod tests {
 
     #[test]
     fn sign_flip_inverts_planned_elements() {
-        let plan = plan_with(&[Fault::SignFlip { client: 0, round: 1, elements: vec![0, 2] }]);
+        let plan = plan_with(&[Fault::SignFlip {
+            client: 0,
+            round: 1,
+            elements: vec![0, 2],
+        }]);
         let mut c = FaultableClient::new(Box::new(Scripted { id: 0, dim: 4 }), plan);
         let g = c.gradient(&[], 1);
         assert_eq!(g, vec![-FLIP_MAGNITUDE, 2.0, -FLIP_MAGNITUDE, 2.0]);

@@ -93,7 +93,11 @@ impl Trace {
     /// Panics if `name` contains characters outside that set.
     pub fn new(name: &str, seed: u64) -> Self {
         assert!(label_ok(name), "Trace::new: invalid name {name:?}");
-        Trace { name: name.to_string(), seed, entries: Vec::new() }
+        Trace {
+            name: name.to_string(),
+            seed,
+            entries: Vec::new(),
+        }
     }
 
     /// Appends the digest of `params` under `label`.
@@ -189,12 +193,21 @@ impl Trace {
         }
         p.expect("}")?;
         if !p.rest.trim().is_empty() {
-            return Err(GoldenError::Parse(format!("trailing content: {:?}", p.rest.trim())));
+            return Err(GoldenError::Parse(format!(
+                "trailing content: {:?}",
+                p.rest.trim()
+            )));
         }
         if !label_ok(&name) || entries.iter().any(|(l, _)| !label_ok(l)) {
-            return Err(GoldenError::Parse("invalid name or label characters".into()));
+            return Err(GoldenError::Parse(
+                "invalid name or label characters".into(),
+            ));
         }
-        Ok(Trace { name, seed, entries })
+        Ok(Trace {
+            name,
+            seed,
+            entries,
+        })
     }
 
     /// Compares this (freshly computed) trace against the `golden` one.
@@ -205,7 +218,10 @@ impl Trace {
     pub fn compare(&self, golden: &Trace) -> Result<(), GoldenError> {
         let mut diffs = Vec::new();
         if self.name != golden.name {
-            diffs.push(format!("name: got {:?}, golden {:?}", self.name, golden.name));
+            diffs.push(format!(
+                "name: got {:?}, golden {:?}",
+                self.name, golden.name
+            ));
         }
         if self.seed != golden.seed {
             diffs.push(format!("seed: got {}, golden {}", self.seed, golden.seed));
@@ -326,7 +342,11 @@ mod tests {
     fn digest_is_bit_exact() {
         assert_eq!(digest_params(&[1.0, 2.0]), digest_params(&[1.0, 2.0]));
         assert_ne!(digest_params(&[1.0, 2.0]), digest_params(&[2.0, 1.0]));
-        assert_ne!(digest_params(&[0.0]), digest_params(&[-0.0]), "signed zero differs");
+        assert_ne!(
+            digest_params(&[0.0]),
+            digest_params(&[-0.0]),
+            "signed zero differs"
+        );
         assert_ne!(digest_params(&[]), digest_params(&[0.0]));
         // Reference FNV-1a: empty input is the offset basis.
         assert_eq!(digest_params(&[]), FNV_OFFSET);
@@ -362,7 +382,9 @@ mod tests {
         let mut b = sample();
         b.entries[1].1 ^= 1;
         let err = a.compare(&b).unwrap_err();
-        let GoldenError::Drift(msg) = &err else { panic!("expected drift, got {err:?}") };
+        let GoldenError::Drift(msg) = &err else {
+            panic!("expected drift, got {err:?}")
+        };
         assert!(msg.contains("train_round_0"), "diff names the entry: {msg}");
         assert!(a.compare(&a).is_ok());
     }

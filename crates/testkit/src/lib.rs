@@ -53,5 +53,6 @@ pub use scenario::{CanonicalRun, TrainedRun};
 /// would race on *which* width they are asserting about.
 pub fn thread_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }

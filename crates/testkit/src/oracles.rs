@@ -112,7 +112,11 @@ pub fn history_roundtrip_identity(h: &HistoryStore) -> Result<(), String> {
     let back: HistoryStore = decode_history(&encode_history(h))
         .map_err(|e: HistoryDecodeError| format!("round-trip decode failed: {e}"))?;
     if back.rounds() != h.rounds() {
-        return Err(format!("rounds changed: {:?} -> {:?}", h.rounds(), back.rounds()));
+        return Err(format!(
+            "rounds changed: {:?} -> {:?}",
+            h.rounds(),
+            back.rounds()
+        ));
     }
     for r in h.rounds() {
         let (a, b) = (h.model(r), back.model(r));

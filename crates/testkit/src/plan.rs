@@ -183,7 +183,10 @@ impl FaultSpec {
     ///
     /// Panics if any of `clients`, `rounds`, `dim` is zero.
     pub fn small(clients: usize, rounds: usize, dim: usize) -> Self {
-        assert!(clients > 0 && rounds > 0 && dim > 0, "FaultSpec: empty federation");
+        assert!(
+            clients > 0 && rounds > 0 && dim > 0,
+            "FaultSpec: empty federation"
+        );
         FaultSpec {
             clients,
             rounds,
@@ -230,13 +233,14 @@ impl FaultPlan {
             let mut rng = rng_for(seed, streams::TESTKIT + k as u64);
             for client in 0..spec.clients {
                 for round in 0..spec.rounds {
-                    if occupied.contains(&(client, round))
-                        || !rng.gen_bool(spec.client_fault_prob)
+                    if occupied.contains(&(client, round)) || !rng.gen_bool(spec.client_fault_prob)
                     {
                         continue;
                     }
                     occupied.insert((client, round));
-                    faults.push(Self::make_client_fault(class, client, round, spec, &mut rng));
+                    faults.push(Self::make_client_fault(
+                        class, client, round, spec, &mut rng,
+                    ));
                 }
             }
         }
@@ -257,14 +261,18 @@ impl FaultPlan {
                 .find(|cell| !occupied.contains(cell));
             if let Some((client, round)) = cell {
                 occupied.insert((client, round));
-                faults.push(Self::make_client_fault(class, client, round, spec, &mut rng));
+                faults.push(Self::make_client_fault(
+                    class, client, round, spec, &mut rng,
+                ));
             }
         }
 
         // Checkpoint faults are not per-cell; always at least one of each.
         let mut rng = rng_for(seed, streams::TESTKIT + 0x41);
         for _ in 0..spec.truncations.max(1) {
-            faults.push(Fault::TruncateCheckpoint { prefix: rng.gen_range(0..10_000usize) });
+            faults.push(Fault::TruncateCheckpoint {
+                prefix: rng.gen_range(0..10_000usize),
+            });
         }
         faults.push(Fault::CorruptCheckpointMagic);
 
@@ -272,8 +280,12 @@ impl FaultPlan {
         // global, also floored at one of each. A separate stream keeps
         // earlier draws stable across taxonomy growth.
         let mut rng = rng_for(seed, streams::TESTKIT + 0x42);
-        faults.push(Fault::TruncateSpillRecord { round: rng.gen_range(0..spec.rounds) });
-        faults.push(Fault::CorruptSpillChecksum { round: rng.gen_range(0..spec.rounds) });
+        faults.push(Fault::TruncateSpillRecord {
+            round: rng.gen_range(0..spec.rounds),
+        });
+        faults.push(Fault::CorruptSpillChecksum {
+            round: rng.gen_range(0..spec.rounds),
+        });
         faults.push(Fault::StaleKeyframe {
             round: rng.gen_range(0..spec.rounds),
             shift: rng.gen_range(1..=spec.max_stale_lag.max(1)),
@@ -292,7 +304,11 @@ impl FaultPlan {
             })
             .collect();
 
-        FaultPlan { seed, faults, by_cell }
+        FaultPlan {
+            seed,
+            faults,
+            by_cell,
+        }
     }
 
     /// Builds a plan from an explicit fault list (no sampling) — for
@@ -312,10 +328,17 @@ impl FaultPlan {
             | Fault::StaleDirections { client, round, .. } = f
             {
                 let prev = by_cell.insert((*client, *round), i);
-                assert!(prev.is_none(), "from_faults: cell ({client}, {round}) used twice");
+                assert!(
+                    prev.is_none(),
+                    "from_faults: cell ({client}, {round}) used twice"
+                );
             }
         }
-        FaultPlan { seed, faults, by_cell }
+        FaultPlan {
+            seed,
+            faults,
+            by_cell,
+        }
     }
 
     fn make_client_fault(
@@ -334,7 +357,11 @@ impl FaultPlan {
                 while elements.len() < spec.flips_per_event.min(spec.dim) {
                     elements.insert(rng.gen_range(0..spec.dim));
                 }
-                Fault::SignFlip { client, round, elements: elements.into_iter().collect() }
+                Fault::SignFlip {
+                    client,
+                    round,
+                    elements: elements.into_iter().collect(),
+                }
             }
             FaultClass::StaleDirections => Fault::StaleDirections {
                 client,
@@ -471,7 +498,10 @@ mod tests {
             | Fault::Duplicate { client, round }
             | Fault::StaleDirections { client, round, .. } = f
             {
-                assert!(seen.insert((*client, *round)), "cell ({client},{round}) reused");
+                assert!(
+                    seen.insert((*client, *round)),
+                    "cell ({client},{round}) reused"
+                );
             }
         }
     }
@@ -484,7 +514,11 @@ mod tests {
                 Fault::Dropout { client, round } => {
                     assert!(plan.is_dropout(*client, *round));
                 }
-                Fault::SignFlip { client, round, elements } => {
+                Fault::SignFlip {
+                    client,
+                    round,
+                    elements,
+                } => {
                     assert_eq!(plan.sign_flips(*client, *round), Some(&elements[..]));
                     assert!(elements.iter().all(|&e| e < spec().dim));
                 }

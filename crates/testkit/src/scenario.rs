@@ -47,13 +47,23 @@ impl CanonicalRun {
     /// The standard scenario: 3 vehicles, 6 rounds, vehicle 2 joins at
     /// round 2 and is the unlearning target.
     pub fn standard() -> Self {
-        CanonicalRun { seed: 7, clients: 3, rounds: 6, forgotten: 2, forgotten_joins: 2 }
+        CanonicalRun {
+            seed: 7,
+            clients: 3,
+            rounds: 6,
+            forgotten: 2,
+            forgotten_joins: 2,
+        }
     }
 
     /// The MNIST-analogue model (12×12 synthetic digits, one hidden
     /// layer).
     pub fn model_spec(&self) -> ModelSpec {
-        ModelSpec::Mlp { inputs: 144, hidden: 8, classes: 10 }
+        ModelSpec::Mlp {
+            inputs: 144,
+            hidden: 8,
+            classes: 10,
+        }
     }
 
     /// Initial global parameters (seeded init, shared by every variant of
@@ -71,8 +81,13 @@ impl CanonicalRun {
             .into_iter()
             .enumerate()
             .map(|(id, idx)| {
-                Box::new(HonestClient::new(id, spec, data.subset(&idx), 10, self.seed))
-                    as Box<dyn Client>
+                Box::new(HonestClient::new(
+                    id,
+                    spec,
+                    data.subset(&idx),
+                    10,
+                    self.seed,
+                )) as Box<dyn Client>
             })
             .collect()
     }
@@ -83,7 +98,11 @@ impl CanonicalRun {
         let mut s = ChurnSchedule::static_membership(self.clients, self.rounds);
         s.set_membership(
             self.forgotten,
-            Membership { joined: self.forgotten_joins, leaves_after: None, dropouts: vec![] },
+            Membership {
+                joined: self.forgotten_joins,
+                leaves_after: None,
+                dropouts: vec![],
+            },
         );
         s
     }
@@ -111,7 +130,10 @@ impl CanonicalRun {
     /// Trains with the client thread pool disabled — the reference serial
     /// path the parallel fan-out must match bitwise.
     pub fn train_serial(&self) -> TrainedRun {
-        self.train_clients_with(self.fl_config().parallel_clients(false), self.make_clients())
+        self.train_clients_with(
+            self.fl_config().parallel_clients(false),
+            self.make_clients(),
+        )
     }
 
     /// Trains with the provided clients (e.g. fault-wrapped ones).
@@ -120,14 +142,22 @@ impl CanonicalRun {
     }
 
     /// Trains with an explicit configuration and client set.
-    pub fn train_clients_with(&self, cfg: FlConfig, mut clients: Vec<Box<dyn Client>>) -> TrainedRun {
+    pub fn train_clients_with(
+        &self,
+        cfg: FlConfig,
+        mut clients: Vec<Box<dyn Client>>,
+    ) -> TrainedRun {
         let mut server = Server::new(cfg, self.initial_params());
         let mut round_params = Vec::with_capacity(self.rounds);
         server.train_with(&mut clients, &self.schedule(), |t, params| {
             round_params.push((t, params.to_vec()));
         });
         let (params, history, _) = server.into_parts();
-        TrainedRun { params, history, round_params }
+        TrainedRun {
+            params,
+            history,
+            round_params,
+        }
     }
 
     /// Trains under a fault plan: clients wrapped in [`FaultableClient`],
@@ -150,7 +180,13 @@ impl CanonicalRun {
         history: &HistoryStore,
         on_round: impl FnMut(Round, &[f32]),
     ) -> Result<RecoveryOutcome, UnlearnError> {
-        recover(history, self.forgotten, &self.recovery_config(history), &mut NoOracle, on_round)
+        recover(
+            history,
+            self.forgotten,
+            &self.recovery_config(history),
+            &mut NoOracle,
+            on_round,
+        )
     }
 
     /// The full golden trace: initial params, every training round, the

@@ -8,9 +8,7 @@
 
 use fuiov_storage::checkpoint::{self, DecodeError};
 use fuiov_storage::serialize::{encode_history, HistoryDecodeError};
-use fuiov_testkit::{
-    bitwise_eq, CanonicalRun, Corruptor, Fault, FaultClass, FaultPlan, FaultSpec,
-};
+use fuiov_testkit::{bitwise_eq, CanonicalRun, Corruptor, Fault, FaultClass, FaultPlan, FaultSpec};
 use std::sync::Arc;
 
 fn seeds() -> Vec<u64> {
@@ -47,7 +45,10 @@ fn has_effective_fault(scenario: &CanonicalRun, plan: &FaultPlan) -> bool {
         // Doubling one weight shifts FedAvg only with ≥ 2 participants.
         Fault::Duplicate { client, round } => {
             responding(client, round)
-                && (0..scenario.clients).filter(|&c| responding(c, round)).count() >= 2
+                && (0..scenario.clients)
+                    .filter(|&c| responding(c, round))
+                    .count()
+                    >= 2
         }
         // Storage-side faults do not touch the training trajectory.
         _ => false,
@@ -68,7 +69,11 @@ fn plans_cover_the_fault_taxonomy() {
         for class in FaultClass::ALL {
             assert!(classes.contains(&class), "seed {seed}: missing {class:?}");
         }
-        assert_eq!(*plan, *plan_for(&scenario, seed), "plan not reproducible from seed");
+        assert_eq!(
+            *plan,
+            *plan_for(&scenario, seed),
+            "plan not reproducible from seed"
+        );
     }
 }
 
@@ -100,7 +105,9 @@ fn faulted_training_stays_finite_and_faults_bite() {
         for (client, round, lag) in plan.stale_directions() {
             if let (Some(now), Some(older)) = (
                 run.history.direction(round, client),
-                round.checked_sub(lag).and_then(|r| run.history.direction(r, client)),
+                round
+                    .checked_sub(lag)
+                    .and_then(|r| run.history.direction(r, client)),
             ) {
                 assert_eq!(
                     now.to_signs(),
@@ -149,7 +156,10 @@ fn corrupted_checkpoints_fail_with_typed_errors() {
     let history_blob = encode_history(&run.history);
     for seed in seeds() {
         let plan = plan_for(&scenario, seed);
-        assert!(!plan.truncations().is_empty(), "plans always draw truncations");
+        assert!(
+            !plan.truncations().is_empty(),
+            "plans always draw truncations"
+        );
         for raw in plan.truncations() {
             let t = Corruptor::truncate(&blob, raw);
             assert_eq!(
@@ -169,10 +179,16 @@ fn corrupted_checkpoints_fail_with_typed_errors() {
     }
     let mut magic = blob.to_vec();
     Corruptor::scramble_magic(&mut magic);
-    assert!(matches!(checkpoint::decode(&magic), Err(DecodeError::BadMagic(_))));
+    assert!(matches!(
+        checkpoint::decode(&magic),
+        Err(DecodeError::BadMagic(_))
+    ));
     let mut version = blob.to_vec();
     Corruptor::bump_version(&mut version);
-    assert_eq!(checkpoint::decode(&version), Err(DecodeError::BadVersion(0xFFFF)));
+    assert_eq!(
+        checkpoint::decode(&version),
+        Err(DecodeError::BadVersion(0xFFFF))
+    );
 }
 
 #[test]
@@ -180,7 +196,11 @@ fn segment_faults_degrade_to_typed_errors_and_are_counted() {
     let scenario = CanonicalRun::standard();
     for seed in seeds() {
         let plan = plan_for(&scenario, seed);
-        assert_eq!(plan.segment_faults().len(), 3, "plans floor one fault per segment class");
+        assert_eq!(
+            plan.segment_faults().len(),
+            3,
+            "plans floor one fault per segment class"
+        );
         let mut run = scenario.train();
         let landed = Corruptor::apply_segment_faults(&mut run.history, &plan);
         assert!(landed >= 1, "seed {seed}: no segment fault landed");
@@ -197,7 +217,10 @@ fn segment_faults_degrade_to_typed_errors_and_are_counted() {
                 }
             }
         }
-        assert!(typed >= 1, "seed {seed}: {landed} faults landed but none surfaced");
+        assert!(
+            typed >= 1,
+            "seed {seed}: {landed} faults landed but none surfaced"
+        );
         assert!(
             run.history.tier_stats().decode_errors >= typed,
             "seed {seed}: decode errors must be counted"
@@ -216,7 +239,10 @@ fn lost_replay_checkpoint_is_a_typed_recovery_error() {
     // typed error (or succeed via interpolation when enabled), not panic.
     let scenario = CanonicalRun::standard();
     let mut run = scenario.train();
-    assert!(Corruptor::drop_model(&mut run.history, scenario.forgotten_joins + 1));
+    assert!(Corruptor::drop_model(
+        &mut run.history,
+        scenario.forgotten_joins + 1
+    ));
     let err = scenario
         .recover_forgotten(&run.history, |_, _| {})
         .expect_err("missing replay model must be reported");

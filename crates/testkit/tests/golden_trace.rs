@@ -19,7 +19,11 @@ fn canonical_trace_matches_golden() {
     match check_or_bless(&trace, &golden_path()) {
         Ok(GoldenStatus::Matched) => {}
         Ok(GoldenStatus::Blessed) => {
-            println!("golden {} re-blessed with {} entries", golden_path().display(), trace.entries().len());
+            println!(
+                "golden {} re-blessed with {} entries",
+                golden_path().display(),
+                trace.entries().len()
+            );
         }
         Err(e) => panic!("{e}"),
     }
@@ -33,17 +37,39 @@ fn trace_covers_training_and_recovery() {
     assert_eq!(labels.first(), Some(&"init"));
     assert!(labels.contains(&"train_round_0"));
     assert!(labels.contains(&"train_final"));
-    assert!(labels.contains(&"recover_round_2"), "replay starts at F = 2");
+    assert!(
+        labels.contains(&"recover_round_2"),
+        "replay starts at F = 2"
+    );
     assert_eq!(labels.last(), Some(&"recover_final"));
     // init + 6 training rounds + final + 4 recovery rounds + recovered.
     assert_eq!(labels.len(), 13);
 }
 
 #[test]
+fn trace_digests_identical_with_obs_on_and_off() {
+    // The observability layer's determinism contract: metric collection is
+    // purely observational, so the canonical digests are bit-identical
+    // whether the registry is recording or not.
+    let _guard = thread_lock();
+    let _obs = fuiov_obs::test_lock();
+    fuiov_obs::set_enabled(true);
+    let on = CanonicalRun::standard().trace();
+    fuiov_obs::set_enabled(false);
+    let off = CanonicalRun::standard().trace();
+    fuiov_obs::set_enabled(true);
+    assert_eq!(on, off, "obs-on and obs-off traces diverged");
+}
+
+#[test]
 fn trace_is_stable_across_reruns_and_thread_widths() {
     let _guard = thread_lock();
     let baseline = CanonicalRun::standard().trace();
-    assert_eq!(baseline, CanonicalRun::standard().trace(), "repeated run drifted");
+    assert_eq!(
+        baseline,
+        CanonicalRun::standard().trace(),
+        "repeated run drifted"
+    );
     for width in [1usize, 2, 4] {
         fuiov_tensor::pool::set_threads(width);
         let t = CanonicalRun::standard().trace();

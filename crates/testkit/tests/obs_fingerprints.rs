@@ -1,0 +1,118 @@
+//! Obs counters as a second-channel oracle for the fault matrix: an
+//! injected fault must leave a machine-readable fingerprint in the metric
+//! registry, not just a typed error on the direct call path. A fault class
+//! whose counter stays flat is a fault the operator cannot see in a run
+//! report.
+
+use fuiov_obs::Snapshot;
+use fuiov_testkit::{CanonicalRun, Corruptor, FaultPlan, FaultSpec};
+use std::sync::Arc;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("FUIOV_FAULT_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("FUIOV_FAULT_SEED must be a u64")],
+        Err(_) => vec![11, 29],
+    }
+}
+
+fn plan_for(scenario: &CanonicalRun, seed: u64) -> Arc<FaultPlan> {
+    let dim = scenario.initial_params().len();
+    let spec = FaultSpec::small(scenario.clients, scenario.rounds, dim);
+    Arc::new(FaultPlan::sample(seed, &spec))
+}
+
+#[test]
+fn trailer_flip_fingerprints_the_checksum_counter() {
+    let _obs = fuiov_obs::test_lock();
+    fuiov_obs::set_enabled(true);
+    let scenario = CanonicalRun::standard();
+    let mut run = scenario.train();
+    // Flip the FNV trailer of the first spilled model record.
+    let flipped = run
+        .history
+        .rounds()
+        .into_iter()
+        .find(|&t| Corruptor::corrupt_spill_checksum(&mut run.history, t));
+    let flipped = flipped.expect("canonical run must spill at least one model record");
+    let before = Snapshot::capture();
+    assert!(
+        run.history.try_model(flipped).is_err(),
+        "flipped trailer must fail decode"
+    );
+    // The lenient read path is the one that counts decode errors.
+    assert!(run.history.model(flipped).is_none());
+    let delta = Snapshot::capture().delta(&before);
+    assert!(
+        delta.counter("storage.segment_checksum_failures") > 0,
+        "a trailer flip must fingerprint storage.segment_checksum_failures"
+    );
+    assert!(
+        delta.counter("storage.decode_errors") > 0,
+        "the decode-error counter must also move"
+    );
+}
+
+#[test]
+fn fault_matrix_runs_leave_counter_fingerprints() {
+    let _obs = fuiov_obs::test_lock();
+    fuiov_obs::set_enabled(true);
+    let scenario = CanonicalRun::standard();
+    for seed in seeds() {
+        let plan = plan_for(&scenario, seed);
+        let before = Snapshot::capture();
+        let mut run = scenario.train_faulted(&plan);
+        let delta = Snapshot::capture().delta(&before);
+        // Training under any plan drives the fl round/byte counters.
+        assert!(
+            delta.counter("fl.rounds") >= scenario.rounds as u64,
+            "seed {seed}: every training round must be counted"
+        );
+        assert!(
+            delta.counter("fl.upload_bytes_sign") > 0,
+            "seed {seed}: comms accounting flat"
+        );
+        // Scheduled dropouts that the plan injects show up as fl.dropouts
+        // (a dropout for a vehicle that is not in range never gets polled,
+        // so only scheduled ones can leave a fingerprint).
+        let scheduled = |client: usize, round: usize| {
+            client != scenario.forgotten || round >= scenario.forgotten_joins
+        };
+        let injected_dropouts = plan
+            .faults()
+            .iter()
+            .filter(|f| match **f {
+                fuiov_testkit::Fault::Dropout { client, round } => scheduled(client, round),
+                _ => false,
+            })
+            .count();
+        if injected_dropouts > 0 {
+            assert!(
+                delta.counter("fl.dropouts") > 0,
+                "seed {seed}: {injected_dropouts} dropouts injected but counter flat"
+            );
+        }
+        // Segment faults that land must fingerprint the storage counters
+        // once the damaged rounds are read back.
+        let before = Snapshot::capture();
+        let landed = Corruptor::apply_segment_faults(&mut run.history, &plan);
+        for t in run.history.rounds() {
+            let _ = run.history.model(t);
+        }
+        let delta = Snapshot::capture().delta(&before);
+        if landed > 0 {
+            assert!(
+                delta.counter("storage.decode_errors") > 0,
+                "seed {seed}: {landed} segment faults landed but storage.decode_errors is flat"
+            );
+        }
+        // Recovery (typed error or success) drives the core counters.
+        let before = Snapshot::capture();
+        if scenario.recover_forgotten(&run.history, |_, _| {}).is_ok() {
+            let delta = Snapshot::capture().delta(&before);
+            assert!(
+                delta.counter("core.replay_rounds") > 0,
+                "seed {seed}: successful recovery must count replay rounds"
+            );
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! - forget→recover is idempotent under re-run.
 
 use fuiov_baselines::retrain;
-use fuiov_core::{RecoveryConfig, Unlearner, UnlearnError};
+use fuiov_core::{RecoveryConfig, UnlearnError, Unlearner};
 use fuiov_storage::serialize::{decode_history, encode_history};
 use fuiov_testkit::oracles::{checkpoint_roundtrip_identity, history_roundtrip_identity};
 use fuiov_testkit::{bitwise_eq, rel_l2_divergence, thread_lock, CanonicalRun};
@@ -81,7 +81,10 @@ fn save_load_roundtrip_preserves_history_and_recovery() {
         "recovery from a reloaded history must be bitwise identical"
     );
     assert_eq!(from_original.rounds_replayed, from_reloaded.rounds_replayed);
-    assert_eq!(from_original.estimator_fallbacks, from_reloaded.estimator_fallbacks);
+    assert_eq!(
+        from_original.estimator_fallbacks,
+        from_reloaded.estimator_fallbacks
+    );
 }
 
 #[test]
@@ -90,7 +93,10 @@ fn unlearning_a_never_joined_client_is_a_typed_noop() {
     let run = scenario.train();
     let snapshot = encode_history(&run.history);
     let unlearner = Unlearner::new(&run.history, RecoveryConfig::new(0.3));
-    assert_eq!(unlearner.forget(99).unwrap_err(), UnlearnError::UnknownClient(99));
+    assert_eq!(
+        unlearner.forget(99).unwrap_err(),
+        UnlearnError::UnknownClient(99)
+    );
     assert_eq!(
         unlearner.forget_and_recover(99).unwrap_err(),
         UnlearnError::UnknownClient(99)
@@ -114,7 +120,10 @@ fn forget_and_recover_is_idempotent_under_rerun() {
     let b = scenario
         .recover_forgotten(&run.history, |t, p| rounds_b.push((t, p.to_vec())))
         .unwrap();
-    assert!(bitwise_eq(&a.params, &b.params), "re-running recovery drifted");
+    assert!(
+        bitwise_eq(&a.params, &b.params),
+        "re-running recovery drifted"
+    );
     assert_eq!(a.update_norms.len(), b.update_norms.len());
     for (x, y) in a.update_norms.iter().zip(&b.update_norms) {
         assert_eq!(x.to_bits(), y.to_bits());

@@ -27,41 +27,57 @@ fn main() {
     let test = Dataset::sensors(240, &style, seed + 1);
     let shards = partition_iid(train.len(), n_clients, seed);
 
-    let spec = ModelSpec::Mlp { inputs: 3 * style.len, hidden: 48, classes: NUM_CLASSES };
+    let spec = ModelSpec::Mlp {
+        inputs: 3 * style.len,
+        hidden: 48,
+        classes: NUM_CLASSES,
+    };
     let mut clients: Vec<Box<dyn Client>> = shards
         .into_iter()
         .enumerate()
         .map(|(id, idx)| {
-            Box::new(HonestClient::new(id, spec, train.subset(&idx), 48, seed))
-                as Box<dyn Client>
+            Box::new(HonestClient::new(id, spec, train.subset(&idx), 48, seed)) as Box<dyn Client>
         })
         .collect();
 
     let mut schedule = ChurnSchedule::static_membership(n_clients, rounds);
-    schedule.set_membership(7, Membership { joined: 2, leaves_after: None, dropouts: vec![] });
+    schedule.set_membership(
+        7,
+        Membership {
+            joined: 2,
+            leaves_after: None,
+            dropouts: vec![],
+        },
+    );
     let mut server = Server::new(FlConfig::new(rounds, 0.02), spec.build(seed).params());
     server.train(&mut clients, &schedule);
 
     let mut model = spec.build(0);
     model.set_params(server.params());
-    println!("manoeuvre classifier accuracy: {:.3}", test_accuracy(&mut model, &test));
+    println!(
+        "manoeuvre classifier accuracy: {:.3}",
+        test_accuracy(&mut model, &test)
+    );
     let cm = ConfusionMatrix::evaluate(&mut model, &test);
     println!("\nper-manoeuvre recall:");
     for (i, m) in MANEUVERS.iter().enumerate() {
-        let recall = cm.recall(i).map_or("n/a".to_string(), |r| format!("{r:.2}"));
+        let recall = cm
+            .recall(i)
+            .map_or("n/a".to_string(), |r| format!("{r:.2}"));
         println!("  {m:?}: {recall}");
     }
 
     // Vehicle 7 requests erasure; on this MLP task the sign-replay variant
     // recovers best (see EXPERIMENTS.md's IoT section).
     let lr = calibrate_lr(server.history()).map_or(0.001, |c| c * 2.0);
-    let unlearner = Unlearner::new(
-        server.history(),
-        RecoveryConfig::new(lr).without_hessian(),
-    );
+    let unlearner = Unlearner::new(server.history(), RecoveryConfig::new(lr).without_hessian());
     let bt = unlearner.forget(7).expect("vehicle 7 participated");
     model.set_params(&bt.params);
-    println!("\nafter forgetting vehicle 7 (round {}): {:.3}", bt.join_round, test_accuracy(&mut model, &test));
+    println!(
+        "\nafter forgetting vehicle 7 (round {}): {:.3}",
+        bt.join_round,
+        test_accuracy(&mut model, &test)
+    );
     let out = unlearner.forget_and_recover(7).expect("recovery");
     model.set_params(&out.params);
     println!(
@@ -69,4 +85,6 @@ fn main() {
         out.rounds_replayed,
         test_accuracy(&mut model, &test)
     );
+
+    println!("\n{}", fuiov::obs::RunReport::capture());
 }

@@ -22,7 +22,10 @@ fn main() {
     let rounds = 80;
     let malicious: Vec<usize> = vec![2, 6]; // 25 % of the fleet
 
-    let style = DigitStyle { size: 12, ..Default::default() };
+    let style = DigitStyle {
+        size: 12,
+        ..Default::default()
+    };
     let train = Dataset::digits(n_clients * 40, &style, seed);
     let test = Dataset::digits(240, &style, seed + 1);
     let shards = partition_iid(train.len(), n_clients, seed);
@@ -30,12 +33,20 @@ fn main() {
     // A bright 3×3 trigger (our digits have black backgrounds) mapping any
     // stamped image to class 2.
     let attack = Backdoor {
-        trigger: Trigger { size: 3, value: 1.0, corner: Corner::BottomRight },
+        trigger: Trigger {
+            size: 3,
+            value: 1.0,
+            corner: Corner::BottomRight,
+        },
         target_class: 2,
         fraction: 0.6,
     };
 
-    let spec = ModelSpec::Mlp { inputs: 144, hidden: 32, classes: 10 };
+    let spec = ModelSpec::Mlp {
+        inputs: 144,
+        hidden: 32,
+        classes: 10,
+    };
     let mut clients: Vec<Box<dyn Client>> = shards
         .into_iter()
         .enumerate()
@@ -52,7 +63,14 @@ fn main() {
     // Attackers slip in at round 2 — the paper's F.
     let mut schedule = ChurnSchedule::static_membership(n_clients, rounds);
     for &m in &malicious {
-        schedule.set_membership(m, Membership { joined: 2, leaves_after: None, dropouts: vec![] });
+        schedule.set_membership(
+            m,
+            Membership {
+                joined: 2,
+                leaves_after: None,
+                dropouts: vec![],
+            },
+        );
     }
     let mut server = Server::new(FlConfig::new(rounds, 0.1), spec.build(seed).params());
     server.train(&mut clients, &schedule);

@@ -17,32 +17,48 @@ fn main() {
     let rounds = 100;
 
     // 1. Data: a synthetic 10-class digit task, split IID across vehicles.
-    let style = DigitStyle { size: 12, ..Default::default() };
+    let style = DigitStyle {
+        size: 12,
+        ..Default::default()
+    };
     let train = Dataset::digits(n_clients * 40, &style, seed);
     let test = Dataset::digits(200, &style, seed + 1);
     let shards = partition_iid(train.len(), n_clients, seed);
 
     // 2. Clients: one model spec shared by everyone.
-    let spec = ModelSpec::Mlp { inputs: 144, hidden: 32, classes: 10 };
+    let spec = ModelSpec::Mlp {
+        inputs: 144,
+        hidden: 32,
+        classes: 10,
+    };
     let mut clients: Vec<Box<dyn Client>> = shards
         .into_iter()
         .enumerate()
         .map(|(id, idx)| {
-            Box::new(HonestClient::new(id, spec, train.subset(&idx), 40, seed))
-                as Box<dyn Client>
+            Box::new(HonestClient::new(id, spec, train.subset(&idx), 40, seed)) as Box<dyn Client>
         })
         .collect();
 
     // 3. Train. Vehicle 5 joins late (round 2) — it will ask to be
     //    forgotten, and backtracking will return to exactly that round.
     let mut schedule = ChurnSchedule::static_membership(n_clients, rounds);
-    schedule.set_membership(5, Membership { joined: 2, leaves_after: None, dropouts: vec![] });
+    schedule.set_membership(
+        5,
+        Membership {
+            joined: 2,
+            leaves_after: None,
+            dropouts: vec![],
+        },
+    );
     let mut server = Server::new(FlConfig::new(rounds, 0.1), spec.build(seed).params());
     server.train(&mut clients, &schedule);
 
     let mut model = spec.build(0);
     model.set_params(server.params());
-    println!("trained model accuracy:    {:.3}", test_accuracy(&mut model, &test));
+    println!(
+        "trained model accuracy:    {:.3}",
+        test_accuracy(&mut model, &test)
+    );
     println!(
         "history: {} rounds, {} B of packed directions ({:.1}% saved vs f32)",
         server.history().rounds().len(),
@@ -70,4 +86,8 @@ fn main() {
         out.rounds_replayed,
         test_accuracy(&mut model, &test)
     );
+
+    // 5. What did that run actually do? The obs registry kept count
+    //    (set FUIOV_OBS=0 to turn collection off).
+    println!("\n{}", fuiov::obs::RunReport::capture());
 }

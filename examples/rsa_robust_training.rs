@@ -40,8 +40,7 @@ fn make_clients(n_honest: usize, seed: u64, spec: ModelSpec) -> Vec<Box<dyn Clie
         .into_iter()
         .enumerate()
         .map(|(id, idx)| {
-            Box::new(HonestClient::new(id, spec, data.subset(&idx), 40, seed))
-                as Box<dyn Client>
+            Box::new(HonestClient::new(id, spec, data.subset(&idx), 40, seed)) as Box<dyn Client>
         })
         .collect();
     clients.push(Box::new(Byzantine(n_honest)));
@@ -50,8 +49,19 @@ fn make_clients(n_honest: usize, seed: u64, spec: ModelSpec) -> Vec<Box<dyn Clie
 
 fn main() {
     let seed = 17;
-    let spec = ModelSpec::Mlp { inputs: 144, hidden: 32, classes: 10 };
-    let test = Dataset::digits(200, &DigitStyle { size: 12, ..Default::default() }, seed + 1);
+    let spec = ModelSpec::Mlp {
+        inputs: 144,
+        hidden: 32,
+        classes: 10,
+    };
+    let test = Dataset::digits(
+        200,
+        &DigitStyle {
+            size: 12,
+            ..Default::default()
+        },
+        seed + 1,
+    );
     let eval = |params: &[f32]| {
         let mut m = spec.build(0);
         m.set_params(params);
@@ -62,10 +72,7 @@ fn main() {
 
     // FedAvg with one Byzantine vehicle: destroyed immediately.
     let mut clients = make_clients(5, seed, spec);
-    let mut server = Server::new(
-        FlConfig::new(10, 0.1).parallel_clients(false),
-        init.clone(),
-    );
+    let mut server = Server::new(FlConfig::new(10, 0.1).parallel_clients(false), init.clone());
     server.train(&mut clients, &ChurnSchedule::static_membership(6, 10));
     println!(
         "FedAvg after 10 rounds with 1 Byzantine of 6: accuracy {:.3} (max |w| = {:.1e})",

@@ -42,17 +42,23 @@ fn main() {
         );
     }
 
-    let style = DigitStyle { size: 12, ..Default::default() };
+    let style = DigitStyle {
+        size: 12,
+        ..Default::default()
+    };
     let train = Dataset::digits(n_clients * 40, &style, seed);
     let test = Dataset::digits(200, &style, seed + 1);
     let shards = partition_iid(train.len(), n_clients, seed);
-    let spec = ModelSpec::Mlp { inputs: 144, hidden: 32, classes: 10 };
+    let spec = ModelSpec::Mlp {
+        inputs: 144,
+        hidden: 32,
+        classes: 10,
+    };
     let mut clients: Vec<Box<dyn Client>> = shards
         .into_iter()
         .enumerate()
         .map(|(id, idx)| {
-            Box::new(HonestClient::new(id, spec, train.subset(&idx), 40, seed))
-                as Box<dyn Client>
+            Box::new(HonestClient::new(id, spec, train.subset(&idx), 40, seed)) as Box<dyn Client>
         })
         .collect();
 
@@ -61,7 +67,10 @@ fn main() {
 
     let mut model = spec.build(0);
     model.set_params(server.params());
-    println!("\ntrained accuracy: {:.3}", test_accuracy(&mut model, &test));
+    println!(
+        "\ntrained accuracy: {:.3}",
+        test_accuracy(&mut model, &test)
+    );
 
     // Pick a vehicle that actually participated and joined mid-training —
     // ideally one that has already departed (the hard case for

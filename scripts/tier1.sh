@@ -1,33 +1,93 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, lint-clean.
+# Tier-1 gate: release build, full test suite, lint-clean, golden traces,
+# fault matrix, tier invariance, bench smoke.
 #
-# Note `--workspace`: a bare `cargo test -q` from the root only tests the
-# `fuiov` facade package, silently skipping every `crates/*` suite.
+# Every stage is a function so CI (.github/workflows/ci.yml) and local runs
+# execute the *same* commands: `scripts/tier1.sh` runs them all in order,
+# `scripts/tier1.sh <stage>...` runs just the named ones. `stages` lists
+# what is available.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test --workspace -q
-# Perf-sensitive crates: clones and allocation churn in the replay hot loop
-# are regressions, not style nits (see DESIGN.md "Batched recovery engine").
-cargo clippy --all-targets -- -D warnings -D clippy::perf -D clippy::redundant_clone
+# Guard the workspace footgun before anything else: a bare `cargo test -q`
+# from the root only tests the `fuiov` facade package, silently skipping
+# every `crates/*` suite. Fail loudly if this script ever regresses to it.
+stage_guard() {
+  if grep -nE '^[^#]*\bcargo test\b' "$0" | grep -vE 'grep|echo' | grep -vE -- '--workspace|-p [a-z-]+' ; then
+    echo "tier1.sh: bare 'cargo test' found above — it would silently skip" >&2
+    echo "every crates/* suite. Use 'cargo test --workspace' or '-p <crate>'." >&2
+    exit 1
+  fi
+}
 
-# Testkit stage: golden-trace regression (fails on any digest drift — bless
-# intentional changes with FUIOV_BLESS=1, see DESIGN.md §6) plus a
-# fault-matrix smoke at two extra seeds beyond the suite's defaults.
-cargo test -p fuiov-testkit -q --test golden_trace
-for seed in 101 202; do
-  FUIOV_FAULT_SEED="$seed" cargo test -p fuiov-testkit -q --test fault_matrix
-done
+stage_build() {
+  cargo build --release
+}
 
-# Tiering stage: the same golden trace with the history forced out to the
-# spill tier (tight byte budget, short keyframe interval so delta chains
-# are exercised). The pinned FNV digests must survive spill + reload
-# unchanged — bitwise tier invariance, not approximate agreement.
-FUIOV_HISTORY_BUDGET=4096 FUIOV_KEYFRAME_INTERVAL=3 \
+stage_test() {
+  cargo test --workspace -q
+}
+
+stage_fmt() {
+  cargo fmt --all --check
+}
+
+stage_clippy() {
+  # Perf-sensitive crates: clones and allocation churn in the replay hot
+  # loop are regressions, not style nits (see DESIGN.md "Batched recovery
+  # engine").
+  cargo clippy --all-targets -- -D warnings -D clippy::perf -D clippy::redundant_clone
+}
+
+stage_doc() {
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+}
+
+stage_golden() {
+  # Golden-trace regression (fails on any digest drift — bless intentional
+  # changes with FUIOV_BLESS=1, see DESIGN.md §6).
   cargo test -p fuiov-testkit -q --test golden_trace
+}
 
-# Bench smoke: every benchmark (including its pre-timing bitwise
-# differential assertions) executes once with a minimal budget, so bench
-# code cannot rot between full BENCH_micro.json refreshes.
-FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
+stage_fault_matrix() {
+  # Fault-matrix smoke at two extra seeds beyond the suite's defaults.
+  # CI fans the seeds out as a job matrix by exporting FUIOV_FAULT_SEED.
+  for seed in ${FUIOV_FAULT_SEED:-101 202}; do
+    FUIOV_FAULT_SEED="$seed" cargo test -p fuiov-testkit -q --test fault_matrix
+  done
+}
+
+stage_tier_invariance() {
+  # The same golden trace with the history forced out to the spill tier
+  # (tight byte budget, short keyframe interval so delta chains are
+  # exercised). The pinned FNV digests must survive spill + reload
+  # unchanged — bitwise tier invariance, not approximate agreement.
+  FUIOV_HISTORY_BUDGET=4096 FUIOV_KEYFRAME_INTERVAL=3 \
+    cargo test -p fuiov-testkit -q --test golden_trace
+}
+
+stage_bench_smoke() {
+  # Every benchmark (including its pre-timing bitwise differential
+  # assertions) executes once with a minimal budget, so bench code cannot
+  # rot between full BENCH_micro.json refreshes.
+  FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
+}
+
+ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance bench_smoke"
+
+stages() {
+  echo "$ALL_STAGES" | tr ' ' '\n'
+}
+
+if [ "${1:-}" = "stages" ]; then
+  stages
+  exit 0
+fi
+
+for stage in "${@:-$ALL_STAGES}"; do
+  # Top-level "run everything" expands the list; named runs take one each.
+  for s in $stage; do
+    echo "== tier1: $s"
+    "stage_$s"
+  done
+done

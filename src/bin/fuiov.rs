@@ -26,7 +26,11 @@ use std::process::ExitCode;
 /// The CLI's fixed task: digits at 12×12 with the test MLP. The library
 /// supports arbitrary specs; the CLI pins one so checkpoints and
 /// histories are self-consistent without a schema field.
-const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 32, classes: 10 };
+const SPEC: ModelSpec = ModelSpec::Mlp {
+    inputs: 144,
+    hidden: 32,
+    classes: 10,
+};
 const IMAGE: DigitStyle = DigitStyle {
     size: 12,
     noise_sigma: 0.15,
@@ -47,10 +51,7 @@ impl Args {
         while i < raw.len() {
             let a = &raw[i];
             if let Some(name) = a.strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -82,7 +83,8 @@ impl Args {
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required --{name}"))
     }
 }
 
@@ -111,14 +113,17 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         .into_iter()
         .enumerate()
         .map(|(id, idx)| {
-            Box::new(HonestClient::new(id, SPEC, train.subset(&idx), 40, seed))
-                as Box<dyn Client>
+            Box::new(HonestClient::new(id, SPEC, train.subset(&idx), 40, seed)) as Box<dyn Client>
         })
         .collect();
     let mut schedule = ChurnSchedule::static_membership(n_clients, rounds);
     schedule.set_membership(
         n_clients - 1,
-        Membership { joined: forgotten_join.min(rounds), leaves_after: None, dropouts: vec![] },
+        Membership {
+            joined: forgotten_join.min(rounds),
+            leaves_after: None,
+            dropouts: vec![],
+        },
     );
     let mut server = Server::new(FlConfig::new(rounds, 0.1), SPEC.build(seed).params());
     server.train(&mut clients, &schedule);
@@ -150,13 +155,17 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("model dimension:   {}", h.dim().unwrap_or(0));
     println!("sign threshold δ:  {}", h.delta());
     println!("model bytes:       {}", h.model_bytes());
-    println!("direction bytes:   {} ({:.1}% savings vs f32)",
+    println!(
+        "direction bytes:   {} ({:.1}% savings vs f32)",
         h.direction_bytes(),
-        h.gradient_savings_ratio() * 100.0);
+        h.gradient_savings_ratio() * 100.0
+    );
     println!("clients:");
     for c in h.clients() {
         let p = h.participation(c).expect("listed");
-        let left = p.left.map_or("active".to_string(), |l| format!("left after {l}"));
+        let left = p
+            .left
+            .map_or("active".to_string(), |l| format!("left after {l}"));
         println!(
             "  {c:>4}: joined round {:>3}, {left}, weight {}",
             p.joined,
@@ -189,7 +198,9 @@ fn cmd_unlearn(args: &Args) -> Result<(), String> {
         bt.join_round,
         bt.latest_round - bt.join_round
     );
-    let rec = unlearner.forget_and_recover(client).map_err(|e| e.to_string())?;
+    let rec = unlearner
+        .forget_and_recover(client)
+        .map_err(|e| e.to_string())?;
     let blob = checkpoint::encode(&rec.params);
     std::fs::write(&out, &blob).map_err(|e| format!("writing {out}: {e}"))?;
     println!(

@@ -56,5 +56,6 @@ pub use fuiov_data as data;
 pub use fuiov_eval as eval;
 pub use fuiov_fl as fl;
 pub use fuiov_nn as nn;
+pub use fuiov_obs as obs;
 pub use fuiov_storage as storage;
 pub use fuiov_tensor as tensor;

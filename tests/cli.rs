@@ -20,10 +20,24 @@ fn train_info_unlearn_eval_roundtrip() {
     let model = tmp("model.ckpt");
 
     let out = bin()
-        .args(["train", "--out", hist.to_str().unwrap(), "--clients", "4", "--rounds", "8", "--seed", "5"])
+        .args([
+            "train",
+            "--out",
+            hist.to_str().unwrap(),
+            "--clients",
+            "4",
+            "--rounds",
+            "8",
+            "--seed",
+            "5",
+        ])
         .output()
         .expect("run train");
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("final accuracy"), "{stdout}");
     assert!(hist.exists());
@@ -35,7 +49,10 @@ fn train_info_unlearn_eval_roundtrip() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("rounds recorded:   9"), "{stdout}");
-    assert!(stdout.contains("joined round   2"), "forgotten client F=2 missing: {stdout}");
+    assert!(
+        stdout.contains("joined round   2"),
+        "forgotten client F=2 missing: {stdout}"
+    );
 
     let out = bin()
         .args([
@@ -49,7 +66,11 @@ fn train_info_unlearn_eval_roundtrip() {
         ])
         .output()
         .expect("run unlearn");
-    assert!(out.status.success(), "unlearn failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "unlearn failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     let out = bin()
@@ -67,7 +88,17 @@ fn train_info_unlearn_eval_roundtrip() {
 fn unlearn_unknown_client_fails_cleanly() {
     let hist = tmp("hist2.bin");
     let out = bin()
-        .args(["train", "--out", hist.to_str().unwrap(), "--clients", "3", "--rounds", "5", "--seed", "1"])
+        .args([
+            "train",
+            "--out",
+            hist.to_str().unwrap(),
+            "--clients",
+            "3",
+            "--rounds",
+            "5",
+            "--seed",
+            "1",
+        ])
         .output()
         .expect("run train");
     assert!(out.status.success());
@@ -99,7 +130,10 @@ fn bad_invocations_fail_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = bin().args(["info"]).output().expect("run info without args");
+    let out = bin()
+        .args(["info"])
+        .output()
+        .expect("run info without args");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--history"));
 

@@ -8,7 +8,11 @@ use fuiov::fl::{Client, FlConfig, HonestClient, Server};
 use fuiov::nn::ModelSpec;
 use fuiov::unlearn::{calibrate_lr, RecoveryConfig, UnlearnError, Unlearner};
 
-const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 16, classes: 10 };
+const SPEC: ModelSpec = ModelSpec::Mlp {
+    inputs: 144,
+    hidden: 16,
+    classes: 10,
+};
 
 struct World {
     server: Server,
@@ -16,7 +20,10 @@ struct World {
 }
 
 fn train_world(seed: u64, n_clients: usize, rounds: usize, forgotten: usize) -> World {
-    let style = DigitStyle { size: 12, ..Default::default() };
+    let style = DigitStyle {
+        size: 12,
+        ..Default::default()
+    };
     let train = Dataset::digits(n_clients * 20, &style, seed);
     let test = Dataset::digits(120, &style, seed + 1);
     let shards = partition_iid(train.len(), n_clients, seed);
@@ -24,16 +31,21 @@ fn train_world(seed: u64, n_clients: usize, rounds: usize, forgotten: usize) -> 
         .into_iter()
         .enumerate()
         .map(|(id, idx)| {
-            Box::new(HonestClient::new(id, SPEC, train.subset(&idx), 20, seed))
-                as Box<dyn Client>
+            Box::new(HonestClient::new(id, SPEC, train.subset(&idx), 20, seed)) as Box<dyn Client>
         })
         .collect();
     let mut schedule = ChurnSchedule::static_membership(n_clients, rounds);
     schedule.set_membership(
         forgotten,
-        Membership { joined: 2, leaves_after: None, dropouts: vec![] },
+        Membership {
+            joined: 2,
+            leaves_after: None,
+            dropouts: vec![],
+        },
     );
-    let cfg = FlConfig::new(rounds, 0.1).batch_size(20).keep_full_gradients(true);
+    let cfg = FlConfig::new(rounds, 0.1)
+        .batch_size(20)
+        .keep_full_gradients(true);
     let mut server = Server::new(cfg, SPEC.build(seed).params());
     server.train(&mut clients, &schedule);
     World { server, test }
@@ -112,7 +124,10 @@ fn recovered_model_differs_from_original_and_unlearned() {
     let d_unlearned = fuiov::eval::model_distance(&out.params, &bt.params);
     let d_original = fuiov::eval::model_distance(&out.params, w.server.params());
     assert!(d_unlearned > 1e-6, "recovery must move the model");
-    assert!(d_original > 1e-6, "forgotten client's influence must be gone");
+    assert!(
+        d_original > 1e-6,
+        "forgotten client's influence must be gone"
+    );
 }
 
 #[test]

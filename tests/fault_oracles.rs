@@ -13,7 +13,10 @@ fn fault_plans_are_reproducible_and_cover_the_taxonomy() {
     let spec = FaultSpec::small(3, 6, 100);
     let a = FaultPlan::sample(123, &spec);
     assert_eq!(a, FaultPlan::sample(123, &spec));
-    assert!(a.classes().len() >= 5, "a plan must exercise at least 5 fault classes");
+    assert!(
+        a.classes().len() >= 5,
+        "a plan must exercise at least 5 fault classes"
+    );
 }
 
 #[test]
@@ -60,7 +63,10 @@ fn cold_spilled_history_recovers_bitwise_identically() {
     cold_store.force_spill_all();
     cold_store.invalidate_caches();
     assert_eq!(cold_store.tier_stats().decode_errors, 0);
-    assert!(cold_store.spilled_bytes() > 0, "budget 0 must spill the store");
+    assert!(
+        cold_store.spilled_bytes() > 0,
+        "budget 0 must spill the store"
+    );
 
     let cold = scenario.recover_forgotten(&cold_store, |_, _| {}).unwrap();
     assert!(
@@ -75,7 +81,11 @@ fn cold_spilled_history_recovers_bitwise_identically() {
         "calibration must be tier-invariant"
     );
 
-    assert_eq!(cold_store.tier_stats().decode_errors, 0, "clean store, clean decodes");
+    assert_eq!(
+        cold_store.tier_stats().decode_errors,
+        0,
+        "clean store, clean decodes"
+    );
 }
 
 #[test]
@@ -127,7 +137,10 @@ fn fedrecover_baseline_is_tier_invariant() {
     let cfg = FedRecoverConfig::new(lr);
     let hot = fedrecover(&h, &fs, 1, &cfg, &mut NoOracle).unwrap();
     let spilled = fedrecover(&cold, &fs, 1, &cfg, &mut NoOracle).unwrap();
-    assert!(bitwise_eq(&hot.params, &spilled.params), "fedrecover must be tier-invariant");
+    assert!(
+        bitwise_eq(&hot.params, &spilled.params),
+        "fedrecover must be tier-invariant"
+    );
     assert_eq!(hot.rounds_replayed, spilled.rounds_replayed);
     assert_eq!(cold.tier_stats().decode_errors, 0);
 }
@@ -154,6 +167,9 @@ fn forgetting_after_everyone_left_is_a_typed_error() {
     let unlearner = Unlearner::new(&h, RecoveryConfig::new(0.1));
     assert_eq!(
         unlearner.forget_and_recover(1).unwrap_err(),
-        UnlearnError::EmptyMembershipWindow { start_round: 2, end_round: 3 }
+        UnlearnError::EmptyMembershipWindow {
+            start_round: 2,
+            end_round: 3
+        }
     );
 }

@@ -8,11 +8,19 @@ use fuiov::fl::{Client, FlConfig, HonestClient, Server};
 use fuiov::nn::ModelSpec;
 use fuiov::unlearn::{backtrack_set, calibrate_lr, recover_set, NoOracle, RecoveryConfig};
 
-const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 16, classes: 10 };
+const SPEC: ModelSpec = ModelSpec::Mlp {
+    inputs: 144,
+    hidden: 16,
+    classes: 10,
+};
 
 fn bright_backdoor() -> Backdoor {
     Backdoor {
-        trigger: Trigger { size: 3, value: 1.0, corner: Corner::BottomRight },
+        trigger: Trigger {
+            size: 3,
+            value: 1.0,
+            corner: Corner::BottomRight,
+        },
         target_class: 2,
         fraction: 0.8,
     }
@@ -22,7 +30,10 @@ fn train_poisoned(seed: u64, rounds: usize) -> (Server, Dataset, Vec<usize>) {
     let n_clients = 6;
     let malicious = vec![1usize, 4];
     let attack = bright_backdoor();
-    let style = DigitStyle { size: 12, ..Default::default() };
+    let style = DigitStyle {
+        size: 12,
+        ..Default::default()
+    };
     let train = Dataset::digits(n_clients * 30, &style, seed);
     let test = Dataset::digits(150, &style, seed + 1);
     let shards = partition_iid(train.len(), n_clients, seed);
@@ -40,9 +51,19 @@ fn train_poisoned(seed: u64, rounds: usize) -> (Server, Dataset, Vec<usize>) {
         .collect();
     let mut schedule = ChurnSchedule::static_membership(n_clients, rounds);
     for &m in &malicious {
-        schedule.set_membership(m, Membership { joined: 2, leaves_after: None, dropouts: vec![] });
+        schedule.set_membership(
+            m,
+            Membership {
+                joined: 2,
+                leaves_after: None,
+                dropouts: vec![],
+            },
+        );
     }
-    let mut server = Server::new(FlConfig::new(rounds, 0.1).batch_size(30), SPEC.build(seed).params());
+    let mut server = Server::new(
+        FlConfig::new(rounds, 0.1).batch_size(30),
+        SPEC.build(seed).params(),
+    );
     server.train(&mut clients, &schedule);
     (server, test, malicious)
 }
@@ -72,8 +93,14 @@ fn backdoor_poisons_then_unlearning_erases_it() {
     );
 
     let lr = calibrate_lr(history).map_or(0.01, |c| c * 2.0);
-    let out = recover_set(history, &malicious, &RecoveryConfig::new(lr), &mut NoOracle, |_, _| {})
-        .expect("recover");
+    let out = recover_set(
+        history,
+        &malicious,
+        &RecoveryConfig::new(lr),
+        &mut NoOracle,
+        |_, _| {},
+    )
+    .expect("recover");
     let asr_recovered = asr(&out.params, &test);
     assert!(
         asr_recovered < 0.3,
@@ -86,8 +113,14 @@ fn recovery_excludes_every_member_of_the_forgotten_set() {
     let (server, _test, malicious) = train_poisoned(11, 12);
     let history = server.history();
     let lr = calibrate_lr(history).map_or(0.01, |c| c * 2.0);
-    let out = recover_set(history, &malicious, &RecoveryConfig::new(lr), &mut NoOracle, |_, _| {})
-        .expect("recover");
+    let out = recover_set(
+        history,
+        &malicious,
+        &RecoveryConfig::new(lr),
+        &mut NoOracle,
+        |_, _| {},
+    )
+    .expect("recover");
     assert_eq!(out.clients, malicious);
     assert_eq!(out.start_round, 2);
 }
@@ -102,7 +135,10 @@ fn scaling_attacker_is_contained_by_robust_aggregation() {
     let run = |rule: AggregationRule| -> f32 {
         let seed = 13;
         let n_clients = 5;
-        let style = DigitStyle { size: 12, ..Default::default() };
+        let style = DigitStyle {
+            size: 12,
+            ..Default::default()
+        };
         let train = Dataset::digits(n_clients * 30, &style, seed);
         let test = Dataset::digits(120, &style, seed + 1);
         let shards = partition_iid(train.len(), n_clients, seed);
@@ -120,7 +156,10 @@ fn scaling_attacker_is_contained_by_robust_aggregation() {
             .collect();
         let cfg = FlConfig::new(25, 0.1).batch_size(30).aggregation(rule);
         let mut server = Server::new(cfg, SPEC.build(seed).params());
-        server.train(&mut clients, &ChurnSchedule::static_membership(n_clients, 25));
+        server.train(
+            &mut clients,
+            &ChurnSchedule::static_membership(n_clients, 25),
+        );
         let mut m = SPEC.build(0);
         m.set_params(server.params());
         fuiov::eval::test_accuracy(&mut m, &test)

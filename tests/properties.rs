@@ -6,7 +6,9 @@ use fuiov::tensor::{solve, vector, Mat};
 use proptest::prelude::*;
 
 fn small_f32() -> impl Strategy<Value = f32> {
-    prop::num::f32::NORMAL.prop_map(|v| v % 10.0).prop_filter("finite", |v| v.is_finite())
+    prop::num::f32::NORMAL
+        .prop_map(|v| v % 10.0)
+        .prop_filter("finite", |v| v.is_finite())
 }
 
 proptest! {

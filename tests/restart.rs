@@ -9,7 +9,11 @@ use fuiov::nn::ModelSpec;
 use fuiov::storage::serialize::{decode_history, encode_history};
 use fuiov::unlearn::{RecoveryConfig, Unlearner};
 
-const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 16, classes: 10 };
+const SPEC: ModelSpec = ModelSpec::Mlp {
+    inputs: 144,
+    hidden: 16,
+    classes: 10,
+};
 
 fn trained_server(seed: u64) -> Server {
     let n = 4;
@@ -20,17 +24,22 @@ fn trained_server(seed: u64) -> Server {
         .into_iter()
         .enumerate()
         .map(|(id, idx)| {
-            Box::new(HonestClient::new(id, SPEC, data.subset(&idx), 20, seed))
-                as Box<dyn Client>
+            Box::new(HonestClient::new(id, SPEC, data.subset(&idx), 20, seed)) as Box<dyn Client>
         })
         .collect();
     let mut schedule = ChurnSchedule::static_membership(n, rounds);
     schedule.set_membership(
         3,
-        Membership { joined: 2, leaves_after: None, dropouts: vec![] },
+        Membership {
+            joined: 2,
+            leaves_after: None,
+            dropouts: vec![],
+        },
     );
     let mut server = Server::new(
-        FlConfig::new(rounds, 0.1).batch_size(20).parallel_clients(false),
+        FlConfig::new(rounds, 0.1)
+            .batch_size(20)
+            .parallel_clients(false),
         SPEC.build(seed).params(),
     );
     server.train(&mut clients, &schedule);
@@ -85,5 +94,8 @@ fn restored_history_preserves_churn_metadata() {
     for c in h.clients() {
         assert_eq!(restored.weight(c), h.weight(c));
     }
-    assert_eq!(restored.gradient_savings_ratio(), h.gradient_savings_ratio());
+    assert_eq!(
+        restored.gradient_savings_ratio(),
+        h.gradient_savings_ratio()
+    );
 }

@@ -9,14 +9,21 @@ use fuiov::fl::{Client, FlConfig, HonestClient, Server};
 use fuiov::nn::ModelSpec;
 use fuiov::unlearn::{calibrate_lr, forgetting_score, RecoveryConfig, Unlearner};
 
-const SPEC: ModelSpec = ModelSpec::Mlp { inputs: 144, hidden: 24, classes: 10 };
+const SPEC: ModelSpec = ModelSpec::Mlp {
+    inputs: 144,
+    hidden: 24,
+    classes: 10,
+};
 
 /// Trains a federation where the forgotten client holds a *distinctive*
 /// shard (heavy in class 9) so its contribution is measurable.
 fn world(seed: u64) -> (Server, Dataset, Dataset) {
     let n = 5;
     let rounds = 40;
-    let style = DigitStyle { size: 12, ..Default::default() };
+    let style = DigitStyle {
+        size: 12,
+        ..Default::default()
+    };
     let pool = Dataset::digits(n * 30, &style, seed);
     let parts = partition_iid(pool.len(), n, seed);
 
@@ -30,8 +37,7 @@ fn world(seed: u64) -> (Server, Dataset, Dataset) {
         .iter()
         .enumerate()
         .map(|(id, idx)| {
-            Box::new(HonestClient::new(id, SPEC, pool.subset(idx), 30, seed))
-                as Box<dyn Client>
+            Box::new(HonestClient::new(id, SPEC, pool.subset(idx), 30, seed)) as Box<dyn Client>
         })
         .collect();
     clients.push(Box::new(HonestClient::new(
@@ -45,10 +51,16 @@ fn world(seed: u64) -> (Server, Dataset, Dataset) {
     let mut schedule = ChurnSchedule::static_membership(n, rounds);
     schedule.set_membership(
         n - 1,
-        Membership { joined: 2, leaves_after: None, dropouts: vec![] },
+        Membership {
+            joined: 2,
+            leaves_after: None,
+            dropouts: vec![],
+        },
     );
     let mut server = Server::new(
-        FlConfig::new(rounds, 0.1).batch_size(30).parallel_clients(false),
+        FlConfig::new(rounds, 0.1)
+            .batch_size(30)
+            .parallel_clients(false),
         SPEC.build(seed).params(),
     );
     server.train(&mut clients, &schedule);

@@ -43,7 +43,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{parameter}", name.into()) }
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
     }
 }
 
@@ -147,8 +149,10 @@ impl BenchmarkGroup<'_> {
         if let Ok(path) = std::env::var("FUIOV_BENCH_JSON") {
             if !path.is_empty() {
                 use std::io::Write as _;
-                if let Ok(mut fh) =
-                    std::fs::OpenOptions::new().create(true).append(true).open(&path)
+                if let Ok(mut fh) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
                 {
                     let _ = writeln!(
                         fh,

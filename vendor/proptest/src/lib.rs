@@ -72,11 +72,19 @@ pub trait Strategy {
     }
 
     /// Rejects values failing `pred` (regenerates, up to a retry cap).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
     where
         Self: Sized,
     {
-        Filter { inner: self, pred, whence }
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
     }
 
     /// Type-erases the strategy.
@@ -133,7 +141,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter '{}' rejected 1000 consecutive values", self.whence);
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive values",
+            self.whence
+        );
     }
 }
 
@@ -268,19 +279,28 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_exclusive: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi_exclusive: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
         }
     }
 
@@ -292,7 +312,10 @@ pub mod collection {
 
     /// Generates vectors whose elements come from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
