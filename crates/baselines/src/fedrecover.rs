@@ -154,7 +154,7 @@ pub fn fedrecover(
             history.prefetch(t + 1);
         }
         let w_t = view.model().ok_or(UnlearnError::MissingModel(t))?;
-        vector::sub_into(&params, w_t, &mut scratch.dw_t);
+        vector::sub_into_aligned(&params, w_t, &mut scratch.dw_t);
         let dw_t = &scratch.dw_t;
         let replayed = t - f_round + 1;
         let correction_round = replayed % config.correction_interval == 0;

@@ -307,6 +307,176 @@ fn bench_direction_decode(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_simd_kernels(c: &mut Criterion) {
+    // The SIMD pass headline: each of the four vectorized kernels timed
+    // with the dispatcher pinned to the AVX2 path versus the pinned scalar
+    // reference. Every pair is asserted bitwise identical before any
+    // timing — the speedup must measure the same computation. Pin the
+    // pool to one thread so the comparison isolates lane-level ILP/width
+    // gains from thread scaling.
+    use fuiov_storage::delta;
+    use fuiov_tensor::{simd, Mat};
+
+    let _simd_guard = simd::force_guard();
+    pool::set_threads(1);
+
+    // -- GEMM: conv2-shaped packed panel kernel.
+    let (m, k, n) = (32usize, 144usize, 6272usize);
+    let a = Mat::from_vec(m, k, random_vec(m * k, 11));
+    let b_mat = Mat::from_vec(k, n, random_vec(k * n, 12));
+    simd::set_forced(Some(true));
+    let fast = a.matmul(&b_mat);
+    simd::set_forced(Some(false));
+    let slow = a.matmul(&b_mat);
+    assert_eq!(
+        fast.as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<u32>>(),
+        slow.as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<u32>>(),
+        "gemm SIMD path diverged from scalar"
+    );
+
+    let mut group = c.benchmark_group("simd_vs_scalar");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((m * k * n) as u64));
+    simd::set_forced(Some(false));
+    group.bench_function("gemm_scalar_32x144x6272", |b| {
+        b.iter(|| black_box(a.matmul(&b_mat)));
+    });
+    simd::set_forced(Some(true));
+    group.bench_function("gemm_simd_32x144x6272", |b| {
+        b.iter(|| black_box(a.matmul(&b_mat)));
+    });
+
+    // -- row_dots_into: the stacked-HVP inbound sweep (2s+1 rows × dim).
+    let (rows, cols) = (96usize, 52_138usize);
+    let mat = Mat::from_vec(rows, cols, random_vec(rows * cols, 21));
+    let v = random_vec(cols, 22);
+    let mut dots_fast = vec![0.0f32; rows];
+    let mut dots_slow = vec![0.0f32; rows];
+    simd::set_forced(Some(true));
+    mat.row_dots_into(&v, &mut dots_fast);
+    mat.row_dots_into_scalar(&v, &mut dots_slow);
+    assert_eq!(
+        dots_fast.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        dots_slow.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        "row_dots SIMD path diverged from scalar"
+    );
+    group.throughput(Throughput::Elements((rows * cols) as u64));
+    group.bench_function("row_dots_scalar_96x52k", |b| {
+        b.iter(|| {
+            mat.row_dots_into_scalar(&v, &mut dots_slow);
+            black_box(dots_slow.last().copied())
+        });
+    });
+    simd::set_forced(Some(true));
+    group.bench_function("row_dots_simd_96x52k", |b| {
+        b.iter(|| {
+            mat.row_dots_into(&v, &mut dots_fast);
+            black_box(dots_fast.last().copied())
+        });
+    });
+
+    // -- direction decode: 2-bit sign unpack to f32, plus the fused
+    // decode-and-accumulate (`acc += a · sign`) form the recovery loops
+    // use. The plain unpack is store-bandwidth-bound (the scalar LUT is
+    // already one 16-byte copy per packed byte), so the interesting
+    // number is the compute-bound axpy.
+    let dim = 52_138;
+    let dir = GradientDirection::quantize(&random_vec(dim, 3), 1e-6);
+    let mut dec_fast = vec![0.0f32; dim];
+    let mut dec_slow = vec![0.0f32; dim];
+    simd::set_forced(Some(true));
+    dir.decode_into(&mut dec_fast);
+    dir.decode_into_scalar(&mut dec_slow);
+    assert_eq!(
+        dec_fast.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        dec_slow.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        "direction decode SIMD path diverged from scalar"
+    );
+    let mut axpy_fast: Vec<f64> = (0..dim).map(|i| i as f64 * 1e-5).collect();
+    let mut axpy_slow = axpy_fast.clone();
+    dir.decode_axpy(0.125, &mut axpy_fast);
+    dir.decode_axpy_scalar(0.125, &mut axpy_slow);
+    assert_eq!(
+        axpy_fast.iter().map(|x| x.to_bits()).collect::<Vec<u64>>(),
+        axpy_slow.iter().map(|x| x.to_bits()).collect::<Vec<u64>>(),
+        "direction decode_axpy SIMD path diverged from scalar"
+    );
+    group.throughput(Throughput::Elements(dim as u64));
+    group.bench_function("direction_decode_scalar_52k", |b| {
+        b.iter(|| {
+            dir.decode_into_scalar(&mut dec_slow);
+            black_box(dec_slow.last().copied())
+        });
+    });
+    simd::set_forced(Some(true));
+    group.bench_function("direction_decode_simd_52k", |b| {
+        b.iter(|| {
+            dir.decode_into(&mut dec_fast);
+            black_box(dec_fast.last().copied())
+        });
+    });
+    group.bench_function("direction_decode_axpy_scalar_52k", |b| {
+        b.iter(|| {
+            dir.decode_axpy_scalar(0.125, &mut axpy_slow);
+            black_box(axpy_slow.last().copied())
+        });
+    });
+    simd::set_forced(Some(true));
+    group.bench_function("direction_decode_axpy_simd_52k", |b| {
+        b.iter(|| {
+            dir.decode_axpy(0.125, &mut axpy_fast);
+            black_box(axpy_fast.last().copied())
+        });
+    });
+
+    // -- delta codec roundtrip: checkpoint-shaped nearby floats, so the
+    // single-byte varint fast path dominates exactly as it does on real
+    // delta-coded model history.
+    let base = random_vec(dim, 41);
+    let step = random_vec(dim, 42);
+    let cur: Vec<f32> = base.iter().zip(&step).map(|(b, s)| b + 1e-4 * s).collect();
+    let mut enc_fast = Vec::new();
+    let mut enc_slow = Vec::new();
+    simd::set_forced(Some(true));
+    delta::encode(&base, &cur, &mut enc_fast);
+    delta::encode_scalar(&base, &cur, &mut enc_slow);
+    assert_eq!(enc_fast, enc_slow, "delta encode SIMD path diverged");
+    let rt_fast = delta::decode(&base, &enc_fast, dim).expect("roundtrip");
+    simd::set_forced(Some(false));
+    let rt_slow = delta::decode_scalar(&base, &enc_slow, dim).expect("roundtrip");
+    assert_eq!(
+        rt_fast.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        rt_slow.iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+        "delta decode SIMD path diverged from scalar"
+    );
+    group.throughput(Throughput::Elements(dim as u64));
+    group.bench_function("delta_roundtrip_scalar_52k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            delta::encode_scalar(&base, &cur, &mut buf);
+            black_box(delta::decode_scalar(&base, &buf, dim))
+        });
+    });
+    simd::set_forced(Some(true));
+    group.bench_function("delta_roundtrip_simd_52k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            delta::encode(&base, &cur, &mut buf);
+            black_box(delta::decode(&base, &buf, dim))
+        });
+    });
+
+    simd::set_forced(None);
+    pool::set_threads(0);
+    group.finish();
+}
+
 fn bench_history_tiering(c: &mut Criterion) {
     // The tiered-store claim: under a tight in-memory budget the history
     // keeps a small hot set resident (delta-coded cold rounds live in the
@@ -470,6 +640,7 @@ criterion_group!(
     bench_recovery_round,
     bench_batched_recovery_round,
     bench_direction_decode,
+    bench_simd_kernels,
     bench_history_tiering,
     bench_conv_backends
 );

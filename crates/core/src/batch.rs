@@ -35,6 +35,7 @@
 
 use crate::lbfgs::LbfgsApprox;
 use fuiov_storage::ClientId;
+use fuiov_tensor::simd::AVec;
 use fuiov_tensor::solve::Lu;
 use fuiov_tensor::Mat;
 
@@ -148,7 +149,7 @@ impl StackedLbfgs {
     /// # Panics
     ///
     /// Panics if `v.len() != dim`.
-    pub fn fused_dots(&self, v: &[f32], dots: &mut Vec<f32>) {
+    pub fn fused_dots(&self, v: &[f32], dots: &mut AVec) {
         assert_eq!(v.len(), self.dim, "fused_dots: dimension mismatch");
         dots.clear();
         dots.resize(self.stack.rows(), 0.0);
@@ -290,18 +291,21 @@ impl StackedLbfgs {
 /// recycled across all rounds and clients.
 #[derive(Debug, Default)]
 pub struct RoundScratch {
-    /// `w̄ₜ − wₜ` for the current round.
-    pub dw_t: Vec<f32>,
-    /// Fused per-column dots of the stack against `dw_t`.
-    pub dots: Vec<f32>,
+    /// `w̄ₜ − wₜ` for the current round. 64-byte aligned ([`AVec`]): the
+    /// SIMD inbound sweep streams this vector once per stacked column.
+    pub dw_t: AVec,
+    /// Fused per-column dots of the stack against `dw_t` (aligned).
+    pub dots: AVec,
     /// Concatenated middle-solve solutions, offsets parallel to `dots`.
     pub ps: Vec<f32>,
     /// `2s`-length rhs scratch for the middle solves.
     pub rhs: Vec<f32>,
     /// `2s`-length solution scratch for the middle solves.
     pub p: Vec<f32>,
-    /// Row-major `n × d` estimate matrix (one row per remaining client).
-    pub est: Vec<f32>,
+    /// Row-major `n × d` estimate matrix (one row per remaining client),
+    /// 64-byte aligned so every estimate row's SIMD accumulation starts
+    /// on a cache-line boundary when `dim % 16 == 0`.
+    pub est: AVec,
     /// Decoded stored direction of the client being refreshed.
     pub stored: Vec<f32>,
     /// `est − stored` for the pair being pushed.

@@ -434,7 +434,7 @@ pub fn recover_set(
                 .ok_or(UnlearnError::MissingModel(t))?,
             None => return Err(UnlearnError::MissingModel(t)),
         };
-        vector::sub_into(&params, &w_t, &mut scratch.dw_t); // w̄_t − w_t
+        vector::sub_into_aligned(&params, &w_t, &mut scratch.dw_t); // w̄_t − w_t
 
         if config.hessian_correction && stacked_dirty {
             stacked = StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));

@@ -128,16 +128,27 @@ impl GradientDirection {
         }
     }
 
-    /// Unpacks to a sign vector (word-level: 4 signs per byte LUT hit).
+    /// Unpacks to a sign vector. Runtime-dispatched: 32 signs per
+    /// iteration through the AVX2 shuffle decode where available, 4 signs
+    /// per byte-LUT hit otherwise (`fuiov_tensor::simd` owns the choice;
+    /// both paths produce identical bytes).
     pub fn to_signs(&self) -> Vec<i8> {
         let mut out = vec![0i8; self.len];
-        for (chunk, &byte) in out.chunks_exact_mut(4).zip(&self.packed) {
-            chunk.copy_from_slice(&SIGN_LUT[byte as usize]);
+        #[cfg(target_arch = "x86_64")]
+        if fuiov_tensor::simd::enabled() {
+            // SAFETY: `simd::enabled()` implies the AVX2 probe passed.
+            unsafe { x86::signs_avx2(&self.packed, &mut out) };
+            return out;
         }
-        let tail = self.len / 4 * 4;
-        for (i, slot) in out.iter_mut().enumerate().skip(tail) {
-            *slot = self.sign(i);
-        }
+        signs_tail(&self.packed, &mut out, 0);
+        out
+    }
+
+    /// The pinned scalar reference for [`GradientDirection::to_signs`]:
+    /// never dispatched to SIMD (word-level, 4 signs per byte LUT hit).
+    pub fn to_signs_scalar(&self) -> Vec<i8> {
+        let mut out = vec![0i8; self.len];
+        signs_tail(&self.packed, &mut out, 0);
         out
     }
 
@@ -149,22 +160,35 @@ impl GradientDirection {
     }
 
     /// Decodes the stored signs into a caller-owned `f32` buffer — the
-    /// zero-allocation form of [`GradientDirection::to_f32`], four elements
-    /// per byte-LUT hit. This is the batched replay loop's way of seeding
-    /// each estimate row in place.
+    /// zero-allocation form of [`GradientDirection::to_f32`]. This is the
+    /// batched replay loop's way of seeding each estimate row in place.
+    /// Runtime-dispatched: 32 elements per iteration (8 packed bytes →
+    /// one shuffle decode → four 8-lane widening stores) on AVX2, four
+    /// elements per byte-LUT hit otherwise; identical bytes either way.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.len()`.
     pub fn decode_into(&self, out: &mut [f32]) {
         assert_eq!(out.len(), self.len, "decode_into: length mismatch");
-        for (chunk, &byte) in out.chunks_exact_mut(4).zip(&self.packed) {
-            chunk.copy_from_slice(&F32_LUT[byte as usize]);
+        #[cfg(target_arch = "x86_64")]
+        if fuiov_tensor::simd::enabled() {
+            // SAFETY: `simd::enabled()` implies the AVX2 probe passed.
+            unsafe { x86::decode_f32_avx2(&self.packed, out) };
+            return;
         }
-        let tail = self.len / 4 * 4;
-        for (i, slot) in out.iter_mut().enumerate().skip(tail) {
-            *slot = f32::from(self.sign(i));
-        }
+        decode_f32_tail(&self.packed, out, 0);
+    }
+
+    /// The pinned scalar reference for [`GradientDirection::decode_into`]:
+    /// never dispatched to SIMD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn decode_into_scalar(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "decode_into: length mismatch");
+        decode_f32_tail(&self.packed, out, 0);
     }
 
     /// Fused decode-and-accumulate: `acc[i] += a · sign(i)` over the whole
@@ -178,16 +202,24 @@ impl GradientDirection {
     /// Panics if `acc.len() != self.len()`.
     pub fn decode_axpy(&self, a: f64, acc: &mut [f64]) {
         assert_eq!(acc.len(), self.len, "decode_axpy: length mismatch");
-        for (chunk, &byte) in acc.chunks_exact_mut(4).zip(&self.packed) {
-            let signs = &SIGN_LUT[byte as usize];
-            for (slot, &s) in chunk.iter_mut().zip(signs) {
-                *slot += a * f64::from(s);
-            }
+        #[cfg(target_arch = "x86_64")]
+        if fuiov_tensor::simd::enabled() {
+            // SAFETY: `simd::enabled()` implies the AVX2 probe passed.
+            unsafe { x86::axpy_avx2(&self.packed, a, acc) };
+            return;
         }
-        let tail = self.len / 4 * 4;
-        for (i, slot) in acc.iter_mut().enumerate().skip(tail) {
-            *slot += a * f64::from(self.sign(i));
-        }
+        axpy_tail(&self.packed, a, acc, 0);
+    }
+
+    /// The pinned scalar reference for [`GradientDirection::decode_axpy`]:
+    /// never dispatched to SIMD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != self.len()`.
+    pub fn decode_axpy_scalar(&self, a: f64, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.len, "decode_axpy: length mismatch");
+        axpy_tail(&self.packed, a, acc, 0);
     }
 
     /// The raw packed 2-bit words (4 signs per byte, low pair first) —
@@ -240,6 +272,193 @@ impl GradientDirection {
         }
         let zeros = (0..self.len).filter(|&i| self.sign(i) == 0).count();
         zeros as f64 / self.len as f64
+    }
+}
+
+/// Scalar sign decode of elements `from..out.len()` (`from` must be a
+/// multiple of 4, i.e. byte-aligned): full bytes through [`SIGN_LUT`],
+/// then the final partial byte lane by lane. With `from == 0` this *is*
+/// the scalar reference; the AVX2 kernels re-enter it for their tails.
+fn signs_tail(packed: &[u8], out: &mut [i8], from: usize) {
+    let full_end = out.len() / 4 * 4;
+    for (chunk, &byte) in out[from..full_end]
+        .chunks_exact_mut(4)
+        .zip(&packed[from / 4..])
+    {
+        chunk.copy_from_slice(&SIGN_LUT[byte as usize]);
+    }
+    for (lane, slot) in out[full_end..].iter_mut().enumerate() {
+        *slot = SIGN_LUT[packed[full_end / 4] as usize][lane];
+    }
+}
+
+/// `f32` twin of [`signs_tail`], through [`F32_LUT`].
+fn decode_f32_tail(packed: &[u8], out: &mut [f32], from: usize) {
+    let full_end = out.len() / 4 * 4;
+    for (chunk, &byte) in out[from..full_end]
+        .chunks_exact_mut(4)
+        .zip(&packed[from / 4..])
+    {
+        chunk.copy_from_slice(&F32_LUT[byte as usize]);
+    }
+    for (lane, slot) in out[full_end..].iter_mut().enumerate() {
+        *slot = F32_LUT[packed[full_end / 4] as usize][lane];
+    }
+}
+
+/// Accumulating twin of [`signs_tail`]: `acc[i] += a · sign(i)` for
+/// elements `from..acc.len()`, zeros included (the exact scalar op
+/// sequence the AVX2 kernel reproduces).
+fn axpy_tail(packed: &[u8], a: f64, acc: &mut [f64], from: usize) {
+    let full_end = acc.len() / 4 * 4;
+    for (chunk, &byte) in acc[from..full_end]
+        .chunks_exact_mut(4)
+        .zip(&packed[from / 4..])
+    {
+        for (slot, &s) in chunk.iter_mut().zip(&SIGN_LUT[byte as usize]) {
+            *slot += a * f64::from(s);
+        }
+    }
+    for (lane, slot) in acc[full_end..].iter_mut().enumerate() {
+        *slot += a * f64::from(SIGN_LUT[packed[full_end / 4] as usize][lane]);
+    }
+}
+
+/// AVX2 decode kernels: 8 packed bytes → 32 signs per iteration. Only
+/// compiled on `x86_64`, only executed when the runtime probe passed
+/// (`fuiov_tensor::simd::enabled`). The decode itself is integer — byte
+/// replication via `vpshufb`, per-position 2-bit extraction via shifted
+/// masks, then a 4-entry sign table shuffle — so bitwise identity with
+/// the scalar LUT is structural; the float widenings (`i8 → f32`,
+/// `i8 → f64` for the axpy) are exact for {−1, 0, 1} and the axpy does
+/// the same one `mul` + one `add` per element as the scalar loop.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{axpy_tail, decode_f32_tail, signs_tail};
+    use std::arch::x86_64::*;
+
+    /// Decodes 8 packed bytes (one `u64`) into 32 sign bytes, lane `o`
+    /// holding `decode_code((packed[o / 4] >> (2 · (o % 4))) & 0b11)` —
+    /// including the defensive `0b11 → 0` mapping, via the table.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn signs32(w: u64) -> __m256i {
+        // Byte o of each 128-bit lane ← packed byte o/4 (both 64-bit
+        // halves of each lane hold `w`, so indices 0..8 are valid).
+        #[rustfmt::skip]
+        let rep_idx = _mm256_setr_epi8(
+            0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+            4, 4, 4, 4, 5, 5, 5, 5, 6, 6, 6, 6, 7, 7, 7, 7,
+        );
+        let rep = _mm256_shuffle_epi8(_mm256_set1_epi64x(w as i64), rep_idx);
+        // Per-byte variable shifts don't exist; shift the whole register
+        // by each of the four code offsets and keep each result only at
+        // the byte positions that want that offset. `srli_epi16` bleeds
+        // neighbour bits into the upper bits of a byte, but the final
+        // `& 0b11` only keeps the two we extracted.
+        let v0 = _mm256_and_si256(rep, _mm256_set1_epi32(0x0000_00FF));
+        let v1 = _mm256_and_si256(_mm256_srli_epi16::<2>(rep), _mm256_set1_epi32(0x0000_FF00));
+        let v2 = _mm256_and_si256(_mm256_srli_epi16::<4>(rep), _mm256_set1_epi32(0x00FF_0000));
+        let v3 = _mm256_and_si256(
+            _mm256_srli_epi16::<6>(rep),
+            _mm256_set1_epi32(0xFF00_0000u32 as i32),
+        );
+        let codes = _mm256_and_si256(
+            _mm256_or_si256(_mm256_or_si256(v0, v1), _mm256_or_si256(v2, v3)),
+            _mm256_set1_epi8(0b11),
+        );
+        // code → sign: 0→0, 1→+1, 2→−1, 3→0 (same as `decode_code`).
+        #[rustfmt::skip]
+        let sign_tbl = _mm256_setr_epi8(
+            0, 1, -1, 0, 0, 1, -1, 0, 0, 1, -1, 0, 0, 1, -1, 0,
+            0, 1, -1, 0, 0, 1, -1, 0, 0, 1, -1, 0, 0, 1, -1, 0,
+        );
+        _mm256_shuffle_epi8(sign_tbl, codes)
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available; `out.len()` must equal the
+    /// direction's element count for `packed`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn signs_avx2(packed: &[u8], out: &mut [i8]) {
+        let blocks = out.len() / 32;
+        for blk in 0..blocks {
+            let w = packed.as_ptr().add(blk * 8).cast::<u64>().read_unaligned();
+            _mm256_storeu_si256(out.as_mut_ptr().add(blk * 32).cast(), signs32(w));
+        }
+        signs_tail(packed, out, blocks * 32);
+    }
+
+    /// # Safety
+    ///
+    /// As [`signs_avx2`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_f32_avx2(packed: &[u8], out: &mut [f32]) {
+        // Straight from packed bits to floats, no byte-replication or
+        // int→float conversion chain: broadcast 16 codes (a `u32` of the
+        // packed stream) to every dword lane, variable-shift each lane so
+        // its own 2-bit code lands at the bottom, and let `vpermd` (which
+        // only reads the low bits of each index) look the code up in an
+        // in-register float table. The table is `F32_LUT` by another
+        // name — code 0→0.0, 1→1.0, 2→−1.0, 3→0.0 — so bitwise identity
+        // with the scalar path is again structural.
+        let tbl = _mm256_setr_ps(0.0, 1.0, -1.0, 0.0, 0.0, 1.0, -1.0, 0.0);
+        let sh_lo = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+        let sh_hi = _mm256_setr_epi32(16, 18, 20, 22, 24, 26, 28, 30);
+        let three = _mm256_set1_epi32(0b11);
+        let blocks = out.len() / 32;
+        for blk in 0..blocks {
+            let p = out.as_mut_ptr().add(blk * 32);
+            for half in 0..2 {
+                let codes16 = packed
+                    .as_ptr()
+                    .add(blk * 8 + half * 4)
+                    .cast::<u32>()
+                    .read_unaligned();
+                let bl = _mm256_set1_epi32(codes16 as i32);
+                let idx0 = _mm256_and_si256(_mm256_srlv_epi32(bl, sh_lo), three);
+                let idx1 = _mm256_and_si256(_mm256_srlv_epi32(bl, sh_hi), three);
+                let q = p.add(half * 16);
+                _mm256_storeu_ps(q, _mm256_permutevar8x32_ps(tbl, idx0));
+                _mm256_storeu_ps(q.add(8), _mm256_permutevar8x32_ps(tbl, idx1));
+            }
+        }
+        decode_f32_tail(packed, out, blocks * 32);
+    }
+
+    /// # Safety
+    ///
+    /// As [`signs_avx2`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_avx2(packed: &[u8], a: f64, acc: &mut [f64]) {
+        let av = _mm256_set1_pd(a);
+        let blocks = acc.len() / 32;
+        for blk in 0..blocks {
+            let w = packed.as_ptr().add(blk * 8).cast::<u64>().read_unaligned();
+            let s = signs32(w);
+            let lo = _mm256_castsi256_si128(s);
+            let hi = _mm256_extracti128_si256::<1>(s);
+            // 32 signs → eight 4-lane f64 groups, each `acc += a · s`.
+            let quads = [
+                _mm256_cvtepi8_epi32(lo),
+                _mm256_cvtepi8_epi32(_mm_srli_si128::<8>(lo)),
+                _mm256_cvtepi8_epi32(hi),
+                _mm256_cvtepi8_epi32(_mm_srli_si128::<8>(hi)),
+            ];
+            for (q, &octet) in quads.iter().enumerate() {
+                let d0 = _mm256_cvtepi32_pd(_mm256_castsi256_si128(octet));
+                let d1 = _mm256_cvtepi32_pd(_mm256_extracti128_si256::<1>(octet));
+                let p = acc.as_mut_ptr().add(blk * 32 + q * 8);
+                _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), _mm256_mul_pd(av, d0)));
+                let p1 = p.add(4);
+                _mm256_storeu_pd(
+                    p1,
+                    _mm256_add_pd(_mm256_loadu_pd(p1), _mm256_mul_pd(av, d1)),
+                );
+            }
+        }
+        axpy_tail(packed, a, acc, blocks * 32);
     }
 }
 

@@ -12,6 +12,10 @@
 //! - [`stats`]: summary statistics used by the evaluation harness.
 //! - [`rng`]: deterministic seed-derivation helpers so that every experiment
 //!   in the repository is reproducible bit-for-bit.
+//! - [`simd`]: the runtime CPU-feature dispatch (AVX2 probe, `FUIOV_SIMD`
+//!   kill switch) behind the vector kernels, plus the 64-byte-aligned
+//!   [`simd::AVec`] scratch buffer. Every SIMD path is bitwise identical
+//!   to its pinned scalar reference.
 //!
 //! # Example
 //!
@@ -30,6 +34,7 @@
 pub mod matrix;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 pub mod solve;
 pub mod stats;
 pub mod vector;

@@ -193,8 +193,12 @@ impl Mat {
         let mut out = Mat::zeros(self.rows, other.cols);
         let inner = self.cols;
         let n = other.cols;
+        // Resolve the SIMD dispatch once per product, not per band: every
+        // band of one call runs the same path (paths agree bitwise, so
+        // this is a determinism nicety, not a correctness requirement).
+        let simd = crate::simd::enabled();
         crate::pool::par_row_bands(&mut out.data, self.rows, n, |rows, band| {
-            gemm_band(&self.data, &other.data, inner, n, rows, band);
+            gemm_band(&self.data, &other.data, inner, n, rows, band, simd);
         });
         out
     }
@@ -283,48 +287,32 @@ impl Mat {
             self.rows,
             "row_dots_into: output length mismatch"
         );
+        let simd = crate::simd::enabled();
         crate::pool::par_row_bands_weighted(out, self.rows, 1, self.cols, |rows, band| {
-            // Four rows per sweep: each output keeps its own f64
-            // accumulator (so per-row accumulation order — and hence the
-            // bits — is untouched), but the four dependency chains run in
-            // parallel instead of serialising on one accumulator's add
-            // latency. The per-client `tr_matvec` interleaves its 2s
-            // chains the same way; matching it here is what makes the
-            // batched sweep at least as fast per column.
-            let mut r = rows.start;
-            while r + 4 <= rows.end {
-                let (a0, a1, a2, a3) = (
-                    self.row(r),
-                    self.row(r + 1),
-                    self.row(r + 2),
-                    self.row(r + 3),
-                );
-                let mut acc = [0.0f64; 4];
-                for ((((&vj, &x0), &x1), &x2), &x3) in v.iter().zip(a0).zip(a1).zip(a2).zip(a3) {
-                    if vj == 0.0 {
-                        continue;
-                    }
-                    let vj64 = f64::from(vj);
-                    acc[0] += vj64 * f64::from(x0);
-                    acc[1] += vj64 * f64::from(x1);
-                    acc[2] += vj64 * f64::from(x2);
-                    acc[3] += vj64 * f64::from(x3);
-                }
-                for (k, &a) in acc.iter().enumerate() {
-                    band[r - rows.start + k] = a as f32;
-                }
-                r += 4;
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd::enabled()` implies the AVX2 probe passed.
+                unsafe { x86::row_dots_band_avx2(self, v, rows, band) };
+                return;
             }
-            for r in r..rows.end {
-                let mut acc = 0.0f64;
-                for (&vj, &x) in v.iter().zip(self.row(r)) {
-                    if vj == 0.0 {
-                        continue;
-                    }
-                    acc += f64::from(vj) * f64::from(x);
-                }
-                band[r - rows.start] = acc as f32;
-            }
+            let _ = simd;
+            row_dots_band_scalar(self, v, rows, band);
+        });
+    }
+
+    /// The pinned scalar reference for [`Mat::row_dots_into`]: identical
+    /// banding and per-row accumulation, never dispatched to SIMD. The
+    /// AVX2 path must reproduce this function's output bit for bit (see
+    /// `tests/simd_props.rs`); benches time the two against each other.
+    pub fn row_dots_into_scalar(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(v.len(), self.cols, "row_dots_into: vector length mismatch");
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "row_dots_into: output length mismatch"
+        );
+        crate::pool::par_row_bands_weighted(out, self.rows, 1, self.cols, |rows, band| {
+            row_dots_band_scalar(self, v, rows, band);
         });
     }
 
@@ -444,6 +432,53 @@ impl Mat {
     }
 }
 
+/// One band of the fused row-dots sweep, scalar: four rows per pass so
+/// the four f64 dependency chains run in parallel (each output keeps its
+/// own accumulator, so per-row accumulation order — and hence the bits —
+/// is untouched). The per-client `tr_matvec` interleaves its 2s chains
+/// the same way; matching it here is what makes the batched sweep at
+/// least as fast per column. This is the pinned reference the AVX2 band
+/// must reproduce bit for bit.
+fn row_dots_band_scalar(m: &Mat, v: &[f32], rows: std::ops::Range<usize>, band: &mut [f32]) {
+    let mut r = rows.start;
+    while r + 4 <= rows.end {
+        let (a0, a1, a2, a3) = (m.row(r), m.row(r + 1), m.row(r + 2), m.row(r + 3));
+        let mut acc = [0.0f64; 4];
+        for ((((&vj, &x0), &x1), &x2), &x3) in v.iter().zip(a0).zip(a1).zip(a2).zip(a3) {
+            if vj == 0.0 {
+                continue;
+            }
+            let vj64 = f64::from(vj);
+            acc[0] += vj64 * f64::from(x0);
+            acc[1] += vj64 * f64::from(x1);
+            acc[2] += vj64 * f64::from(x2);
+            acc[3] += vj64 * f64::from(x3);
+        }
+        for (k, &a) in acc.iter().enumerate() {
+            band[r - rows.start + k] = a as f32;
+        }
+        r += 4;
+    }
+    for r in r..rows.end {
+        band[r - rows.start] = row_dot_scalar_from(m.row(r), v, 0, 0.0);
+    }
+}
+
+/// One row's tail (or whole) dot: continues `acc` over `v[from..]` with
+/// the exact scalar chain — ascending `j`, the `v[j] == 0.0` skip, one
+/// `f64 → f32` rounding at the very end. The AVX2 band re-enters here for
+/// column tails after extracting its lane accumulators, which is what
+/// keeps every row a single unbroken chain.
+fn row_dot_scalar_from(row: &[f32], v: &[f32], from: usize, mut acc: f64) -> f32 {
+    for (&vj, &x) in v[from..].iter().zip(&row[from..]) {
+        if vj == 0.0 {
+            continue;
+        }
+        acc += f64::from(vj) * f64::from(x);
+    }
+    acc as f32
+}
+
 /// Rows of `a` handled per microkernel call; bounds `b`-tile reuse.
 const MICRO_ROWS: usize = 4;
 /// Columns of `out` accumulated in registers per microkernel call.
@@ -470,6 +505,7 @@ fn gemm_band(
     n: usize,
     rows: std::ops::Range<usize>,
     band: &mut [f32],
+    simd: bool,
 ) {
     let row0 = rows.start;
     // One j-panel of `b` is repacked contiguously (inner × MICRO_COLS) and
@@ -492,10 +528,10 @@ fn gemm_band(
             // Monomorphised per row count so the r loop fully unrolls and
             // the accumulator block stays in registers.
             match i1 - i0 {
-                4 => gemm_micro::<4>(a_block, &packed, inner, n, out),
-                3 => gemm_micro::<3>(a_block, &packed, inner, n, out),
-                2 => gemm_micro::<2>(a_block, &packed, inner, n, out),
-                _ => gemm_micro::<1>(a_block, &packed, inner, n, out),
+                4 => gemm_micro_dispatch::<4>(a_block, &packed, inner, n, out, simd),
+                3 => gemm_micro_dispatch::<3>(a_block, &packed, inner, n, out, simd),
+                2 => gemm_micro_dispatch::<2>(a_block, &packed, inner, n, out, simd),
+                _ => gemm_micro_dispatch::<1>(a_block, &packed, inner, n, out, simd),
             }
             i0 = i1;
         }
@@ -516,6 +552,31 @@ fn gemm_band(
             i0 = i1;
         }
     }
+}
+
+/// Routes one packed-panel microkernel call to the AVX2 or the scalar
+/// implementation. The flag is resolved once per product in
+/// [`Mat::matmul`]; both paths produce identical bytes (the AVX2 kernel
+/// keeps the per-element ascending-`k` accumulation and the
+/// `aik == 0.0` skip), so the choice is invisible to callers.
+#[inline(always)]
+fn gemm_micro_dispatch<const R: usize>(
+    a_block: &[f32],
+    packed: &[f32],
+    inner: usize,
+    n: usize,
+    out: &mut [f32],
+    simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: the dispatcher only reports `true` when the runtime
+        // AVX2 probe passed (`simd::enabled`).
+        unsafe { x86::gemm_micro_avx2::<R>(a_block, packed, inner, n, out) };
+        return;
+    }
+    let _ = simd;
+    gemm_micro::<R>(a_block, packed, inner, n, out);
 }
 
 /// Full-width microkernel over the `R` rows of `a_block`: accumulators live
@@ -554,6 +615,11 @@ fn gemm_micro<const R: usize>(
 /// Remainder columns (`n % MICRO_COLS`) via the plain slice loop. `a_block`
 /// holds the block's rows of `a`; `out` the matching full rows of the band.
 fn gemm_tail(a_block: &[f32], b: &[f32], inner: usize, n: usize, j0: usize, out: &mut [f32]) {
+    if inner == 0 {
+        // Empty inner dimension: the product is all zeros and `out` is
+        // already zeroed (also keeps `rows` below well-defined).
+        return;
+    }
     let rows = a_block.len() / inner;
     for k in 0..inner {
         let b_tile = &b[k * n + j0..(k + 1) * n];
@@ -567,6 +633,165 @@ fn gemm_tail(a_block: &[f32], b: &[f32], inner: usize, n: usize, j0: usize, out:
                 *o += aik * bv;
             }
         }
+    }
+}
+
+/// AVX2 implementations of the two dense hot kernels. Only compiled on
+/// `x86_64`; only *executed* when `crate::simd::enabled()` says the
+/// runtime probe passed. Every function here is bound by the bitwise
+/// contract of `crate::simd`: identical bytes to the scalar reference at
+/// every input shape, which dictates the vectorization shapes —
+///
+/// * GEMM vectorizes across **output columns** `j`: each output element
+///   is an independent f32 accumulator, so 8 lanes of
+///   `acc += aik · b[k][j..j+8]` perform exactly the scalar per-element
+///   operation sequence (ascending `k`, `aik == 0.0` skipped, separate
+///   multiply and add — never an FMA, which rounds once where
+///   `mul` + `add` round twice).
+/// * `row_dots` vectorizes across **rows**: a row's f64 accumulation is
+///   one serial dependency chain whose order defines the bits, so lanes
+///   must be whole chains (lane = row), never chunks of one chain. An
+///   in-register 8×8 transpose turns contiguous row loads into
+///   column-major vectors so the chains still consume ascending `j`.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{row_dot_scalar_from, row_dots_band_scalar, Mat, MICRO_COLS};
+    use std::arch::x86_64::*;
+
+    /// AVX2 twin of `gemm_micro`: the full `R × MICRO_COLS` accumulator
+    /// block lives across the single `k` sweep as `R × 4` ymm registers
+    /// (16 for the common `R = 4` — the whole file; LLVM folds the `b`
+    /// panel loads into the multiplies, so no registers are spent on `b`
+    /// vectors and the broadcast + zero-test happen once per `(k, r)`
+    /// instead of once per subtile). Per element the operation sequence
+    /// is exactly the scalar kernel's: contributions in ascending `k`,
+    /// `aik == 0.0` skipped, `mul` then `add`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available (runtime-probed by
+    /// `crate::simd::caps`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_micro_avx2<const R: usize>(
+        a_block: &[f32],
+        packed: &[f32],
+        inner: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        debug_assert!(R <= 4 && a_block.len() >= R * inner);
+        debug_assert!(packed.len() >= inner * MICRO_COLS);
+        const SUBS: usize = MICRO_COLS / 8;
+        let mut acc = [[_mm256_setzero_ps(); SUBS]; R];
+        for k in 0..inner {
+            let b_row = packed.as_ptr().add(k * MICRO_COLS);
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let aik = *a_block.get_unchecked(r * inner + k);
+                if aik == 0.0 {
+                    continue;
+                }
+                let av = _mm256_set1_ps(aik);
+                for (sub, slot) in acc_r.iter_mut().enumerate() {
+                    let bv = _mm256_loadu_ps(b_row.add(sub * 8));
+                    *slot = _mm256_add_ps(*slot, _mm256_mul_ps(av, bv));
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            for (sub, &slot) in acc_r.iter().enumerate() {
+                _mm256_storeu_ps(out.as_mut_ptr().add(r * n + sub * 8), slot);
+            }
+        }
+    }
+
+    /// AVX2 twin of `row_dots_band_scalar`: eight rows per block, lane =
+    /// row. Each 8×8 tile of the matrix is loaded row-major (contiguous)
+    /// and transposed in registers (`unpack` / `shuffle` /
+    /// `permute2f128`), giving one vector per column `j` whose lanes are
+    /// rows — so the two f64 accumulator vectors advance all eight row
+    /// chains by exactly one `acc += f64(vj) · f64(x)` step per column,
+    /// in ascending `j`. The `vj == 0.0` skip stays a scalar branch
+    /// (uniform across lanes, since `v` is shared by all rows). Column
+    /// tails re-enter `row_dot_scalar_from` with the extracted lane
+    /// accumulators; row tails fall back to the scalar band.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available (runtime-probed by
+    /// `crate::simd::caps`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn row_dots_band_avx2(
+        m: &Mat,
+        v: &[f32],
+        rows: std::ops::Range<usize>,
+        band: &mut [f32],
+    ) {
+        let cols = m.cols;
+        let mut r = rows.start;
+        while r + 8 <= rows.end {
+            let base = m.data.as_ptr().add(r * cols);
+            let mut acc_lo = _mm256_setzero_pd();
+            let mut acc_hi = _mm256_setzero_pd();
+            let mut j = 0;
+            while j + 8 <= cols {
+                let r0 = _mm256_loadu_ps(base.add(j));
+                let r1 = _mm256_loadu_ps(base.add(cols + j));
+                let r2 = _mm256_loadu_ps(base.add(2 * cols + j));
+                let r3 = _mm256_loadu_ps(base.add(3 * cols + j));
+                let r4 = _mm256_loadu_ps(base.add(4 * cols + j));
+                let r5 = _mm256_loadu_ps(base.add(5 * cols + j));
+                let r6 = _mm256_loadu_ps(base.add(6 * cols + j));
+                let r7 = _mm256_loadu_ps(base.add(7 * cols + j));
+                // 8×8 transpose: pairs → quads → full lanes.
+                let t0 = _mm256_unpacklo_ps(r0, r1);
+                let t1 = _mm256_unpackhi_ps(r0, r1);
+                let t2 = _mm256_unpacklo_ps(r2, r3);
+                let t3 = _mm256_unpackhi_ps(r2, r3);
+                let t4 = _mm256_unpacklo_ps(r4, r5);
+                let t5 = _mm256_unpackhi_ps(r4, r5);
+                let t6 = _mm256_unpacklo_ps(r6, r7);
+                let t7 = _mm256_unpackhi_ps(r6, r7);
+                let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+                let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+                let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+                let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+                let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+                let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+                let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+                let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+                let cvecs = [
+                    _mm256_permute2f128_ps::<0x20>(s0, s4),
+                    _mm256_permute2f128_ps::<0x20>(s1, s5),
+                    _mm256_permute2f128_ps::<0x20>(s2, s6),
+                    _mm256_permute2f128_ps::<0x20>(s3, s7),
+                    _mm256_permute2f128_ps::<0x31>(s0, s4),
+                    _mm256_permute2f128_ps::<0x31>(s1, s5),
+                    _mm256_permute2f128_ps::<0x31>(s2, s6),
+                    _mm256_permute2f128_ps::<0x31>(s3, s7),
+                ];
+                for (t, &cv) in cvecs.iter().enumerate() {
+                    let vj = *v.get_unchecked(j + t);
+                    if vj == 0.0 {
+                        continue;
+                    }
+                    let vj64 = _mm256_set1_pd(f64::from(vj));
+                    let x_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(cv));
+                    let x_hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(cv));
+                    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(vj64, x_lo));
+                    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(vj64, x_hi));
+                }
+                j += 8;
+            }
+            let mut acc = [0.0f64; 8];
+            _mm256_storeu_pd(acc.as_mut_ptr(), acc_lo);
+            _mm256_storeu_pd(acc.as_mut_ptr().add(4), acc_hi);
+            for (lane, &a) in acc.iter().enumerate() {
+                band[r - rows.start + lane] = row_dot_scalar_from(m.row(r + lane), v, j, a);
+            }
+            r += 8;
+        }
+        let off = r - rows.start;
+        row_dots_band_scalar(m, v, r..rows.end, &mut band[off..]);
     }
 }
 
@@ -668,7 +893,7 @@ mod tests {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z ^= z >> 27;
-            if z % 7 == 0 {
+            if z.is_multiple_of(7) {
                 data.push(0.0);
             } else {
                 data.push((z % 2000) as f32 / 1000.0 - 1.0);

@@ -82,6 +82,22 @@ pub fn sub_into(x: &[f32], y: &[f32], out: &mut Vec<f32>) {
     out.extend(x.iter().zip(y).map(|(a, b)| a - b));
 }
 
+/// [`sub_into`] targeting a 64-byte-aligned scratch buffer
+/// ([`crate::simd::AVec`]): the same element-wise `x[i] − y[i]`, with
+/// `out` resized to fit. Used for the replay arena's `w̄ₜ − wₜ` vector so
+/// the SIMD sweeps that stream it start on a cache-line boundary.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn sub_into_aligned(x: &[f32], y: &[f32], out: &mut crate::simd::AVec) {
+    assert_eq!(x.len(), y.len(), "sub_into: length mismatch");
+    out.resize(x.len(), 0.0);
+    for ((o, a), b) in out.iter_mut().zip(x).zip(y) {
+        *o = a - b;
+    }
+}
+
 /// Euclidean norm `‖x‖₂`, accumulated in `f64`.
 pub fn l2_norm(x: &[f32]) -> f32 {
     x.iter()

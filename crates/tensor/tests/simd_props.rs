@@ -1,0 +1,126 @@
+//! SIMD == scalar bitwise pinning for the dense kernels.
+//!
+//! Every case runs the dispatched kernel with the SIMD path *forced on*
+//! (in-process `FUIOV_SIMD=1`; on a host without AVX2 this resolves back
+//! to scalar and the assertion is trivially true) and compares it, bit
+//! for bit, against the pinned scalar reference. Lengths sweep `0..=67`
+//! so every tail-residue class of the 4- and 8-lane kernels — ragged
+//! 8-column groups, ragged 8-row blocks, sub-width inputs — is hit.
+
+use fuiov_tensor::{simd, Mat};
+use proptest::prelude::*;
+
+/// Finite values with a deliberate sprinkle of exact zeros, so the
+/// `== 0.0` skip branches (shared by both paths) are exercised.
+fn kernel_f32() -> impl Strategy<Value = f32> {
+    (any::<u8>(), -100.0f32..100.0).prop_map(|(z, v)| match z % 8 {
+        0 | 1 => 0.0,
+        2 => -0.0,
+        _ => v,
+    })
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Runs `f` with the dispatch pinned to the SIMD path, restoring the
+/// default before returning (guarded, so parallel test threads can't
+/// observe each other's override).
+fn with_forced_simd<T>(f: impl FnOnce() -> T) -> T {
+    let _g = simd::force_guard();
+    simd::set_forced(Some(true));
+    let out = f();
+    simd::set_forced(None);
+    out
+}
+
+/// Same, pinned to the scalar path through the *dispatcher* (distinct
+/// from calling the `*_scalar` reference directly: this checks the
+/// kill-switch plumbing too).
+fn with_forced_scalar<T>(f: impl FnOnce() -> T) -> T {
+    let _g = simd::force_guard();
+    simd::set_forced(Some(false));
+    let out = f();
+    simd::set_forced(None);
+    out
+}
+
+/// `(a, b)` operand pair for an `m×k · k×n` product, dims bundled in.
+#[allow(clippy::type_complexity)]
+fn gemm_case() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    (1usize..=5, 0usize..=67, 0usize..=67).prop_flat_map(|(m, k, n)| {
+        (
+            Just(m),
+            Just(k),
+            Just(n),
+            prop::collection::vec(kernel_f32(), m * k),
+            prop::collection::vec(kernel_f32(), k * n),
+        )
+    })
+}
+
+/// Matrix plus shared vector for the fused row-dots sweep.
+#[allow(clippy::type_complexity)]
+fn row_dots_case() -> impl Strategy<Value = (usize, usize, Vec<f32>, Vec<f32>)> {
+    (0usize..=67, 0usize..=67).prop_flat_map(|(rows, cols)| {
+        (
+            Just(rows),
+            Just(cols),
+            prop::collection::vec(kernel_f32(), rows * cols),
+            prop::collection::vec(kernel_f32(), cols),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn gemm_simd_matches_scalar_bitwise((m, k, n, a_data, b_data) in gemm_case()) {
+        let a = Mat::from_vec(m, k, a_data);
+        let b = Mat::from_vec(k, n, b_data);
+        let golden = a.matmul_naive(&b);
+        let fast = with_forced_simd(|| a.matmul(&b));
+        let slow = with_forced_scalar(|| a.matmul(&b));
+        prop_assert_eq!(bits(fast.as_slice()), bits(golden.as_slice()),
+            "simd vs naive at {}x{}x{}", m, k, n);
+        prop_assert_eq!(bits(slow.as_slice()), bits(golden.as_slice()),
+            "scalar vs naive at {}x{}x{}", m, k, n);
+    }
+
+    #[test]
+    fn row_dots_simd_matches_scalar_bitwise((rows, cols, data, v) in row_dots_case()) {
+        let m = Mat::from_vec(rows, cols, data);
+        let mut scalar = vec![7.0f32; rows]; // poisoned: every slot written
+        m.row_dots_into_scalar(&v, &mut scalar);
+        let mut fast = vec![-7.0f32; rows];
+        with_forced_simd(|| m.row_dots_into(&v, &mut fast));
+        let mut slow = vec![3.0f32; rows];
+        with_forced_scalar(|| m.row_dots_into(&v, &mut slow));
+        prop_assert_eq!(bits(&fast), bits(&scalar), "simd row_dots at {}x{}", rows, cols);
+        prop_assert_eq!(bits(&slow), bits(&scalar), "dispatched scalar at {}x{}", rows, cols);
+    }
+}
+
+#[test]
+fn row_dots_hits_every_tail_residue_class_deterministically() {
+    // The proptests above sample shapes; this sweep guarantees coverage
+    // of every (rows mod 8, cols mod 8) residue pair at least once.
+    for rows in 0usize..=17 {
+        for cols in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 67] {
+            let data: Vec<f32> = (0..rows * cols)
+                .map(|i| if i % 5 == 0 { 0.0 } else { (i as f32).sin() })
+                .collect();
+            let m = Mat::from_vec(rows, cols, data);
+            let v: Vec<f32> = (0..cols)
+                .map(|j| if j % 3 == 0 { 0.0 } else { (j as f32).cos() })
+                .collect();
+            let mut scalar = vec![1.0f32; rows];
+            m.row_dots_into_scalar(&v, &mut scalar);
+            let mut fast = vec![-1.0f32; rows];
+            with_forced_simd(|| m.row_dots_into(&v, &mut fast));
+            assert_eq!(bits(&fast), bits(&scalar), "rows={rows} cols={cols}");
+        }
+    }
+}

@@ -62,6 +62,26 @@ fn trace_digests_identical_with_obs_on_and_off() {
 }
 
 #[test]
+fn trace_digests_identical_with_simd_forced_on_and_off() {
+    // The SIMD dispatch determinism contract (DESIGN.md §5): every AVX2
+    // kernel is bitwise identical to its scalar reference, so forcing
+    // either path — the in-process equivalent of FUIOV_SIMD=1 / 0 — must
+    // reproduce the same per-round FNV digests. On a host without AVX2
+    // both runs resolve to scalar and the assertion is trivially true.
+    let _guard = thread_lock();
+    let _simd = fuiov_tensor::simd::force_guard();
+    fuiov_tensor::simd::set_forced(Some(false));
+    let scalar = CanonicalRun::standard().trace();
+    fuiov_tensor::simd::set_forced(Some(true));
+    let simd = CanonicalRun::standard().trace();
+    fuiov_tensor::simd::set_forced(None);
+    assert_eq!(
+        scalar, simd,
+        "FUIOV_SIMD=0 and FUIOV_SIMD=1 traces diverged"
+    );
+}
+
+#[test]
 fn trace_is_stable_across_reruns_and_thread_widths() {
     let _guard = thread_lock();
     let baseline = CanonicalRun::standard().trace();

@@ -9,6 +9,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Correctness stages build with the portable baseline, not the local
+# machine's ISA: an *empty* RUSTFLAGS overrides the `target-cpu=native`
+# in .cargo/config.toml (Cargo gives the environment variable
+# precedence), so what tier 1 tests is exactly what a generic x86_64
+# build ships — with the `fuiov_tensor::simd` runtime dispatcher, not
+# compile-time codegen, selecting the AVX2 kernels. Local benches keep
+# native codegen by just not going through this script. Opt out (e.g. to
+# reproduce a native-only miscompile) with FUIOV_TIER1_NATIVE=1.
+if [ "${FUIOV_TIER1_NATIVE:-0}" != "1" ]; then
+  export RUSTFLAGS=""
+fi
+
 # Guard the workspace footgun before anything else: a bare `cargo test -q`
 # from the root only tests the `fuiov` facade package, silently skipping
 # every `crates/*` suite. Fail loudly if this script ever regresses to it.
@@ -66,14 +78,27 @@ stage_tier_invariance() {
     cargo test -p fuiov-testkit -q --test golden_trace
 }
 
+stage_simd_off() {
+  # The whole suite again with the SIMD kill switch thrown, pinning every
+  # runtime-dispatched kernel to its scalar reference — the suite must
+  # pass identically (the golden traces inside it enforce bit-identical,
+  # not just both-green). The fault matrix runs once under the kill
+  # switch too: fault handling must not depend on which kernel path
+  # computed the numbers.
+  FUIOV_SIMD=0 cargo test --workspace -q
+  FUIOV_SIMD=0 cargo test -p fuiov-testkit -q --test fault_matrix
+}
+
 stage_bench_smoke() {
   # Every benchmark (including its pre-timing bitwise differential
   # assertions) executes once with a minimal budget, so bench code cannot
-  # rot between full BENCH_micro.json refreshes.
+  # rot between full BENCH_micro.json refreshes. Twice: dispatcher on and
+  # forced off, so both kernel paths stay exercised by the bench code.
   FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
+  FUIOV_SIMD=0 FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
 }
 
-ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance bench_smoke"
+ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance simd_off bench_smoke"
 
 stages() {
   echo "$ALL_STAGES" | tr ' ' '\n'
