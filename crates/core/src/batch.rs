@@ -141,6 +141,36 @@ impl StackedLbfgs {
         self.clients.binary_search(&client).ok()
     }
 
+    /// Model dimension the stack was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of everything that feeds the
+    /// stacked arithmetic: the dimension, each client's id / block offset /
+    /// pair count / `σ` bits, and every stacked factor element's `f32`
+    /// bits. Two stacks with equal fingerprints produce bitwise-identical
+    /// sweeps, so `core::jobs` seals this value into each checkpoint and
+    /// verifies it after rebuilding the stack on resume.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes =
+            Vec::with_capacity(16 + self.entries.len() * 28 + self.stack.rows() * self.dim * 4);
+        bytes.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for (client, e) in self.clients.iter().zip(&self.entries) {
+            bytes.extend_from_slice(&(*client as u64).to_le_bytes());
+            bytes.extend_from_slice(&(e.offset as u64).to_le_bytes());
+            bytes.extend_from_slice(&(e.pairs as u64).to_le_bytes());
+            bytes.extend_from_slice(&e.sigma.to_bits().to_le_bytes());
+        }
+        for r in 0..self.stack.rows() {
+            for &x in self.stack.row(r) {
+                bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+        fuiov_storage::segment::fnv1a64(&bytes)
+    }
+
     /// Pass 1: the fused inbound sweep. Computes every stacked column's
     /// `f64`-accumulated dot with the shared `v` into `dots` (resized to
     /// [`StackedLbfgs::total_columns`]), one parallel row-band pass over
@@ -156,6 +186,23 @@ impl StackedLbfgs {
         if !dots.is_empty() {
             self.stack.row_dots_into(v, dots);
         }
+    }
+
+    /// The range form of pass 1: computes stacked columns
+    /// `rows.start..rows.end`'s dots with `v` into `band` (one slot per
+    /// column), without touching the rest of the stack. Each column's dot
+    /// is a pure function of that column and `v`, so any partition of
+    /// `0..total_columns()` into range calls reproduces
+    /// [`StackedLbfgs::fused_dots`] bit-for-bit — the property
+    /// [`fused_dots_multi`] builds its cross-job sweep on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`, the range exceeds
+    /// [`StackedLbfgs::total_columns`], or `band.len() != rows.len()`.
+    pub fn dots_range_into(&self, v: &[f32], rows: std::ops::Range<usize>, band: &mut [f32]) {
+        assert_eq!(v.len(), self.dim, "dots_range_into: dimension mismatch");
+        self.stack.row_dots_range_into(v, rows, band);
     }
 
     /// Pass 2: every client's middle solve against its slice of the fused
@@ -284,6 +331,63 @@ impl StackedLbfgs {
             }
         }
     }
+}
+
+/// The *cross-job* fused inbound sweep: one parallel row-band pass over
+/// the concatenation of several jobs' stacks, each dotted against its own
+/// job's `w̄ₜ − wₜ`. `dots` receives every group's per-column dots
+/// back-to-back in group order — group `i`'s slice starts at
+/// `Σ_{j<i} total_columns(j)` and is bit-for-bit what
+/// [`StackedLbfgs::fused_dots`] would have produced for that group alone,
+/// because every output slot is a pure per-column function
+/// ([`StackedLbfgs::dots_range_into`]); the shared banding only changes
+/// the schedule, never the bytes.
+///
+/// This is how `core::jobs` batches replay across concurrent unlearning
+/// jobs sharing a round: one sweep serves every job, and each job's
+/// middle solves consume its slice unchanged.
+///
+/// # Panics
+///
+/// Panics if any group's vector length differs from its stack's dimension.
+pub fn fused_dots_multi(groups: &[(&StackedLbfgs, &[f32])], dots: &mut AVec) {
+    let total: usize = groups.iter().map(|(s, _)| s.total_columns()).sum();
+    dots.clear();
+    dots.resize(total, 0.0);
+    if total == 0 {
+        return;
+    }
+    // Per-row work is the dot length; groups can differ in dim, so weight
+    // the spawn gate by the largest (affects the band split only).
+    let work_per_row = groups
+        .iter()
+        .map(|(s, _)| s.dim())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let starts: Vec<usize> = groups
+        .iter()
+        .scan(0usize, |acc, (s, _)| {
+            let start = *acc;
+            *acc += s.total_columns();
+            Some(start)
+        })
+        .collect();
+    fuiov_tensor::pool::par_row_bands_weighted(dots, total, 1, work_per_row, |rows, band| {
+        for ((stack, v), &start) in groups.iter().zip(&starts) {
+            let end = start + stack.total_columns();
+            let lo = rows.start.max(start);
+            let hi = rows.end.min(end);
+            if lo >= hi {
+                continue;
+            }
+            stack.dots_range_into(
+                v,
+                lo - start..hi - start,
+                &mut band[lo - rows.start..hi - rows.start],
+            );
+        }
+    });
 }
 
 /// Reusable per-recovery scratch arena: every `d`-length (and `Σ2s`-length)
@@ -444,5 +548,85 @@ mod tests {
     fn rejects_unsorted_clients() {
         let a = approx_for(1, 4, 1);
         let _ = StackedLbfgs::build(4, [(3 as ClientId, &a), (1 as ClientId, &a)]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_stack_contents() {
+        let dim = 12;
+        let a = approx_for(5, dim, 2);
+        let b = approx_for(6, dim, 2);
+        let one = StackedLbfgs::build(dim, [(1 as ClientId, &a)]);
+        let same = StackedLbfgs::build(dim, [(1 as ClientId, &a)]);
+        assert_eq!(one.fingerprint(), same.fingerprint());
+        let other_factors = StackedLbfgs::build(dim, [(1 as ClientId, &b)]);
+        assert_ne!(one.fingerprint(), other_factors.fingerprint());
+        let other_client = StackedLbfgs::build(dim, [(2 as ClientId, &a)]);
+        assert_ne!(one.fingerprint(), other_client.fingerprint());
+        let empty = StackedLbfgs::build(dim, std::iter::empty());
+        assert_ne!(one.fingerprint(), empty.fingerprint());
+        assert_eq!(one.dim(), dim);
+    }
+
+    #[test]
+    fn multi_sweep_matches_per_job_fused_dots_bitwise() {
+        let dim_a = 33;
+        let dim_b = 17; // jobs may disagree on nothing but their windows, but the sweep must not assume equal dims
+        let (a1, a2) = (approx_for(11, dim_a, 1), approx_for(22, dim_a, 3));
+        let stack_a = StackedLbfgs::build(dim_a, [(2 as ClientId, &a1), (5 as ClientId, &a2)]);
+        let b1 = approx_for(9, dim_b, 2);
+        let stack_b = StackedLbfgs::build(dim_b, [(4 as ClientId, &b1)]);
+        let empty = StackedLbfgs::build(dim_a, std::iter::empty());
+        let v_a: Vec<f32> = (0..dim_a)
+            .map(|i| {
+                if i % 4 == 0 {
+                    0.0
+                } else {
+                    i as f32 * 0.03 - 0.5
+                }
+            })
+            .collect();
+        let v_b: Vec<f32> = (0..dim_b).map(|i| 0.2 - i as f32 * 0.01).collect();
+        let mut expect_a = AVec::new();
+        let mut expect_b = AVec::new();
+        stack_a.fused_dots(&v_a, &mut expect_a);
+        stack_b.fused_dots(&v_b, &mut expect_b);
+
+        let mut dots = AVec::new();
+        fused_dots_multi(
+            &[
+                (&stack_a, &v_a[..]),
+                (&empty, &v_a[..]),
+                (&stack_b, &v_b[..]),
+            ],
+            &mut dots,
+        );
+        assert_eq!(
+            dots.len(),
+            stack_a.total_columns() + stack_b.total_columns()
+        );
+        let (got_a, got_b) = dots.split_at(stack_a.total_columns());
+        assert_eq!(
+            got_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            got_b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect_b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+
+        // The range primitive itself, at an awkward split point.
+        let cols = stack_a.total_columns();
+        let mut band = vec![0.0f32; cols];
+        let (head, tail) = band.split_at_mut(3);
+        stack_a.dots_range_into(&v_a, 0..3, head);
+        stack_a.dots_range_into(&v_a, 3..cols, tail);
+        assert_eq!(
+            band.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+
+        // No groups at all is a no-op.
+        fused_dots_multi(&[], &mut dots);
+        assert!(dots.is_empty());
     }
 }

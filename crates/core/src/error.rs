@@ -32,6 +32,20 @@ pub enum UnlearnError {
     },
     /// The history store is empty.
     EmptyHistory,
+    /// A job checkpoint payload failed to parse (framing was FNV-clean but
+    /// the state inside is not a valid replay snapshot — e.g. produced by
+    /// an incompatible version).
+    BadJobCheckpoint(&'static str),
+    /// The L-BFGS stack rebuilt from a job checkpoint does not match the
+    /// fingerprint sealed at checkpoint time, so a resumed replay could
+    /// silently diverge from the uninterrupted run. The job restarts from
+    /// an earlier checkpoint (or from scratch) instead.
+    StackFingerprintMismatch {
+        /// Fingerprint sealed in the checkpoint.
+        expected: u64,
+        /// Fingerprint of the stack rebuilt on resume.
+        found: u64,
+    },
 }
 
 impl fmt::Display for UnlearnError {
@@ -52,6 +66,13 @@ impl fmt::Display for UnlearnError {
                 "no remaining client participated in rounds {start_round}..{end_round}: nothing to replay"
             ),
             UnlearnError::EmptyHistory => write!(f, "history store is empty"),
+            UnlearnError::BadJobCheckpoint(what) => {
+                write!(f, "job checkpoint payload is not a valid replay snapshot: {what}")
+            }
+            UnlearnError::StackFingerprintMismatch { expected, found } => write!(
+                f,
+                "L-BFGS stack rebuilt on resume has fingerprint {found:#018x}, checkpoint sealed {expected:#018x}"
+            ),
         }
     }
 }
@@ -81,5 +102,13 @@ mod tests {
             end_round: 8,
         };
         assert!(e.to_string().contains("rounds 3..8"));
+        let e = UnlearnError::BadJobCheckpoint("short params");
+        assert!(e.to_string().contains("short params"));
+        let e = UnlearnError::StackFingerprintMismatch {
+            expected: 0xabcd,
+            found: 0x1234,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x000000000000abcd") && s.contains("0x0000000000001234"));
     }
 }

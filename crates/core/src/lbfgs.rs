@@ -409,6 +409,22 @@ impl PairBuffer {
         }
     }
 
+    /// Maximum number of pairs the buffer holds before evicting.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates the stored pairs oldest → newest as borrowed `(dw, dg)`
+    /// slices — the exact order [`PairBuffer::push`] replays them, so a
+    /// checkpoint codec that serialises this iteration and pushes it back
+    /// reconstructs the buffer bit for bit.
+    pub fn pairs(&self) -> impl Iterator<Item = (&[f32], &[f32])> {
+        self.dws
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.dgs.iter().map(Vec::as_slice))
+    }
+
     /// Builds the L-BFGS approximation from the buffered pairs (borrowed
     /// oldest → newest; no pair is cloned).
     ///

@@ -17,19 +17,24 @@
 //!    only**, clip element-wise (Eq. 7), and aggregate with FedAvg.
 //!
 //! [`Unlearner`] is the high-level entry point; `fuiov_fl::Server`
-//! produces the [`fuiov_storage::HistoryStore`] it consumes.
+//! produces the [`fuiov_storage::HistoryStore`] it consumes. [`mod@jobs`]
+//! wraps the pipeline in a resumable job service: concurrent forget
+//! requests on snapshot-isolated history views, incremental FNV-sealed
+//! checkpoints, crash-safe resume, and cross-job batched replay.
 
 pub mod backtrack;
 pub mod batch;
 pub mod error;
+pub mod jobs;
 pub mod lbfgs;
 pub mod recover;
 pub mod unlearner;
 pub mod verify;
 
 pub use backtrack::{backtrack, backtrack_set, BacktrackResult};
-pub use batch::{RoundScratch, StackedLbfgs};
+pub use batch::{fused_dots_multi, RoundScratch, StackedLbfgs};
 pub use error::UnlearnError;
+pub use jobs::{ingest_requests, JobConfig, JobId, JobLog, JobService, LoggedCheckpoint};
 pub use lbfgs::{LbfgsApprox, LbfgsError, PairBuffer};
 pub use recover::{
     calibrate_lr, recover, recover_set, GradientOracle, NoOracle, RecoveryConfig, RecoveryOutcome,

@@ -310,111 +310,255 @@ pub fn recover_set(
     oracle: &mut dyn GradientOracle,
     mut on_round: impl FnMut(Round, &[f32]),
 ) -> Result<RecoveryOutcome, UnlearnError> {
-    let bt = crate::backtrack::backtrack_set(history, forgotten)?;
-    let forgotten_set: std::collections::BTreeSet<ClientId> = forgotten.iter().copied().collect();
-    let f_round = bt.join_round;
-    let t_end = bt.latest_round;
-    if f_round >= t_end {
-        return Err(UnlearnError::NothingToRecover {
-            join_round: f_round,
-            latest_round: t_end,
-        });
-    }
-
-    let mut params = bt.params;
-    let remaining: Vec<ClientId> = history
-        .clients()
-        .into_iter()
-        .filter(|c| !forgotten_set.contains(c))
-        .collect();
-
-    // Guard the empty membership window: if no remaining client submitted
-    // a gradient anywhere in `F..T` (everyone else had already left the
-    // federation), replay would degenerate to a sequence of zero updates
-    // and hand back the backtracked model as if it were recovered. Fail
-    // with a typed error instead so callers can fall back (e.g. retrain).
-    let window_has_participant = (f_round..t_end).any(|t| {
-        history
-            .clients_in_round_iter(t)
-            .any(|c| !forgotten_set.contains(&c))
-    });
-    if remaining.is_empty() || !window_has_participant {
-        return Err(UnlearnError::EmptyMembershipWindow {
-            start_round: f_round,
-            end_round: t_end,
-        });
-    }
-
-    fuiov_obs::journal::begin("core.recover", f_round as u64);
-    let mut oracle_queries = 0usize;
-    let mut buffers: BTreeMap<ClientId, PairBuffer> = BTreeMap::new();
-    let mut approxes: BTreeMap<ClientId, LbfgsApprox> = BTreeMap::new();
-
-    // ---- Seed vector pairs from the s rounds before F (§IV-B). ----
-    let seed_start = f_round.saturating_sub(config.buffer_size);
-    // Hold the historical models through their tier guard on the common
-    // path (a hot round stays borrowed, a spilled one is pinned in the
-    // decode cache); only a model that `interpolate_missing_models` has to
-    // synthesise is ever owned.
-    let w_f = history
-        .model(f_round)
-        .ok_or(UnlearnError::MissingModel(f_round))?;
-    for &client in &remaining {
-        let mut buf = PairBuffer::new(config.buffer_size);
-        // Base gradient g_F: stored direction at F, or oracle, or nearest
-        // later round's direction.
-        let g_f = direction_or_oracle(history, client, f_round, &w_f, oracle, &mut oracle_queries)
-            .or_else(|| nearest_direction(history, client, f_round, t_end));
-        if let Some(g_f) = g_f {
-            for r in seed_start..f_round {
-                let guard = history.model(r);
-                let interp;
-                let w_r: &[f32] = match guard.as_deref() {
-                    Some(m) => m,
-                    None if config.interpolate_missing_models => {
-                        match history.model_interpolated(r) {
-                            Some(m) => {
-                                interp = m;
-                                &interp
-                            }
-                            None => continue,
-                        }
-                    }
-                    None => continue,
-                };
-                let g_r = direction_or_oracle(history, client, r, w_r, oracle, &mut oracle_queries);
-                let Some(g_r) = g_r else { continue };
-                let dw = vector::sub(w_r, &w_f);
-                let dg = vector::sub(&g_r, &g_f);
-                buf.push(dw, dg);
-            }
-        }
-        if let Ok(approx) = buf.approximation() {
-            approxes.insert(client, approx);
-        }
-        buffers.insert(client, buf);
-    }
-
-    // ---- Replay rounds F..T (Algorithm 1's main loop). ----
-    let dim = params.len();
-    let mut update_norms = Vec::with_capacity(t_end - f_round);
-    let mut estimator_fallbacks = 0usize;
-    let mut prev_dw_norm = 0.0f32;
-    let mut growth_run = 0usize;
-
-    // The batched engine: all clients' L-BFGS factors stacked into one
-    // matrix so each round runs ONE fused inbound sweep of the shared
-    // `w̄ₜ − wₜ` instead of n per-client passes. Rebuilt lazily whenever a
-    // pair refresh changes any approximation.
-    let mut stacked = StackedLbfgs::build(dim, std::iter::empty());
-    let mut stacked_dirty = config.hessian_correction;
+    let mut state = ReplayState::init(history, forgotten, config, oracle)?;
     // All replay-loop temporaries live in one arena, recycled across
     // rounds: no per-round model clones, no per-client estimate vectors.
     let mut scratch = RoundScratch::new();
-    let mut roster: Vec<(ClientId, Option<usize>)> = Vec::new();
-    let mut weights: Vec<f32> = Vec::new();
+    while !state.is_done() {
+        state.step(history, &mut scratch, None, &mut on_round)?;
+    }
+    Ok(state.finish())
+}
 
-    for t in f_round..t_end {
+/// The incremental form of [`recover_set`]: guards and §IV-B pair seeding
+/// in [`ReplayState::init`], then exactly one replayed round per
+/// [`ReplayState::step`] call. `recover_set` drives this state machine to
+/// completion, so the one-shot path and the resumable `core::jobs` path
+/// execute the *same* code — bitwise identical by construction, not by
+/// parallel maintenance.
+///
+/// Every field that influences a future round's arithmetic lives here (and
+/// is what the job checkpoint codec serialises); `roster`/`weights` are
+/// per-round scratch recycled across steps, reconstructed from the history
+/// each round.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplayState {
+    pub(crate) config: RecoveryConfig,
+    /// The forgotten set, in caller order (reported in the outcome).
+    pub(crate) forgotten: Vec<ClientId>,
+    pub(crate) f_round: Round,
+    pub(crate) t_end: Round,
+    /// Next round to replay; `t_end` once the state is exhausted.
+    pub(crate) next_round: Round,
+    pub(crate) params: Vec<f32>,
+    /// Remaining clients, ascending (the fixed roster order).
+    pub(crate) remaining: Vec<ClientId>,
+    pub(crate) buffers: BTreeMap<ClientId, PairBuffer>,
+    pub(crate) approxes: BTreeMap<ClientId, LbfgsApprox>,
+    pub(crate) prev_dw_norm: f32,
+    pub(crate) growth_run: usize,
+    pub(crate) estimator_fallbacks: usize,
+    pub(crate) oracle_queries: usize,
+    pub(crate) update_norms: Vec<f32>,
+    /// The batched engine: all clients' L-BFGS factors stacked into one
+    /// matrix so each round runs ONE fused inbound sweep of the shared
+    /// `w̄ₜ − wₜ` instead of n per-client passes. Rebuilt lazily whenever a
+    /// pair refresh changes any approximation.
+    pub(crate) stacked: StackedLbfgs,
+    pub(crate) stacked_dirty: bool,
+    /// Per-round roster `(client, stacked entry)`, recycled across steps.
+    pub(crate) roster: Vec<(ClientId, Option<usize>)>,
+    /// Per-round FedAvg weights parallel to `roster`, recycled.
+    pub(crate) weights: Vec<f32>,
+}
+
+impl ReplayState {
+    /// Runs the guards of Algorithm 1 and seeds the vector pairs from the
+    /// `s` rounds before `F` (§IV-B), yielding a state positioned at
+    /// `next_round == F`.
+    ///
+    /// # Errors
+    ///
+    /// See [`recover_set`] — everything up to (not including) the first
+    /// replayed round errors here.
+    pub(crate) fn init(
+        history: &HistoryStore,
+        forgotten: &[ClientId],
+        config: &RecoveryConfig,
+        oracle: &mut dyn GradientOracle,
+    ) -> Result<Self, UnlearnError> {
+        let bt = crate::backtrack::backtrack_set(history, forgotten)?;
+        let forgotten_set: std::collections::BTreeSet<ClientId> =
+            forgotten.iter().copied().collect();
+        let f_round = bt.join_round;
+        let t_end = bt.latest_round;
+        if f_round >= t_end {
+            return Err(UnlearnError::NothingToRecover {
+                join_round: f_round,
+                latest_round: t_end,
+            });
+        }
+
+        let params = bt.params;
+        let remaining: Vec<ClientId> = history
+            .clients()
+            .into_iter()
+            .filter(|c| !forgotten_set.contains(c))
+            .collect();
+
+        // Guard the empty membership window: if no remaining client
+        // submitted a gradient anywhere in `F..T` (everyone else had
+        // already left the federation), replay would degenerate to a
+        // sequence of zero updates and hand back the backtracked model as
+        // if it were recovered. Fail with a typed error instead so callers
+        // can fall back (e.g. retrain).
+        let window_has_participant = (f_round..t_end).any(|t| {
+            history
+                .clients_in_round_iter(t)
+                .any(|c| !forgotten_set.contains(&c))
+        });
+        if remaining.is_empty() || !window_has_participant {
+            return Err(UnlearnError::EmptyMembershipWindow {
+                start_round: f_round,
+                end_round: t_end,
+            });
+        }
+
+        fuiov_obs::journal::begin("core.recover", f_round as u64);
+        let mut oracle_queries = 0usize;
+        let mut buffers: BTreeMap<ClientId, PairBuffer> = BTreeMap::new();
+        let mut approxes: BTreeMap<ClientId, LbfgsApprox> = BTreeMap::new();
+
+        // ---- Seed vector pairs from the s rounds before F (§IV-B). ----
+        let seed_start = f_round.saturating_sub(config.buffer_size);
+        // Hold the historical models through their tier guard on the
+        // common path (a hot round stays borrowed, a spilled one is pinned
+        // in the decode cache); only a model that
+        // `interpolate_missing_models` has to synthesise is ever owned.
+        let w_f = history
+            .model(f_round)
+            .ok_or(UnlearnError::MissingModel(f_round))?;
+        for &client in &remaining {
+            let mut buf = PairBuffer::new(config.buffer_size);
+            // Base gradient g_F: stored direction at F, or oracle, or
+            // nearest later round's direction.
+            let g_f =
+                direction_or_oracle(history, client, f_round, &w_f, oracle, &mut oracle_queries)
+                    .or_else(|| nearest_direction(history, client, f_round, t_end));
+            if let Some(g_f) = g_f {
+                for r in seed_start..f_round {
+                    let guard = history.model(r);
+                    let interp;
+                    let w_r: &[f32] = match guard.as_deref() {
+                        Some(m) => m,
+                        None if config.interpolate_missing_models => {
+                            match history.model_interpolated(r) {
+                                Some(m) => {
+                                    interp = m;
+                                    &interp
+                                }
+                                None => continue,
+                            }
+                        }
+                        None => continue,
+                    };
+                    let g_r =
+                        direction_or_oracle(history, client, r, w_r, oracle, &mut oracle_queries);
+                    let Some(g_r) = g_r else { continue };
+                    let dw = vector::sub(w_r, &w_f);
+                    let dg = vector::sub(&g_r, &g_f);
+                    buf.push(dw, dg);
+                }
+            }
+            if let Ok(approx) = buf.approximation() {
+                approxes.insert(client, approx);
+            }
+            buffers.insert(client, buf);
+        }
+
+        let dim = params.len();
+        Ok(ReplayState {
+            config: *config,
+            forgotten: forgotten.to_vec(),
+            f_round,
+            t_end,
+            next_round: f_round,
+            params,
+            remaining,
+            buffers,
+            approxes,
+            prev_dw_norm: 0.0,
+            growth_run: 0,
+            estimator_fallbacks: 0,
+            oracle_queries,
+            update_norms: Vec::with_capacity(t_end - f_round),
+            stacked: StackedLbfgs::build(dim, std::iter::empty()),
+            stacked_dirty: config.hessian_correction,
+            roster: Vec::new(),
+            weights: Vec::new(),
+        })
+    }
+
+    /// Whether every round in `F..T` has been replayed.
+    pub(crate) fn is_done(&self) -> bool {
+        self.next_round >= self.t_end
+    }
+
+    /// Pre-computes this round's shared vector `w̄ₜ − wₜ` into
+    /// `scratch.dw_t` and (if a pair refresh dirtied it) rebuilds the
+    /// stack — the inputs a *cross-job* fused sweep needs before
+    /// [`ReplayState::step`] runs with externally-computed dots. Pure with
+    /// respect to the replay arithmetic: `step` recomputes `dw_t` from the
+    /// identical inputs and sees the stack already clean, so calling this
+    /// first moves no bit of the recovered model.
+    ///
+    /// Returns whether the round wants a Hessian sweep at all (correction
+    /// enabled and a non-empty stack).
+    ///
+    /// # Errors
+    ///
+    /// [`UnlearnError::MissingModel`] as in [`ReplayState::step`].
+    pub(crate) fn prepare_sweep(
+        &mut self,
+        history: &HistoryStore,
+        scratch: &mut RoundScratch,
+    ) -> Result<bool, UnlearnError> {
+        let t = self.next_round;
+        debug_assert!(t < self.t_end, "prepare_sweep on an exhausted state");
+        let view = history.round_view(t);
+        let w_t: Cow<'_, [f32]> = match view.model() {
+            Some(m) => Cow::Borrowed(m),
+            None if self.config.interpolate_missing_models => history
+                .model_interpolated(t)
+                .map(Cow::Owned)
+                .ok_or(UnlearnError::MissingModel(t))?,
+            None => return Err(UnlearnError::MissingModel(t)),
+        };
+        vector::sub_into_aligned(&self.params, &w_t, &mut scratch.dw_t);
+        if self.config.hessian_correction && self.stacked_dirty {
+            self.stacked = StackedLbfgs::build(
+                self.params.len(),
+                self.approxes.iter().map(|(c, a)| (*c, a)),
+            );
+            self.stacked_dirty = false;
+            fuiov_obs::counter!("core.stack_rebuilds").inc();
+        }
+        Ok(self.config.hessian_correction && !self.stacked.is_empty())
+    }
+
+    /// Replays exactly one round (`next_round`), advancing the state.
+    ///
+    /// `dots_override` injects the per-column dots of this state's stack
+    /// against this round's `w̄ₜ − wₜ` when a cross-job sweep already
+    /// computed them ([`crate::batch::fused_dots_multi`]); `None` runs the
+    /// per-state fused sweep, which is the one-shot [`recover_set`] path.
+    ///
+    /// # Errors
+    ///
+    /// [`UnlearnError::MissingModel`] if the round's model is gone and
+    /// interpolation is off.
+    pub(crate) fn step(
+        &mut self,
+        history: &HistoryStore,
+        scratch: &mut RoundScratch,
+        dots_override: Option<&[f32]>,
+        on_round: &mut dyn FnMut(Round, &[f32]),
+    ) -> Result<(), UnlearnError> {
+        let t = self.next_round;
+        debug_assert!(t < self.t_end, "step on an exhausted state");
+        let config = self.config;
+        let dim = self.params.len();
+
         // Snapshot the round once: packed direction words and the model
         // stay pinned behind the view (hot rounds borrow, spilled rounds
         // decode once into the LRU) and stream straight into the LUT
@@ -423,7 +567,7 @@ pub fn recover_set(
         // Warm the decode cache for the next replay round while this one
         // computes, so a cold (spilled) trajectory pays its segment read
         // off the critical path of round t+1.
-        if t + 1 < t_end {
+        if t + 1 < self.t_end {
             history.prefetch(t + 1);
         }
         let w_t: Cow<'_, [f32]> = match view.model() {
@@ -434,11 +578,11 @@ pub fn recover_set(
                 .ok_or(UnlearnError::MissingModel(t))?,
             None => return Err(UnlearnError::MissingModel(t)),
         };
-        vector::sub_into_aligned(&params, &w_t, &mut scratch.dw_t); // w̄_t − w_t
+        vector::sub_into_aligned(&self.params, &w_t, &mut scratch.dw_t); // w̄_t − w_t
 
-        if config.hessian_correction && stacked_dirty {
-            stacked = StackedLbfgs::build(dim, approxes.iter().map(|(c, a)| (*c, a)));
-            stacked_dirty = false;
+        if config.hessian_correction && self.stacked_dirty {
+            self.stacked = StackedLbfgs::build(dim, self.approxes.iter().map(|(c, a)| (*c, a)));
+            self.stacked_dirty = false;
             fuiov_obs::counter!("core.stack_rebuilds").inc();
         }
 
@@ -446,41 +590,44 @@ pub fn recover_set(
         // aggregation below consumes estimate rows in exactly this order,
         // so the recovered model is bitwise identical at any pool width
         // (DESIGN.md §5).
-        roster.clear();
-        weights.clear();
-        for &client in &remaining {
+        self.roster.clear();
+        self.weights.clear();
+        for &client in &self.remaining {
             // Not in the view = client did not participate in round t.
             if view.direction(client).is_none() {
                 continue;
             }
             let entry = config
                 .hessian_correction
-                .then(|| stacked.entry_for(client))
+                .then(|| self.stacked.entry_for(client))
                 .flatten();
             if config.hessian_correction && entry.is_none() {
-                estimator_fallbacks += 1;
+                self.estimator_fallbacks += 1;
                 fuiov_obs::counter!("core.estimator_fallbacks").inc();
             }
-            roster.push((client, entry));
-            weights.push(history.weight(client));
+            self.roster.push((client, entry));
+            self.weights.push(history.weight(client));
         }
-        let n_part = roster.len();
+        let n_part = self.roster.len();
 
         if n_part == 0 {
-            update_norms.push(0.0);
+            self.update_norms.push(0.0);
         } else {
             // Passes 1+2 of the batched round: one fused column-dot sweep
-            // of dw_t over the whole stack, then every client's tiny
-            // middle solve against its slice of the dots.
-            if config.hessian_correction && !stacked.is_empty() {
-                fuiov_obs::counter!("core.hvp_fused_sweeps").inc();
-                stacked.fused_dots(&scratch.dw_t, &mut scratch.dots);
-                stacked.solve_middles(
-                    &scratch.dots,
-                    &mut scratch.ps,
-                    &mut scratch.rhs,
-                    &mut scratch.p,
-                );
+            // of dw_t over the whole stack (or the cross-job sweep's slice
+            // of the very same dots), then every client's tiny middle
+            // solve against its slice.
+            if config.hessian_correction && !self.stacked.is_empty() {
+                let dots: &[f32] = match dots_override {
+                    Some(d) => d,
+                    None => {
+                        fuiov_obs::counter!("core.hvp_fused_sweeps").inc();
+                        self.stacked.fused_dots(&scratch.dw_t, &mut scratch.dots);
+                        &scratch.dots
+                    }
+                };
+                self.stacked
+                    .solve_middles(dots, &mut scratch.ps, &mut scratch.rhs, &mut scratch.p);
             }
 
             // Pass 3: decode + correction + clip straight into each
@@ -489,8 +636,8 @@ pub fn recover_set(
             // path, so any banding keeps the result bitwise identical.
             scratch.est.resize(n_part * dim, 0.0);
             let est_buf = &mut scratch.est[..n_part * dim];
-            let (stacked_ref, dw_t, ps) = (&stacked, &scratch.dw_t, &scratch.ps);
-            let (roster_ref, view_ref) = (&roster, &view);
+            let (stacked_ref, dw_t, ps) = (&self.stacked, &scratch.dw_t, &scratch.ps);
+            let (roster_ref, view_ref) = (&self.roster, &view);
             // Hoisted so the disabled path adds nothing inside the bands;
             // when enabled, the extra norm reads are pure observation — the
             // clipped rows are bitwise unchanged.
@@ -521,34 +668,34 @@ pub fn recover_set(
             });
 
             let refs: Vec<&[f32]> = est_buf.chunks(dim).collect();
-            let agg = aggregate_refs(config.aggregation, &refs, &weights);
-            vector::axpy(-config.lr, &agg, &mut params);
-            update_norms.push(vector::l2_norm(&agg));
+            let agg = aggregate_refs(config.aggregation, &refs, &self.weights);
+            vector::axpy(-config.lr, &agg, &mut self.params);
+            self.update_norms.push(vector::l2_norm(&agg));
         }
 
         // ---- Vector-pair refresh: periodic, plus the §IV-B adaptive
         // trigger when the recovered trajectory keeps drifting away from
         // the historical one. ----
         let dw_norm = vector::l2_norm(&scratch.dw_t);
-        if dw_norm > prev_dw_norm {
-            growth_run += 1;
+        if dw_norm > self.prev_dw_norm {
+            self.growth_run += 1;
         } else {
-            growth_run = 0;
+            self.growth_run = 0;
         }
-        prev_dw_norm = dw_norm;
+        self.prev_dw_norm = dw_norm;
         let diverging = config
             .divergence_patience
-            .is_some_and(|patience| growth_run >= patience);
-        let replayed = t - f_round + 1;
-        if (replayed % config.pair_refresh_interval == 0 || diverging) && dw_norm > 1e-12 {
+            .is_some_and(|patience| self.growth_run >= patience);
+        let replayed = t - self.f_round + 1;
+        if (replayed.is_multiple_of(config.pair_refresh_interval) || diverging) && dw_norm > 1e-12 {
             if diverging {
-                growth_run = 0;
+                self.growth_run = 0;
             }
             // The clipped estimates live as rows of the scratch estimate
             // matrix (aligned with `roster`), so refreshing needs no
             // per-round clones: pairs are pushed from borrowed slices and
             // the ring buffer recycles its evicted storage.
-            for (p, (client, _)) in roster.iter().enumerate() {
+            for (p, (client, _)) in self.roster.iter().enumerate() {
                 let est = &scratch.est[p * dim..(p + 1) * dim];
                 scratch.stored.resize(dim, 0.0);
                 let dir = view.direction(*client).expect("roster checked");
@@ -557,14 +704,15 @@ pub fn recover_set(
                 if vector::l2_norm(&scratch.dg) <= 1e-12 {
                     continue; // clipped estimate identical to history: no info
                 }
-                let buf = buffers
+                let buf = self
+                    .buffers
                     .entry(*client)
                     .or_insert_with(|| PairBuffer::new(config.buffer_size));
                 buf.push_from_slices(&scratch.dw_t, &scratch.dg);
                 fuiov_obs::counter!("core.pair_refreshes").inc();
                 if let Ok(approx) = buf.approximation() {
-                    approxes.insert(*client, approx);
-                    stacked_dirty = true;
+                    self.approxes.insert(*client, approx);
+                    self.stacked_dirty = true;
                 }
                 // On failure keep the previous approximation.
             }
@@ -572,20 +720,29 @@ pub fn recover_set(
 
         fuiov_obs::counter!("core.replay_rounds").inc();
         fuiov_obs::journal::instant("core.recover.round", t as u64, n_part as u64);
-        on_round(t, &params);
+        on_round(t, &self.params);
+        self.next_round = t + 1;
+        Ok(())
     }
 
-    fuiov_obs::journal::end("core.recover", f_round as u64, (t_end - f_round) as u64);
-    Ok(RecoveryOutcome {
-        params,
-        clients: forgotten.to_vec(),
-        start_round: f_round,
-        end_round: t_end,
-        rounds_replayed: t_end - f_round,
-        estimator_fallbacks,
-        oracle_queries,
-        update_norms,
-    })
+    /// Consumes the exhausted state into its [`RecoveryOutcome`].
+    pub(crate) fn finish(self) -> RecoveryOutcome {
+        fuiov_obs::journal::end(
+            "core.recover",
+            self.f_round as u64,
+            (self.t_end - self.f_round) as u64,
+        );
+        RecoveryOutcome {
+            params: self.params,
+            clients: self.forgotten,
+            start_round: self.f_round,
+            end_round: self.t_end,
+            rounds_replayed: self.t_end - self.f_round,
+            estimator_fallbacks: self.estimator_fallbacks,
+            oracle_queries: self.oracle_queries,
+            update_norms: self.update_norms,
+        }
+    }
 }
 
 /// Stored direction for `(round, client)`, else a quantised oracle

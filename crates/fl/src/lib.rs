@@ -45,4 +45,4 @@ pub use comms::CommsReport;
 pub use config::{AggregationRule, FlConfig};
 pub use dp::DpClient;
 pub use schedule::LrSchedule;
-pub use server::Server;
+pub use server::{ForgetRequest, Server};

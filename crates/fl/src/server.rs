@@ -29,6 +29,19 @@ pub struct RoundSummary {
     pub update_norm: f32,
 }
 
+/// One queued request to unlearn a set of vehicles, stamped with the
+/// round it arrived in. The server only *queues* these — actually
+/// recovering the model is `core::jobs`' business (the `fuiov-core` crate
+/// sits above this one), so a driver drains the queue into a job service
+/// via [`Server::drain_forget_requests`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForgetRequest {
+    /// The vehicles to forget (deduplicated, ascending).
+    pub clients: Vec<ClientId>,
+    /// Training round at which the request was accepted.
+    pub round: Round,
+}
+
 /// The federated server.
 #[derive(Debug)]
 pub struct Server {
@@ -39,6 +52,7 @@ pub struct Server {
     full_store: FullGradientStore,
     summaries: Vec<RoundSummary>,
     sampling_seed: u64,
+    forget_requests: Vec<ForgetRequest>,
 }
 
 impl Server {
@@ -61,7 +75,43 @@ impl Server {
             full_store: FullGradientStore::new(),
             summaries: Vec::new(),
             sampling_seed: 0,
+            forget_requests: Vec::new(),
         }
+    }
+
+    /// Queues a request to forget `clients`, stamped with the current
+    /// round. The set is deduplicated and sorted; a request identical to
+    /// one already queued is dropped (and counted), so a vehicle
+    /// re-sending its departure cannot enqueue duplicate recovery work.
+    /// Returns whether the request was newly queued.
+    pub fn request_forget(&mut self, clients: &[ClientId]) -> bool {
+        let mut set: Vec<ClientId> = clients.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        if set.is_empty() {
+            return false;
+        }
+        if self.forget_requests.iter().any(|r| r.clients == set) {
+            fuiov_obs::counter!("fl.forget_requests_duplicate").inc();
+            return false;
+        }
+        fuiov_obs::counter!("fl.forget_requests").inc();
+        self.forget_requests.push(ForgetRequest {
+            clients: set,
+            round: self.round,
+        });
+        true
+    }
+
+    /// Requests queued and not yet drained.
+    pub fn pending_forget_requests(&self) -> &[ForgetRequest] {
+        &self.forget_requests
+    }
+
+    /// Hands the queued requests to the caller (e.g. to submit into a
+    /// `core::jobs` service), leaving the queue empty.
+    pub fn drain_forget_requests(&mut self) -> Vec<ForgetRequest> {
+        std::mem::take(&mut self.forget_requests)
     }
 
     /// Sets the seed used for per-round client sampling (only relevant

@@ -488,6 +488,18 @@ impl HistoryStore {
         self.tier
     }
 
+    /// A snapshot-isolated copy for a concurrent reader (e.g. one recovery
+    /// job in `core::jobs`): slot maps are `Arc`/handle clones and the
+    /// append-only spill file is shared, so taking a snapshot copies no
+    /// model bytes, and records appended to the live store afterwards are
+    /// invisible to the snapshot — the copy-on-write isolation the job
+    /// service's determinism contract is built on. The snapshot starts
+    /// with its own decode cache and tier counters.
+    pub fn snapshot(&self) -> HistoryStore {
+        fuiov_obs::counter!("storage.snapshots").inc();
+        self.clone()
+    }
+
     /// Changes the in-memory budget and enforces it immediately.
     pub fn set_budget(&mut self, budget_bytes: Option<usize>) {
         self.tier.budget_bytes = budget_bytes;

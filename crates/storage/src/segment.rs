@@ -51,6 +51,10 @@ pub enum RecordKind {
     Delta,
     /// A round's packed `client → GradientDirection` map.
     Directions,
+    /// An in-progress recovery job's sealed resume state. The `round`
+    /// field holds the job's next replay round, the `base` field its job
+    /// id; the payload is the `core::jobs` state codec's opaque bytes.
+    JobCheckpoint,
 }
 
 impl RecordKind {
@@ -59,6 +63,7 @@ impl RecordKind {
             RecordKind::Keyframe => 1,
             RecordKind::Delta => 2,
             RecordKind::Directions => 3,
+            RecordKind::JobCheckpoint => 4,
         }
     }
 
@@ -67,6 +72,7 @@ impl RecordKind {
             1 => Some(RecordKind::Keyframe),
             2 => Some(RecordKind::Delta),
             3 => Some(RecordKind::Directions),
+            4 => Some(RecordKind::JobCheckpoint),
             _ => None,
         }
     }
@@ -219,6 +225,41 @@ pub fn encode_directions(round: Round, dirs: &BTreeMap<ClientId, GradientDirecti
     frame(RecordKind::Directions, round, round, &payload)
 }
 
+/// Encodes a recovery-job checkpoint record. The framing reuses the FUSG
+/// discipline — FNV-sealed, truncation-typed — with `next_round` in the
+/// `round` field and the job id in the `base` field, so job logs get the
+/// same corruption taxonomy as the spill tier for free.
+pub fn encode_job_checkpoint(job: u64, next_round: Round, payload: &[u8]) -> Vec<u8> {
+    frame(RecordKind::JobCheckpoint, next_round, job as Round, payload)
+}
+
+/// Decodes a job-checkpoint record into `(job, next_round, payload)`.
+///
+/// # Errors
+///
+/// Framing/checksum errors from [`check_record`], `BadKind` if the record
+/// is not a job checkpoint.
+pub fn decode_job_checkpoint(record: &[u8]) -> Result<(u64, Round, Vec<u8>), SegmentDecodeError> {
+    let (kind, round, base, payload) = check_record(record)?;
+    if kind != RecordKind::JobCheckpoint {
+        return Err(SegmentDecodeError::BadKind(kind.code()));
+    }
+    Ok((base as u64, round, payload.to_vec()))
+}
+
+/// Declared total record length (header + payload + trailer) of the record
+/// starting at `bytes`, or `None` when not even a full header is present —
+/// the sequential-scan primitive job logs use to walk their records and
+/// stop cleanly at a torn tail.
+pub fn framed_len(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let payload_len =
+        u32::from_le_bytes(bytes[HEADER_LEN - 4..HEADER_LEN].try_into().ok()?) as usize;
+    Some(HEADER_LEN + payload_len + TRAILER_LEN)
+}
+
 /// Validates framing + checksum and returns `(kind, round, base, payload)`.
 ///
 /// # Errors
@@ -294,7 +335,9 @@ pub fn decode_model(
             let base = base.ok_or(SegmentDecodeError::MissingBase(base_round as u64))?;
             delta::decode(base, payload, len).ok_or(SegmentDecodeError::Truncated)
         }
-        RecordKind::Directions => Err(SegmentDecodeError::BadKind(kind.code())),
+        RecordKind::Directions | RecordKind::JobCheckpoint => {
+            Err(SegmentDecodeError::BadKind(kind.code()))
+        }
     }
 }
 
@@ -605,6 +648,51 @@ mod tests {
             decode_model(&rec, 0, None),
             Err(SegmentDecodeError::BadKind(3))
         ));
+    }
+
+    #[test]
+    fn job_checkpoint_roundtrips_and_is_kind_checked() {
+        let payload = vec![7u8, 0, 1, 2, 3, 255];
+        let rec = encode_job_checkpoint(42, 9, &payload);
+        assert_eq!(framed_len(&rec), Some(rec.len()));
+        let (job, next_round, back) = decode_job_checkpoint(&rec).unwrap();
+        assert_eq!(job, 42);
+        assert_eq!(next_round, 9);
+        assert_eq!(back, payload);
+
+        // Kind confusion in both directions is typed.
+        assert_eq!(
+            decode_model(&rec, 9, None),
+            Err(SegmentDecodeError::BadKind(4))
+        );
+        assert_eq!(
+            decode_directions(&rec, 9),
+            Err(SegmentDecodeError::BadKind(4))
+        );
+        let model_rec = encode_keyframe(9, &[1.0]);
+        assert_eq!(
+            decode_job_checkpoint(&model_rec),
+            Err(SegmentDecodeError::BadKind(1))
+        );
+
+        // Tearing the sealed record is Truncated, rot is BadChecksum.
+        assert_eq!(
+            decode_job_checkpoint(&rec[..rec.len() - 3]),
+            Err(SegmentDecodeError::Truncated)
+        );
+        let mut rot = rec.clone();
+        rot[HEADER_LEN + 1] ^= 0x10;
+        assert!(matches!(
+            decode_job_checkpoint(&rot),
+            Err(SegmentDecodeError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn framed_len_needs_a_full_header() {
+        let rec = encode_job_checkpoint(1, 0, &[9; 16]);
+        assert_eq!(framed_len(&rec[..HEADER_LEN - 1]), None);
+        assert_eq!(framed_len(&rec[..HEADER_LEN]), Some(rec.len()));
     }
 
     #[test]

@@ -316,6 +316,41 @@ impl Mat {
         });
     }
 
+    /// The band primitive of [`Mat::row_dots_into`] without the pool pass:
+    /// computes the dots of rows `rows` against `v` into `band` (one slot
+    /// per row, in range order), dispatching to the same AVX2/scalar band
+    /// kernels. Each row's accumulation is a pure function of `(row, v)` —
+    /// independent of how callers partition the rows — which is what lets
+    /// one external parallel pass fuse the sweeps of *several* stacked
+    /// matrices (the cross-job batched recovery round) while staying
+    /// bitwise identical to per-matrix [`Mat::row_dots_into`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols`, the range exceeds `self.rows`, or
+    /// `band.len() != rows.len()`.
+    pub fn row_dots_range_into(&self, v: &[f32], rows: std::ops::Range<usize>, band: &mut [f32]) {
+        assert_eq!(v.len(), self.cols, "row_dots_range_into: vector mismatch");
+        assert!(
+            rows.end <= self.rows,
+            "row_dots_range_into: row range out of bounds"
+        );
+        assert_eq!(
+            band.len(),
+            rows.len(),
+            "row_dots_range_into: band length mismatch"
+        );
+        let simd = crate::simd::enabled();
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd::enabled()` implies the AVX2 probe passed.
+            unsafe { x86::row_dots_band_avx2(self, v, rows, band) };
+            return;
+        }
+        let _ = simd;
+        row_dots_band_scalar(self, v, rows, band);
+    }
+
     /// Gram-style product `selfᵀ · other` (a `k × m` matrix for tall-skinny
     /// inputs `dim × k` and `dim × m`), accumulated in `f64`.
     ///
@@ -949,6 +984,34 @@ mod tests {
                     dots.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                     golden.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                     "row_dots diverged from tr_matvec at {dim}x{k}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_dots_range_matches_full_sweep_at_any_partition() {
+        let _g = crate::pool::test_guard();
+        // Any partitioning of the rows into ranges must reproduce the full
+        // fused sweep bit for bit — the property the cross-job batched
+        // recovery round builds on.
+        for &(rows, cols) in &[(1usize, 9usize), (13, 33), (64, 257)] {
+            let m = test_mat(rows, cols, 5);
+            let v: Vec<f32> = test_mat(cols, 1, 6).as_slice().to_vec();
+            let mut golden = vec![0.0f32; rows];
+            m.row_dots_into(&v, &mut golden);
+            for chunk in [1usize, 3, rows] {
+                let mut out = vec![0.0f32; rows];
+                let mut start = 0;
+                while start < rows {
+                    let end = (start + chunk).min(rows);
+                    m.row_dots_range_into(&v, start..end, &mut out[start..end]);
+                    start = end;
+                }
+                assert_eq!(
+                    out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    golden.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "range sweep diverged at {rows}x{cols}, chunk {chunk}"
                 );
             }
         }

@@ -248,6 +248,27 @@ impl Corruptor {
         }
         landed
     }
+
+    /// Tears the tail off a job-checkpoint log on disk: `set_len` to drop
+    /// the last `1 + raw_cut % len` bytes, the way a crash mid-append
+    /// leaves a torn record behind ([`Fault::TornJobCheckpoint`]). Returns
+    /// `false` (no-op) when the file is missing or empty.
+    ///
+    /// [`Fault::TornJobCheckpoint`]: crate::plan::Fault::TornJobCheckpoint
+    pub fn torn_job_log(path: &std::path::Path, raw_cut: usize) -> bool {
+        let Ok(meta) = std::fs::metadata(path) else {
+            return false;
+        };
+        let len = meta.len();
+        if len == 0 {
+            return false;
+        }
+        let cut = 1 + (raw_cut as u64) % len;
+        let Ok(file) = OpenOptions::new().write(true).open(path) else {
+            return false;
+        };
+        file.set_len(len - cut).is_ok()
+    }
 }
 
 #[cfg(test)]

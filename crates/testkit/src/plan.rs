@@ -43,11 +43,21 @@ pub enum FaultClass {
     /// A spilled keyframe carries the wrong round number — the record is
     /// internally consistent but belongs to a different round.
     StaleKeyframe,
+    /// A running unlearning job is preempted (its in-memory replay state
+    /// lost) at a seeded replay round and must resume from its last
+    /// sealed checkpoint.
+    JobPreempt,
+    /// The job-checkpoint log loses its tail (`set_len` truncation mid
+    /// record — a crash during a checkpoint append).
+    TornJobCheckpoint,
+    /// The same forget request is submitted more than once; the job
+    /// service must collapse the duplicates onto one job.
+    DuplicateForget,
 }
 
 impl FaultClass {
     /// All classes, in declaration order.
-    pub const ALL: [FaultClass; 10] = [
+    pub const ALL: [FaultClass; 13] = [
         FaultClass::Dropout,
         FaultClass::SignFlip,
         FaultClass::Delay,
@@ -58,6 +68,9 @@ impl FaultClass {
         FaultClass::SegmentTruncation,
         FaultClass::SegmentChecksum,
         FaultClass::StaleKeyframe,
+        FaultClass::JobPreempt,
+        FaultClass::TornJobCheckpoint,
+        FaultClass::DuplicateForget,
     ];
 }
 
@@ -137,6 +150,25 @@ pub enum Fault {
         /// How far the recorded round number is shifted.
         shift: usize,
     },
+    /// Every running unlearning job is preempted when its replay reaches
+    /// `round` (reduced modulo the job's window at application time), and
+    /// must resume from its newest sealed checkpoint.
+    JobPreempt {
+        /// Raw replay-round draw; reduce modulo the replay window.
+        round: Round,
+    },
+    /// The job-checkpoint log loses its last `cut` bytes
+    /// ([`crate::Corruptor::torn_job_log`] reduces modulo the file
+    /// length), simulating a crash mid-append.
+    TornJobCheckpoint {
+        /// Raw byte-count draw; effective cut is `1 + cut % len`.
+        cut: usize,
+    },
+    /// The same forget request is submitted `1 + times` times in total.
+    DuplicateForget {
+        /// Extra submissions beyond the first.
+        times: usize,
+    },
 }
 
 impl Fault {
@@ -153,6 +185,9 @@ impl Fault {
             Fault::TruncateSpillRecord { .. } => FaultClass::SegmentTruncation,
             Fault::CorruptSpillChecksum { .. } => FaultClass::SegmentChecksum,
             Fault::StaleKeyframe { .. } => FaultClass::StaleKeyframe,
+            Fault::JobPreempt { .. } => FaultClass::JobPreempt,
+            Fault::TornJobCheckpoint { .. } => FaultClass::TornJobCheckpoint,
+            Fault::DuplicateForget { .. } => FaultClass::DuplicateForget,
         }
     }
 }
@@ -289,6 +324,21 @@ impl FaultPlan {
         faults.push(Fault::StaleKeyframe {
             round: rng.gen_range(0..spec.rounds),
             shift: rng.gen_range(1..=spec.max_stale_lag.max(1)),
+        });
+
+        // Job-service faults (ISSUE 7): preemption at a seeded replay
+        // round, a torn job-checkpoint log, duplicate forget submission.
+        // Global and always floored at one of each, on a fresh stream so
+        // every earlier draw stays stable across taxonomy growth.
+        let mut rng = rng_for(seed, streams::TESTKIT + 0x43);
+        faults.push(Fault::JobPreempt {
+            round: rng.gen_range(0..spec.rounds),
+        });
+        faults.push(Fault::TornJobCheckpoint {
+            cut: rng.gen_range(0..10_000usize),
+        });
+        faults.push(Fault::DuplicateForget {
+            times: rng.gen_range(1..=3usize),
         });
 
         let by_cell = faults
@@ -451,6 +501,24 @@ impl FaultPlan {
             })
             .collect()
     }
+
+    /// All job-service faults (preemption, torn checkpoint log, duplicate
+    /// submission), in plan order. Kept separate from
+    /// [`FaultPlan::segment_faults`] so the spill-tier count every
+    /// existing fault-matrix assertion pins is untouched.
+    pub fn job_faults(&self) -> Vec<&Fault> {
+        self.faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    Fault::JobPreempt { .. }
+                        | Fault::TornJobCheckpoint { .. }
+                        | Fault::DuplicateForget { .. }
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -536,14 +604,35 @@ mod tests {
                 Fault::CorruptCheckpointMagic => {}
                 Fault::TruncateSpillRecord { round } | Fault::CorruptSpillChecksum { round } => {
                     assert!(*round < spec().rounds);
-                    assert!(plan.segment_faults().iter().any(|g| *g == f));
+                    assert!(plan.segment_faults().contains(&f));
                 }
                 Fault::StaleKeyframe { round, shift } => {
                     assert!(*round < spec().rounds);
                     assert!(*shift >= 1);
-                    assert!(plan.segment_faults().iter().any(|g| *g == f));
+                    assert!(plan.segment_faults().contains(&f));
+                }
+                Fault::JobPreempt { round } => {
+                    assert!(*round < spec().rounds);
+                    assert!(plan.job_faults().contains(&f));
+                }
+                Fault::TornJobCheckpoint { .. } => {
+                    assert!(plan.job_faults().contains(&f));
+                }
+                Fault::DuplicateForget { times } => {
+                    assert!(*times >= 1);
+                    assert!(plan.job_faults().contains(&f));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn job_faults_are_disjoint_from_segment_faults() {
+        let plan = FaultPlan::sample(11, &spec());
+        assert_eq!(plan.job_faults().len(), 3);
+        assert_eq!(plan.segment_faults().len(), 3);
+        for f in plan.job_faults() {
+            assert!(!plan.segment_faults().contains(&f));
         }
     }
 }

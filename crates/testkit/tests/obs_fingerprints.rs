@@ -4,7 +4,10 @@
 //! whose counter stays flat is a fault the operator cannot see in a run
 //! report.
 
+use fuiov_core::jobs::{JobConfig, JobService};
+use fuiov_core::{NoOracle, RecoveryConfig};
 use fuiov_obs::Snapshot;
+use fuiov_storage::HistoryStore;
 use fuiov_testkit::{CanonicalRun, Corruptor, FaultPlan, FaultSpec};
 use std::sync::Arc;
 
@@ -49,6 +52,92 @@ fn trailer_flip_fingerprints_the_checksum_counter() {
     assert!(
         delta.counter("storage.decode_errors") > 0,
         "the decode-error counter must also move"
+    );
+}
+
+/// The job service leaves a full counter trail: submissions, snapshot
+/// isolation, starts, sealed checkpoints, preemption/resume cycles,
+/// duplicate collapses, cross-job sweeps, and completions all move their
+/// counters by exact, seed-independent amounts on this fixed scenario.
+#[test]
+fn job_lifecycle_fingerprints_the_jobs_counters() {
+    let _obs = fuiov_obs::test_lock();
+    fuiov_obs::set_enabled(true);
+
+    // Tiny synthetic federation: clients 1 and 2 join late so the two
+    // jobs replay overlapping windows. Gradient signs alternate with a
+    // period-3 round pattern — the 2-bit store keeps signs only, so
+    // without per-round flips every L-BFGS pair would collapse to
+    // `Δg = 0` and the stacked (batchable) sweep would never engage.
+    let (dim, rounds) = (8usize, 10usize);
+    let joins = [0usize, 2, 3, 0];
+    let mut h = HistoryStore::new(1e-6);
+    for (c, &join) in joins.iter().enumerate() {
+        h.record_join(c, join);
+    }
+    let mut w = vec![0.0f32; dim];
+    for t in 0..rounds {
+        h.record_model(t, w.clone());
+        let mut grads = Vec::new();
+        for (c, &join) in joins.iter().enumerate() {
+            if t < join {
+                continue;
+            }
+            let g: Vec<f32> = (0..dim)
+                .map(|j| {
+                    let sign = if (t + j) % 3 < 2 { 1.0f32 } else { -1.0 };
+                    sign * (1.0 + 0.1 * c as f32 + 0.05 * j as f32)
+                })
+                .collect();
+            h.record_gradient(t, c, &g);
+            grads.push(g);
+        }
+        let n = grads.len() as f32;
+        for j in 0..dim {
+            w[j] -= 0.05 * grads.iter().map(|g| g[j]).sum::<f32>() / n;
+        }
+    }
+    h.record_model(rounds, w);
+
+    let before = Snapshot::capture();
+    let mut svc = JobService::new(JobConfig::new(RecoveryConfig::new(0.05)).checkpoint_interval(2));
+    // Both sets backtrack to client 1's join round, so the two jobs
+    // replay the same rounds and the cross-job batched sweep engages.
+    let a = svc.submit(&h, &[1]);
+    let b = svc.submit(&h, &[1, 2]);
+    assert_eq!(svc.submit(&h, &[1]), a, "duplicate must collapse");
+    // One step activates both jobs (sealing the round-zero checkpoint),
+    // then a preemption forces a resume on the next step.
+    assert!(svc.step(&mut NoOracle));
+    svc.preempt(a);
+    svc.run_to_completion(&mut NoOracle);
+    assert!(svc.take_outcome(a).expect("job a done").is_ok());
+    assert!(svc.take_outcome(b).expect("job b done").is_ok());
+
+    let delta = Snapshot::capture().delta(&before);
+    assert_eq!(delta.counter("jobs.submitted"), 2, "two distinct jobs");
+    assert_eq!(
+        delta.counter("jobs.duplicates"),
+        1,
+        "one collapsed resubmit"
+    );
+    assert_eq!(
+        delta.counter("storage.snapshots"),
+        2,
+        "one snapshot per job"
+    );
+    assert_eq!(delta.counter("jobs.started"), 2, "both jobs started fresh");
+    assert_eq!(delta.counter("jobs.preempted"), 1, "one preemption");
+    assert_eq!(delta.counter("jobs.resumed"), 1, "preempted job resumed");
+    assert_eq!(delta.counter("jobs.completed"), 2, "both jobs finished");
+    assert_eq!(delta.counter("jobs.failed"), 0, "no job may fail");
+    assert!(
+        delta.counter("jobs.checkpoints_sealed") >= 4,
+        "round-zero seals plus interval seals must be recorded"
+    );
+    assert!(
+        delta.counter("jobs.cross_job_sweeps") > 0,
+        "overlapping replay rounds must batch the stacked sweep"
     );
 }
 

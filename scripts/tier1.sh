@@ -78,6 +78,17 @@ stage_tier_invariance() {
     cargo test -p fuiov-testkit -q --test golden_trace
 }
 
+stage_jobs() {
+  # Job-service crash/resume oracles under the fault matrix (CI fans the
+  # seeds out via FUIOV_FAULT_SEED), plus one pass with the SIMD kill
+  # switch thrown: resumed == uninterrupted must hold bitwise on both
+  # kernel paths, at every checkpoint boundary, at any seed.
+  for seed in ${FUIOV_FAULT_SEED:-101 202}; do
+    FUIOV_FAULT_SEED="$seed" cargo test -p fuiov -q --test job_resume_oracles
+  done
+  FUIOV_SIMD=0 cargo test -p fuiov -q --test job_resume_oracles
+}
+
 stage_simd_off() {
   # The whole suite again with the SIMD kill switch thrown, pinning every
   # runtime-dispatched kernel to its scalar reference — the suite must
@@ -98,7 +109,7 @@ stage_bench_smoke() {
   FUIOV_SIMD=0 FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
 }
 
-ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance simd_off bench_smoke"
+ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance jobs simd_off bench_smoke"
 
 stages() {
   echo "$ALL_STAGES" | tr ' ' '\n'

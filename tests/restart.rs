@@ -7,7 +7,9 @@ use fuiov::fl::mobility::{ChurnSchedule, Membership};
 use fuiov::fl::{Client, FlConfig, HonestClient, Server};
 use fuiov::nn::ModelSpec;
 use fuiov::storage::serialize::{decode_history, encode_history};
-use fuiov::unlearn::{RecoveryConfig, Unlearner};
+use fuiov::unlearn::{
+    ingest_requests, JobConfig, JobLog, JobService, NoOracle, RecoveryConfig, Unlearner,
+};
 
 const SPEC: ModelSpec = ModelSpec::Mlp {
     inputs: 144,
@@ -65,6 +67,64 @@ fn recovery_from_restored_history_is_bit_identical() {
     assert_eq!(live.params, cold.params, "restart must not change recovery");
     assert_eq!(live.start_round, cold.start_round);
     assert_eq!(live.rounds_replayed, cold.rounds_replayed);
+}
+
+/// The full RSU restart story through the job service: a forget request
+/// arrives at the server, the recovery job checkpoints to an on-disk log,
+/// the RSU dies mid-replay, and the restarted process — restored history
+/// blob plus reopened job log — resumes to the exact bits the live
+/// uninterrupted path produces.
+#[test]
+fn job_service_resumes_across_a_server_restart_bit_identically() {
+    let mut server = trained_server(34);
+    assert!(
+        server.request_forget(&[3]),
+        "intake accepts a fresh request"
+    );
+    assert!(!server.request_forget(&[3]), "duplicate intake is rejected");
+    let requests = server.drain_forget_requests();
+    assert_eq!(requests.len(), 1);
+
+    let cfg = RecoveryConfig::new(0.01);
+    let live = Unlearner::new(server.history(), cfg)
+        .forget_and_recover(3)
+        .expect("live recovery");
+
+    let blob = encode_history(server.history());
+    let log_path =
+        std::env::temp_dir().join(format!("fuiov-restart-joblog-{}.seg", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+
+    // First process: ingest the request, replay a few rounds, crash.
+    {
+        let (log, logged) = JobLog::open(&log_path).expect("fresh log");
+        assert!(logged.is_empty());
+        let mut svc = JobService::with_log(JobConfig::new(cfg).checkpoint_interval(2), log, logged);
+        let ids = ingest_requests(&mut svc, server.history(), &requests);
+        assert_eq!(ids.len(), 1);
+        for _ in 0..4 {
+            svc.step(&mut NoOracle);
+        }
+    } // crash: service dropped, only the log file and blob survive
+
+    // Restarted process: restored history + reopened log, resume to done.
+    let restored = decode_history(&blob).expect("own encoding decodes");
+    let (log, logged) = JobLog::open(&log_path).expect("reopen log");
+    assert!(!logged.is_empty(), "crash must leave sealed checkpoints");
+    let mut svc = JobService::with_log(JobConfig::new(cfg).checkpoint_interval(2), log, logged);
+    let ids = ingest_requests(&mut svc, &restored, &requests);
+    svc.run_to_completion(&mut NoOracle);
+    let resumed = svc
+        .take_outcome(ids[0])
+        .expect("job finished")
+        .expect("job succeeded");
+
+    assert_eq!(
+        live.params, resumed.params,
+        "restart through the job log must not change recovery"
+    );
+    assert_eq!(live.rounds_replayed, resumed.rounds_replayed);
+    let _ = std::fs::remove_file(&log_path);
 }
 
 #[test]
