@@ -57,7 +57,9 @@ pub type JobId = u64;
 pub type LoggedCheckpoint = (JobId, Round, Vec<u8>);
 
 /// Version tag leading every checkpoint payload; bump on layout change.
-const STATE_VERSION: u16 = 1;
+/// v2 appended the replay scope and sibling-reuse tally at the payload
+/// tail (so [`peek_forgotten`]'s fixed header offsets survived).
+const STATE_VERSION: u16 = 2;
 
 /// Default rounds between sealed checkpoints when
 /// `FUIOV_JOB_CHECKPOINT_INTERVAL` is unset.
@@ -253,6 +255,16 @@ fn encode_state(state: &ReplayState) -> Vec<u8> {
             put_f32s(&mut out, &approx.dg_mat().col(j));
         }
     }
+    // v2 tail: replay scope + sibling reuses, appended last so the fixed
+    // header offsets of `peek_forgotten` stay valid.
+    match &state.scope {
+        Some(scope) => {
+            out.push(1);
+            put_ids(&mut out, scope);
+        }
+        None => out.push(0),
+    }
+    put_u64(&mut out, state.sibling_reuses as u64);
     out
 }
 
@@ -344,6 +356,13 @@ fn decode_state(payload: &[u8], config: &RecoveryConfig) -> Result<ReplayState, 
         });
     }
 
+    let scope = match r.u8()? {
+        0 => None,
+        1 => Some(r.ids()?),
+        _ => return Err(UnlearnError::BadJobCheckpoint("bad scope tag")),
+    };
+    let sibling_reuses = r.u64()? as usize;
+
     Ok(ReplayState {
         config: *config,
         forgotten,
@@ -352,11 +371,13 @@ fn decode_state(payload: &[u8], config: &RecoveryConfig) -> Result<ReplayState, 
         next_round,
         params,
         remaining,
+        scope,
         buffers,
         approxes,
         prev_dw_norm,
         growth_run,
         estimator_fallbacks,
+        sibling_reuses,
         oracle_queries,
         update_norms,
         stacked,
@@ -509,6 +530,10 @@ enum JobPhase {
 #[derive(Debug)]
 struct Job {
     forgotten: Vec<ClientId>,
+    /// Replay scope (sorted): only these clients get Eq. 6 estimation;
+    /// everyone else replays sealed directions verbatim. `None` estimates
+    /// the whole cohort. See [`recover_set_scoped`](crate::recover_set_scoped).
+    scope: Option<Vec<ClientId>>,
     /// Copy-on-write history snapshot taken at submission.
     snapshot: HistoryStore,
     phase: JobPhase,
@@ -531,8 +556,10 @@ pub struct JobService {
     /// Sealed checkpoints per job, newest last (mirrors the log so
     /// preemption and resume also work for log-less services).
     records: BTreeMap<JobId, Vec<(Round, Vec<u8>)>>,
-    /// Sorted-deduped forgotten set → job, for duplicate submissions.
-    dedup: BTreeMap<Vec<ClientId>, JobId>,
+    /// Sorted-deduped (forgotten set, scope) → job, for duplicate
+    /// submissions. The scope is part of the key: the same forgotten set
+    /// replayed under a different scope is a different job.
+    dedup: BTreeMap<(Vec<ClientId>, Option<Vec<ClientId>>), JobId>,
 }
 
 impl JobService {
@@ -580,9 +607,30 @@ impl JobService {
     /// matching a logged (crashed) job adopts that job's id and will
     /// resume from its checkpoints.
     pub fn submit(&mut self, history: &HistoryStore, forgotten: &[ClientId]) -> JobId {
+        self.submit_scoped(history, forgotten, None)
+    }
+
+    /// [`JobService::submit`] with a replay *scope*: only clients in
+    /// `scope` get Eq. 6 estimation during replay; out-of-scope clients
+    /// (sibling subtrees) reuse their sealed directions verbatim. The
+    /// scope travels through checkpoints, so a crashed scoped job resumes
+    /// scoped.
+    pub fn submit_scoped(
+        &mut self,
+        history: &HistoryStore,
+        forgotten: &[ClientId],
+        scope: Option<&[ClientId]>,
+    ) -> JobId {
         let mut key: Vec<ClientId> = forgotten.to_vec();
         key.sort_unstable();
         key.dedup();
+        let scope: Option<Vec<ClientId>> = scope.map(|s| {
+            let mut s = s.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s
+        });
+        let key = (key, scope);
         if let Some(&id) = self.dedup.get(&key) {
             fuiov_obs::counter!("jobs.duplicates").inc();
             return id;
@@ -598,7 +646,7 @@ impl JobService {
                         .is_some_and(|mut f| {
                             f.sort_unstable();
                             f.dedup();
-                            f == key
+                            f == key.0
                         })
             })
             .map(|(&id, _)| id)
@@ -611,6 +659,7 @@ impl JobService {
             id,
             Job {
                 forgotten: forgotten.to_vec(),
+                scope: key.1.clone(),
                 snapshot: history.snapshot(),
                 phase: JobPhase::Pending,
                 scratch: RoundScratch::new(),
@@ -703,9 +752,15 @@ impl JobService {
             if let Some(recs) = self.records.get(&id) {
                 for (_, payload) in recs.iter().rev() {
                     match decode_state(payload, &self.config.recovery) {
-                        Ok(state) => {
+                        // An adopted checkpoint from a job with the same
+                        // forgotten set but a different scope must not be
+                        // resumed — replay under the wrong scope diverges.
+                        Ok(state) if state.scope == job.scope => {
                             resumed = Some(state);
                             break;
+                        }
+                        Ok(_) => {
+                            fuiov_obs::counter!("jobs.checkpoint_scope_mismatches").inc();
                         }
                         Err(_) => {
                             fuiov_obs::counter!("jobs.checkpoint_decode_failures").inc();
@@ -719,9 +774,10 @@ impl JobService {
                     fuiov_obs::journal::instant("jobs.resume", id, state.next_round as u64);
                     job.phase = JobPhase::Running(Box::new(state));
                 }
-                None => match ReplayState::init(
+                None => match ReplayState::init_scoped(
                     &job.snapshot,
                     &job.forgotten,
+                    job.scope.as_deref(),
                     &self.config.recovery,
                     oracle,
                 ) {

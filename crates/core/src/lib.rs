@@ -28,6 +28,7 @@ pub mod error;
 pub mod jobs;
 pub mod lbfgs;
 pub mod recover;
+pub mod subtree;
 pub mod unlearner;
 pub mod verify;
 
@@ -37,7 +38,9 @@ pub use error::UnlearnError;
 pub use jobs::{ingest_requests, JobConfig, JobId, JobLog, JobService, LoggedCheckpoint};
 pub use lbfgs::{LbfgsApprox, LbfgsError, PairBuffer};
 pub use recover::{
-    calibrate_lr, recover, recover_set, GradientOracle, NoOracle, RecoveryConfig, RecoveryOutcome,
+    calibrate_lr, recover, recover_set, recover_set_scoped, GradientOracle, NoOracle,
+    RecoveryConfig, RecoveryOutcome,
 };
+pub use subtree::{recover_vehicle, recover_vehicle_flat, VehicleRecovery};
 pub use unlearner::{ClientPoolOracle, Unlearner};
 pub use verify::{forgetting_score, membership_advantage};

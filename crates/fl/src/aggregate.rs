@@ -74,6 +74,46 @@ pub fn aggregate_refs(rule: AggregationRule, grads: &[&[f32]], weights: &[f32]) 
     }
 }
 
+/// In-place form of [`aggregate_refs`]: the result lands in `out` and the
+/// FedAvg `f64` accumulator lives in `acc`, both recycled by the caller
+/// (server round loop, hierarchy tree nodes), so the steady state
+/// aggregates without any per-round allocation.
+///
+/// Bitwise identical to [`aggregate_refs`] for every rule: FedAvg routes
+/// through [`vector::weighted_mean_into`] (same fold, same order); the
+/// remaining rules compute through the identical code and are copied into
+/// `out`.
+///
+/// # Panics
+///
+/// As [`aggregate`].
+pub fn aggregate_refs_into(
+    rule: AggregationRule,
+    grads: &[&[f32]],
+    weights: &[f32],
+    acc: &mut Vec<f64>,
+    out: &mut Vec<f32>,
+) {
+    assert!(!grads.is_empty(), "aggregate: no gradients");
+    assert_eq!(
+        grads.len(),
+        weights.len(),
+        "aggregate: weight count mismatch"
+    );
+    let dim = grads[0].len();
+    for g in grads {
+        assert_eq!(g.len(), dim, "aggregate: gradient length mismatch");
+    }
+    match rule {
+        AggregationRule::FedAvg => vector::weighted_mean_into(grads, weights, acc, out),
+        _ => {
+            let r = aggregate_refs(rule, grads, weights);
+            out.clear();
+            out.extend_from_slice(&r);
+        }
+    }
+}
+
 fn coordinate_stat(grads: &[&[f32]], stat: impl Fn(&[f32]) -> f32) -> Vec<f32> {
     let dim = grads[0].len();
     let mut column = vec![0.0f32; grads.len()];
@@ -136,6 +176,27 @@ mod tests {
             &[1.0; 3],
         );
         assert_eq!(out, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn aggregate_refs_into_is_bitwise_identical_for_every_rule() {
+        let gs = grads();
+        let refs: Vec<&[f32]> = gs.iter().map(Vec::as_slice).collect();
+        let weights = [1.0f32, 2.5, 0.5];
+        let mut acc = Vec::new();
+        let mut out = Vec::new();
+        for rule in [
+            AggregationRule::FedAvg,
+            AggregationRule::CoordinateMedian,
+            AggregationRule::TrimmedMean { trim: 1 },
+            AggregationRule::SignSgd { lambda: 0.5 },
+        ] {
+            let baseline = aggregate_refs(rule, &refs, &weights);
+            aggregate_refs_into(rule, &refs, &weights, &mut acc, &mut out);
+            let a: Vec<u32> = baseline.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "{rule:?} diverged from aggregate_refs");
+        }
     }
 
     #[test]

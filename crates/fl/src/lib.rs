@@ -35,6 +35,7 @@ pub mod client;
 pub mod comms;
 pub mod config;
 pub mod dp;
+pub mod hierarchy;
 pub mod mobility;
 pub mod rsa;
 pub mod schedule;
@@ -44,5 +45,6 @@ pub use client::{Client, HonestClient};
 pub use comms::CommsReport;
 pub use config::{AggregationRule, FlConfig};
 pub use dp::DpClient;
+pub use hierarchy::{AggregationTree, CohortConfig, CohortRun, VehicleForget};
 pub use schedule::LrSchedule;
 pub use server::{ForgetRequest, Server};

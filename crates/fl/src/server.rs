@@ -7,9 +7,10 @@
 //! per-client gradient *directions* (2-bit packed, threshold δ), join
 //! rounds and FedAvg weights.
 
-use crate::aggregate::aggregate;
+use crate::aggregate::aggregate_refs_into;
 use crate::client::Client;
 use crate::config::FlConfig;
+use crate::hierarchy::{self, AggregationTree};
 use crate::mobility::ChurnSchedule;
 use fuiov_storage::history::FullGradientStore;
 use fuiov_storage::{ClientId, HistoryStore, Round};
@@ -53,6 +54,10 @@ pub struct Server {
     summaries: Vec<RoundSummary>,
     sampling_seed: u64,
     forget_requests: Vec<ForgetRequest>,
+    tree_fanout: Option<usize>,
+    sample_frac: f64,
+    agg_acc: Vec<f64>,
+    agg_out: Vec<f32>,
 }
 
 impl Server {
@@ -76,6 +81,10 @@ impl Server {
             summaries: Vec::new(),
             sampling_seed: 0,
             forget_requests: Vec::new(),
+            tree_fanout: hierarchy::fanout_from_env(),
+            sample_frac: hierarchy::sample_frac_from_env(),
+            agg_acc: Vec::new(),
+            agg_out: Vec::new(),
         }
     }
 
@@ -118,6 +127,24 @@ impl Server {
     /// when `client_fraction < 1`).
     pub fn with_sampling_seed(mut self, seed: u64) -> Self {
         self.sampling_seed = seed;
+        self
+    }
+
+    /// Overrides the RSU/edge aggregation-tree fan-out (`None` = flat).
+    /// Defaults to `FUIOV_TREE_FANOUT` at construction. The tree changes
+    /// communication and storage layout only — its reduction is bitwise
+    /// identical to flat aggregation (see [`crate::hierarchy`]).
+    pub fn with_tree_fanout(mut self, fanout: Option<usize>) -> Self {
+        self.tree_fanout = fanout.filter(|&f| f >= 2);
+        self
+    }
+
+    /// Overrides the per-round hash-sampling fraction (`1.0` = everyone).
+    /// Defaults to `FUIOV_SAMPLE_FRAC` at construction. This is the
+    /// seeded-stream sampler layered on *top* of the legacy
+    /// `client_fraction` shuffle (which is kept for back-compat).
+    pub fn with_sample_frac(mut self, frac: f64) -> Self {
+        self.sample_frac = if frac > 0.0 && frac < 1.0 { frac } else { 1.0 };
         self
     }
 
@@ -225,12 +252,35 @@ impl Server {
             grads.push(grad);
         }
 
+        let tree = self
+            .tree_fanout
+            .filter(|_| !grads.is_empty())
+            .map(|fanout| AggregationTree::build(grads.len(), fanout));
         let update_norm = if grads.is_empty() {
             0.0
         } else {
-            let agg = aggregate(self.cfg.aggregation, &grads, &weights);
-            vector::axpy(-self.cfg.lr_at(t), &agg, &mut self.params);
-            vector::l2_norm(&agg)
+            // In-place aggregation: `agg_acc`/`agg_out` are recycled
+            // across rounds, so the steady state allocates nothing here.
+            let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+            match &tree {
+                Some(tree) => hierarchy::aggregate_tree_into(
+                    self.cfg.aggregation,
+                    &refs,
+                    &weights,
+                    tree,
+                    &mut self.agg_acc,
+                    &mut self.agg_out,
+                ),
+                None => aggregate_refs_into(
+                    self.cfg.aggregation,
+                    &refs,
+                    &weights,
+                    &mut self.agg_acc,
+                    &mut self.agg_out,
+                ),
+            }
+            vector::axpy(-self.cfg.lr_at(t), &self.agg_out, &mut self.params);
+            vector::l2_norm(&self.agg_out)
         };
 
         self.round += 1;
@@ -249,6 +299,13 @@ impl Server {
             fuiov_obs::counter!("fl.upload_bytes_full").add(up_full as u64);
             fuiov_obs::counter!("fl.upload_bytes_sign").add(up_sign as u64);
             fuiov_obs::histogram!("fl.update_norm_micros").observe_scaled(update_norm as f64);
+            if let Some(tree) = &tree {
+                let tier = crate::comms::tree_round_bytes(self.params.len(), n, tree);
+                fuiov_obs::counter!("hierarchy.up_vehicle_sign_bytes")
+                    .add(tier.up_vehicle_sign as u64);
+                fuiov_obs::counter!("hierarchy.up_inter_tier_bytes").add(tier.up_inter_full as u64);
+                fuiov_obs::counter!("hierarchy.down_inter_tier_bytes").add(tier.down_inter as u64);
+            }
         }
         fuiov_obs::journal::end("fl.round", t as u64, summary.participants.len() as u64);
         summary
@@ -331,6 +388,7 @@ impl Server {
         for _ in self.round..total {
             let t = self.round;
             let active = self.sample_active(schedule.active_in(t), t);
+            let active = hierarchy::apply_sampling(active, self.sampling_seed, t, self.sample_frac);
             self.run_round(clients, &active);
             for (v, client) in clients.iter().enumerate() {
                 if schedule.membership(v).leaves_after == Some(t) {

@@ -37,6 +37,7 @@ pub mod direction;
 pub mod history;
 pub mod segment;
 pub mod serialize;
+pub mod subtree;
 
 pub use direction::GradientDirection;
 pub use history::{
@@ -44,3 +45,4 @@ pub use history::{
     Tier, TierConfig, TierStats, DEFAULT_KEYFRAME_INTERVAL,
 };
 pub use segment::SegmentDecodeError;
+pub use subtree::SubtreeStore;

@@ -55,6 +55,12 @@ pub enum RecordKind {
     /// field holds the job's next replay round, the `base` field its job
     /// id; the payload is the `core::jobs` state codec's opaque bytes.
     JobCheckpoint,
+    /// One aggregator node's sealed per-round FedAvg aggregate: the
+    /// node id in the `base` field, the payload holding the node's round
+    /// weight (`f32` bits) and its aggregated 2-bit sign direction. The
+    /// hierarchical-recovery path replays these sibling-subtree records
+    /// verbatim instead of re-estimating every member vehicle.
+    SubtreeAggregate,
 }
 
 impl RecordKind {
@@ -64,6 +70,7 @@ impl RecordKind {
             RecordKind::Delta => 2,
             RecordKind::Directions => 3,
             RecordKind::JobCheckpoint => 4,
+            RecordKind::SubtreeAggregate => 5,
         }
     }
 
@@ -73,6 +80,7 @@ impl RecordKind {
             2 => Some(RecordKind::Delta),
             3 => Some(RecordKind::Directions),
             4 => Some(RecordKind::JobCheckpoint),
+            5 => Some(RecordKind::SubtreeAggregate),
             _ => None,
         }
     }
@@ -247,6 +255,60 @@ pub fn decode_job_checkpoint(record: &[u8]) -> Result<(u64, Round, Vec<u8>), Seg
     Ok((base as u64, round, payload.to_vec()))
 }
 
+/// Encodes one aggregator node's sealed per-round aggregate: the node id
+/// rides in the `base` field, the payload holds the node's FedAvg round
+/// weight followed by the aggregated sign direction's packed 2-bit words
+/// (copied verbatim, so seal → replay is bit-identical by construction).
+pub fn encode_subtree_aggregate(
+    round: Round,
+    node: u64,
+    weight: f32,
+    dir: &GradientDirection,
+) -> Vec<u8> {
+    let packed = dir.packed_bytes();
+    let mut payload = Vec::with_capacity(12 + packed.len());
+    payload.put_f32_le(weight);
+    payload.put_u32_le(dir.len() as u32);
+    payload.put_u32_le(packed.len() as u32);
+    payload.extend_from_slice(packed);
+    frame(RecordKind::SubtreeAggregate, round, node as Round, &payload)
+}
+
+/// Decodes a subtree-aggregate record into `(node, weight, direction)`.
+///
+/// # Errors
+///
+/// Framing/checksum errors from [`check_record`], `RoundMismatch`,
+/// `BadKind` if the record is not a subtree aggregate, `Truncated` for
+/// malformed payloads.
+pub fn decode_subtree_aggregate(
+    record: &[u8],
+    expected_round: Round,
+) -> Result<(u64, f32, GradientDirection), SegmentDecodeError> {
+    let (kind, round, node, mut payload) = check_record(record)?;
+    if round != expected_round {
+        return Err(SegmentDecodeError::RoundMismatch {
+            expected: expected_round as u64,
+            found: round as u64,
+        });
+    }
+    if kind != RecordKind::SubtreeAggregate {
+        return Err(SegmentDecodeError::BadKind(kind.code()));
+    }
+    if payload.len() < 12 {
+        return Err(SegmentDecodeError::Truncated);
+    }
+    let weight = payload.get_f32_le();
+    let len = payload.get_u32_le() as usize;
+    let nbytes = payload.get_u32_le() as usize;
+    if payload.len() < nbytes {
+        return Err(SegmentDecodeError::Truncated);
+    }
+    let dir = GradientDirection::from_packed(len, payload[..nbytes].to_vec())
+        .ok_or(SegmentDecodeError::Truncated)?;
+    Ok((node as u64, weight, dir))
+}
+
 /// Declared total record length (header + payload + trailer) of the record
 /// starting at `bytes`, or `None` when not even a full header is present —
 /// the sequential-scan primitive job logs use to walk their records and
@@ -335,7 +397,7 @@ pub fn decode_model(
             let base = base.ok_or(SegmentDecodeError::MissingBase(base_round as u64))?;
             delta::decode(base, payload, len).ok_or(SegmentDecodeError::Truncated)
         }
-        RecordKind::Directions | RecordKind::JobCheckpoint => {
+        RecordKind::Directions | RecordKind::JobCheckpoint | RecordKind::SubtreeAggregate => {
             Err(SegmentDecodeError::BadKind(kind.code()))
         }
     }

@@ -1,0 +1,162 @@
+//! Sealed per-node subtree aggregates for hierarchical recovery.
+//!
+//! Every aggregator node of the RSU/edge tree seals its per-round FedAvg
+//! reduction as a FUSG [`segment::encode_subtree_aggregate`] record. When
+//! a vehicle is forgotten, only the nodes on its root-to-leaf path have a
+//! changed aggregate — every sibling subtree's sealed record is still
+//! *exactly* the value that entered the original reduction, so recovery
+//! replays those records verbatim instead of re-estimating their member
+//! vehicles. Resident cost is one `(offset, len)` handle per
+//! `(round, node)`; the sign payloads live in a spill file, so a
+//! million-vehicle cohort's sibling history costs tree-leaves × rounds
+//! index entries, not vehicles × rounds vectors.
+
+use crate::direction::GradientDirection;
+use crate::segment::{self, SpillFile};
+use crate::Round;
+use std::collections::BTreeMap;
+
+/// Spill-backed store of sealed per-round aggregator-node aggregates.
+#[derive(Debug)]
+pub struct SubtreeStore {
+    spill: SpillFile,
+    index: BTreeMap<(Round, u64), (u64, u32)>,
+}
+
+impl Default for SubtreeStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubtreeStore {
+    /// An empty store backed by a lazily-created spill file.
+    pub fn new() -> Self {
+        SubtreeStore {
+            spill: SpillFile::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Seals one node's round aggregate: FNV-framed, spilled, indexed.
+    /// Re-sealing the same `(round, node)` replaces the handle (the old
+    /// record stays as dead bytes in the spill file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file creation/write errors.
+    pub fn seal(
+        &mut self,
+        round: Round,
+        node: u64,
+        weight: f32,
+        dir: &GradientDirection,
+    ) -> std::io::Result<()> {
+        let record = segment::encode_subtree_aggregate(round, node, weight, dir);
+        let handle = self.spill.append(&record)?;
+        self.index.insert((round, node), handle);
+        fuiov_obs::counter!("storage.subtree_seals").inc();
+        Ok(())
+    }
+
+    /// Reads a sealed aggregate back as `(weight, direction)`. `None` if
+    /// the `(round, node)` pair was never sealed or its record no longer
+    /// decodes (counted on `storage.decode_errors`).
+    pub fn get(&self, round: Round, node: u64) -> Option<(f32, GradientDirection)> {
+        let &(offset, len) = self.index.get(&(round, node))?;
+        let decoded = self
+            .spill
+            .read(offset, len)
+            .and_then(|bytes| segment::decode_subtree_aggregate(&bytes, round));
+        match decoded {
+            Ok((found, weight, dir)) if found == node => Some((weight, dir)),
+            _ => {
+                fuiov_obs::counter!("storage.decode_errors").inc();
+                None
+            }
+        }
+    }
+
+    /// Whether any aggregate is sealed for `(round, node)`.
+    pub fn contains(&self, round: Round, node: u64) -> bool {
+        self.index.contains_key(&(round, node))
+    }
+
+    /// Sealed record count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether nothing has been sealed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Node ids sealed for `round`, ascending.
+    pub fn nodes_in_round(&self, round: Round) -> impl Iterator<Item = u64> + '_ {
+        self.index
+            .range((round, 0)..=(round, u64::MAX))
+            .map(|(&(_, node), _)| node)
+    }
+
+    /// Approximate resident bytes: the index only — payloads are spilled.
+    pub fn resident_bytes(&self) -> usize {
+        self.index.len() * (std::mem::size_of::<(Round, u64)>() + std::mem::size_of::<(u64, u32)>())
+    }
+
+    /// Bytes spilled to disk so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spill.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(signs: &[f32]) -> GradientDirection {
+        GradientDirection::quantize(signs, 1e-6)
+    }
+
+    #[test]
+    fn seal_then_get_roundtrips_weight_and_signs() {
+        let mut store = SubtreeStore::new();
+        let d = dir(&[1.0, -2.0, 0.0, 3.0]);
+        store.seal(4, 7, 2.5, &d).unwrap();
+        let (w, back) = store.get(4, 7).expect("sealed record must read back");
+        assert_eq!(w.to_bits(), 2.5f32.to_bits());
+        assert_eq!(back.packed_bytes(), d.packed_bytes());
+        assert_eq!(back.len(), d.len());
+        assert!(store.contains(4, 7));
+        assert!(!store.contains(4, 8));
+        assert!(store.get(5, 7).is_none());
+    }
+
+    #[test]
+    fn reseal_replaces_and_round_scan_is_ascending() {
+        let mut store = SubtreeStore::new();
+        store.seal(1, 3, 1.0, &dir(&[1.0])).unwrap();
+        store.seal(1, 0, 1.0, &dir(&[-1.0])).unwrap();
+        store.seal(1, 3, 9.0, &dir(&[-1.0])).unwrap();
+        store.seal(2, 5, 1.0, &dir(&[1.0])).unwrap();
+        assert_eq!(store.nodes_in_round(1).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(store.len(), 3);
+        let (w, _) = store.get(1, 3).unwrap();
+        assert_eq!(w, 9.0, "reseal must replace the handle");
+    }
+
+    #[test]
+    fn resident_bytes_counts_index_not_payload() {
+        let mut store = SubtreeStore::new();
+        let wide = dir(&vec![1.0f32; 4096]);
+        for t in 0..8 {
+            store.seal(t, 0, 1.0, &wide).unwrap();
+        }
+        assert!(
+            store.resident_bytes() < 1024,
+            "index must stay tiny: {} bytes",
+            store.resident_bytes()
+        );
+        assert!(store.spilled_bytes() > 8 * 1024, "payloads live on disk");
+    }
+}

@@ -254,6 +254,43 @@ pub fn weighted_mean(vecs: &[&[f32]], weights: &[f32]) -> Vec<f32> {
     acc.into_iter().map(|a| (a / total) as f32).collect()
 }
 
+/// [`weighted_mean`] writing into caller-owned buffers: `acc` is the `f64`
+/// accumulator scratch and `out` receives the `f32` result. Both are
+/// cleared and resized, so at steady state (server round loop, tree-node
+/// reduction) no allocation happens. The fold order and every arithmetic
+/// operation are identical to [`weighted_mean`], so the result is bitwise
+/// equal by construction.
+///
+/// # Panics
+///
+/// As [`weighted_mean`].
+pub fn weighted_mean_into(
+    vecs: &[&[f32]],
+    weights: &[f32],
+    acc: &mut Vec<f64>,
+    out: &mut Vec<f32>,
+) {
+    assert!(!vecs.is_empty(), "weighted_mean: no vectors");
+    assert_eq!(
+        vecs.len(),
+        weights.len(),
+        "weighted_mean: weight count mismatch"
+    );
+    let dim = vecs[0].len();
+    let total: f64 = weights.iter().map(|w| f64::from(*w)).sum();
+    assert!(total != 0.0, "weighted_mean: weights sum to zero");
+    acc.clear();
+    acc.resize(dim, 0.0);
+    for (v, &w) in vecs.iter().zip(weights) {
+        assert_eq!(v.len(), dim, "weighted_mean: length mismatch");
+        for (a, &x) in acc.iter_mut().zip(*v) {
+            *a += f64::from(w) * f64::from(x);
+        }
+    }
+    out.clear();
+    out.extend(acc.iter().map(|a| (a / total) as f32));
+}
+
 /// Number of elements on which two sign vectors agree (used by tests and
 /// by the storage-fidelity diagnostics).
 ///
@@ -412,6 +449,33 @@ mod tests {
     fn weighted_mean_single_vector_is_identity() {
         let m = weighted_mean(&[&[1.5, -2.0]], &[7.0]);
         assert_eq!(m, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn weighted_mean_into_is_bitwise_identical_and_reuses_buffers() {
+        let vecs: Vec<Vec<f32>> = vec![
+            vec![1.0, -2.5, 0.125, 1e-30],
+            vec![3.0, 0.0, -7.25, 2.0],
+            vec![-0.1, 0.3, 0.7, -1.5],
+        ];
+        let refs: Vec<&[f32]> = vecs.iter().map(Vec::as_slice).collect();
+        let weights = [1.0f32, 3.5, 0.25];
+        let baseline = weighted_mean(&refs, &weights);
+        let mut acc = Vec::new();
+        let mut out = Vec::new();
+        // Twice through the same buffers: results identical, and the
+        // second pass must not grow capacity (steady state is allocation
+        // free).
+        weighted_mean_into(&refs, &weights, &mut acc, &mut out);
+        let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        let expected: Vec<u32> = baseline.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expected);
+        let (cap_acc, cap_out) = (acc.capacity(), out.capacity());
+        weighted_mean_into(&refs, &weights, &mut acc, &mut out);
+        assert_eq!(acc.capacity(), cap_acc);
+        assert_eq!(out.capacity(), cap_out);
+        let bits2: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits2, expected);
     }
 
     #[test]

@@ -205,3 +205,72 @@ fn fault_matrix_runs_leave_counter_fingerprints() {
         }
     }
 }
+
+#[test]
+fn hierarchical_cohort_fingerprints_the_hierarchy_counters() {
+    use fuiov_fl::hierarchy::{run_cohort, sampled, CohortConfig};
+
+    let _obs = fuiov_obs::test_lock();
+    fuiov_obs::set_enabled(true);
+
+    // 16 vehicles in 4-vehicle leaves, edge fan-out 2: the RSU tier has
+    // 4 nodes and the edge tree over those leaves has widths [2, 1] —
+    // 7 reductions per round, every round.
+    let (n, rounds) = (16usize, 4usize);
+    let cfg = || {
+        CohortConfig::new(n)
+            .group_size(4)
+            .fanout(2)
+            .dim(8)
+            .rounds(rounds)
+            .seed(9)
+    };
+
+    let before = Snapshot::capture();
+    let run = run_cohort(cfg());
+    let delta = Snapshot::capture().delta(&before);
+    assert_eq!(
+        delta.counter("hierarchy.nodes_reduced"),
+        (rounds * (4 + 3)) as u64,
+        "4 leaves + 3 edge nodes, every round"
+    );
+    assert_eq!(
+        delta.counter("hierarchy.sampled_out"),
+        0,
+        "no sampling knob, nobody sampled out"
+    );
+    assert_eq!(
+        delta.counter("storage.subtree_seals"),
+        (rounds * 4) as u64,
+        "every leaf seals its aggregate every round"
+    );
+
+    // Subtree-scoped forget: one scoped replay, and each of the 3
+    // sibling leaves reuses its sealed aggregate in every replayed round.
+    let before = Snapshot::capture();
+    let rec = fuiov_core::recover_vehicle(&run, 5, &RecoveryConfig::new(run.cfg.lr), &mut NoOracle)
+        .expect("subtree recovery succeeds");
+    let delta = Snapshot::capture().delta(&before);
+    assert_eq!(delta.counter("hierarchy.subtree_replays"), 1);
+    assert_eq!(
+        delta.counter("hierarchy.sibling_aggregates_reused"),
+        (3 * rec.outcome.rounds_replayed) as u64,
+        "3 sibling leaves reused per replayed round"
+    );
+
+    // Sampled cohort: the counter must agree exactly with the pure
+    // predicate the run consulted.
+    let frac = 0.5;
+    let expected: u64 = (0..rounds)
+        .map(|t| (0..n).filter(|&v| !sampled(9, t, v, frac)).count() as u64)
+        .sum();
+    assert!(expected > 0, "seed 9 must sample somebody out");
+    let before = Snapshot::capture();
+    let _ = run_cohort(cfg().sample_frac(frac));
+    let delta = Snapshot::capture().delta(&before);
+    assert_eq!(
+        delta.counter("hierarchy.sampled_out"),
+        expected,
+        "sampled-out tally must equal the predicate, vehicle for vehicle"
+    );
+}

@@ -100,6 +100,16 @@ stage_simd_off() {
   FUIOV_SIMD=0 cargo test -p fuiov-testkit -q --test fault_matrix
 }
 
+stage_scale() {
+  # Hierarchical-cohort scale smoke: a 10^5-vehicle round plus a
+  # subtree-scoped forget under a 4 KB history budget, and the pinned
+  # million-vehicle resident-byte envelope. CI fans the seeds out via
+  # FUIOV_FAULT_SEED.
+  for seed in ${FUIOV_FAULT_SEED:-101 202}; do
+    FUIOV_FAULT_SEED="$seed" cargo test -p fuiov -q --test scale_smoke
+  done
+}
+
 stage_bench_smoke() {
   # Every benchmark (including its pre-timing bitwise differential
   # assertions) executes once with a minimal budget, so bench code cannot
@@ -109,7 +119,7 @@ stage_bench_smoke() {
   FUIOV_SIMD=0 FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
 }
 
-ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance jobs simd_off bench_smoke"
+ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance jobs scale simd_off bench_smoke"
 
 stages() {
   echo "$ALL_STAGES" | tr ' ' '\n'

@@ -70,7 +70,7 @@ fn ci_runs_the_same_stages_as_tier1() {
         }
     }
     assert!(
-        invoked >= 7,
+        invoked >= 8,
         "ci.yml must drive its checks through tier1.sh stages, found {invoked}"
     );
 }
