@@ -1,0 +1,253 @@
+//! Networked-plane loopback bench: clients × payload × cadence.
+//!
+//! Runs real socket rounds (TCP loopback, thread-per-vehicle) through
+//! [`fuiov_net::NetServer`] and sweeps:
+//!
+//! - **clients** — fan-out of the vectored round broadcast;
+//! - **payload** — model dimension, including the paper's 52,138-param
+//!   MNIST CNN shape, in both full-`f32` and 2-bit sign upload modes;
+//! - **hz** — vehicle upload cadence (`0` = unpaced, vehicles answer as
+//!   fast as they can), modelling the beaconing rate of a real RSU cell.
+//!
+//! Every cell asserts that the transport's `net.bytes_{tx,rx}` counters
+//! reconcile **exactly** with the static [`fuiov_fl::comms::round_bytes`]
+//! accounting — the wire layer transmits precisely what the simulator
+//! has always claimed a round costs, byte for byte — then records
+//! wall-clock, per-round latency, and goodput to `BENCH_net.json`.
+//!
+//! Usage: `cargo run --release -p fuiov-bench --bin exp_net`
+//! (`FUIOV_BENCH_SMOKE=1` runs a one-cell sweep and skips the JSON).
+
+use fuiov_fl::comms::round_bytes;
+use fuiov_fl::{Client, FlConfig, Server};
+use fuiov_net::{NetAddr, NetConfig, NetServer, NetVehicle, UploadMode, VehicleConfig};
+use fuiov_obs::Snapshot;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A wire-bench client: deterministic, allocation-light gradients (the
+/// bench times the transport, not backprop), with optional cadence
+/// pacing — at `hz > 0` the vehicle waits out its beacon interval before
+/// answering, like a real RSU cell schedule.
+struct PacedClient {
+    id: usize,
+    hz: u32,
+}
+
+impl Client for PacedClient {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn weight(&self) -> f32 {
+        1.0
+    }
+
+    fn gradient(&mut self, params: &[f32], round: usize) -> Vec<f32> {
+        if self.hz > 0 {
+            std::thread::sleep(Duration::from_secs_f64(1.0 / f64::from(self.hz)));
+        }
+        let bias = (self.id * 131 + round) as f32 * 1e-3;
+        params.iter().map(|p| p * 1e-2 + bias).collect()
+    }
+}
+
+struct Cell {
+    clients: usize,
+    dim: usize,
+    mode: UploadMode,
+    hz: u32,
+    rounds: usize,
+}
+
+struct Row {
+    cell: Cell,
+    wall_ns: u128,
+    tx_payload: u64,
+    rx_payload: u64,
+    tx_overhead: u64,
+    rx_overhead: u64,
+}
+
+fn mode_name(mode: UploadMode) -> &'static str {
+    match mode {
+        UploadMode::FullF32 => "full-f32",
+        UploadMode::Sign2Bit => "sign-2bit",
+    }
+}
+
+/// One loopback run; panics if the byte books don't balance.
+fn run_cell(cell: Cell) -> Row {
+    let Cell {
+        clients,
+        dim,
+        mode,
+        hz,
+        rounds,
+    } = cell;
+    let before = Snapshot::capture();
+
+    let cfg = NetConfig::new(NetAddr::parse("tcp:127.0.0.1:0"), clients)
+        .with_mode(mode)
+        .with_deadline(Duration::from_secs(30));
+    let mut net = NetServer::bind(cfg).expect("bind loopback");
+    let addr = net.local_addr().clone();
+    let vehicles: Vec<_> = (0..clients)
+        .map(|id| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut vcfg = VehicleConfig::new(addr, 7);
+                if mode == UploadMode::Sign2Bit {
+                    vcfg = vcfg.with_sign_uploads(1e-3);
+                }
+                NetVehicle::new(vcfg, Box::new(PacedClient { id, hz }), dim)
+                    .run()
+                    .expect("vehicle run")
+            })
+        })
+        .collect();
+
+    let mut fl = Server::new(FlConfig::new(rounds, 0.1), vec![0.01; dim]);
+    let start = Instant::now();
+    let report = net.serve(&mut fl, rounds).expect("serve");
+    let wall_ns = start.elapsed().as_nanos();
+    for v in vehicles {
+        v.join().expect("vehicle thread");
+    }
+
+    // The books must balance, exactly: what the wire moved is what the
+    // comms model says a round costs, per direction, per mode.
+    let (down, up_full, up_sign) = round_bytes(dim, clients);
+    let up = match mode {
+        UploadMode::FullF32 => up_full,
+        UploadMode::Sign2Bit => up_sign,
+    };
+    assert_eq!(
+        report.tx_payload,
+        (rounds * down) as u64,
+        "broadcast bytes diverge from comms::round_bytes"
+    );
+    assert_eq!(
+        report.rx_payload,
+        (rounds * up) as u64,
+        "upload bytes diverge from comms::round_bytes"
+    );
+    let delta = Snapshot::capture().delta(&before);
+    assert_eq!(
+        delta.counter("net.bytes_tx"),
+        report.tx_payload,
+        "net.bytes_tx counter out of step with the run report"
+    );
+    assert_eq!(
+        delta.counter("net.bytes_rx"),
+        report.rx_payload,
+        "net.bytes_rx counter out of step with the run report"
+    );
+    assert_eq!(
+        report.duplicates + report.stale + report.torn + report.timeouts,
+        0,
+        "clean loopback run recorded wire faults"
+    );
+
+    Row {
+        cell: Cell {
+            clients,
+            dim,
+            mode,
+            hz,
+            rounds,
+        },
+        wall_ns,
+        tx_payload: report.tx_payload,
+        rx_payload: report.rx_payload,
+        tx_overhead: report.tx_overhead,
+        rx_overhead: report.rx_overhead,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("FUIOV_BENCH_SMOKE").is_ok_and(|v| v != "0");
+
+    // The 52,138-param cell is the paper's MNIST CNN; 13,692 its GTSRB
+    // CNN. The smoke sweep keeps one tiny cell per mode so the bench
+    // path (including its reconciliation asserts) cannot rot.
+    let (client_counts, dims, cadences, rounds): (&[usize], &[usize], &[u32], usize) = if smoke {
+        (&[2], &[521], &[0], 1)
+    } else {
+        (&[2, 4, 8], &[13_692, 52_138], &[0, 25], 3)
+    };
+
+    println!("== Networked plane: loopback rounds ==");
+    println!("(TCP loopback, thread-per-vehicle, {rounds} rounds per cell)\n");
+    println!(
+        "{:>7} {:>7} {:>9} {:>4} {:>12} {:>12} {:>10}",
+        "clients", "dim", "mode", "hz", "round ms", "goodput MB/s", "overhead"
+    );
+
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        for &dim in dims {
+            for &mode in &[UploadMode::FullF32, UploadMode::Sign2Bit] {
+                for &hz in cadences {
+                    let row = run_cell(Cell {
+                        clients,
+                        dim,
+                        mode,
+                        hz,
+                        rounds,
+                    });
+                    let secs = row.wall_ns as f64 / 1e9;
+                    let payload = (row.tx_payload + row.rx_payload) as f64;
+                    println!(
+                        "{:>7} {:>7} {:>9} {:>4} {:>12.3} {:>12.2} {:>10}",
+                        clients,
+                        dim,
+                        mode_name(mode),
+                        hz,
+                        row.wall_ns as f64 / 1e6 / rounds as f64,
+                        payload / 1e6 / secs,
+                        row.tx_overhead + row.rx_overhead,
+                    );
+                    rows.push(row);
+                }
+            }
+        }
+    }
+
+    println!("\nall cells reconciled: net.bytes_{{tx,rx}} == comms::round_bytes, exactly");
+
+    if smoke {
+        println!("(smoke sweep: BENCH_net.json not rewritten)");
+        return;
+    }
+
+    let mut json = String::from("{\n  \"meta\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"experiment\": \"exp_net\",\n    \"transport\": \"tcp-loopback\",\n    \"rounds_per_cell\": {rounds},\n    \"notes\": \"thread-per-vehicle over NetServer; hz = vehicle upload cadence (0 = unpaced); payload bytes reconciled exactly against comms::round_bytes and the net.bytes_tx/rx counters before timing is recorded; overhead = 35-byte FUSG frame cost, counted separately from payload.\""
+    );
+    json.push_str("  },\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let secs = r.wall_ns as f64 / 1e9;
+        let _ = writeln!(
+            json,
+            "    {{\"clients\": {}, \"dim\": {}, \"mode\": \"{}\", \"hz\": {}, \"rounds\": {}, \"wall_ns\": {}, \"round_ms\": {:.3}, \"tx_payload_bytes\": {}, \"rx_payload_bytes\": {}, \"tx_overhead_bytes\": {}, \"rx_overhead_bytes\": {}, \"goodput_mb_s\": {:.3}}}{}",
+            r.cell.clients,
+            r.cell.dim,
+            mode_name(r.cell.mode),
+            r.cell.hz,
+            r.cell.rounds,
+            r.wall_ns,
+            r.wall_ns as f64 / 1e6 / r.cell.rounds as f64,
+            r.tx_payload,
+            r.rx_payload,
+            r.tx_overhead,
+            r.rx_overhead,
+            (r.tx_payload + r.rx_payload) as f64 / 1e6 / secs,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    println!("wrote BENCH_net.json");
+}

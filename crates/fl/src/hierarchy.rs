@@ -449,6 +449,10 @@ pub struct CohortRun {
     pub peak_resident_bytes: usize,
     /// Total vehicle-round participations.
     pub participant_rounds: u64,
+    /// Run-total byte accounting, computed per round from the vehicles
+    /// that *actually* participated (churn- and sampling-filtered) via
+    /// [`crate::comms::cohort_round_bytes`] — never from the full cohort.
+    pub tier_bytes: crate::comms::TierBytes,
 }
 
 impl CohortRun {
@@ -520,6 +524,8 @@ pub fn run_cohort(cfg: CohortConfig) -> CohortRun {
     let mut leaf_mean = vec![0.0f32; cfg.dim];
     let mut peak = 0usize;
     let mut participant_rounds = 0u64;
+    let mut tier_bytes = crate::comms::TierBytes::default();
+    let edge_nodes = edge_tree.as_ref().map_or(0, AggregationTree::node_count);
 
     for t in 0..cfg.rounds {
         history.record_model(t, params.clone());
@@ -533,6 +539,7 @@ pub fn run_cohort(cfg: CohortConfig) -> CohortRun {
         let mut total_w = 0.0f64;
         let mut round_participants = 0u64;
         let mut sampled_out = 0u64;
+        let mut active_leaves = 0usize;
         for leaf in 0..leaf_count {
             leaf_acc.iter_mut().for_each(|a| *a = 0.0);
             let mut leaf_w = 0.0f64;
@@ -568,6 +575,7 @@ pub fn run_cohort(cfg: CohortConfig) -> CohortRun {
                     .seal(t, leaf as u64, leaf_w as f32, &dir)
                     .expect("subtree seal");
                 round_participants += leaf_members;
+                active_leaves += 1;
             }
         }
         if total_w > 0.0 {
@@ -577,9 +585,20 @@ pub fn run_cohort(cfg: CohortConfig) -> CohortRun {
             }
         }
         participant_rounds += round_participants;
-        let nodes = leaf_count + edge_tree.as_ref().map_or(0, AggregationTree::node_count);
+        let nodes = leaf_count + edge_nodes;
         fuiov_obs::counter!("hierarchy.nodes_reduced").add(nodes as u64);
         fuiov_obs::counter!("hierarchy.sampled_out").add(sampled_out);
+        let tb = crate::comms::cohort_round_bytes(
+            cfg.dim,
+            round_participants as usize,
+            active_leaves,
+            edge_nodes,
+        );
+        tier_bytes.accumulate(&tb);
+        fuiov_obs::counter!("hierarchy.bytes_down_vehicle").add(tb.down_vehicle as u64);
+        fuiov_obs::counter!("hierarchy.bytes_up_vehicle_sign").add(tb.up_vehicle_sign as u64);
+        fuiov_obs::counter!("hierarchy.bytes_down_inter").add(tb.down_inter as u64);
+        fuiov_obs::counter!("hierarchy.bytes_up_inter_full").add(tb.up_inter_full as u64);
         let resident = (params.len() + leaf_mean.capacity()) * 4
             + shard_grads.iter().map(|g| g.len() * 4).sum::<usize>()
             + (global_acc.len() + leaf_acc.len()) * 8
@@ -596,6 +615,7 @@ pub fn run_cohort(cfg: CohortConfig) -> CohortRun {
         subtrees,
         peak_resident_bytes: peak,
         participant_rounds,
+        tier_bytes,
     }
 }
 
@@ -760,5 +780,59 @@ mod tests {
             dropout_prob: 0.1,
         }));
         assert!(churned.participant_rounds < full.participant_rounds);
+    }
+
+    #[test]
+    fn cohort_byte_accounting_counts_the_sampled_set() {
+        use crate::comms::cohort_round_bytes;
+        let dim = 8usize;
+        let base = CohortConfig::new(512).group_size(64).dim(dim).rounds(4);
+
+        // Unsampled, no churn: every vehicle participates every round and
+        // the totals are exactly `rounds ×` the static per-round figure.
+        let full = run_cohort(base.clone());
+        let leaf_count = base.leaf_count();
+        let edge_nodes = AggregationTree::build(leaf_count, base.fanout).node_count();
+        let per_round = cohort_round_bytes(dim, 512, leaf_count, edge_nodes);
+        assert_eq!(full.tier_bytes.down_vehicle, 4 * per_round.down_vehicle);
+        assert_eq!(
+            full.tier_bytes.up_vehicle_sign,
+            4 * per_round.up_vehicle_sign
+        );
+        assert_eq!(full.tier_bytes.down_inter, 4 * per_round.down_inter);
+
+        // Sampled: the vehicle-tier bytes must reconcile with the rounds
+        // that actually happened (`participant_rounds`), NOT with the
+        // full cohort — the regression this test pins.
+        let sampled = run_cohort(base.sample_frac(0.5).seed(9));
+        assert_eq!(
+            sampled.tier_bytes.down_vehicle as u64,
+            sampled.participant_rounds * 4 * dim as u64
+        );
+        assert_eq!(
+            sampled.tier_bytes.up_vehicle_sign as u64,
+            sampled.participant_rounds * dim.div_ceil(4) as u64
+        );
+        assert!(
+            sampled.tier_bytes.down_vehicle < full.tier_bytes.down_vehicle,
+            "sampling must shrink the accounted vehicle tier"
+        );
+        assert!(sampled.tier_bytes.up_inter_full <= full.tier_bytes.up_inter_full);
+    }
+
+    #[test]
+    fn cohort_round_bytes_vehicle_tier_matches_flat_accounting() {
+        use crate::comms::{cohort_round_bytes, round_bytes};
+        // The vehicle-tier columns are the same quantities round_bytes
+        // reports for the sampled participant count.
+        let (down, _, up_sign) = round_bytes(100, 37);
+        let tb = cohort_round_bytes(100, 37, 5, 7);
+        assert_eq!(tb.down_vehicle, down);
+        assert_eq!(tb.up_vehicle_sign, up_sign);
+        // 5 active leaves + 6 non-root edge nodes = 11 inter links.
+        assert_eq!(tb.down_inter, 11 * 400);
+        assert_eq!(tb.up_inter_full, 11 * 400);
+        // Single-leaf cohorts have no backhaul.
+        assert_eq!(cohort_round_bytes(100, 37, 1, 0).down_inter, 0);
     }
 }

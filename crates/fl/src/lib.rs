@@ -47,4 +47,4 @@ pub use config::{AggregationRule, FlConfig};
 pub use dp::DpClient;
 pub use hierarchy::{AggregationTree, CohortConfig, CohortRun, VehicleForget};
 pub use schedule::LrSchedule;
-pub use server::{ForgetRequest, Server};
+pub use server::{ForgetRequest, Server, Upload};

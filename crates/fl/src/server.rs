@@ -30,6 +30,23 @@ pub struct RoundSummary {
     pub update_norm: f32,
 }
 
+/// One client's round contribution, as delivered by a transport.
+///
+/// This is the seam between round *arithmetic* and round *delivery*: the
+/// in-process path builds uploads by calling [`Client::gradient`]
+/// directly, the networked path (`fuiov-net`) decodes them off the wire.
+/// Both feed [`Server::run_round_uploads`], so the two transports share
+/// every aggregation instruction by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Upload {
+    /// The uploading vehicle.
+    pub client: ClientId,
+    /// Its FedAvg weight `‖Dᵢ‖`.
+    pub weight: f32,
+    /// The local gradient at the round's broadcast parameters.
+    pub grad: Vec<f32>,
+}
+
 /// One queued request to unlearn a set of vehicles, stamped with the
 /// round it arrived in. The server only *queues* these — actually
 /// recovering the model is `core::jobs`' business (the `fuiov-core` crate
@@ -214,9 +231,6 @@ impl Server {
     /// gradient dimension doesn't match the model.
     pub fn run_round(&mut self, clients: &mut [Box<dyn Client>], active: &[usize]) -> RoundSummary {
         let t = self.round;
-        fuiov_obs::journal::begin("fl.round", t as u64);
-        self.history.record_model(t, self.params.clone());
-
         // Mid-round dropout hook: a polled vehicle may still fail to
         // upload (`Client::responds_in`). Filtering here keeps dropouts
         // out of every record — history, summaries, comms accounting.
@@ -228,40 +242,66 @@ impl Server {
             .collect();
         fuiov_obs::counter!("fl.dropouts").add((polled - active.len()) as u64);
 
-        let mut participants = Vec::with_capacity(active.len());
-        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(active.len());
-        let mut weights: Vec<f32> = Vec::with_capacity(active.len());
+        let uploads: Vec<Upload> = self
+            .compute_gradients(clients, &active, t)
+            .into_iter()
+            .map(|(idx, grad)| Upload {
+                client: clients[idx].id(),
+                weight: clients[idx].weight(),
+                grad,
+            })
+            .collect();
+        self.run_round_uploads(uploads)
+    }
 
-        let results = self.compute_gradients(clients, &active, t);
-        for (idx, grad) in results {
-            let client = &clients[idx];
-            let id = client.id();
+    /// Runs a single round from already-delivered uploads.
+    ///
+    /// This is the transport-independent half of [`Server::run_round`]:
+    /// everything from history recording through aggregation and the
+    /// Eq. 2 step, with no knowledge of how the gradients arrived. The
+    /// aggregate is a left fold over `uploads` *in the given order* — a
+    /// transport whose arrival order is nondeterministic (the socket
+    /// layer) must buffer its round and sort by client id before calling,
+    /// which is what makes networked round outcomes bitwise identical to
+    /// the in-process loop for the same participation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any upload's gradient dimension doesn't match the model.
+    pub fn run_round_uploads(&mut self, uploads: Vec<Upload>) -> RoundSummary {
+        let t = self.round;
+        fuiov_obs::journal::begin("fl.round", t as u64);
+        self.history.record_model(t, self.params.clone());
+
+        let mut participants = Vec::with_capacity(uploads.len());
+        let mut weights: Vec<f32> = Vec::with_capacity(uploads.len());
+        for u in &uploads {
+            let id = u.client;
             assert_eq!(
-                grad.len(),
+                u.grad.len(),
                 self.params.len(),
                 "run_round: client {id} gradient dimension mismatch"
             );
             self.history.record_join(id, t);
-            self.history.set_weight(id, client.weight());
-            self.history.record_gradient(t, id, &grad);
+            self.history.set_weight(id, u.weight);
+            self.history.record_gradient(t, id, &u.grad);
             if self.cfg.keep_full_gradients {
-                self.full_store.record(t, id, grad.clone());
+                self.full_store.record(t, id, u.grad.clone());
             }
             participants.push(id);
-            weights.push(client.weight());
-            grads.push(grad);
+            weights.push(u.weight);
         }
 
         let tree = self
             .tree_fanout
-            .filter(|_| !grads.is_empty())
-            .map(|fanout| AggregationTree::build(grads.len(), fanout));
-        let update_norm = if grads.is_empty() {
+            .filter(|_| !uploads.is_empty())
+            .map(|fanout| AggregationTree::build(uploads.len(), fanout));
+        let update_norm = if uploads.is_empty() {
             0.0
         } else {
             // In-place aggregation: `agg_acc`/`agg_out` are recycled
             // across rounds, so the steady state allocates nothing here.
-            let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+            let refs: Vec<&[f32]> = uploads.iter().map(|u| u.grad.as_slice()).collect();
             match &tree {
                 Some(tree) => hierarchy::aggregate_tree_into(
                     self.cfg.aggregation,
@@ -552,6 +592,37 @@ mod tests {
         let mut s2 = Server::new(cfg2, spec().build(1).params()).with_sampling_seed(3);
         s2.train(&mut clients2, &schedule);
         assert_eq!(s.params(), s2.params());
+    }
+
+    #[test]
+    fn uploads_path_matches_client_path_bitwise() {
+        // The transport seam: feeding the same gradients through
+        // `run_round_uploads` (sorted by client id, the networked
+        // discipline) must reproduce `run_round` exactly.
+        let mut c1 = make_clients(3);
+        let mut s1 = server(2);
+        let mut c2 = make_clients(3);
+        let mut s2 = server(2);
+        for _ in 0..2 {
+            s1.run_round(&mut c1, &[0, 1, 2]);
+            let params = s2.params().to_vec();
+            let round = s2.round();
+            let mut uploads: Vec<Upload> = c2
+                .iter_mut()
+                .map(|c| Upload {
+                    client: c.id(),
+                    weight: c.weight(),
+                    grad: c.gradient(&params, round),
+                })
+                .collect();
+            uploads.sort_by_key(|u| u.client);
+            s2.run_round_uploads(uploads);
+        }
+        assert_eq!(s1.params(), s2.params());
+        assert_eq!(s1.summaries().len(), s2.summaries().len());
+        for (a, b) in s1.summaries().iter().zip(s2.summaries()) {
+            assert_eq!(a.participants, b.participants);
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! The vehicle registry: who has announced, with what weight and
+//! dimension.
+//!
+//! Vehicles open a connection and send one [`Register`] frame before
+//! anything else; the registry is the server's authoritative map from
+//! client id to FedAvg weight and declared model dimension. Iteration is
+//! sorted by client id — the *flat client order* every aggregation in
+//! this codebase folds in — so round outcomes don't depend on who
+//! happened to register (or upload) first.
+//!
+//! [`Register`]: crate::wire::Message::Register
+
+use fuiov_storage::ClientId;
+use std::collections::BTreeMap;
+
+/// One announced vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Registration {
+    /// The vehicle's stable id.
+    pub client: ClientId,
+    /// Its FedAvg weight `‖Dᵢ‖`.
+    pub weight: f32,
+    /// The model dimension it trains.
+    pub dim: usize,
+}
+
+/// Sorted registry of announced vehicles.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    entries: BTreeMap<ClientId, Registration>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Records an announcement. Re-registration (a vehicle reconnecting
+    /// after a drop) is idempotent: the entry is replaced and `false`
+    /// returned; a first-time announcement returns `true`.
+    pub fn register(&mut self, reg: Registration) -> bool {
+        self.entries.insert(reg.client, reg).is_none()
+    }
+
+    /// Looks up one vehicle.
+    pub fn get(&self, client: ClientId) -> Option<&Registration> {
+        self.entries.get(&client)
+    }
+
+    /// Number of announced vehicles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nobody has announced yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All registrations in flat client order.
+    pub fn iter(&self) -> impl Iterator<Item = &Registration> {
+        self.entries.values()
+    }
+
+    /// The common model dimension, or `None` when empty or vehicles
+    /// disagree (a protocol error the server surfaces before training).
+    pub fn common_dim(&self) -> Option<usize> {
+        let mut dims = self.entries.values().map(|r| r.dim);
+        let first = dims.next()?;
+        dims.all(|d| d == first).then_some(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_sorted() {
+        let mut reg = Registry::new();
+        assert!(reg.is_empty());
+        assert!(reg.register(Registration {
+            client: 3,
+            weight: 10.0,
+            dim: 4
+        }));
+        assert!(reg.register(Registration {
+            client: 1,
+            weight: 20.0,
+            dim: 4
+        }));
+        assert!(!reg.register(Registration {
+            client: 3,
+            weight: 12.0,
+            dim: 4
+        }));
+        assert_eq!(reg.len(), 2);
+        let order: Vec<ClientId> = reg.iter().map(|r| r.client).collect();
+        assert_eq!(order, vec![1, 3]);
+        assert_eq!(reg.get(3).unwrap().weight, 12.0);
+    }
+
+    #[test]
+    fn common_dim_flags_disagreement() {
+        let mut reg = Registry::new();
+        assert_eq!(reg.common_dim(), None);
+        reg.register(Registration {
+            client: 0,
+            weight: 1.0,
+            dim: 8,
+        });
+        assert_eq!(reg.common_dim(), Some(8));
+        reg.register(Registration {
+            client: 1,
+            weight: 1.0,
+            dim: 9,
+        });
+        assert_eq!(reg.common_dim(), None);
+    }
+}

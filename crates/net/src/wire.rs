@@ -1,0 +1,555 @@
+//! The wire codec: FUSG-framed protocol messages.
+//!
+//! Every message is one sealed record in exactly the
+//! [`fuiov_storage::segment`] framing — magic, version, kind, two `u64`
+//! header fields, length-prefixed payload, word-wise FNV-1a trailer — so
+//! the wire inherits the storage tier's corruption taxonomy for free: a
+//! torn frame is a typed [`SegmentDecodeError::Truncated`], bit rot is
+//! `BadChecksum`, an alien stream is `BadMagic`. The header fields carry
+//! the round and the client id, which keeps the round-pipeline payloads
+//! *pure*: a [`Message::RoundModel`] payload is exactly the `4·d` raw
+//! little-endian model bytes and a [`Message::SignUpload`] payload exactly
+//! the `⌈d/4⌉` packed sign bytes, so the `net.bytes_*` counters reconcile
+//! with [`fuiov_fl::comms::round_bytes`] *exactly*, not modulo framing.
+//!
+//! ```text
+//! frame := magic:u32 | version:u16 | kind:u8 | round:u64 | client:u64
+//!        | payload_len:u32 | payload | fnv1a64(header‖payload):u64
+//! ```
+
+use fuiov_storage::segment::{
+    check_record, encode_record, framed_len, RecordKind, SegmentDecodeError, HEADER_LEN,
+    TRAILER_LEN,
+};
+use fuiov_storage::{ClientId, GradientDirection, Round};
+use std::error::Error;
+use std::fmt;
+use std::io::{ErrorKind, Read};
+
+/// Upper bound on a single frame's payload. The length prefix is a `u32`,
+/// so a corrupted-but-checksum-unseen header could otherwise ask the
+/// reader to allocate 4 GiB before the trailer check ever runs.
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// Control codes carried in a [`Message::Control`] frame's `round` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlCode {
+    /// The server is done; vehicles should close their connections.
+    Done,
+    /// The server accepted a vehicle's registration.
+    RegisterAck,
+    /// A vehicle sitting a round out (dropout). The `arg` field carries
+    /// the skipped round. An *explicit* skip (empty payload — zero
+    /// accounted bytes) lets the server close the round the moment every
+    /// live vehicle has answered instead of burning the deadline; the
+    /// deadline remains the backstop for vehicles that died silently.
+    Skip,
+}
+
+impl ControlCode {
+    fn code(self) -> u64 {
+        match self {
+            ControlCode::Done => 0,
+            ControlCode::RegisterAck => 1,
+            ControlCode::Skip => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(ControlCode::Done),
+            1 => Some(ControlCode::RegisterAck),
+            2 => Some(ControlCode::Skip),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A vehicle announcing itself: id, FedAvg weight, model dimension.
+    Register {
+        /// The announcing vehicle.
+        client: ClientId,
+        /// Its FedAvg weight `‖Dᵢ‖`.
+        weight: f32,
+        /// The model dimension it expects to train.
+        dim: usize,
+    },
+    /// The round's global-model broadcast.
+    RoundModel {
+        /// The round being opened.
+        round: Round,
+        /// The global parameters (payload bytes are exactly `4·d`).
+        params: Vec<f32>,
+    },
+    /// A 2-bit sign-compressed gradient upload (payload exactly `⌈d/4⌉`).
+    SignUpload {
+        /// The round the upload answers.
+        round: Round,
+        /// The uploading vehicle.
+        client: ClientId,
+        /// The packed direction.
+        dir: GradientDirection,
+    },
+    /// A full-precision gradient upload (payload exactly `4·d`).
+    GradUpload {
+        /// The round the upload answers.
+        round: Round,
+        /// The uploading vehicle.
+        client: ClientId,
+        /// The gradient.
+        grad: Vec<f32>,
+    },
+    /// A request to unlearn a set of vehicles.
+    ForgetRequest {
+        /// The submitting vehicle.
+        from: ClientId,
+        /// The vehicles to forget.
+        clients: Vec<ClientId>,
+    },
+    /// A control frame.
+    Control {
+        /// What the frame asks for.
+        code: ControlCode,
+        /// Code-specific argument.
+        arg: u64,
+    },
+}
+
+/// Error on the wire. Frame-level corruption carries the storage tier's
+/// typed [`SegmentDecodeError`]; everything else is protocol- or
+/// socket-level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame failed the FUSG decode (torn, rotted, alien, …).
+    Frame(SegmentDecodeError),
+    /// A frame declared a payload larger than [`MAX_PAYLOAD`].
+    Oversize(usize),
+    /// A structurally valid frame whose payload doesn't parse as its
+    /// kind's message (wrong length for the declared model dimension).
+    Malformed(&'static str),
+    /// A record kind that is not a wire message (e.g. a spilled keyframe
+    /// fed to the socket).
+    NotAWireKind(u8),
+    /// An unknown control code.
+    BadControl(u64),
+    /// A socket read deadline elapsed with no complete frame.
+    TimedOut,
+    /// Socket-level I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Frame(e) => write!(f, "wire frame: {e}"),
+            WireError::Oversize(n) => write!(f, "wire frame declares oversize payload ({n} B)"),
+            WireError::Malformed(what) => write!(f, "malformed wire payload: {what}"),
+            WireError::NotAWireKind(k) => write!(f, "record kind {k} is not a wire message"),
+            WireError::BadControl(c) => write!(f, "unknown control code {c}"),
+            WireError::TimedOut => write!(f, "wire read timed out"),
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+impl From<SegmentDecodeError> for WireError {
+    fn from(e: SegmentDecodeError) -> Self {
+        WireError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Encodes a [`Message::Register`] frame.
+pub fn encode_register(client: ClientId, weight: f32, dim: usize) -> Vec<u8> {
+    let mut payload = [0u8; 8];
+    payload[0..4].copy_from_slice(&weight.to_le_bytes());
+    payload[4..8].copy_from_slice(&(dim as u32).to_le_bytes());
+    encode_record(RecordKind::Register, 0, client as u64, &payload)
+}
+
+/// Serializes a parameter vector as a round-model payload (raw `f32` LE,
+/// exactly `4·d` bytes) into a reusable scratch buffer.
+pub fn round_model_payload(params: &[f32], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(params.len() * 4);
+    for p in params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+}
+
+/// Encodes a [`Message::RoundModel`] frame (convenience; the broadcast
+/// hot path uses [`round_model_payload`] +
+/// [`fuiov_storage::segment::frame_parts`] instead, so the payload is
+/// serialized once per round, not once per client).
+pub fn encode_round_model(round: Round, params: &[f32]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    round_model_payload(params, &mut payload);
+    encode_record(RecordKind::RoundModel, round, 0, &payload)
+}
+
+/// Encodes a [`Message::GradUpload`] frame into `buf` (cleared first).
+pub fn encode_grad_upload_into(
+    buf: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+    round: Round,
+    client: ClientId,
+    grad: &[f32],
+) {
+    round_model_payload(grad, scratch);
+    fuiov_storage::segment::frame_into(buf, RecordKind::GradUpload, round, client as u64, scratch);
+}
+
+/// Encodes a [`Message::SignUpload`] frame into `buf` (cleared first).
+/// The payload is the packed 2-bit words verbatim.
+pub fn encode_sign_upload_into(
+    buf: &mut Vec<u8>,
+    round: Round,
+    client: ClientId,
+    dir: &GradientDirection,
+) {
+    fuiov_storage::segment::frame_into(
+        buf,
+        RecordKind::SignUpload,
+        round,
+        client as u64,
+        dir.packed_bytes(),
+    );
+}
+
+/// Encodes a [`Message::ForgetRequest`] frame.
+pub fn encode_forget_request(from: ClientId, clients: &[ClientId]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(clients.len() * 8);
+    for &c in clients {
+        payload.extend_from_slice(&(c as u64).to_le_bytes());
+    }
+    encode_record(RecordKind::ForgetRequest, 0, from as u64, &payload)
+}
+
+/// Encodes a [`Message::Control`] frame.
+pub fn encode_control(code: ControlCode, arg: u64) -> Vec<u8> {
+    encode_record(RecordKind::Control, code.code() as Round, arg, &[])
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn f32s_from(payload: &[u8], what: &'static str) -> Result<Vec<f32>, WireError> {
+    if !payload.len().is_multiple_of(4) {
+        return Err(WireError::Malformed(what));
+    }
+    Ok(payload
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect())
+}
+
+/// Decodes one sealed record into a [`Message`]. `dim` is the model
+/// dimension the connection registered (sign payloads carry no length of
+/// their own — that is what keeps them at exactly `⌈d/4⌉` bytes).
+///
+/// # Errors
+///
+/// [`WireError::Frame`] for framing/checksum failures, `Malformed` for a
+/// payload inconsistent with its kind, `NotAWireKind` for storage-tier
+/// records, `BadControl` for unknown control codes.
+pub fn decode_message(record: &[u8], dim: usize) -> Result<Message, WireError> {
+    let (kind, round, base, payload) = check_record(record)?;
+    match kind {
+        RecordKind::Register => {
+            if payload.len() != 8 {
+                return Err(WireError::Malformed("register payload"));
+            }
+            let weight = f32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+            let dim = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")) as usize;
+            Ok(Message::Register {
+                client: base,
+                weight,
+                dim,
+            })
+        }
+        RecordKind::RoundModel => Ok(Message::RoundModel {
+            round,
+            params: f32s_from(payload, "round-model payload")?,
+        }),
+        RecordKind::SignUpload => {
+            if payload.len() != dim.div_ceil(4) {
+                return Err(WireError::Malformed("sign upload length"));
+            }
+            let dir = GradientDirection::from_packed(dim, payload.to_vec())
+                .ok_or(WireError::Malformed("sign upload packing"))?;
+            Ok(Message::SignUpload {
+                round,
+                client: base,
+                dir,
+            })
+        }
+        RecordKind::GradUpload => Ok(Message::GradUpload {
+            round,
+            client: base,
+            grad: f32s_from(payload, "grad upload payload")?,
+        }),
+        RecordKind::ForgetRequest => {
+            if payload.len() % 8 != 0 {
+                return Err(WireError::Malformed("forget request payload"));
+            }
+            let clients = payload
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as ClientId)
+                .collect();
+            Ok(Message::ForgetRequest {
+                from: base,
+                clients,
+            })
+        }
+        RecordKind::Control => {
+            let code =
+                ControlCode::from_code(round as u64).ok_or(WireError::BadControl(round as u64))?;
+            Ok(Message::Control {
+                code,
+                arg: base as u64,
+            })
+        }
+        other => Err(WireError::NotAWireKind(other.code())),
+    }
+}
+
+/// Reads one whole frame into `buf` (cleared first). Returns `Ok(false)`
+/// on a clean close (EOF exactly at a frame boundary); EOF anywhere
+/// inside a frame is the storage tier's typed
+/// [`SegmentDecodeError::Truncated`] — a torn frame.
+///
+/// # Errors
+///
+/// `Frame(Truncated)` for torn frames, `Oversize` for a declared payload
+/// beyond [`MAX_PAYLOAD`], `TimedOut` when a socket read deadline (set
+/// via `set_read_timeout`) elapses, `Io` for other socket failures.
+pub fn read_frame<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<bool, WireError> {
+    read_frame_idle(r, buf, || false)
+}
+
+/// Like [`read_frame`], but a socket read timeout consults `keep_waiting`
+/// instead of failing immediately: `true` retries the read in place (a
+/// partially received frame keeps its bytes), `false` aborts with
+/// [`WireError::TimedOut`]. This is the server-side shutdown poll:
+/// handler threads read with a short socket timeout and bail out the
+/// moment the serve loop raises its done flag, so wind-down can never
+/// hang on a peer that is itself blocked reading — even one that
+/// connected after the final Done sweep.
+pub fn read_frame_idle<R: Read>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+    mut keep_waiting: impl FnMut() -> bool,
+) -> Result<bool, WireError> {
+    buf.clear();
+    buf.resize(HEADER_LEN, 0);
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        match r.read(&mut buf[filled..HEADER_LEN]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(WireError::Frame(SegmentDecodeError::Truncated)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                if keep_waiting() {
+                    continue;
+                }
+                return Err(WireError::TimedOut);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let total = framed_len(buf).ok_or(WireError::Frame(SegmentDecodeError::Truncated))?;
+    if total - HEADER_LEN - TRAILER_LEN > MAX_PAYLOAD {
+        return Err(WireError::Oversize(total - HEADER_LEN - TRAILER_LEN));
+    }
+    buf.resize(total, 0);
+    while filled < total {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(WireError::Frame(SegmentDecodeError::Truncated)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                if keep_waiting() {
+                    continue;
+                }
+                return Err(WireError::TimedOut);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// A read timeout surfaces as `WouldBlock` on Unix sockets and
+/// `TimedOut` on some platforms' TCP stacks; treat both as the deadline.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_round_trips() {
+        let rec = encode_register(7, 20.5, 52_138);
+        assert_eq!(
+            decode_message(&rec, 0).unwrap(),
+            Message::Register {
+                client: 7,
+                weight: 20.5,
+                dim: 52_138
+            }
+        );
+    }
+
+    #[test]
+    fn round_model_payload_is_pure_f32_bytes() {
+        let params = vec![1.0f32, -2.5, f32::MIN_POSITIVE, 0.0];
+        let rec = encode_round_model(3, &params);
+        assert_eq!(rec.len(), HEADER_LEN + params.len() * 4 + TRAILER_LEN);
+        match decode_message(&rec, params.len()).unwrap() {
+            Message::RoundModel { round, params: p } => {
+                assert_eq!(round, 3);
+                let bits: Vec<u32> = p.iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u32> = params.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(bits, want);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sign_upload_payload_is_exactly_packed_width() {
+        let grad = vec![0.5f32, -0.5, 0.0, 0.5, -0.5];
+        let dir = GradientDirection::quantize(&grad, 0.1);
+        let mut rec = Vec::new();
+        encode_sign_upload_into(&mut rec, 9, 4, &dir);
+        assert_eq!(rec.len(), HEADER_LEN + 5usize.div_ceil(4) + TRAILER_LEN);
+        match decode_message(&rec, 5).unwrap() {
+            Message::SignUpload {
+                round,
+                client,
+                dir: d,
+            } => {
+                assert_eq!((round, client), (9, 4));
+                assert_eq!(d, dir);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        // The registered dimension gates the decode: a mismatched dim is
+        // a typed Malformed, not a silent mis-widthed direction.
+        assert_eq!(
+            decode_message(&rec, 50),
+            Err(WireError::Malformed("sign upload length"))
+        );
+    }
+
+    #[test]
+    fn grad_upload_and_forget_round_trip() {
+        let mut rec = Vec::new();
+        let mut scratch = Vec::new();
+        encode_grad_upload_into(&mut rec, &mut scratch, 2, 11, &[1.0, -1.0]);
+        assert_eq!(
+            decode_message(&rec, 2).unwrap(),
+            Message::GradUpload {
+                round: 2,
+                client: 11,
+                grad: vec![1.0, -1.0]
+            }
+        );
+        let rec = encode_forget_request(3, &[5, 9]);
+        assert_eq!(
+            decode_message(&rec, 0).unwrap(),
+            Message::ForgetRequest {
+                from: 3,
+                clients: vec![5, 9]
+            }
+        );
+    }
+
+    #[test]
+    fn control_codes_round_trip_and_unknown_is_typed() {
+        for code in [
+            ControlCode::Done,
+            ControlCode::RegisterAck,
+            ControlCode::Skip,
+        ] {
+            let rec = encode_control(code, 42);
+            assert_eq!(
+                decode_message(&rec, 0).unwrap(),
+                Message::Control { code, arg: 42 }
+            );
+        }
+        let rec = encode_record(RecordKind::Control, 99, 0, &[]);
+        assert_eq!(decode_message(&rec, 0), Err(WireError::BadControl(99)));
+    }
+
+    #[test]
+    fn storage_kinds_are_not_wire_messages() {
+        let rec = fuiov_storage::segment::encode_keyframe(0, &[1.0]);
+        assert_eq!(decode_message(&rec, 1), Err(WireError::NotAWireKind(1)));
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_close_from_torn() {
+        let rec = encode_register(1, 1.0, 4);
+        let mut buf = Vec::new();
+
+        // Whole frame, then EOF: one frame, then a clean close.
+        let mut r = std::io::Cursor::new(rec.clone());
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, rec);
+        assert!(!read_frame(&mut r, &mut buf).unwrap());
+
+        // EOF inside the frame: torn, at every cut.
+        for cut in 1..rec.len() {
+            let mut r = std::io::Cursor::new(rec[..cut].to_vec());
+            assert_eq!(
+                read_frame(&mut r, &mut buf),
+                Err(WireError::Frame(SegmentDecodeError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_header_is_rejected_before_allocation() {
+        let rec = encode_register(1, 1.0, 4);
+        let mut huge = rec[..HEADER_LEN].to_vec();
+        huge[HEADER_LEN - 4..].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = std::io::Cursor::new(huge);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut r, &mut buf),
+            Err(WireError::Oversize(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert!(WireError::Frame(SegmentDecodeError::Truncated)
+            .to_string()
+            .contains("truncated"));
+        assert!(WireError::Oversize(9).to_string().contains("oversize"));
+        assert!(WireError::Malformed("x").to_string().contains("malformed"));
+        assert!(WireError::NotAWireKind(1).to_string().contains("kind"));
+        assert!(WireError::BadControl(9).to_string().contains("control"));
+        assert!(WireError::Io("x".into()).to_string().contains("i/o"));
+    }
+}

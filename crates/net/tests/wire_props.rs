@@ -1,0 +1,153 @@
+//! Property tests for the wire codec, mirroring the storage tier's
+//! segment fault style: round-trips across the FNV word boundary,
+//! torn-frame truncation at *every* byte offset, and trailer bit rot
+//! surfacing as the typed checksum error.
+
+use fuiov_net::wire::{decode_message, read_frame, Message, WireError};
+use fuiov_net::ControlCode;
+use fuiov_storage::segment::{
+    check_record, encode_record, framed_len, RecordKind, HEADER_LEN, TRAILER_LEN,
+};
+use fuiov_storage::SegmentDecodeError;
+use proptest::prelude::*;
+
+/// The wire record kinds, indexable for proptest.
+const WIRE_KINDS: [RecordKind; 5] = [
+    RecordKind::Register,
+    RecordKind::RoundModel,
+    RecordKind::SignUpload,
+    RecordKind::GradUpload,
+    RecordKind::ForgetRequest,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sealed frames round-trip through `check_record` at every payload
+    /// length 0..=67 — straddling the word-wise FNV boundary (the digest
+    /// absorbs 8 bytes per multiply with a byte-wise tail, and the 27-byte
+    /// header keeps the payload permanently misaligned).
+    #[test]
+    fn frame_roundtrips_at_all_small_lengths(
+        payload in prop::collection::vec(any::<u8>(), 0..68),
+        kind_idx in 0usize..WIRE_KINDS.len(),
+        round in 0usize..1_000_000,
+        base in any::<u64>(),
+    ) {
+        let kind = WIRE_KINDS[kind_idx];
+        let rec = encode_record(kind, round, base, &payload);
+        prop_assert_eq!(rec.len(), HEADER_LEN + payload.len() + TRAILER_LEN);
+        prop_assert_eq!(framed_len(&rec), Some(rec.len()));
+        let (k, r, b, p) = check_record(&rec).expect("sealed frame decodes");
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(r, round);
+        prop_assert_eq!(b as u64, base);
+        prop_assert_eq!(p, &payload[..]);
+    }
+
+    /// A frame cut at *any* byte boundary — from the first magic byte to
+    /// one short of the trailer — is the typed truncation error, both in
+    /// direct decode and through the socket reader; EOF exactly at the
+    /// frame boundary is a clean close, never an error.
+    #[test]
+    fn torn_frame_at_every_byte_boundary_is_typed(
+        payload in prop::collection::vec(any::<u8>(), 0..68),
+        round in 0usize..1_000_000,
+    ) {
+        let rec = encode_record(RecordKind::GradUpload, round, 7, &payload);
+        let mut buf = Vec::new();
+        for cut in 0..rec.len() {
+            prop_assert_eq!(
+                check_record(&rec[..cut]).unwrap_err(),
+                SegmentDecodeError::Truncated,
+                "check_record cut at {}", cut
+            );
+            if cut > 0 {
+                // cut == 0 is a clean close for the stream reader.
+                let mut r = std::io::Cursor::new(rec[..cut].to_vec());
+                prop_assert_eq!(
+                    read_frame(&mut r, &mut buf).unwrap_err(),
+                    WireError::Frame(SegmentDecodeError::Truncated),
+                    "read_frame cut at {}", cut
+                );
+            }
+        }
+        let mut r = std::io::Cursor::new(rec.clone());
+        prop_assert!(read_frame(&mut r, &mut buf).expect("whole frame"));
+        prop_assert_eq!(&buf, &rec);
+        prop_assert!(!read_frame(&mut r, &mut buf).expect("clean close"));
+    }
+
+    /// Flipping any single bit of the FNV trailer is the typed checksum
+    /// error — never a garbage decode.
+    #[test]
+    fn trailer_bit_flip_is_typed_checksum_error(
+        payload in prop::collection::vec(any::<u8>(), 0..68),
+        bit in 0usize..64,
+    ) {
+        let mut rec = encode_record(RecordKind::SignUpload, 3, 11, &payload);
+        let n = rec.len();
+        rec[n - TRAILER_LEN + bit / 8] ^= 1 << (bit % 8);
+        match check_record(&rec) {
+            Err(SegmentDecodeError::BadChecksum { expected, found }) => {
+                prop_assert_ne!(expected, found);
+            }
+            other => prop_assert!(false, "expected BadChecksum, got {:?}", other),
+        }
+        match decode_message(&rec, payload.len() * 4) {
+            Err(WireError::Frame(SegmentDecodeError::BadChecksum { .. })) => {}
+            other => prop_assert!(false, "expected wire BadChecksum, got {:?}", other),
+        }
+    }
+
+    /// Flipping any single payload bit is also caught by the seal — the
+    /// word-wise digest covers header *and* payload.
+    #[test]
+    fn payload_bit_flip_is_typed_checksum_error(
+        payload in prop::collection::vec(any::<u8>(), 1..68),
+        bit_seed in any::<u64>(),
+    ) {
+        let mut rec = encode_record(RecordKind::RoundModel, 5, 0, &payload);
+        let bit = (bit_seed as usize) % (payload.len() * 8);
+        rec[HEADER_LEN + bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(matches!(
+            check_record(&rec),
+            Err(SegmentDecodeError::BadChecksum { .. })
+        ));
+    }
+
+    /// Wire messages round-trip end to end through encode + decode for
+    /// arbitrary gradients — the f32 payloads are bit-exact.
+    #[test]
+    fn grad_upload_roundtrips_bitwise(
+        grad in prop::collection::vec(any::<u32>().prop_map(f32::from_bits), 0..17),
+        round in 0usize..1000,
+        client in 0usize..64,
+    ) {
+        let mut rec = Vec::new();
+        let mut scratch = Vec::new();
+        fuiov_net::wire::encode_grad_upload_into(&mut rec, &mut scratch, round, client, &grad);
+        match decode_message(&rec, grad.len()).expect("decodes") {
+            Message::GradUpload { round: r, client: c, grad: g } => {
+                prop_assert_eq!((r, c), (round, client));
+                let bits: Vec<u32> = g.iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u32> = grad.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(bits, want);
+            }
+            other => prop_assert!(false, "wrong message {:?}", other),
+        }
+    }
+
+    /// Control frames survive arbitrary args; unknown control codes are
+    /// typed, not panics.
+    #[test]
+    fn control_frames_roundtrip(arg in any::<u64>()) {
+        for code in [ControlCode::Done, ControlCode::RegisterAck, ControlCode::Skip] {
+            let rec = fuiov_net::wire::encode_control(code, arg);
+            prop_assert_eq!(
+                decode_message(&rec, 0).expect("decodes"),
+                Message::Control { code, arg }
+            );
+        }
+    }
+}

@@ -230,8 +230,8 @@ impl GradientDirection {
     }
 
     /// Reassembles a direction from raw packed words. `None` if the byte
-    /// count doesn't match `len` (a malformed spill record).
-    pub(crate) fn from_packed(len: usize, packed: Vec<u8>) -> Option<Self> {
+    /// count doesn't match `len` (a malformed spill record or wire frame).
+    pub fn from_packed(len: usize, packed: Vec<u8>) -> Option<Self> {
         (packed.len() == len.div_ceil(4)).then_some(GradientDirection { len, packed })
     }
 

@@ -61,26 +61,64 @@ pub enum RecordKind {
     /// hierarchical-recovery path replays these sibling-subtree records
     /// verbatim instead of re-estimating every member vehicle.
     SubtreeAggregate,
+    /// Wire (`fuiov-net`): a vehicle announcing itself to the RSU
+    /// registry. Client id in `base`; payload holds the FedAvg weight
+    /// and model dimension.
+    Register,
+    /// Wire: the round's global-model broadcast. Round in `round`; the
+    /// payload is the raw little-endian `f32` parameter vector, nothing
+    /// else, so payload bytes equal `comms::round_bytes` download bytes
+    /// exactly.
+    RoundModel,
+    /// Wire: a 2-bit sign-compressed gradient upload. Round in `round`,
+    /// client id in `base`; the payload is the packed sign words
+    /// verbatim (`⌈d/4⌉` bytes for a `d`-parameter model).
+    SignUpload,
+    /// Wire: a full-precision gradient upload. Round in `round`, client
+    /// id in `base`; the payload is the raw little-endian `f32` gradient
+    /// (`4·d` bytes).
+    GradUpload,
+    /// Wire: a request to unlearn a set of vehicles. Submitting client
+    /// in `base`; the payload lists the target client ids as `u64`s.
+    ForgetRequest,
+    /// Wire: a control frame (round-loop handshakes — ack, done). The
+    /// control code rides in `round`, a code-specific argument in
+    /// `base`; the payload is empty.
+    Control,
 }
 
 impl RecordKind {
-    fn code(self) -> u8 {
+    /// The on-wire/on-disk code of this kind.
+    pub fn code(self) -> u8 {
         match self {
             RecordKind::Keyframe => 1,
             RecordKind::Delta => 2,
             RecordKind::Directions => 3,
             RecordKind::JobCheckpoint => 4,
             RecordKind::SubtreeAggregate => 5,
+            RecordKind::Register => 6,
+            RecordKind::RoundModel => 7,
+            RecordKind::SignUpload => 8,
+            RecordKind::GradUpload => 9,
+            RecordKind::ForgetRequest => 10,
+            RecordKind::Control => 11,
         }
     }
 
-    fn from_code(code: u8) -> Option<Self> {
+    /// The kind for an on-wire/on-disk code, if known.
+    pub fn from_code(code: u8) -> Option<Self> {
         match code {
             1 => Some(RecordKind::Keyframe),
             2 => Some(RecordKind::Delta),
             3 => Some(RecordKind::Directions),
             4 => Some(RecordKind::JobCheckpoint),
             5 => Some(RecordKind::SubtreeAggregate),
+            6 => Some(RecordKind::Register),
+            7 => Some(RecordKind::RoundModel),
+            8 => Some(RecordKind::SignUpload),
+            9 => Some(RecordKind::GradUpload),
+            10 => Some(RecordKind::ForgetRequest),
+            11 => Some(RecordKind::Control),
             _ => None,
         }
     }
@@ -184,16 +222,60 @@ pub fn reseal(record: &mut [u8]) {
 
 fn frame(kind: RecordKind, round: Round, base: Round, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    frame_into(&mut buf, kind, round, base as u64, payload);
+    buf
+}
+
+/// Frames `payload` as a sealed FUSG record into `buf` (cleared first),
+/// so callers on a hot path — the wire layer frames one record per
+/// message — can reuse one scratch buffer instead of allocating.
+pub fn frame_into(buf: &mut Vec<u8>, kind: RecordKind, round: Round, base: u64, payload: &[u8]) {
+    buf.clear();
+    buf.reserve(HEADER_LEN + payload.len() + TRAILER_LEN);
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u8(kind.code());
     buf.put_u64_le(round as u64);
-    buf.put_u64_le(base as u64);
+    buf.put_u64_le(base);
     buf.put_u32_le(payload.len() as u32);
     buf.extend_from_slice(payload);
-    let sum = fnv1a64(&buf);
+    let sum = fnv1a64(buf);
     buf.put_u64_le(sum);
-    buf
+}
+
+/// Frames `payload` as a freshly allocated sealed record — the general
+/// entry point the wire protocol builds its messages on.
+pub fn encode_record(kind: RecordKind, round: Round, base: u64, payload: &[u8]) -> Vec<u8> {
+    frame(kind, round, base as Round, payload)
+}
+
+/// The header and trailer of a record whose checksum also covers an
+/// external payload slice: `(header, trailer)` such that
+/// `header ‖ payload ‖ trailer` is exactly [`encode_record`]'s output.
+/// This is the zero-copy broadcast primitive — the round's model payload
+/// is serialized once and handed to every connection's vectored write
+/// without being copied into a per-client frame.
+pub fn frame_parts(
+    kind: RecordKind,
+    round: Round,
+    base: u64,
+    payload: &[u8],
+) -> ([u8; HEADER_LEN], [u8; TRAILER_LEN]) {
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6] = kind.code();
+    header[7..15].copy_from_slice(&(round as u64).to_le_bytes());
+    header[15..23].copy_from_slice(&base.to_le_bytes());
+    header[23..27].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    // FNV absorbs word-wise from the start of the record; the header is
+    // 27 bytes (not a multiple of 8), so the digest must run over the
+    // logical concatenation, not the two slices independently.
+    let mut body = Vec::with_capacity(HEADER_LEN + payload.len());
+    body.extend_from_slice(&header);
+    body.extend_from_slice(payload);
+    let sum = fnv1a64(&body);
+    (header, sum.to_le_bytes())
 }
 
 /// Encodes a full `f32` keyframe record.
@@ -397,9 +479,7 @@ pub fn decode_model(
             let base = base.ok_or(SegmentDecodeError::MissingBase(base_round as u64))?;
             delta::decode(base, payload, len).ok_or(SegmentDecodeError::Truncated)
         }
-        RecordKind::Directions | RecordKind::JobCheckpoint | RecordKind::SubtreeAggregate => {
-            Err(SegmentDecodeError::BadKind(kind.code()))
-        }
+        _ => Err(SegmentDecodeError::BadKind(kind.code())),
     }
 }
 
@@ -658,11 +738,11 @@ mod tests {
         ));
 
         let mut rec = encode_keyframe(0, &[1.0]);
-        rec[6] = 9;
+        rec[6] = 99;
         reseal(&mut rec);
         assert_eq!(
             check_record(&rec).unwrap_err(),
-            SegmentDecodeError::BadKind(9)
+            SegmentDecodeError::BadKind(99)
         );
     }
 
@@ -755,6 +835,45 @@ mod tests {
         let rec = encode_job_checkpoint(1, 0, &[9; 16]);
         assert_eq!(framed_len(&rec[..HEADER_LEN - 1]), None);
         assert_eq!(framed_len(&rec[..HEADER_LEN]), Some(rec.len()));
+    }
+
+    #[test]
+    fn encode_record_frame_into_and_parts_agree() {
+        let payload = [7u8, 1, 2, 250, 9, 0, 3];
+        let whole = encode_record(RecordKind::SignUpload, 12, 34, &payload);
+        let mut scratch = vec![0xAAu8; 3]; // stale contents must be cleared
+        frame_into(&mut scratch, RecordKind::SignUpload, 12, 34, &payload);
+        assert_eq!(scratch, whole);
+        let (header, trailer) = frame_parts(RecordKind::SignUpload, 12, 34, &payload);
+        let mut stitched = header.to_vec();
+        stitched.extend_from_slice(&payload);
+        stitched.extend_from_slice(&trailer);
+        assert_eq!(stitched, whole);
+        let (kind, round, base, body) = check_record(&whole).unwrap();
+        assert_eq!(kind, RecordKind::SignUpload);
+        assert_eq!(round, 12);
+        assert_eq!(base, 34);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn wire_kinds_round_trip_codes_and_are_not_models() {
+        for kind in [
+            RecordKind::Register,
+            RecordKind::RoundModel,
+            RecordKind::SignUpload,
+            RecordKind::GradUpload,
+            RecordKind::ForgetRequest,
+            RecordKind::Control,
+        ] {
+            assert_eq!(RecordKind::from_code(kind.code()), Some(kind));
+            let rec = encode_record(kind, 0, 0, &[0, 0, 0, 0]);
+            assert_eq!(
+                decode_model(&rec, 0, None),
+                Err(SegmentDecodeError::BadKind(kind.code())),
+                "{kind:?} must not decode as a model"
+            );
+        }
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub mod streams {
     pub const BASELINE: u64 = 0x0600_0000;
     /// Fault-injection plans (`fuiov-testkit`).
     pub const TESTKIT: u64 = 0x0700_0000;
+    /// Networked plane (`fuiov-net`): retry/backoff jitter (add the
+    /// client id so vehicles don't thunder in lockstep).
+    pub const NET: u64 = 0x0800_0000;
 }
 
 #[cfg(test)]

@@ -53,11 +53,21 @@ pub enum FaultClass {
     /// The same forget request is submitted more than once; the job
     /// service must collapse the duplicates onto one job.
     DuplicateForget,
+    /// A wire frame is cut mid-byte-stream (the vehicle's connection dies
+    /// partway through an upload); the server must surface a typed
+    /// truncation and treat the vehicle as a dropout.
+    TornFrame,
+    /// A vehicle's connection drops cleanly before it uploads; it comes
+    /// back through the seeded retry/backoff path.
+    ConnectionDrop,
+    /// A vehicle transmits the same round's upload twice; the server's
+    /// first-wins inbox must deduplicate it.
+    DuplicateUpload,
 }
 
 impl FaultClass {
     /// All classes, in declaration order.
-    pub const ALL: [FaultClass; 13] = [
+    pub const ALL: [FaultClass; 16] = [
         FaultClass::Dropout,
         FaultClass::SignFlip,
         FaultClass::Delay,
@@ -71,6 +81,9 @@ impl FaultClass {
         FaultClass::JobPreempt,
         FaultClass::TornJobCheckpoint,
         FaultClass::DuplicateForget,
+        FaultClass::TornFrame,
+        FaultClass::ConnectionDrop,
+        FaultClass::DuplicateUpload,
     ];
 }
 
@@ -169,6 +182,32 @@ pub enum Fault {
         /// Extra submissions beyond the first.
         times: usize,
     },
+    /// `client`'s upload frame in `round` is cut mid-stream; the raw
+    /// `cut` draw is reduced modulo the frame length at application time
+    /// (mirroring [`Fault::TruncateCheckpoint`]), so one plan applies to
+    /// any payload width.
+    TornFrame {
+        /// The affected vehicle.
+        client: ClientId,
+        /// The round whose upload is torn.
+        round: Round,
+        /// Raw byte-offset draw; effective cut is `1 + cut % (len - 1)`.
+        cut: usize,
+    },
+    /// `client`'s connection drops cleanly before it answers `round`.
+    ConnectionDrop {
+        /// The affected vehicle.
+        client: ClientId,
+        /// The round it misses.
+        round: Round,
+    },
+    /// `client` transmits its upload for `round` twice back-to-back.
+    DuplicateUpload {
+        /// The affected vehicle.
+        client: ClientId,
+        /// The double-sent round.
+        round: Round,
+    },
 }
 
 impl Fault {
@@ -188,6 +227,9 @@ impl Fault {
             Fault::JobPreempt { .. } => FaultClass::JobPreempt,
             Fault::TornJobCheckpoint { .. } => FaultClass::TornJobCheckpoint,
             Fault::DuplicateForget { .. } => FaultClass::DuplicateForget,
+            Fault::TornFrame { .. } => FaultClass::TornFrame,
+            Fault::ConnectionDrop { .. } => FaultClass::ConnectionDrop,
+            Fault::DuplicateUpload { .. } => FaultClass::DuplicateUpload,
         }
     }
 }
@@ -339,6 +381,27 @@ impl FaultPlan {
         });
         faults.push(Fault::DuplicateForget {
             times: rng.gen_range(1..=3usize),
+        });
+
+        // Wire faults (the networked plane, PR 9): torn frame, clean
+        // connection drop, duplicate transmission. Global, floored at one
+        // of each, on their own stream so every earlier draw is stable.
+        // Cells are drawn independently of the client-side grid — a wire
+        // fault may land on a cell that also has e.g. a dropout, which is
+        // exactly the compound failure a real lossy link produces.
+        let mut rng = rng_for(seed, streams::TESTKIT + 0x44);
+        faults.push(Fault::TornFrame {
+            client: rng.gen_range(0..spec.clients),
+            round: rng.gen_range(0..spec.rounds),
+            cut: rng.gen_range(0..10_000usize),
+        });
+        faults.push(Fault::ConnectionDrop {
+            client: rng.gen_range(0..spec.clients),
+            round: rng.gen_range(0..spec.rounds),
+        });
+        faults.push(Fault::DuplicateUpload {
+            client: rng.gen_range(0..spec.clients),
+            round: rng.gen_range(0..spec.rounds),
         });
 
         let by_cell = faults
@@ -519,6 +582,24 @@ impl FaultPlan {
             })
             .collect()
     }
+
+    /// All wire faults (torn frame, connection drop, duplicate upload),
+    /// in plan order. Like [`FaultPlan::job_faults`], a separate accessor
+    /// so the spill-tier and job-service counts existing fault-matrix
+    /// assertions pin are untouched.
+    pub fn net_faults(&self) -> Vec<&Fault> {
+        self.faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    Fault::TornFrame { .. }
+                        | Fault::ConnectionDrop { .. }
+                        | Fault::DuplicateUpload { .. }
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -622,6 +703,12 @@ mod tests {
                     assert!(*times >= 1);
                     assert!(plan.job_faults().contains(&f));
                 }
+                Fault::TornFrame { client, round, .. }
+                | Fault::ConnectionDrop { client, round }
+                | Fault::DuplicateUpload { client, round } => {
+                    assert!(*client < spec().clients && *round < spec().rounds);
+                    assert!(plan.net_faults().contains(&f));
+                }
             }
         }
     }
@@ -633,6 +720,16 @@ mod tests {
         assert_eq!(plan.segment_faults().len(), 3);
         for f in plan.job_faults() {
             assert!(!plan.segment_faults().contains(&f));
+        }
+    }
+
+    #[test]
+    fn net_faults_are_their_own_floored_family() {
+        let plan = FaultPlan::sample(11, &spec());
+        assert_eq!(plan.net_faults().len(), 3);
+        for f in plan.net_faults() {
+            assert!(!plan.segment_faults().contains(&f));
+            assert!(!plan.job_faults().contains(&f));
         }
     }
 }

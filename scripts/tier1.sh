@@ -110,6 +110,17 @@ stage_scale() {
   done
 }
 
+stage_net() {
+  # Networked-plane oracle: socket rounds must be bitwise identical to the
+  # in-process loop — clean, sign-compressed, and under the wire fault
+  # plans at seeds 101/202 (torn frames, connection drops, duplicate
+  # uploads) — plus the wire-codec property suite. Then the oracle again
+  # with the SIMD kill switch thrown: which kernel decoded the payload
+  # must not leak through the transport seam.
+  cargo test -p fuiov-net -q
+  FUIOV_SIMD=0 cargo test -p fuiov-net -q --test loopback_oracle
+}
+
 stage_bench_smoke() {
   # Every benchmark (including its pre-timing bitwise differential
   # assertions) executes once with a minimal budget, so bench code cannot
@@ -117,9 +128,13 @@ stage_bench_smoke() {
   # forced off, so both kernel paths stay exercised by the bench code.
   FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
   FUIOV_SIMD=0 FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
+  # Loopback transport bench at a one-cell sweep: its exact byte
+  # reconciliation asserts (net.bytes_{tx,rx} == comms::round_bytes) run
+  # on every CI pass even though the full BENCH_net.json sweep does not.
+  FUIOV_BENCH_SMOKE=1 cargo run --release -q -p fuiov-bench --bin exp_net > /dev/null
 }
 
-ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance jobs scale simd_off bench_smoke"
+ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance jobs scale net simd_off bench_smoke"
 
 stages() {
   echo "$ALL_STAGES" | tr ' ' '\n'

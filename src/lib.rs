@@ -2,7 +2,8 @@
 //!
 //! Facade crate re-exporting the full reproduction stack of the DSN 2024
 //! paper: training substrates ([`nn`], [`data`], [`tensor`]), the FL
-//! simulator ([`fl`]), server-side storage ([`storage`]), attacks
+//! simulator ([`fl`]), the socket transport ([`net`]), server-side
+//! storage ([`storage`]), attacks
 //! ([`attacks`]), the paper's unlearning pipeline ([`unlearn`]) and its
 //! baselines ([`baselines`]), plus evaluation utilities ([`eval`]).
 //!
@@ -55,6 +56,7 @@ pub use fuiov_core as unlearn;
 pub use fuiov_data as data;
 pub use fuiov_eval as eval;
 pub use fuiov_fl as fl;
+pub use fuiov_net as net;
 pub use fuiov_nn as nn;
 pub use fuiov_obs as obs;
 pub use fuiov_storage as storage;
