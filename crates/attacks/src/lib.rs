@@ -10,16 +10,22 @@
 //! [`client::label_flip_client`] / [`client::backdoor_client`] — plus a
 //! gradient-[`client::ScalingAttacker`] extension for model-poisoning
 //! ablations. [`eval`] computes the attack success rate metric used in
-//! Fig. 1.
+//! Fig. 1, and [`reconstruction`] mounts the gradient-difference probe
+//! ("Verifiably Forgotten?", arXiv 2505.11097) against the stored 2-bit
+//! sign history — the scenario lab's `recon.*` eval column.
 
 pub mod backdoor;
 pub mod client;
 pub mod eval;
 pub mod label_flip;
+pub mod reconstruction;
 pub mod replacement;
 
 pub use backdoor::{Backdoor, Corner, Trigger};
 pub use client::{backdoor_client, label_flip_client, ScalingAttacker};
 pub use eval::{backdoor_asr, label_flip_asr};
 pub use label_flip::LabelFlip;
+pub use reconstruction::{
+    direction_agreement, majority_direction, reconstruct_update, reconstruction_error,
+};
 pub use replacement::ModelReplacement;

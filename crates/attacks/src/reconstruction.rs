@@ -1,0 +1,192 @@
+//! Gradient-difference reconstruction against the stored sign history.
+//!
+//! "Verifiably Forgotten?" (arXiv 2505.11097) shows that an unlearning
+//! *update* can itself leak the forgotten client's data: the difference
+//! between the model before and after unlearning is dominated by the
+//! erased client's accumulated contribution, so an attacker who observes
+//! both models can reconstruct that client's gradient direction — and
+//! check it against anything the server still stores.
+//!
+//! This module mounts exactly that probe against FUIOV's 2-bit sign
+//! history: quantise the parameter difference `w_before − w_after` with
+//! the history's own threshold δ and compare the resulting ±1 pattern
+//! coordinate-by-coordinate with the client's *stored* sign directions
+//! (majority vote over its membership window). The agreement is the leak:
+//!
+//! - agreement ≈ 1 → the unlearning update points straight along the
+//!   forgotten client's recorded directions — an observer holding the old
+//!   model learns which coordinates the client pushed, i.e. the paper's
+//!   privacy goal is only as strong as access control on `w_before`;
+//! - agreement ≈ ½ (chance for the non-zero sign coordinates) → nothing
+//!   about the client's directions survives in the visible update.
+//!
+//! The scenario-lab reports `1 − agreement` as the **reconstruction
+//! error** eval column: *low* error flags a reconstructable (leaky)
+//! update, *high* error means the gradient-difference attack failed.
+
+use fuiov_storage::{ClientId, GradientDirection, HistoryStore};
+
+/// The attacker's view: the sign-quantised parameter difference
+/// `before − after`, using threshold `delta` (pass the history's own δ to
+/// model the strongest attacker — one who knows the server's quantiser).
+pub fn reconstruct_update(before: &[f32], after: &[f32], delta: f32) -> GradientDirection {
+    assert_eq!(
+        before.len(),
+        after.len(),
+        "reconstruct_update: dimension mismatch"
+    );
+    let diff: Vec<f32> = before.iter().zip(after).map(|(b, a)| b - a).collect();
+    GradientDirection::quantize(&diff, delta)
+}
+
+/// The client's per-coordinate majority sign over every round it appears
+/// in `history` (`0` where the votes tie or the client never stored a
+/// non-zero sign). Returns `None` for a client with no stored directions.
+pub fn majority_direction(history: &HistoryStore, client: ClientId) -> Option<Vec<i8>> {
+    let dim = history.dim()?;
+    let mut votes = vec![0i32; dim];
+    let mut seen = false;
+    for round in history.rounds_iter() {
+        let Some(dir) = history.direction(round, client) else {
+            continue;
+        };
+        seen = true;
+        for (v, s) in votes.iter_mut().zip(dir.to_signs()) {
+            *v += i32::from(s);
+        }
+    }
+    if !seen {
+        return None;
+    }
+    Some(votes.iter().map(|&v| v.signum() as i8).collect())
+}
+
+/// Fraction of coordinates on which the reconstruction agrees with the
+/// reference signs, over the coordinates where **both** are non-zero
+/// (zeros carry no sign information on either side). `None` when no
+/// coordinate is non-zero in both.
+pub fn direction_agreement(reconstructed: &GradientDirection, reference: &[i8]) -> Option<f32> {
+    assert_eq!(
+        reconstructed.len(),
+        reference.len(),
+        "direction_agreement: dimension mismatch"
+    );
+    let mut compared = 0usize;
+    let mut agreed = 0usize;
+    for (i, &r) in reference.iter().enumerate() {
+        let e = reconstructed.sign(i);
+        if e != 0 && r != 0 {
+            compared += 1;
+            if e == r {
+                agreed += 1;
+            }
+        }
+    }
+    (compared > 0).then(|| agreed as f32 / compared as f32)
+}
+
+/// The full probe: reconstruction error of the gradient-difference attack
+/// against `client`'s stored sign directions.
+///
+/// `before`/`after` are the global parameters the attacker observes
+/// around the unlearning operation (original vs recovered model). Returns
+/// `1 − agreement ∈ [0, 1]`; `None` when the client stored no directions
+/// or the quantised difference shares no non-zero coordinate with them.
+///
+/// Interpretation is inverted relative to most error metrics: **low**
+/// error means the attack *worked* (the update leaks the forgotten
+/// directions); error near `0.5` is chance-level — nothing reconstructed.
+pub fn reconstruction_error(
+    history: &HistoryStore,
+    client: ClientId,
+    before: &[f32],
+    after: &[f32],
+) -> Option<f32> {
+    let reference = majority_direction(history, client)?;
+    let est = reconstruct_update(before, after, history.delta());
+    direction_agreement(&est, &reference).map(|a| 1.0 - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuiov_tensor::rng::rng_for;
+    use rand::Rng;
+
+    /// A history holding one client whose stored direction is `signs`.
+    fn history_with(signs: &[i8]) -> HistoryStore {
+        let mut h = HistoryStore::new(1e-6);
+        let grad: Vec<f32> = signs.iter().map(|&s| f32::from(s) * 0.01).collect();
+        h.record_join(0, 0);
+        h.record_model(0, vec![0.0; signs.len()]);
+        h.record_gradient(0, 0, &grad);
+        h
+    }
+
+    fn random_signs(n: usize, seed: u64) -> Vec<i8> {
+        let mut rng = rng_for(seed, 0x7EC0);
+        (0..n)
+            .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+            .collect()
+    }
+
+    #[test]
+    fn exact_leak_reconstructs_with_zero_error() {
+        let signs = random_signs(512, 1);
+        let h = history_with(&signs);
+        // The visible update is exactly a step along the stored direction.
+        let after = vec![0.0f32; signs.len()];
+        let before: Vec<f32> = signs.iter().map(|&s| f32::from(s) * 0.02).collect();
+        let err = reconstruction_error(&h, 0, &before, &after).expect("comparable");
+        assert_eq!(err, 0.0, "a pure direction step must reconstruct exactly");
+    }
+
+    #[test]
+    fn unrelated_update_reconstructs_at_chance() {
+        let signs = random_signs(4096, 2);
+        let h = history_with(&signs);
+        // The visible update is an independent random direction.
+        let other = random_signs(4096, 99);
+        let after = vec![0.0f32; signs.len()];
+        let before: Vec<f32> = other.iter().map(|&s| f32::from(s) * 0.02).collect();
+        let err = reconstruction_error(&h, 0, &before, &after).expect("comparable");
+        assert!(
+            (err - 0.5).abs() < 0.05,
+            "independent updates must sit at chance, got {err}"
+        );
+    }
+
+    #[test]
+    fn majority_vote_spans_the_window() {
+        let mut h = HistoryStore::new(1e-6);
+        h.record_join(0, 0);
+        for round in 0..3 {
+            h.record_model(round, vec![0.0; 4]);
+        }
+        // Coordinate 0: +, +, − → +. Coordinate 1: −, −, + → −.
+        // Coordinate 2: +, −, 0 → tie → 0. Coordinate 3: always 0.
+        h.record_gradient(0, 0, &[0.01, -0.01, 0.01, 0.0]);
+        h.record_gradient(1, 0, &[0.01, -0.01, -0.01, 0.0]);
+        h.record_gradient(2, 0, &[-0.01, 0.01, 0.0, 0.0]);
+        let maj = majority_direction(&h, 0).expect("client 0 stored");
+        assert_eq!(maj, vec![1, -1, 0, 0]);
+    }
+
+    #[test]
+    fn absent_client_and_all_zero_overlap_are_none() {
+        let h = history_with(&[1, -1, 1, -1]);
+        assert!(majority_direction(&h, 7).is_none());
+        assert!(reconstruction_error(&h, 7, &[0.0; 4], &[0.0; 4]).is_none());
+        // A zero visible update has no non-zero coordinates to compare.
+        assert!(reconstruction_error(&h, 0, &[0.0; 4], &[0.0; 4]).is_none());
+    }
+
+    #[test]
+    fn agreement_ignores_zero_coordinates() {
+        let est = GradientDirection::from_signs(&[1, 0, -1, 1]);
+        // Reference zeros at 0 and 3 drop those coordinates; only index 2
+        // is comparable and it agrees.
+        let agreement = direction_agreement(&est, &[0, 0, -1, 0]).expect("one overlap");
+        assert_eq!(agreement, 1.0);
+    }
+}

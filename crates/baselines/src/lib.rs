@@ -9,14 +9,19 @@
 //!   rounds with norm-preserving calibrated updates from online clients;
 //! - [`mod@fedrecovery`]: FedRecovery (Zhang et al., TIFS'23) — approximate
 //!   unlearning by removing the forgotten client's weighted gradient
-//!   residuals from the final model plus Gaussian noise.
+//!   residuals from the final model plus Gaussian noise;
+//! - [`mod@not`]: NoT (arXiv 2503.05657) — unlearning by negating the first
+//!   layer's weights, optionally fine-tuned from the stored sign history
+//!   (the scenario lab's `not` baseline variant).
 
 pub mod federaser;
 pub mod fedrecover;
 pub mod fedrecovery;
+pub mod not;
 pub mod retrain;
 
 pub use federaser::{federaser, FedEraserConfig, FedEraserOutcome};
 pub use fedrecover::{fedrecover, FedRecoverConfig, FedRecoverOutcome};
 pub use fedrecovery::{fedrecovery, FedRecoveryConfig, FedRecoveryOutcome};
+pub use not::{negate_first_layer, not_unlearn, NotOutcome};
 pub use retrain::retrain;

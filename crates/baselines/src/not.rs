@@ -1,0 +1,177 @@
+//! NoT: federated unlearning by weight negation (arXiv 2503.05657).
+//!
+//! NoT perturbs the model *away* from the forgotten knowledge without any
+//! stored history at all: it negates the weights of the first layer and
+//! lets subsequent federated fine-tuning on the remaining clients restore
+//! utility. Negating layer 1 keeps every per-layer weight distribution
+//! intact (so fine-tuning re-converges quickly) while destroying the
+//! co-adaptation between layer 1 and the rest of the stack — the model
+//! provably leaves the basin that memorised the forgotten data.
+//!
+//! As a *scenario-lab baseline* we reproduce the negation step plus an
+//! optional sign-replay fine-tune from the server's own direction history
+//! (the remaining clients' recorded rounds), so the comparison against
+//! the paper's backtrack-and-recover pipeline is apples-to-apples: same
+//! storage, no client contact. Without fine-tuning the negated model is
+//! near-chance — exactly the published behaviour immediately after
+//! negation.
+
+use fuiov_core::{recover_set, NoOracle, RecoveryConfig, UnlearnError};
+use fuiov_nn::ModelSpec;
+use fuiov_storage::{ClientId, HistoryStore};
+
+/// Outcome of the NoT baseline.
+#[derive(Debug, Clone)]
+pub struct NotOutcome {
+    /// Parameters after negation (and fine-tuning, when configured).
+    pub params: Vec<f32>,
+    /// Name of the layer that was negated.
+    pub negated_layer: &'static str,
+    /// Number of parameters negated.
+    pub negated_params: usize,
+    /// Replay rounds spent fine-tuning (0 when fine-tuning is off).
+    pub finetune_rounds: usize,
+}
+
+/// Negates the first parametric layer of `spec` inside a copy of
+/// `params` — the NoT perturbation itself, no fine-tuning.
+///
+/// # Panics
+///
+/// Panics if `params` does not match the spec's parameter count.
+pub fn negate_first_layer(spec: ModelSpec, params: &[f32]) -> (Vec<f32>, &'static str, usize) {
+    let model = spec.build(0);
+    assert_eq!(
+        params.len(),
+        model.param_count(),
+        "negate_first_layer: parameter length mismatch"
+    );
+    let spans = model.layer_param_spans();
+    let (name, range) = spans.first().expect("model has a parametric layer");
+    let mut out = params.to_vec();
+    for p in &mut out[range.clone()] {
+        *p = -*p;
+    }
+    (out, name, range.len())
+}
+
+/// The NoT baseline against a recorded training run: negate the first
+/// layer of the final model, then (when `finetune` is given) fine-tune by
+/// replaying the *remaining* clients' stored sign directions from the
+/// forgotten client's join round — the same data budget as the paper's
+/// recovery, but starting from the negated model instead of the
+/// backtracked checkpoint.
+///
+/// # Errors
+///
+/// Propagates [`UnlearnError`] from the fine-tuning replay (never errors
+/// when `finetune` is `None`).
+pub fn not_unlearn(
+    spec: ModelSpec,
+    final_params: &[f32],
+    history: &HistoryStore,
+    forgotten: &[ClientId],
+    finetune: Option<&RecoveryConfig>,
+) -> Result<NotOutcome, UnlearnError> {
+    let (negated, layer, count) = negate_first_layer(spec, final_params);
+    let Some(cfg) = finetune else {
+        return Ok(NotOutcome {
+            params: negated,
+            negated_layer: layer,
+            negated_params: count,
+            finetune_rounds: 0,
+        });
+    };
+    // Fine-tune: replay the remaining clients' recorded rounds, but from
+    // the negated end-state rather than the backtracked checkpoint. The
+    // replay engine reads start params from the history, so run it and
+    // graft its *update* onto the negated model: w = neg + (replay − w_F).
+    let outcome = recover_set(history, forgotten, cfg, &mut NoOracle, |_, _| {})?;
+    let start = history
+        .model(outcome.start_round)
+        .expect("replay start model exists");
+    let mut params = negated;
+    for ((p, r), s) in params.iter_mut().zip(&outcome.params).zip(start.iter()) {
+        *p += r - s;
+    }
+    Ok(NotOutcome {
+        params,
+        negated_layer: layer,
+        negated_params: count,
+        finetune_rounds: outcome.rounds_replayed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: ModelSpec = ModelSpec::Mlp {
+        inputs: 16,
+        hidden: 8,
+        classes: 4,
+    };
+
+    #[test]
+    fn negation_flips_exactly_the_first_span() {
+        let m = SPEC.build(3);
+        let params = m.params();
+        let (neg, layer, count) = negate_first_layer(SPEC, &params);
+        assert_eq!(layer, "linear");
+        let spans = m.layer_param_spans();
+        let first = spans[0].1.clone();
+        assert_eq!(count, first.len());
+        for (i, (a, b)) in params.iter().zip(&neg).enumerate() {
+            if first.contains(&i) {
+                assert_eq!(*b, -*a, "index {i} must be negated");
+            } else {
+                assert_eq!(*b, *a, "index {i} must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_is_an_involution() {
+        let params = SPEC.build(5).params();
+        let (once, _, _) = negate_first_layer(SPEC, &params);
+        let (twice, _, _) = negate_first_layer(SPEC, &once);
+        assert_eq!(params, twice);
+    }
+
+    #[test]
+    fn no_finetune_returns_pure_negation() {
+        let params = SPEC.build(7).params();
+        let h = HistoryStore::new(1e-6);
+        let out = not_unlearn(SPEC, &params, &h, &[0], None).expect("no replay, no error");
+        assert_eq!(out.finetune_rounds, 0);
+        assert_eq!(out.params, negate_first_layer(SPEC, &params).0);
+    }
+
+    #[test]
+    fn finetune_replays_remaining_rounds() {
+        // Two clients, three rounds; forget client 1.
+        let mut h = HistoryStore::new(1e-6);
+        let dim = SPEC.param_count();
+        h.record_join(0, 0);
+        h.record_join(1, 1);
+        for round in 0..3 {
+            h.record_model(round, vec![0.01 * (round as f32 + 1.0); dim]);
+            // Period-3 sign pattern: rounds 1 and 2 do not cancel.
+            let g: Vec<f32> = (0..dim)
+                .map(|i| if (i + round) % 3 == 0 { 0.01 } else { -0.01 })
+                .collect();
+            h.record_gradient(round, 0, &g);
+            if round >= 1 {
+                h.record_gradient(round, 1, &g);
+            }
+        }
+        h.record_model(3, vec![0.04; dim]);
+        let final_params = vec![0.04f32; dim];
+        let cfg = RecoveryConfig::new(0.01);
+        let out = not_unlearn(SPEC, &final_params, &h, &[1], Some(&cfg)).expect("finetune");
+        assert!(out.finetune_rounds > 0);
+        assert!(out.params.iter().all(|p| p.is_finite()));
+        // The grafted update must differ from the raw negation.
+        assert_ne!(out.params, negate_first_layer(SPEC, &final_params).0);
+    }
+}

@@ -3,7 +3,8 @@
 //! Times the full comparison — train → backtrack → ours / FedRecover /
 //! FedRecovery / retrain — and prints one reproduction row so `cargo
 //! bench` output doubles as a smoke-level Table I check. The full-scale
-//! reproduction lives in `exp_table1`.
+//! reproduction lives in the scenario lab (`lab run --rows
+//! table1-digits,table1-signs`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fuiov_bench::{table1_row, Scenario};

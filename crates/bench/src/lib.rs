@@ -4,11 +4,13 @@
 //! - [`scenario`]: deterministic construction of the §V setups (datasets,
 //!   attackers, the forgotten client's pinned join round `F = 2`).
 //! - [`experiments`]: one function per table/figure, shared between the
-//!   `exp_*` binaries (reduced paper scale) and the Criterion benches
-//!   (tiny scale).
+//!   `exp_*` binaries (reduced paper scale), the scenario-lab runner
+//!   (`fuiov-lab`), and the Criterion benches (tiny scale).
 //!
-//! Run the reproductions with e.g.
-//! `cargo run --release -p fuiov-bench --bin exp_table1`.
+//! Run the reproductions with e.g. `cargo run --release -p fuiov-bench
+//! --bin exp_fig1`; Table I and the IoT task are scenario rows now
+//! (`cargo run --release -p fuiov-lab --bin lab -- run --rows
+//! table1-digits,table1-signs,iot-sensors`).
 
 pub mod experiments;
 pub mod scenario;

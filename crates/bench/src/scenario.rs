@@ -86,6 +86,12 @@ pub struct Scenario {
     pub attacker_data_boost: usize,
     /// Keep full `f32` gradients too (needed by baselines).
     pub keep_full_gradients: bool,
+    /// Hierarchical aggregation fan-out (`None` = flat FedAvg, or
+    /// whatever `FUIOV_TREE_FANOUT` selects at server construction).
+    pub tree_fanout: Option<usize>,
+    /// Per-round client sampling fraction (`None` = everyone
+    /// participates, or the `FUIOV_SAMPLE_FRAC` environment default).
+    pub sample_frac: Option<f64>,
     /// Master seed.
     pub seed: u64,
 }
@@ -113,6 +119,8 @@ impl Scenario {
             departure_round: 0,
             attacker_data_boost: 25,
             keep_full_gradients: false,
+            tree_fanout: None,
+            sample_frac: None,
             seed,
         }
     }
@@ -138,6 +146,8 @@ impl Scenario {
             departure_round: 0,
             attacker_data_boost: 48,
             keep_full_gradients: false,
+            tree_fanout: None,
+            sample_frac: None,
             seed,
         }
     }
@@ -189,6 +199,8 @@ impl Scenario {
             departure_round: 0,
             attacker_data_boost: 25,
             keep_full_gradients: false,
+            tree_fanout: None,
+            sample_frac: None,
             seed,
         }
     }
@@ -214,6 +226,8 @@ impl Scenario {
             departure_round: 0,
             attacker_data_boost: 20,
             keep_full_gradients: true,
+            tree_fanout: None,
+            sample_frac: None,
             seed,
         }
     }
@@ -320,10 +334,10 @@ impl Scenario {
         }
     }
 
-    /// Builds the client pool (with poisoned datasets for malicious ids).
-    pub fn build_clients(&self) -> Vec<Box<dyn Client>> {
-        let (train, _) = self.generate_pool();
-        let parts = match self.non_iid_alpha {
+    /// The federated partition: per-client sample indices into the
+    /// training pool (IID or Dirichlet, per [`Scenario::non_iid_alpha`]).
+    fn partition(&self, train: &Dataset) -> Vec<Vec<usize>> {
+        match self.non_iid_alpha {
             None => fuiov_data::partition::partition_iid(train.len(), self.n_clients, self.seed),
             Some(alpha) => fuiov_data::partition::partition_dirichlet(
                 train.labels(),
@@ -331,7 +345,27 @@ impl Scenario {
                 alpha,
                 self.seed,
             ),
-        };
+        }
+    }
+
+    /// The raw (pre-poisoning) training shard of one client under this
+    /// scenario's partition — the "member" set for membership-inference
+    /// probes against that client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client >= n_clients`.
+    pub fn client_shard(&self, client: ClientId) -> Dataset {
+        assert!(client < self.n_clients, "client_shard: no client {client}");
+        let (train, _) = self.generate_pool();
+        let parts = self.partition(&train);
+        train.subset(&parts[client])
+    }
+
+    /// Builds the client pool (with poisoned datasets for malicious ids).
+    pub fn build_clients(&self) -> Vec<Box<dyn Client>> {
+        let (train, _) = self.generate_pool();
+        let parts = self.partition(&train);
         let spec = self.model_spec();
         let malicious = self.malicious_ids();
         parts
@@ -487,6 +521,12 @@ impl Scenario {
         let mut clients = self.build_clients();
         let schedule = self.schedule();
         let mut server = Server::new(self.fl_config(), init_params.clone());
+        if self.tree_fanout.is_some() {
+            server = server.with_tree_fanout(self.tree_fanout);
+        }
+        if let Some(frac) = self.sample_frac {
+            server = server.with_sample_frac(frac);
+        }
         server.train(&mut clients, &schedule);
         let (_, test) = self.generate_pool();
         let (final_params, history, full_store) = server.into_parts();

@@ -351,7 +351,7 @@ pub fn recover_set_scoped(
 }
 
 /// The incremental form of [`recover_set`]: guards and §IV-B pair seeding
-/// in [`ReplayState::init`], then exactly one replayed round per
+/// in [`ReplayState::init_scoped`], then exactly one replayed round per
 /// [`ReplayState::step`] call. `recover_set` drives this state machine to
 /// completion, so the one-shot path and the resumable `core::jobs` path
 /// execute the *same* code — bitwise identical by construction, not by
@@ -399,25 +399,14 @@ pub(crate) struct ReplayState {
 impl ReplayState {
     /// Runs the guards of Algorithm 1 and seeds the vector pairs from the
     /// `s` rounds before `F` (§IV-B), yielding a state positioned at
-    /// `next_round == F`.
+    /// `next_round == F`. With an estimation scope (see
+    /// [`recover_set_scoped`]), pair seeding — the expensive part of
+    /// init — runs only for in-scope clients.
     ///
     /// # Errors
     ///
     /// See [`recover_set`] — everything up to (not including) the first
     /// replayed round errors here.
-    #[cfg(test)]
-    pub(crate) fn init(
-        history: &HistoryStore,
-        forgotten: &[ClientId],
-        config: &RecoveryConfig,
-        oracle: &mut dyn GradientOracle,
-    ) -> Result<Self, UnlearnError> {
-        Self::init_scoped(history, forgotten, None, config, oracle)
-    }
-
-    /// [`ReplayState::init`] with an estimation scope (see
-    /// [`recover_set_scoped`]): pair seeding — the expensive part of
-    /// init — runs only for in-scope clients.
     pub(crate) fn init_scoped(
         history: &HistoryStore,
         forgotten: &[ClientId],

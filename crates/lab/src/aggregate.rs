@@ -1,0 +1,311 @@
+//! Aggregation: trials → Table-I-style comparison tables + CI-gated
+//! shape-claim verdicts.
+//!
+//! Trials are grouped by `(row, variant)`; each metric column gets its
+//! mean and spread (min..max) across the group's seeds. A row's
+//! [`ShapeAssert`]s are then evaluated against the aggregated means and
+//! reported as machine-readable pass/fail outcomes — the "expected
+//! shape:" footnotes of the old `exp_*` binaries, promoted to a gate.
+
+use crate::json::Json;
+use crate::matrix::{AssertOp, Operand, ScenarioRow};
+use crate::runner::TrialReport;
+use fuiov_eval::table::Table;
+use std::collections::BTreeMap;
+
+/// Mean and range of one metric across a group's trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Observation count.
+    pub n: usize,
+}
+
+impl Stats {
+    /// `max - min` — the cross-seed spread.
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// All trials of one `(row, variant)` cell, aggregated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Row id.
+    pub row_id: String,
+    /// Variant label.
+    pub variant: String,
+    /// Task name (from the trials).
+    pub task: String,
+    /// Trial count.
+    pub n: usize,
+    /// Per-metric statistics.
+    pub metrics: BTreeMap<String, Stats>,
+}
+
+/// Groups trials by `(row, variant)` (insertion order preserved) and
+/// computes per-metric stats.
+pub fn aggregate(reports: &[TrialReport]) -> Vec<Aggregate> {
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut groups: BTreeMap<(String, String), Vec<&TrialReport>> = BTreeMap::new();
+    for r in reports {
+        let key = (r.row_id.clone(), r.variant.clone());
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(r);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let trials = &groups[&key];
+            let mut metrics: BTreeMap<String, Stats> = BTreeMap::new();
+            for t in trials {
+                for (name, &v) in &t.metrics {
+                    let s = metrics.entry(name.clone()).or_insert(Stats {
+                        mean: 0.0,
+                        min: f64::INFINITY,
+                        max: f64::NEG_INFINITY,
+                        n: 0,
+                    });
+                    s.mean += v;
+                    s.min = s.min.min(v);
+                    s.max = s.max.max(v);
+                    s.n += 1;
+                }
+            }
+            for s in metrics.values_mut() {
+                s.mean /= s.n as f64;
+            }
+            Aggregate {
+                row_id: key.0,
+                variant: key.1,
+                task: trials[0].task.clone(),
+                n: trials.len(),
+                metrics,
+            }
+        })
+        .collect()
+}
+
+/// The union of metric names across aggregates, `acc.*` first (Table-I
+/// column order), then everything else alphabetically.
+pub fn metric_columns(aggs: &[Aggregate]) -> Vec<String> {
+    let mut acc: Vec<String> = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+    // Table-I method order for the acc columns.
+    for m in crate::matrix::Method::ALL {
+        let name = format!("acc.{}", m.name());
+        if aggs.iter().any(|a| a.metrics.contains_key(&name)) {
+            acc.push(name);
+        }
+    }
+    for a in aggs {
+        for name in a.metrics.keys() {
+            if !name.starts_with("acc.") && !rest.contains(name) {
+                rest.push(name.clone());
+            }
+        }
+    }
+    rest.sort();
+    acc.extend(rest);
+    acc
+}
+
+/// Renders the aggregates as one comparison table: `mean` per metric
+/// cell, with the spread appended (`±`) when a cell has several trials.
+pub fn render_table(aggs: &[Aggregate]) -> String {
+    let columns = metric_columns(aggs);
+    let mut headers: Vec<&str> = vec!["row", "variant", "task", "n"];
+    for c in &columns {
+        headers.push(c.as_str());
+    }
+    let mut table = Table::new(&headers);
+    for a in aggs {
+        let mut cells = vec![
+            a.row_id.clone(),
+            a.variant.clone(),
+            a.task.clone(),
+            a.n.to_string(),
+        ];
+        for c in &columns {
+            cells.push(match a.metrics.get(c) {
+                None => "-".to_string(),
+                Some(s) if s.n > 1 => format!("{:.3} ±{:.3}", s.mean, s.spread() / 2.0),
+                Some(s) => format!("{:.3}", s.mean),
+            });
+        }
+        table.row(&cells);
+    }
+    table.to_markdown()
+}
+
+/// One evaluated shape claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertOutcome {
+    /// Row id the claim belongs to.
+    pub row_id: String,
+    /// Variant the claim was evaluated on.
+    pub variant: String,
+    /// The claim, human-readable.
+    pub expr: String,
+    /// Evaluated left-hand mean.
+    pub lhs: f64,
+    /// Evaluated right-hand value.
+    pub rhs: f64,
+    /// Did it hold?
+    pub pass: bool,
+}
+
+fn holds(lhs: f64, op: AssertOp, rhs: f64, tol: f64) -> bool {
+    match op {
+        AssertOp::Ge => lhs >= rhs - tol,
+        AssertOp::Le => lhs <= rhs + tol,
+        AssertOp::Gt => lhs > rhs - tol,
+        AssertOp::Lt => lhs < rhs + tol,
+        AssertOp::Approx => (lhs - rhs).abs() <= tol,
+    }
+}
+
+/// Evaluates every row's asserts against the aggregated means, once per
+/// variant of that row present in `aggs`. A metric missing from the
+/// aggregate fails the claim (a typo'd metric name must not silently
+/// pass CI).
+pub fn check_asserts(rows: &[ScenarioRow], aggs: &[Aggregate]) -> Vec<AssertOutcome> {
+    let mut outcomes = Vec::new();
+    for row in rows {
+        for agg in aggs.iter().filter(|a| a.row_id == row.id) {
+            for claim in &row.asserts {
+                let lhs = agg.metrics.get(&claim.lhs).map(|s| s.mean);
+                let rhs = match &claim.rhs {
+                    Operand::Const(c) => Some(*c),
+                    Operand::Metric(m) => agg.metrics.get(m).map(|s| s.mean),
+                };
+                let (pass, lhs, rhs) = match (lhs, rhs) {
+                    (Some(l), Some(r)) => (holds(l, claim.op, r, claim.tol), l, r),
+                    (l, r) => (false, l.unwrap_or(f64::NAN), r.unwrap_or(f64::NAN)),
+                };
+                outcomes.push(AssertOutcome {
+                    row_id: row.id.clone(),
+                    variant: agg.variant.clone(),
+                    expr: claim.expr(),
+                    lhs,
+                    rhs,
+                    pass,
+                });
+            }
+        }
+    }
+    outcomes
+}
+
+/// Machine-readable asserts artifact (a JSON array, one object per
+/// claim). NaN operands (missing metrics) are rendered as `null`.
+pub fn outcomes_to_json(outcomes: &[AssertOutcome]) -> String {
+    let num = |v: f64| {
+        if v.is_finite() {
+            Json::Num(v)
+        } else {
+            Json::Null
+        }
+    };
+    Json::Arr(
+        outcomes
+            .iter()
+            .map(|o| {
+                Json::Obj(vec![
+                    ("row".into(), Json::Str(o.row_id.clone())),
+                    ("variant".into(), Json::Str(o.variant.clone())),
+                    ("expr".into(), Json::Str(o.expr.clone())),
+                    ("lhs".into(), num(o.lhs)),
+                    ("rhs".into(), num(o.rhs)),
+                    ("pass".into(), Json::Bool(o.pass)),
+                ])
+            })
+            .collect(),
+    )
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::parse_matrix;
+    use std::collections::BTreeMap;
+
+    fn trial(row: &str, variant: &str, seed: u64, metrics: &[(&str, f64)]) -> TrialReport {
+        TrialReport {
+            row_id: row.into(),
+            variant: variant.into(),
+            task: "tiny".into(),
+            seed,
+            repeat: 0,
+            metrics: metrics.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            digests: BTreeMap::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_mean_and_spread_per_group() {
+        let reports = vec![
+            trial("a", "base", 1, &[("acc.ours", 0.6)]),
+            trial("a", "base", 2, &[("acc.ours", 0.8)]),
+            trial("a", "v1", 1, &[("acc.ours", 0.1)]),
+        ];
+        let aggs = aggregate(&reports);
+        assert_eq!(aggs.len(), 2);
+        let base = &aggs[0];
+        assert_eq!(base.n, 2);
+        let s = base.metrics["acc.ours"];
+        assert!((s.mean - 0.7).abs() < 1e-12);
+        assert!((s.spread() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asserts_pass_fail_and_flag_missing_metrics() {
+        let rows = parse_matrix(concat!(
+            r#"{"id":"a","task":"tiny","asserts":["#,
+            r#"{"lhs":"acc.retraining","op":">=","rhs":"acc.ours","tol":0.05},"#,
+            r#"{"lhs":"acc.ours","op":">","rhs":0.9},"#,
+            r#"{"lhs":"acc.typo","op":">=","rhs":0}]}"#
+        ))
+        .unwrap();
+        let reports = vec![trial(
+            "a",
+            "base",
+            1,
+            &[("acc.retraining", 0.7), ("acc.ours", 0.72)],
+        )];
+        let outcomes = check_asserts(&rows, &aggregate(&reports));
+        assert_eq!(outcomes.len(), 3);
+        // 0.70 >= 0.72 - 0.05 holds.
+        assert!(outcomes[0].pass);
+        // 0.72 > 0.9 fails.
+        assert!(!outcomes[1].pass);
+        // Missing metric fails loudly.
+        assert!(!outcomes[2].pass);
+        let json = outcomes_to_json(&outcomes);
+        assert!(json.contains("\"pass\":false"));
+        assert!(Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn table_renders_all_columns() {
+        let reports = vec![trial(
+            "a",
+            "base",
+            1,
+            &[("acc.ours", 0.5), ("mia.ours", 0.02)],
+        )];
+        let t = render_table(&aggregate(&reports));
+        assert!(t.contains("acc.ours"));
+        assert!(t.contains("mia.ours"));
+        assert!(t.contains("0.500"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Bench-regression gate: validates the recorded `BENCH_*.json`
+//! artifacts against their schemas and re-checks the invariants the
+//! benches asserted when the numbers were recorded.
+//!
+//! Timings drift with hardware, so the gate never compares nanoseconds.
+//! What it *does* pin:
+//!
+//! - **schema** — every `BENCH_micro.json` epoch carries `meta`,
+//!   `speedups`, and `results` with positive `ns_per_iter` and at least
+//!   one sample, so a refresh that half-writes the file cannot land;
+//! - **exact byte accounting** — every `BENCH_net.json` row's recorded
+//!   payload and overhead bytes must still reconcile with
+//!   [`fuiov_fl::comms::round_bytes`] and the FUSG frame cost. These
+//!   were runtime asserts when the row was recorded; if the comms model
+//!   or wire format changes, the recorded rows go stale and this gate —
+//!   not a human reading a diff — says so.
+
+use crate::json::Json;
+use fuiov_fl::comms::round_bytes;
+use fuiov_storage::segment::{HEADER_LEN, TRAILER_LEN};
+use std::fmt;
+
+/// Why a bench artifact failed the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchGateError {
+    /// The file is not valid JSON.
+    BadJson(String),
+    /// The JSON does not match the artifact's schema.
+    Schema(String),
+    /// A recorded invariant no longer holds.
+    Invariant(String),
+}
+
+impl fmt::Display for BenchGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchGateError::BadJson(m) => write!(f, "bad JSON: {m}"),
+            BenchGateError::Schema(m) => write!(f, "schema: {m}"),
+            BenchGateError::Invariant(m) => write!(f, "invariant: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchGateError {}
+
+/// Summary of a valid `BENCH_micro.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroSummary {
+    /// Recorded epochs.
+    pub epochs: usize,
+    /// Benchmarks in the newest epoch.
+    pub benchmarks: usize,
+}
+
+/// Validates `BENCH_micro.json` (an epoch array).
+///
+/// # Errors
+///
+/// Returns the first schema violation found.
+pub fn check_micro(src: &str) -> Result<MicroSummary, BenchGateError> {
+    let v = Json::parse(src).map_err(|e| BenchGateError::BadJson(e.to_string()))?;
+    let epochs = v
+        .as_arr()
+        .ok_or_else(|| BenchGateError::Schema("top level must be an epoch array".into()))?;
+    if epochs.is_empty() {
+        return Err(BenchGateError::Schema("no epochs recorded".into()));
+    }
+    let mut last_benchmarks = 0;
+    for (i, epoch) in epochs.iter().enumerate() {
+        let at = |msg: &str| BenchGateError::Schema(format!("epoch {i}: {msg}"));
+        epoch
+            .get("meta")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| at("missing 'meta' object"))?;
+        let speedups = epoch
+            .get("speedups")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| at("missing 'speedups' object"))?;
+        for (name, s) in speedups {
+            let s = s
+                .as_f64()
+                .ok_or_else(|| at(&format!("speedup '{name}' not a number")))?;
+            if !s.is_finite() || s <= 0.0 {
+                return Err(BenchGateError::Invariant(format!(
+                    "epoch {i}: speedup '{name}' = {s} (must be finite and positive)"
+                )));
+            }
+        }
+        let results = epoch
+            .get("results")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| at("missing 'results' object"))?;
+        if results.is_empty() {
+            return Err(at("empty 'results'"));
+        }
+        for (name, r) in results {
+            let ns = r
+                .get("ns_per_iter")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| at(&format!("'{name}' missing ns_per_iter")))?;
+            if !ns.is_finite() || ns <= 0.0 {
+                return Err(BenchGateError::Invariant(format!(
+                    "epoch {i}: '{name}' ns_per_iter = {ns} (must be finite and positive)"
+                )));
+            }
+            let samples = r
+                .get("samples")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| at(&format!("'{name}' missing samples")))?;
+            if samples == 0 {
+                return Err(BenchGateError::Invariant(format!(
+                    "epoch {i}: '{name}' has zero samples"
+                )));
+            }
+        }
+        last_benchmarks = results.len();
+    }
+    Ok(MicroSummary {
+        epochs: epochs.len(),
+        benchmarks: last_benchmarks,
+    })
+}
+
+/// Summary of a valid `BENCH_net.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Reconciled rows.
+    pub rows: usize,
+}
+
+/// Bytes of FUSG framing per record (header + FNV trailer).
+const FRAME_OVERHEAD: u64 = (HEADER_LEN + TRAILER_LEN) as u64;
+
+/// Validates `BENCH_net.json` and re-checks every row's exact byte
+/// reconciliation against the comms model.
+///
+/// # Errors
+///
+/// Returns the first schema violation or stale invariant found.
+pub fn check_net(src: &str) -> Result<NetSummary, BenchGateError> {
+    let v = Json::parse(src).map_err(|e| BenchGateError::BadJson(e.to_string()))?;
+    v.get("meta")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| BenchGateError::Schema("missing 'meta' object".into()))?;
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| BenchGateError::Schema("missing 'rows' array".into()))?;
+    if rows.is_empty() {
+        return Err(BenchGateError::Schema("no rows recorded".into()));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let uint = |k: &str| -> Result<u64, BenchGateError> {
+            row.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| BenchGateError::Schema(format!("row {i}: missing uint '{k}'")))
+        };
+        let clients = uint("clients")?;
+        let dim = uint("dim")?;
+        let rounds = uint("rounds")?;
+        let mode = row
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or_else(|| BenchGateError::Schema(format!("row {i}: missing 'mode'")))?;
+        let (down, up_full, up_sign) = round_bytes(dim as usize, clients as usize);
+        let up = match mode {
+            "full-f32" => up_full,
+            "sign-2bit" => up_sign,
+            other => {
+                return Err(BenchGateError::Schema(format!(
+                    "row {i}: unknown mode '{other}'"
+                )))
+            }
+        };
+        let expect = |k: &str, want: u64| -> Result<(), BenchGateError> {
+            let got = uint(k)?;
+            if got != want {
+                return Err(BenchGateError::Invariant(format!(
+                    "row {i} ({clients} clients, dim {dim}, {mode}): {k} = {got}, \
+                     comms model says {want}"
+                )));
+            }
+            Ok(())
+        };
+        expect("tx_payload_bytes", down as u64 * rounds)?;
+        expect("rx_payload_bytes", up as u64 * rounds)?;
+        expect("tx_overhead_bytes", FRAME_OVERHEAD * clients * rounds)?;
+        expect("rx_overhead_bytes", FRAME_OVERHEAD * clients * rounds)?;
+        let wall = uint("wall_ns")?;
+        if wall == 0 {
+            return Err(BenchGateError::Invariant(format!(
+                "row {i}: wall_ns is zero"
+            )));
+        }
+    }
+    Ok(NetSummary { rows: rows.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MICRO_OK: &str = concat!(
+        r#"[{"meta":{"date":"2026-08-05"},"speedups":{"gemm":2.5},"#,
+        r#""results":{"gemm/256":{"ns_per_iter":1000.5,"samples":20}}}]"#
+    );
+
+    #[test]
+    fn micro_accepts_wellformed_epochs() {
+        let s = check_micro(MICRO_OK).unwrap();
+        assert_eq!(s.epochs, 1);
+        assert_eq!(s.benchmarks, 1);
+    }
+
+    #[test]
+    fn micro_rejects_schema_and_invariant_violations() {
+        assert!(matches!(
+            check_micro("{}").unwrap_err(),
+            BenchGateError::Schema(_)
+        ));
+        assert!(matches!(
+            check_micro("[]").unwrap_err(),
+            BenchGateError::Schema(_)
+        ));
+        let zero_ns = MICRO_OK.replace("1000.5", "0");
+        assert!(matches!(
+            check_micro(&zero_ns).unwrap_err(),
+            BenchGateError::Invariant(_)
+        ));
+        let zero_samples = MICRO_OK.replace("\"samples\":20", "\"samples\":0");
+        assert!(matches!(
+            check_micro(&zero_samples).unwrap_err(),
+            BenchGateError::Invariant(_)
+        ));
+    }
+
+    fn net_row(tx: u64, rx: u64, overhead: u64) -> String {
+        format!(
+            concat!(
+                r#"{{"meta":{{"experiment":"exp_net"}},"rows":[{{"clients":2,"dim":100,"#,
+                r#""mode":"sign-2bit","hz":0,"rounds":3,"wall_ns":5,"tx_payload_bytes":{},"#,
+                r#""rx_payload_bytes":{},"tx_overhead_bytes":{},"rx_overhead_bytes":{}}}]}}"#
+            ),
+            tx, rx, overhead, overhead
+        )
+    }
+
+    #[test]
+    fn net_reconciles_exact_bytes() {
+        // dim 100, 2 clients, 3 rounds: down = 4·100·2·3 = 2400,
+        // up(sign) = ⌈100/4⌉·2·3 = 150, overhead = 35·2·3 = 210.
+        let ok = net_row(2400, 150, 210);
+        assert_eq!(check_net(&ok).unwrap(), NetSummary { rows: 1 });
+    }
+
+    #[test]
+    fn net_rejects_regressed_byte_accounting() {
+        for bad in [
+            net_row(2401, 150, 210),
+            net_row(2400, 151, 210),
+            net_row(2400, 150, 209),
+        ] {
+            assert!(
+                matches!(check_net(&bad).unwrap_err(), BenchGateError::Invariant(_)),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn net_gate_accepts_the_recorded_artifact_shape() {
+        // A full-f32 row mirroring BENCH_net.json's first recorded row.
+        let src = concat!(
+            r#"{"meta":{"experiment":"exp_net"},"rows":[{"clients":2,"dim":13692,"#,
+            r#""mode":"full-f32","hz":0,"rounds":3,"wall_ns":2139924,"#,
+            r#""tx_payload_bytes":328608,"rx_payload_bytes":328608,"#,
+            r#""tx_overhead_bytes":210,"rx_overhead_bytes":210}]}"#
+        );
+        assert!(check_net(src).is_ok());
+    }
+}

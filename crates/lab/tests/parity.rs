@@ -1,0 +1,86 @@
+//! Bitwise parity with the retired `exp_table1` / `exp_iot` code paths.
+//!
+//! The lab runner claims a matrix row reproduces the old experiment
+//! binaries exactly — same seeds, same RNG streams, same accuracies.
+//! This suite pins that claim at tiny scale against the *same library
+//! recipe the binaries called* (`fuiov_bench::table1_row` and the
+//! `exp_iot` sign-replay ablation), comparing as exact bit patterns,
+//! not within a tolerance.
+
+use fuiov_bench::experiments::ours_config;
+use fuiov_bench::{table1_row, Scenario};
+use fuiov_core::{recover_set, NoOracle};
+use fuiov_lab::matrix::parse_matrix;
+use fuiov_lab::plan::{expand, PlanFilter};
+use fuiov_lab::runner::run_trial;
+
+fn lab_metric(src: &str, seed: u64, metric: &str) -> f64 {
+    let rows = parse_matrix(src).expect("matrix parses");
+    let plans = expand(
+        &rows,
+        &PlanFilter {
+            seed_override: Some(seed),
+            ..Default::default()
+        },
+    );
+    assert_eq!(plans.len(), 1);
+    let report = run_trial(&plans[0]);
+    *report
+        .metrics
+        .get(metric)
+        .unwrap_or_else(|| panic!("metric '{metric}' missing from {:?}", report.metrics))
+}
+
+#[test]
+fn lab_trial_reproduces_table1_row_bitwise() {
+    for seed in [42u64, 101, 202] {
+        let reference = table1_row(Scenario::tiny(seed), "tiny");
+        let src = r#"{"id":"t","task":"tiny"}"#;
+        for (metric, want) in [
+            ("acc.original", reference.original),
+            ("acc.unlearned", reference.unlearned),
+            ("acc.retraining", reference.retraining),
+            ("acc.fedrecover", reference.fedrecover),
+            ("acc.fedrecovery", reference.fedrecovery),
+            ("acc.ours", reference.ours),
+        ] {
+            let got = lab_metric(src, seed, metric);
+            assert_eq!(
+                got.to_bits(),
+                f64::from(want).to_bits(),
+                "seed {seed}: {metric} diverged from table1_row ({got} vs {want})"
+            );
+        }
+    }
+}
+
+#[test]
+fn lab_sign_replay_reproduces_the_exp_iot_ablation_bitwise() {
+    // The exp_iot binary computed its "ours (sign replay)" column with
+    // this exact recipe (at sensors scale; the recipe is scale-free).
+    let seed = 42u64;
+    let mut sc = Scenario::tiny(seed);
+    sc.keep_full_gradients = true;
+    let trained = sc.train();
+    let cfg = ours_config(&trained.history, sc.lr).without_hessian();
+    let out = recover_set(
+        &trained.history,
+        &[sc.forgotten_id()],
+        &cfg,
+        &mut NoOracle,
+        |_, _| {},
+    )
+    .expect("recover");
+    let reference = trained.accuracy_of(&out.params);
+
+    let got = lab_metric(
+        r#"{"id":"t","task":"tiny","methods":["sign_replay"]}"#,
+        seed,
+        "acc.sign_replay",
+    );
+    assert_eq!(
+        got.to_bits(),
+        f64::from(reference).to_bits(),
+        "sign-replay ablation diverged ({got} vs {reference})"
+    );
+}

@@ -369,6 +369,26 @@ impl Sequential {
         (loss, self.grads())
     }
 
+    /// The flat-parameter layout, layer by layer in network order: one
+    /// `(layer name, range into the flat vector)` entry per *parametric*
+    /// layer (layers with no trainable parameters are skipped). The ranges
+    /// partition `0..param_count()` and index directly into
+    /// [`Sequential::params`] / [`Sequential::set_params`] vectors —
+    /// baselines that edit individual layers (e.g. NoT weight negation)
+    /// use this instead of guessing offsets.
+    pub fn layer_param_spans(&self) -> Vec<(&'static str, std::ops::Range<usize>)> {
+        let mut spans = Vec::new();
+        let mut off = 0;
+        for layer in &self.layers {
+            let n = layer.param_count();
+            if n > 0 {
+                spans.push((layer.name(), off..off + n));
+            }
+            off += n;
+        }
+        spans
+    }
+
     /// Flat copy of all parameters, layer by layer in network order.
     pub fn params(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.param_count];
@@ -642,6 +662,32 @@ mod tests {
         assert!(s.contains("conv2d"));
         assert!(s.contains("maxpool2"));
         assert!(s.contains(&m.param_count().to_string()));
+    }
+
+    #[test]
+    fn layer_param_spans_partition_the_flat_vector() {
+        for spec in [
+            ModelSpec::Mlp {
+                inputs: 9,
+                hidden: 4,
+                classes: 3,
+            },
+            ModelSpec::tiny_cnn(1, 8, 4),
+        ] {
+            let m = spec.build(0);
+            let spans = m.layer_param_spans();
+            assert!(!spans.is_empty());
+            let mut expected_start = 0;
+            for (name, range) in &spans {
+                assert!(!name.is_empty());
+                assert_eq!(range.start, expected_start, "spans must be contiguous");
+                assert!(range.end > range.start, "parametric spans are non-empty");
+                expected_start = range.end;
+            }
+            assert_eq!(expected_start, m.param_count());
+            // First span is the first weighted layer (linear for the MLP).
+            assert!(matches!(spans[0].0, "linear" | "conv2d"));
+        }
     }
 
     #[test]

@@ -822,7 +822,7 @@ mod tests {
             decode_job_checkpoint(&rec[..rec.len() - 3]),
             Err(SegmentDecodeError::Truncated)
         );
-        let mut rot = rec.clone();
+        let mut rot = rec;
         rot[HEADER_LEN + 1] ^= 0x10;
         assert!(matches!(
             decode_job_checkpoint(&rot),

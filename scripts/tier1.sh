@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, full test suite, lint-clean, golden traces,
-# fault matrix, tier invariance, bench smoke.
+# fault matrix, tier invariance, scenario-lab smoke, bench smoke.
 #
 # Every stage is a function so CI (.github/workflows/ci.yml) and local runs
 # execute the *same* commands: `scripts/tier1.sh` runs them all in order,
@@ -20,6 +20,13 @@ cd "$(dirname "$0")/.."
 if [ "${FUIOV_TIER1_NATIVE:-0}" != "1" ]; then
   export RUSTFLAGS=""
 fi
+
+# The fault-seed matrix, single-sourced: this file is the only place the
+# seed values live. CI's job matrices repeat them (GitHub can't read
+# files at matrix-expansion time), so tests/workspace_guard.rs asserts
+# every `seed: [...]` in ci.yml matches this file — drift fails the
+# suite, not a human review.
+SEED_MATRIX="$(cat scripts/seed_matrix.txt)"
 
 # Guard the workspace footgun before anything else: a bare `cargo test -q`
 # from the root only tests the `fuiov` facade package, silently skipping
@@ -64,7 +71,7 @@ stage_golden() {
 stage_fault_matrix() {
   # Fault-matrix smoke at two extra seeds beyond the suite's defaults.
   # CI fans the seeds out as a job matrix by exporting FUIOV_FAULT_SEED.
-  for seed in ${FUIOV_FAULT_SEED:-101 202}; do
+  for seed in ${FUIOV_FAULT_SEED:-$SEED_MATRIX}; do
     FUIOV_FAULT_SEED="$seed" cargo test -p fuiov-testkit -q --test fault_matrix
   done
 }
@@ -83,7 +90,7 @@ stage_jobs() {
   # seeds out via FUIOV_FAULT_SEED), plus one pass with the SIMD kill
   # switch thrown: resumed == uninterrupted must hold bitwise on both
   # kernel paths, at every checkpoint boundary, at any seed.
-  for seed in ${FUIOV_FAULT_SEED:-101 202}; do
+  for seed in ${FUIOV_FAULT_SEED:-$SEED_MATRIX}; do
     FUIOV_FAULT_SEED="$seed" cargo test -p fuiov -q --test job_resume_oracles
   done
   FUIOV_SIMD=0 cargo test -p fuiov -q --test job_resume_oracles
@@ -105,7 +112,7 @@ stage_scale() {
   # subtree-scoped forget under a 4 KB history budget, and the pinned
   # million-vehicle resident-byte envelope. CI fans the seeds out via
   # FUIOV_FAULT_SEED.
-  for seed in ${FUIOV_FAULT_SEED:-101 202}; do
+  for seed in ${FUIOV_FAULT_SEED:-$SEED_MATRIX}; do
     FUIOV_FAULT_SEED="$seed" cargo test -p fuiov -q --test scale_smoke
   done
 }
@@ -121,20 +128,33 @@ stage_net() {
   FUIOV_SIMD=0 cargo test -p fuiov-net -q --test loopback_oracle
 }
 
-stage_bench_smoke() {
-  # Every benchmark (including its pre-timing bitwise differential
-  # assertions) executes once with a minimal budget, so bench code cannot
-  # rot between full BENCH_micro.json refreshes. Twice: dispatcher on and
-  # forced off, so both kernel paths stay exercised by the bench code.
-  FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
-  FUIOV_SIMD=0 FUIOV_BENCH_SMOKE=1 cargo bench -p fuiov-bench --bench micro > /dev/null
-  # Loopback transport bench at a one-cell sweep: its exact byte
-  # reconciliation asserts (net.bytes_{tx,rx} == comms::round_bytes) run
-  # on every CI pass even though the full BENCH_net.json sweep does not.
-  FUIOV_BENCH_SMOKE=1 cargo run --release -q -p fuiov-bench --bin exp_net > /dev/null
+stage_lab() {
+  # Scenario-lab smoke slice: the smoke-tagged rows of scenarios.jsonl
+  # run end to end (training, backtrack, every baseline, jobs service,
+  # loopback transport, MIA + reconstruction eval columns) at each fault
+  # seed, and the rows' shape asserts gate the stage (non-zero exit on
+  # any failed claim). One more pass with the SIMD kill switch thrown:
+  # trial metrics must not depend on which kernel path computed them.
+  cargo build --release -q -p fuiov-lab
+  for seed in ${FUIOV_FAULT_SEED:-$SEED_MATRIX}; do
+    ./target/release/lab run --smoke --seed "$seed" --out "target/lab/seed-$seed"
+    FUIOV_SIMD=0 ./target/release/lab run --smoke --seed "$seed" \
+      --out "target/lab/seed-$seed-simd-off"
+  done
 }
 
-ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance jobs scale net simd_off bench_smoke"
+stage_bench_smoke() {
+  # One code path owns smoke execution: `lab bench-smoke` runs every
+  # benchmark (including its pre-timing bitwise differential assertions)
+  # once with a minimal budget — dispatcher on and FUIOV_SIMD=0, so both
+  # kernel paths stay exercised — plus the one-cell transport sweep
+  # whose exact byte-reconciliation asserts run on every CI pass, then
+  # gates the recorded BENCH_*.json artifacts (schema + byte-accounting
+  # invariants re-checked against the comms model).
+  cargo run --release -q -p fuiov-lab --bin lab -- bench-smoke
+}
+
+ALL_STAGES="guard build test fmt clippy doc golden fault_matrix tier_invariance jobs scale net simd_off lab bench_smoke"
 
 stages() {
   echo "$ALL_STAGES" | tr ' ' '\n'

@@ -70,7 +70,48 @@ fn ci_runs_the_same_stages_as_tier1() {
         }
     }
     assert!(
-        invoked >= 9,
+        invoked >= 10,
         "ci.yml must drive its checks through tier1.sh stages, found {invoked}"
+    );
+}
+
+#[test]
+fn ci_seed_matrices_match_the_seed_matrix_file() {
+    // The fault seeds are single-sourced in scripts/seed_matrix.txt
+    // (tier1.sh reads it at run time). GitHub job matrices cannot read
+    // files, so ci.yml repeats the values — this test is the drift gate.
+    let seeds = fs::read_to_string(root().join("scripts/seed_matrix.txt"))
+        .expect("scripts/seed_matrix.txt exists");
+    let seeds: Vec<&str> = seeds.split_whitespace().collect();
+    assert!(
+        !seeds.is_empty(),
+        "seed_matrix.txt must list at least one seed"
+    );
+    let expected = format!("seed: [{}]", seeds.join(", "));
+
+    let script = fs::read_to_string(root().join("scripts/tier1.sh")).expect("tier1.sh exists");
+    assert!(
+        script.contains("seed_matrix.txt"),
+        "tier1.sh must default its fault seeds from scripts/seed_matrix.txt"
+    );
+
+    let ci = fs::read_to_string(root().join(".github/workflows/ci.yml")).expect("ci.yml exists");
+    let mut matrices = 0;
+    for (i, line) in ci.lines().enumerate() {
+        let line = line.trim();
+        if line.starts_with("seed: [") {
+            matrices += 1;
+            assert_eq!(
+                line,
+                expected,
+                "ci.yml line {}: seed matrix drifted from scripts/seed_matrix.txt",
+                i + 1
+            );
+        }
+    }
+    assert!(
+        matrices >= 4,
+        "ci.yml should fan out at least the fault-matrix, job-resume, scale, \
+         and lab jobs over the seed matrix, found {matrices}"
     );
 }
